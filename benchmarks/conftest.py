@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the series/rows it regenerates (the same data
+the paper plots) and asserts the paper's *qualitative shape* -- who
+wins, by roughly what factor, where crossovers fall.  Absolute numbers
+differ from the paper's EC2 testbed by design (see EXPERIMENTS.md).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweeps",
+        action="store_true",
+        default=False,
+        help="run the full-size experiment sweeps (slower)",
+    )
+
+
+@pytest.fixture
+def full_sweeps(request):
+    return request.config.getoption("--full-sweeps")

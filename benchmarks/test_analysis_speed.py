@@ -1,0 +1,53 @@
+"""§5.1.3: the static analysis is fast enough to be interactive.
+
+The paper reports that generating and checking repair candidates "was
+fast enough to not hinder interactivity" on a laptop.  This bench runs
+the full IPA loop on each application spec and reports wall-clock,
+round and solver-query counts; it also ablates the analysis domain
+bound (DESIGN.md decision 1).
+"""
+
+import pytest
+
+from repro.analysis import ConflictChecker, run_ipa
+from repro.apps import ticket_spec, tournament_spec, tpcw_spec, twitter_spec
+from repro.bench.figures import analysis_speed
+from repro.bench.tables import format_table
+
+
+def test_analysis_speed_all_apps(benchmark):
+    timings = benchmark.pedantic(analysis_speed, rounds=1, iterations=1)
+    rows = [
+        {
+            "application": t.application,
+            "seconds": round(t.seconds, 2),
+            "rounds": t.rounds,
+            "queries": t.queries,
+            "repairs": t.repaired,
+            "compens.": t.compensations,
+            "resolved": t.fully_resolved,
+        }
+        for t in timings
+    ]
+    print()
+    print(format_table(rows))
+    for timing in timings:
+        # "Interactive": the whole app analyses within tens of seconds,
+        # i.e. well under a second per solver query.
+        assert timing.seconds < 120.0
+        assert timing.fully_resolved, timing.application
+
+
+@pytest.mark.parametrize("extra", [1, 2])
+def test_single_pair_query_latency(benchmark, extra):
+    """One conflict query (the interactive unit) is milliseconds."""
+    spec = tournament_spec()
+    checker = ConflictChecker(spec, extra=extra)
+    rem = spec.operation("rem_tourn")
+    enroll = spec.operation("enroll")
+
+    def one_query():
+        return checker.is_conflicting(rem, enroll)
+
+    witness = benchmark(one_query)
+    assert witness is not None

@@ -1,0 +1,60 @@
+"""Figure 4: peak throughput vs latency, Tournament, four configurations.
+
+Expected shape (paper §5.2.2): Strong has the highest latency and the
+lowest peak throughput (all operations serialise at one primary);
+Causal scales best with the lowest latency; IPA tracks Causal with a
+small overhead from its extra updates; Indigo sits at or slightly above
+IPA's latency.
+"""
+
+from repro.bench.figures import fig4_tournament_scalability
+from repro.bench.tables import format_series
+
+
+def _peak(points):
+    return max(throughput for _c, throughput, _l in points)
+
+
+def _latency_at_low_load(points):
+    return points[0][2]
+
+
+def test_fig4(benchmark, full_sweeps):
+    if full_sweeps:
+        kwargs = {}
+    else:
+        kwargs = {
+            "client_counts": (8, 32, 64, 128),
+            "duration_ms": 8_000.0,
+            "warmup_ms": 1_000.0,
+        }
+    series = benchmark.pedantic(
+        fig4_tournament_scalability, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "Figure 4 -- Tournament throughput/latency",
+            series,
+            ("clients/region", "tput (tp/s)", "latency (ms)"),
+        )
+    )
+
+    strong, indigo = series["Strong"], series["Indigo"]
+    ipa, causal = series["IPA"], series["Causal"]
+
+    # Strong: worst latency at every load level, lowest peak throughput.
+    assert _latency_at_low_load(strong) > 3 * _latency_at_low_load(causal)
+    assert _peak(strong) < _peak(ipa)
+    assert _peak(strong) < _peak(indigo)
+    # Causal: best scalability, lowest latency.
+    assert _peak(causal) >= _peak(ipa)
+    assert _latency_at_low_load(causal) <= _latency_at_low_load(ipa)
+    # IPA: within ~2x of causal latency at low load (the "small
+    # overhead" claim), far below Strong.
+    assert _latency_at_low_load(ipa) < 2.0 * _latency_at_low_load(causal)
+    assert _latency_at_low_load(ipa) < _latency_at_low_load(strong) / 3
+    # IPA vs Indigo: IPA at or below Indigo's low-load latency.
+    assert _latency_at_low_load(ipa) <= _latency_at_low_load(indigo) * 1.1
+    # Every weak configuration clearly out-scales Strong.
+    assert _peak(causal) > 1.5 * _peak(strong)

@@ -1,0 +1,42 @@
+"""Figure 5: per-operation latency in Tournament (Indigo/IPA/Causal).
+
+Expected shape: Indigo's write operations have both higher mean latency
+and much larger standard deviation (occasional reservation exchanges);
+IPA's writes are only slightly above Causal's; the read-only Status
+operation costs about the same everywhere.
+"""
+
+from repro.bench.figures import FIG5_OPS, fig5_tournament_op_latency
+from repro.bench.tables import format_table
+
+
+def test_fig5(benchmark, full_sweeps):
+    kwargs = {} if full_sweeps else {"duration_ms": 15_000.0}
+    data = benchmark.pedantic(
+        fig5_tournament_op_latency, kwargs=kwargs, rounds=1, iterations=1
+    )
+    rows = []
+    for config, ops in data.items():
+        row = {"config": config}
+        for op in FIG5_OPS:
+            mean, stddev = ops[op]
+            row[op] = f"{mean:.1f}±{stddev:.0f}"
+        rows.append(row)
+    print()
+    print(format_table(rows))
+
+    write_ops = [op for op in FIG5_OPS if op != "status"]
+    for op in write_ops:
+        indigo_mean, indigo_std = data["Indigo"][op]
+        ipa_mean, ipa_std = data["IPA"][op]
+        causal_mean, _ = data["Causal"][op]
+        # Indigo mean above IPA, with a visibly larger spread.
+        assert indigo_mean > ipa_mean
+        assert indigo_std > 3 * max(ipa_std, 0.1)
+        # IPA only modestly above causal (extra updates, no coordination).
+        assert ipa_mean < 4.0 * causal_mean
+        assert ipa_mean >= causal_mean * 0.8
+    # Reads are local everywhere.
+    for config in ("Indigo", "IPA", "Causal"):
+        status_mean, _ = data[config]["status"]
+        assert status_mean < 6.0

@@ -1,0 +1,37 @@
+"""Figure 6: per-operation latency of Twitter strategies (§5.2.3).
+
+Expected shape: the Add-wins strategy pays on tweet/retweet (it must
+restore the involved users/tweet against concurrent removals); the
+Rem-wins strategy instead pays on rem_user (history purge) and on
+timeline reads (the lazy compensation that hides removed tweets);
+Causal is cheapest but leaves dangling references.
+"""
+
+from repro.bench.figures import FIG6_OPS, fig6_twitter_strategies
+from repro.bench.tables import format_table
+
+
+def test_fig6(benchmark, full_sweeps):
+    kwargs = {} if full_sweeps else {"duration_ms": 15_000.0}
+    data = benchmark.pedantic(
+        fig6_twitter_strategies, kwargs=kwargs, rounds=1, iterations=1
+    )
+    rows = []
+    for strategy, ops in data.items():
+        row = {"strategy": strategy}
+        for op in FIG6_OPS:
+            row[op] = round(ops[op], 2)
+        rows.append(row)
+    print()
+    print(format_table(rows))
+
+    causal, aw, rw = data["causal"], data["add-wins"], data["rem-wins"]
+    # Add-wins: restoring users makes tweet/retweet costlier than causal.
+    assert aw["tweet"] > causal["tweet"]
+    assert aw["retweet"] > causal["retweet"]
+    # Rem-wins: the purge makes rem_user clearly costlier...
+    assert rw["rem_user"] > 1.5 * causal["rem_user"]
+    # ...and the timeline read pays the lazy compensation check.
+    assert rw["timeline"] > 1.2 * causal["timeline"]
+    # Add-wins does not tax timeline reads.
+    assert aw["timeline"] < 1.5 * causal["timeline"]

@@ -1,0 +1,47 @@
+"""Figure 7: Ticket benchmark -- compensation scalability (§5.2.4).
+
+Expected shape: under Causal, the number of observed invariant
+violations (oversold events) grows with throughput as the divergence
+window widens; under IPA the compensations keep every observed state
+within bounds (zero violations) at a latency close to Causal's.
+"""
+
+from repro.bench.figures import fig7_ticket_compensations
+from repro.bench.tables import format_series
+
+
+def test_fig7(benchmark, full_sweeps):
+    if full_sweeps:
+        kwargs = {}
+    else:
+        kwargs = {
+            "client_counts": (4, 16, 64),
+            "duration_ms": 8_000.0,
+        }
+    series = benchmark.pedantic(
+        fig7_ticket_compensations, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "Figure 7 -- Ticket latency/throughput and violations",
+            series,
+            ("clients", "tput (tp/s)", "latency (ms)", "violations"),
+        )
+    )
+
+    causal, ipa = series["causal"], series["ipa"]
+    causal_violations = [point[3] for point in causal]
+    ipa_violations = [point[3] for point in ipa]
+    # IPA preserves the invariant at all times.
+    assert all(v == 0 for v in ipa_violations), ipa_violations
+    # Causal exposes violations, increasingly so under contention.
+    assert causal_violations[-1] > causal_violations[0] > 0
+    # Compensations cost little: latency within 2x of causal at every
+    # load, throughput within 25%.
+    for (c1, tput_c, lat_c, _v1), (c2, tput_i, lat_i, _v2) in zip(
+        causal, ipa
+    ):
+        assert c1 == c2
+        assert lat_i < 2.0 * max(lat_c, 1.0)
+        assert tput_i > 0.75 * tput_c

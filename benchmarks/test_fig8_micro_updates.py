@@ -1,0 +1,48 @@
+"""Figure 8: microbenchmarks -- speed-up of IPA over Strong (§5.2.5).
+
+Top: an operation that executes ``k`` extra updates on a *single*
+object under causal consistency vs the original single-update operation
+under Strong.  Expected: a large speed-up (tens of times) at ``k = 1``
+decaying as updates pile on, but still >1 at ``k = 2048`` (the paper
+reports ~40 ms absolute latency there).
+
+Bottom: the operation touches ``k`` *distinct* objects.  Expected:
+speed-up decays much faster, crossing 1 around ``k = 64`` -- "at 64
+objects, it starts to pay off to switch to Strong".
+"""
+
+from repro.bench.figures import fig8_micro_speedups
+from repro.bench.tables import format_series
+
+
+def test_fig8(benchmark, full_sweeps):
+    if full_sweeps:
+        kwargs = {}
+    else:
+        kwargs = {
+            "single_key_counts": (1, 2, 64, 512, 2048),
+            "multi_key_counts": (1, 2, 8, 32, 64),
+        }
+    series = benchmark.pedantic(
+        fig8_micro_speedups, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "Figure 8 -- IPA/Strong speed-up",
+            series,
+            ("k", "speed-up"),
+        )
+    )
+
+    single = dict(series["single_key"])
+    multi = dict(series["multi_key"])
+    # Large speed-up for the common case (paper: ~28x; testbed-dependent).
+    assert single[1] > 15
+    # Monotone decay with extra updates, still profitable at 2048.
+    assert single[1] > single[512] > single[2048] > 1.0
+    # Multi-object decay is steeper: by 64 objects Strong wins.
+    assert multi[1] > 15
+    assert multi[32] > 1.0
+    assert multi[64] < 1.2  # crossover at ~64 keys
+    assert multi[64] < multi[32] < multi[8]

@@ -1,0 +1,40 @@
+"""Figure 9: latency vs reservation contention (§5.2.5).
+
+Expected shape: IPA's latency is flat regardless of contention (it
+executes extra updates, never coordinates) and matches Indigo when no
+reservations are contended; Indigo's latency rises steadily as a
+growing share of operations must wait for a reservation held by a
+remote replica.
+"""
+
+from repro.bench.figures import fig9_reservation_contention
+from repro.bench.tables import format_series
+
+
+def test_fig9(benchmark, full_sweeps):
+    kwargs = {} if full_sweeps else {"operations": 150}
+    series = benchmark.pedantic(
+        fig9_reservation_contention, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "Figure 9 -- latency vs reservation contention (%)",
+            series,
+            ("contention", "latency (ms)"),
+        )
+    )
+
+    ipa = dict(series["IPA"])
+    indigo = dict(series["Indigo"])
+    # IPA: flat across all contention levels.
+    values = list(ipa.values())
+    assert max(values) < 1.3 * min(values)
+    # Equivalent to Indigo when reservations are uncontended.
+    assert ipa["0"] < 2.5 * indigo["0"]
+    # Indigo: rises steadily with contention.
+    assert indigo["2"] <= indigo["5"] <= indigo["10"]
+    assert indigo["10"] < indigo["20"] < indigo["50"]
+    assert indigo["50"] > 5 * indigo["0"]
+    # At high contention, IPA wins decisively.
+    assert indigo["50"] > 4 * ipa["50"]

@@ -1,0 +1,43 @@
+"""Table 1: invariant classes per application.
+
+Regenerates the paper's taxonomy table from the four application
+specifications and checks the I-Confluent / IPA verdicts.
+"""
+
+from repro.bench.figures import table1_invariant_classes
+from repro.bench.tables import format_table
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        table1_invariant_classes, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows))
+
+    by_type = {row["Inv. Type"]: row for row in rows}
+    # The I-Confluent column (Bailis et al. verdicts).
+    assert by_type["Sequential id."]["I-Conf."] == "No"
+    assert by_type["Unique id."]["I-Conf."] == "Yes"
+    assert by_type["Numeric inv."]["I-Conf."] == "No"
+    assert by_type["Aggreg. const."]["I-Conf."] == "No"
+    assert by_type["Aggreg. incl."]["I-Conf."] == "Yes"
+    assert by_type["Ref. integrity"]["I-Conf."] == "No"
+    assert by_type["Disjunctions"]["I-Conf."] == "No"
+    # The IPA column: eager repairs except numeric/aggregation bounds
+    # (compensations) and sequential ids (unsupported).
+    assert by_type["Sequential id."]["IPA"] == "No"
+    assert by_type["Numeric inv."]["IPA"] == "Comp."
+    assert by_type["Aggreg. const."]["IPA"] == "Comp."
+    assert by_type["Ref. integrity"]["IPA"] == "Yes"
+    assert by_type["Disjunctions"]["IPA"] == "Yes"
+    # Per-application highlights of the paper's table.
+    for app in ("TPC", "Tour", "Ticket", "Twitter"):
+        assert by_type["Unique id."][app] == "Yes"
+        assert by_type["Sequential id."][app] == (
+            "Yes" if app == "TPC" else "—"
+        )
+    assert by_type["Ref. integrity"]["Tour"] == "Yes"
+    assert by_type["Ref. integrity"]["Twitter"] == "Yes"
+    assert by_type["Disjunctions"]["Tour"] == "Yes"
+    assert by_type["Aggreg. incl."]["Tour"] == "Yes"

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Two applications, one database — the fully mechanical IPA pipeline.
+
+§5.1.4 of the paper: when several applications share a database, the
+analysis needs one combined specification, or conflicts between
+*different* applications go unnoticed.  This example:
+
+1. specifies an end-user app (enrolments) and a separate admin app
+   (tournament management), each individually conflict-free;
+2. merges them and finds the cross-application conflict;
+3. lets IPA repair the merged specification;
+4. runs the patched specification **directly** on the simulated
+   geo-replicated store through the generic executor
+   (:mod:`repro.runtime`) -- no hand-written application code -- and
+   audits every replica with the same invariant formulas the analysis
+   used.
+
+Run with::
+
+    python examples/shared_database.py
+"""
+
+from repro.analysis import ConflictChecker, run_ipa
+from repro.analysis.report import render_patch
+from repro.runtime import SpecExecutor, registry_for_spec
+from repro.sim import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.spec import SpecBuilder, merge_specs
+from repro.store import Cluster
+
+
+def enrolment_app():
+    b = SpecBuilder("enrolments")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.invariant(
+        "forall(Player: p, Tournament: t) :- "
+        "enrolled(p, t) => player(p) and tournament(t)"
+    )
+    b.operation("add_player", "Player: p", true=["player(p)"])
+    b.operation(
+        "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+    )
+    return b.build()
+
+
+def admin_app():
+    b = SpecBuilder("admin")
+    b.predicate("tournament", "Tournament")
+    b.operation("add_tourn", "Tournament: t", true=["tournament(t)"])
+    b.operation("rem_tourn", "Tournament: t", false=["tournament(t)"])
+    return b.build()
+
+
+def main() -> None:
+    enrolments, admin = enrolment_app(), admin_app()
+    print("per-application analysis:")
+    for spec in (enrolments, admin):
+        count = len(ConflictChecker(spec).find_conflicts())
+        print(f"  {spec.name:12s} conflicting pairs: {count}")
+
+    combined = merge_specs("shared-db", enrolments, admin)
+    conflicts = ConflictChecker(combined).find_conflicts()
+    print(f"\ncombined analysis: {len(conflicts)} conflicting pair(s)")
+    for witness in conflicts:
+        print(f"  {witness.op1} || {witness.op2}")
+
+    result = run_ipa(combined)
+    print("\npatch for the combined specification:")
+    print(render_patch(combined, result.modified))
+
+    print("\nrunning the patched spec mechanically on the store...")
+    sim = Simulator()
+    cluster = Cluster(sim, registry_for_spec(result.modified))
+    executor = SpecExecutor(
+        result.modified, cluster,
+        compensations=result.compensations,
+        original_spec=result.original,
+    )
+    executor.execute(US_EAST, "add_player", {"p": "ada"})
+    executor.execute(US_EAST, "add_tourn", {"t": "open"})
+    sim.run(until=sim.now + 2_000.0)
+    # The cross-application race.
+    executor.execute(US_WEST, "enroll", {"p": "ada", "t": "open"})
+    executor.execute(EU_WEST, "rem_tourn", {"t": "open"})
+    sim.run(until=sim.now + 2_000.0)
+
+    for region in REGIONS:
+        violated = executor.audit(region)
+        print(f"  {region:8s} violated invariants: {violated or 'none'}")
+    assert all(not executor.audit(region) for region in REGIONS)
+    print("\nthe cross-application conflict is repaired end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Ticket oversell and the Compensation Set CRDT (§3.4, §4.2.2).
+
+A capacity bound cannot be preserved eagerly with acceptable semantics
+(the repair would cancel a sale on every purchase).  Instead the IPA
+variant attaches the bound to the sold-tickets set itself: any read
+that observes an oversold state deterministically cancels the excess
+tickets and reimburses the buyers -- commutative, idempotent and
+monotonic, so replicas repairing independently still converge.
+
+Run with::
+
+    python examples/ticket_compensations.py
+"""
+
+from repro.apps.common import Variant
+from repro.apps.ticket import TicketApp, ticket_registry
+from repro.sim.events import Simulator
+from repro.sim.latency import REGIONS, US_EAST
+from repro.store.cluster import Cluster
+
+CAPACITY = 4
+
+
+def sell_out_concurrently(variant: Variant):
+    sim = Simulator()
+    cluster = Cluster(sim, ticket_registry(variant, capacity=CAPACITY))
+    app = TicketApp(cluster, variant, capacity=CAPACITY)
+    app.setup(["gig"], US_EAST)
+
+    # Each region sees plenty of local stock and sells 2 tickets
+    # concurrently: 6 sold against a capacity of 4.
+    serial = 0
+    for region in REGIONS:
+        for _ in range(2):
+            serial += 1
+            app.buy_ticket(
+                region, f"{region}-ticket{serial}", "gig",
+                lambda _op: None,
+            )
+    sim.run(until=sim.now + 2_000.0)
+    return sim, cluster, app
+
+
+def report(cluster, app, label) -> None:
+    print(f"--- {label} ---")
+    for region in REGIONS:
+        sold = cluster.replica(region).get_object("sold:gig")
+        raw = sorted(
+            sold.raw_value() if hasattr(sold, "raw_value")
+            else sold.value()
+        )
+        print(
+            f"  {region:8s} raw sold={len(raw)} "
+            f"oversold={'YES' if len(raw) > CAPACITY else 'no '} "
+            f"observed violations={app.count_violations(region)}"
+        )
+    print()
+
+
+def main() -> None:
+    print(f"Event capacity: {CAPACITY}; three regions each sell 2 "
+          "tickets concurrently.\n")
+
+    _sim, cluster, app = sell_out_concurrently(Variant.CAUSAL)
+    report(cluster, app, "causal: the raw state IS the observed state")
+
+    sim, cluster, app = sell_out_concurrently(Variant.IPA)
+    report(cluster, app, "IPA before any read (raw oversold, "
+           "observed view already repaired)")
+
+    # One read anywhere commits the compensation for everyone.
+    app.view_event(US_EAST, "gig", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+    report(cluster, app, "IPA after one compensating read")
+    print(
+        f"reimbursed buyers: {app.reimbursements(US_EAST)} "
+        "(the cancelled tickets)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Full Tournament analysis + a live replay of the repaired application.
+
+Part 1 runs the IPA tool on the complete Figure 1 specification and
+prints the full report: every conflict found, the chosen repairs, the
+convergence-rule changes, and the capacity compensation.
+
+Part 2 replays the Figure 2 race -- ``enroll(p, t)`` concurrent with
+``rem_tourn(t)`` -- on the simulated geo-replicated store, first with
+the unmodified application (watch the invariant break), then with the
+IPA-modified one (watch it hold).
+
+Run with::
+
+    python examples/tournament_analysis.py
+"""
+
+from repro.analysis import run_ipa
+from repro.analysis.report import render_result
+from repro.apps.common import Variant
+from repro.apps.tournament import (
+    TournamentApp,
+    tournament_registry,
+    tournament_spec,
+)
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+
+def analyse() -> None:
+    print("=" * 70)
+    print("Part 1: the IPA analysis of the full Tournament specification")
+    print("=" * 70)
+    spec = tournament_spec()
+    result = run_ipa(spec)
+    print(render_result(result))
+    print()
+
+
+def replay(variant: Variant) -> None:
+    sim = Simulator()
+    cluster = Cluster(sim, tournament_registry(variant))
+    app = TournamentApp(cluster, variant)
+    app.setup(["p1", "p2"], ["t1"], US_EAST)
+
+    # The Figure 2 race: concurrent enroll and rem_tourn.
+    app.enroll(US_WEST, "p1", "t1", lambda _op: None)
+    app.rem_tourn(EU_WEST, "t1", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+
+    print(f"--- {variant.value} variant after the race ---")
+    for region in REGIONS:
+        replica = cluster.replica(region)
+        enrolled = sorted(replica.get_object("enrolled").value())
+        tournaments = sorted(replica.get_object("tournaments").value())
+        violations = app.count_violations(region)
+        print(
+            f"  {region:8s} enrolled={enrolled!s:24s} "
+            f"tournaments={tournaments!s:8s} violations={violations}"
+        )
+    print()
+
+
+def main() -> None:
+    analyse()
+    print("=" * 70)
+    print("Part 2: replaying the Figure 2 race on the replicated store")
+    print("=" * 70)
+    replay(Variant.CAUSAL)
+    replay(Variant.IPA)
+    print(
+        "The causal variant converges to a state with a dangling\n"
+        "enrolment; the IPA variant's extra effects keep every replica\n"
+        "invariant-valid without any coordination."
+    )
+
+
+if __name__ == "__main__":
+    main()

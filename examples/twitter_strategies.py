@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Twitter strategies: Add-wins vs Rem-wins conflict resolution (§5.2.3).
+
+When a user is removed concurrently with one of their tweets being
+posted or retweeted, the two strategies disagree about who should win:
+
+- **Add-wins** restores the user (the tweet survives, the removal is
+  undone) -- the tweeting operations carry the extra restore updates;
+- **Rem-wins** purges the user's history, and timeline *reads* lazily
+  hide tweets that were removed concurrently (a compensation).
+
+This script replays the same race under both strategies and shows the
+divergent -- but in both cases invariant-preserving -- outcomes.
+
+Run with::
+
+    python examples/twitter_strategies.py
+"""
+
+from repro.apps.common import Variant
+from repro.apps.twitter import TwitterApp, twitter_registry
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+
+def race(variant: Variant) -> None:
+    sim = Simulator()
+    cluster = Cluster(sim, twitter_registry(variant))
+    app = TwitterApp(cluster, variant)
+    app.setup(["alice", "bob"], US_EAST)
+    app.follow(US_EAST, "bob", "alice", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+
+    # The race: alice tweets at us-west while eu-west removes her.
+    app.tweet(US_WEST, "alice", "w1", lambda _op: None)
+    app.rem_user(EU_WEST, "alice", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+
+    # A timeline read (which compensates under rem-wins).
+    app.timeline(US_EAST, "bob", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+
+    print(f"--- {variant.value} ---")
+    for region in REGIONS:
+        replica = cluster.replica(region)
+        users = sorted(replica.get_object("users").value())
+        timeline = sorted(replica.get_object("timeline:bob").value())
+        print(
+            f"  {region:8s} users={users!s:20s} "
+            f"bob's timeline={timeline}"
+        )
+    print(f"  dangling references: {app.count_violations(US_EAST)}")
+    print()
+
+
+def main() -> None:
+    print("The race: tweet(alice, w1) || rem_user(alice)\n")
+    race(Variant.CAUSAL)
+    race(Variant.ADD_WINS)
+    race(Variant.REM_WINS)
+    print(
+        "Causal leaves bob's timeline referencing a removed user;\n"
+        "Add-wins resurrects alice so the reference stays valid;\n"
+        "Rem-wins removes both alice and her tweet everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The executable counterpart of the paper's IPA tool:
+
+- ``analyze SPECFILE``  -- run the full IPA analysis on a spec file and
+  print the report (conflicts, chosen repairs, compensations, patch);
+- ``conflicts SPECFILE`` -- only detect and print conflicting pairs
+  with their Figure 2-style counterexamples;
+- ``classify SPECFILE`` -- print the Table 1 classification of the
+  specification's invariants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import ConflictChecker, run_ipa
+from repro.analysis.classification import classify_spec
+from repro.analysis.report import render_result, render_witness
+from repro.errors import ReproError
+from repro.specfile import load_specfile
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spec = load_specfile(args.specfile)
+    result = run_ipa(
+        spec,
+        max_effects=args.max_effects,
+        allow_rule_changes=not args.no_rule_changes,
+    )
+    print(render_result(result))
+    return 0 if result.is_invariant_preserving else 1
+
+
+def _cmd_conflicts(args: argparse.Namespace) -> int:
+    spec = load_specfile(args.specfile)
+    checker = ConflictChecker(spec)
+    witnesses = checker.find_conflicts()
+    if not witnesses:
+        print("no conflicting pairs: the specification is I-Confluent")
+        return 0
+    for witness in witnesses:
+        print(render_witness(witness))
+        print()
+    print(f"{len(witnesses)} conflicting pair(s)")
+    return 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    spec = load_specfile(args.specfile)
+    grouped = classify_spec(spec)
+    for cls, invariants in sorted(grouped.items(), key=lambda kv: kv[0].value):
+        verdict = (
+            "I-Confluent"
+            if cls.i_confluent
+            else f"IPA: {cls.ipa_treatment}"
+        )
+        print(f"{cls.label} ({verdict})")
+        for invariant in invariants:
+            print(f"  - {invariant.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IPA: make applications invariant-preserving "
+        "under weak consistency",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="run the full IPA analysis and print the patch"
+    )
+    analyze.add_argument("specfile")
+    analyze.add_argument(
+        "--max-effects", type=int, default=2,
+        help="max extra effects per repair (default 2)",
+    )
+    analyze.add_argument(
+        "--no-rule-changes", action="store_true",
+        help="only repair under the declared convergence rules",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    conflicts = sub.add_parser(
+        "conflicts", help="detect conflicting operation pairs"
+    )
+    conflicts.add_argument("specfile")
+    conflicts.set_defaults(func=_cmd_conflicts)
+
+    classify = sub.add_parser(
+        "classify", help="classify invariants (Table 1 taxonomy)"
+    )
+    classify.add_argument("specfile")
+    classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

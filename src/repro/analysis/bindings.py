@@ -1,0 +1,183 @@
+"""Parameter-aliasing enumeration for pairwise conflict queries.
+
+A conflict between two operations may depend on whether their parameters
+denote the *same* entity or *different* ones: ``enroll(p, t)`` conflicts
+with ``rem_tourn(t2)`` only when ``t = t2``.  Z3 explores such aliasing
+through equality reasoning; our bounded model finder instead enumerates
+the canonical aliasing patterns -- the set partitions of the parameters
+of each sort -- and solves one propositional query per pattern.  Because
+operations have at most a handful of parameters, the number of patterns
+is tiny (Bell numbers of 1--4).
+
+Each pattern yields a :class:`PairBinding`: concrete constants for every
+parameter plus the grounding domain, which also contains ``extra``
+fresh constants per sort so invariant quantifiers can range over
+entities the operations do not mention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.logic.ast import Const, Sort, Var
+from repro.logic.grounding import Domain
+from repro.spec.operations import Operation
+
+
+@dataclass(frozen=True)
+class PairBinding:
+    """One aliasing pattern for a pair of operations.
+
+    ``binding1``/``binding2`` map each operation's parameters to domain
+    constants.  Parameters mapped to the same constant are aliased.
+    """
+
+    binding1: dict[Var, Const]
+    binding2: dict[Var, Const]
+    domain: Domain
+
+    def __hash__(self) -> int:  # dict fields: hash by canonical items
+        return hash(
+            (
+                tuple(sorted(self.binding1.items(), key=str)),
+                tuple(sorted(self.binding2.items(), key=str)),
+            )
+        )
+
+    def describe(self) -> str:
+        parts1 = ", ".join(
+            f"{v.name}={c.name}"
+            for v, c in sorted(self.binding1.items(), key=lambda kv: str(kv))
+        )
+        parts2 = ", ".join(
+            f"{v.name}={c.name}"
+            for v, c in sorted(self.binding2.items(), key=lambda kv: str(kv))
+        )
+        return f"[{parts1}] / [{parts2}]"
+
+
+def set_partitions(items: Sequence) -> Iterator[list[list]]:
+    """All set partitions of ``items`` (canonical order)."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    head, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[head] + partition[index]]
+                + partition[index + 1 :]
+            )
+        yield [[head]] + partition
+
+
+def enumerate_single_bindings(
+    operation: Operation,
+    sorts: Sequence[Sort],
+    extra: int = 1,
+) -> Iterator["SingleBinding"]:
+    """Canonical aliasing patterns for a single operation's parameters.
+
+    Used by the executability and semantics-preservation side checks,
+    which consider one operation running alone.
+    """
+    tagged: dict[Sort, list[Var]] = {}
+    for var in operation.params:
+        tagged.setdefault(var.sort, []).append(var)
+    per_sort_partitions = [
+        list(set_partitions(params)) for params in tagged.values()
+    ]
+    partition_sorts = list(tagged.keys())
+    for combo in itertools.product(*per_sort_partitions):
+        binding: dict[Var, Const] = {}
+        constants: dict[Sort, list[Const]] = {}
+        for sort, partition in zip(partition_sorts, combo):
+            consts: list[Const] = []
+            for block_index, block in enumerate(partition):
+                const = Const(f"{sort.name.lower()}{block_index}", sort)
+                consts.append(const)
+                for var in block:
+                    binding[var] = const
+            constants[sort] = consts
+        domain_map: dict[Sort, tuple[Const, ...]] = {}
+        for sort in sorts:
+            consts = list(constants.get(sort, []))
+            base = len(consts)
+            for index in range(extra):
+                consts.append(
+                    Const(f"{sort.name.lower()}{base + index}", sort)
+                )
+            domain_map[sort] = tuple(consts)
+        yield SingleBinding(binding, Domain(domain_map))
+
+
+@dataclass(frozen=True)
+class SingleBinding:
+    """One aliasing pattern for a single operation."""
+
+    binding: dict[Var, Const]
+    domain: Domain
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.binding.items(), key=str)))
+
+
+def enumerate_pair_bindings(
+    op1: Operation,
+    op2: Operation,
+    sorts: Sequence[Sort],
+    extra: int = 1,
+) -> Iterator[PairBinding]:
+    """All canonical aliasing patterns for an operation pair.
+
+    The two operations' parameter lists are kept distinct even when
+    ``op1 is op2`` (an operation can run concurrently with itself on
+    different -- or the same -- arguments, which is how self-conflicts
+    such as double-enrolment past a capacity are found).
+
+    ``sorts`` is the full schema sort list; every sort gets at least
+    ``extra`` constants in the grounding domain even when no parameter
+    mentions it, and parameter-bearing sorts get ``extra`` more than
+    their partition needs.
+    """
+    # Tag parameters by (side, index) so identical Operation objects on
+    # both sides still contribute two distinct parameter lists.
+    tagged: dict[Sort, list[tuple[int, Var]]] = {}
+    for side, operation in ((1, op1), (2, op2)):
+        for var in operation.params:
+            tagged.setdefault(var.sort, []).append((side, var))
+
+    per_sort_partitions: list[list[list[list[tuple[int, Var]]]]] = []
+    partition_sorts: list[Sort] = []
+    for sort, params in tagged.items():
+        per_sort_partitions.append(list(set_partitions(params)))
+        partition_sorts.append(sort)
+
+    for combo in itertools.product(*per_sort_partitions):
+        binding1: dict[Var, Const] = {}
+        binding2: dict[Var, Const] = {}
+        constants: dict[Sort, list[Const]] = {}
+        for sort, partition in zip(partition_sorts, combo):
+            consts: list[Const] = []
+            for block_index, block in enumerate(partition):
+                const = Const(f"{sort.name.lower()}{block_index}", sort)
+                consts.append(const)
+                for side, var in block:
+                    if side == 1:
+                        binding1[var] = const
+                    else:
+                        binding2[var] = const
+            constants[sort] = consts
+        # Pad every schema sort with `extra` fresh constants.
+        domain_map: dict[Sort, tuple[Const, ...]] = {}
+        for sort in sorts:
+            consts = list(constants.get(sort, []))
+            base = len(consts)
+            for index in range(extra):
+                consts.append(Const(f"{sort.name.lower()}{base + index}", sort))
+            domain_map[sort] = tuple(consts)
+        yield PairBinding(binding1, binding2, Domain(domain_map))

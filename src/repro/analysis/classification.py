@@ -1,0 +1,176 @@
+"""Invariant classification: the taxonomy behind Table 1 of the paper.
+
+Each invariant class carries two verdicts:
+
+- *I-Confluent*: can the invariant be preserved under weak consistency
+  with no application changes at all (Bailis et al.)?
+- *IPA treatment*: ``yes`` (IPA repairs it eagerly with extra effects),
+  ``compensation`` (IPA repairs it lazily, §3.4), or ``no`` (outside
+  weak consistency altogether -- sequential identifiers).
+
+Classification is syntactic over the invariant formula, with an
+explicit ``category`` override for shapes the first-order fragment
+cannot express (unique/sequential identifiers).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    NumPred,
+    Or,
+)
+from repro.spec.application import ApplicationSpec
+from repro.spec.invariants import Invariant
+
+
+class InvariantClass(enum.Enum):
+    """The invariant taxonomy of Table 1."""
+
+    SEQUENTIAL_ID = "sequential-id"
+    UNIQUE_ID = "unique-id"
+    NUMERIC = "numeric"
+    AGGREGATION_CONSTRAINT = "aggregation-constraint"
+    AGGREGATION_INCLUSION = "aggregation-inclusion"
+    REFERENTIAL_INTEGRITY = "referential-integrity"
+    DISJUNCTION = "disjunction"
+
+    @property
+    def i_confluent(self) -> bool:
+        """Table 1, column "I-Conf.": preserved with weak consistency
+        alone (no application modification)."""
+        return self in (
+            InvariantClass.UNIQUE_ID,
+            InvariantClass.AGGREGATION_INCLUSION,
+        )
+
+    @property
+    def ipa_treatment(self) -> str:
+        """Table 1, column "IPA": yes / compensation / no."""
+        if self is InvariantClass.SEQUENTIAL_ID:
+            return "no"
+        if self in (
+            InvariantClass.NUMERIC,
+            InvariantClass.AGGREGATION_CONSTRAINT,
+        ):
+            return "compensation"
+        return "yes"
+
+    @property
+    def label(self) -> str:
+        return {
+            InvariantClass.SEQUENTIAL_ID: "Sequential id.",
+            InvariantClass.UNIQUE_ID: "Unique id.",
+            InvariantClass.NUMERIC: "Numeric inv.",
+            InvariantClass.AGGREGATION_CONSTRAINT: "Aggreg. const.",
+            InvariantClass.AGGREGATION_INCLUSION: "Aggreg. incl.",
+            InvariantClass.REFERENTIAL_INTEGRITY: "Ref. integrity",
+            InvariantClass.DISJUNCTION: "Disjunctions",
+        }[self]
+
+
+def _strip(formula: Formula) -> Formula:
+    while isinstance(formula, (ForAll, Exists)):
+        formula = formula.body
+    return formula
+
+
+def _contains_or(formula: Formula) -> bool:
+    if isinstance(formula, Or):
+        return True
+    if isinstance(formula, Not):
+        return _contains_or(formula.arg)
+    if isinstance(formula, And):
+        return any(_contains_or(a) for a in formula.args)
+    if isinstance(formula, (Implies, Iff)):
+        return _contains_or(formula.lhs) or _contains_or(formula.rhs)
+    return False
+
+
+def classify_invariant(invariant: Invariant) -> InvariantClass:
+    """Determine the Table 1 class of an invariant."""
+    if invariant.category:
+        return InvariantClass(invariant.category)
+    body = _strip(invariant.formula)
+    if isinstance(body, Cmp):
+        for side in (body.lhs, body.rhs):
+            if isinstance(side, Card):
+                return InvariantClass.AGGREGATION_CONSTRAINT
+        for side in (body.lhs, body.rhs):
+            if isinstance(side, NumPred):
+                return InvariantClass.NUMERIC
+        return InvariantClass.NUMERIC
+    if isinstance(body, Implies):
+        if _contains_or(body.rhs):
+            return InvariantClass.DISJUNCTION
+        return InvariantClass.REFERENTIAL_INTEGRITY
+    if isinstance(body, Not) and isinstance(body.arg, And):
+        # Mutual exclusion: not (a and b)  ==  not a or not b.
+        return InvariantClass.DISJUNCTION
+    if isinstance(body, Or):
+        return InvariantClass.DISJUNCTION
+    # Plain (conjunctions of) membership facts.
+    return InvariantClass.AGGREGATION_INCLUSION
+
+
+def classify_spec(
+    spec: ApplicationSpec,
+) -> dict[InvariantClass, list[Invariant]]:
+    """Group an application's invariants by class."""
+    grouped: dict[InvariantClass, list[Invariant]] = {}
+    for invariant in spec.invariants:
+        grouped.setdefault(classify_invariant(invariant), []).append(
+            invariant
+        )
+    return grouped
+
+
+#: The canonical row order of Table 1.
+TABLE1_ORDER = [
+    InvariantClass.SEQUENTIAL_ID,
+    InvariantClass.UNIQUE_ID,
+    InvariantClass.NUMERIC,
+    InvariantClass.AGGREGATION_CONSTRAINT,
+    InvariantClass.AGGREGATION_INCLUSION,
+    InvariantClass.REFERENTIAL_INTEGRITY,
+    InvariantClass.DISJUNCTION,
+]
+
+
+def table1_rows(
+    specs: dict[str, ApplicationSpec],
+) -> list[dict[str, str]]:
+    """Rows of Table 1 for the given applications.
+
+    Each row has the class label, the I-Confluent and IPA verdicts, and
+    a Yes/-- cell per application (does the app use that class?).
+    """
+    classified = {
+        name: classify_spec(spec) for name, spec in specs.items()
+    }
+    rows: list[dict[str, str]] = []
+    for cls in TABLE1_ORDER:
+        row = {
+            "Inv. Type": cls.label,
+            "I-Conf.": "Yes" if cls.i_confluent else "No",
+            "IPA": {
+                "yes": "Yes",
+                "no": "No",
+                "compensation": "Comp.",
+            }[cls.ipa_treatment],
+        }
+        for name in specs:
+            row[name] = "Yes" if classified[name].get(cls) else "—"
+        rows.append(row)
+    return rows

@@ -1,0 +1,151 @@
+"""Compensation synthesis for numeric and aggregation invariants (§3.4).
+
+Some invariant violations cannot be prevented eagerly with acceptable
+semantics -- the canonical example being a capacity bound, whose eager
+repair would disenrol a player on every enrol.  Instead, the extra
+effects are *delayed*: applied only when a violation is actually
+observed, by code that runs when the object is read (the Compensation
+Set CRDT of §4.2.2 packages this).
+
+Compensation actions must be commutative, idempotent and monotonic so
+that replicas detecting the same violation independently still
+converge.  The two shapes generated here satisfy this by construction:
+
+- ``trim-collection``: deterministically remove the highest-sorted
+  excess elements until a cardinality bound holds (same elements chosen
+  at every replica; removing an already-removed element is a no-op);
+- ``replenish-counter`` / ``cancel-excess``: raise a counter back to its
+  lower bound (resp. retract the excess purchases), applied relative to
+  the observed deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.ast import (
+    Card,
+    Cmp,
+    Exists,
+    ForAll,
+    Formula,
+    IntConst,
+    NumPred,
+    Param,
+)
+from repro.spec.application import ApplicationSpec
+from repro.spec.invariants import Invariant
+from repro.spec.operations import Operation
+
+from repro.analysis.conflicts import ConflictWitness
+
+
+@dataclass(frozen=True)
+class Compensation:
+    """A lazily-applied repair for a numeric/aggregation invariant.
+
+    ``kind`` is ``trim-collection``, ``replenish-counter`` or
+    ``cancel-excess``; ``predicate`` is the collection/counter it acts
+    on; ``trigger_ops`` are the operations whose concurrent execution
+    can create the violation (their commit sites must read through a
+    compensating view); ``bound_param``/``bound_value`` describe the
+    threshold.
+    """
+
+    invariant: Invariant
+    kind: str
+    predicate: str
+    trigger_ops: tuple[str, ...]
+    bound_param: str | None = None
+    bound_value: int | None = None
+
+    def describe(self) -> str:
+        bound = self.bound_param or str(self.bound_value)
+        return (
+            f"compensation[{self.kind}] on {self.predicate} "
+            f"(bound {bound}), triggered by "
+            + ", ".join(self.trigger_ops)
+        )
+
+
+def _strip_quantifiers(formula: Formula) -> Formula:
+    while isinstance(formula, (ForAll, Exists)):
+        formula = formula.body
+    return formula
+
+
+def _bound_of(term) -> tuple[str | None, int | None]:
+    if isinstance(term, Param):
+        return term.name, None
+    if isinstance(term, IntConst):
+        return None, term.value
+    return None, None
+
+
+def compensation_for_invariant(
+    invariant: Invariant, trigger_ops: tuple[str, ...]
+) -> Compensation | None:
+    """Synthesise a compensation for one invariant, if its shape allows.
+
+    Upper bounds on cardinalities become collection trims; lower bounds
+    on numeric predicates become counter replenishments (the TPC-C
+    restock) -- with ``cancel-excess`` as the alternative the Ticket
+    application uses.
+    """
+    body = _strip_quantifiers(invariant.formula)
+    if not isinstance(body, Cmp):
+        return None
+    lhs, op, rhs = body.lhs, body.op, body.rhs
+    # Normalise to "measure OP bound".
+    if isinstance(rhs, (Card, NumPred)) and not isinstance(lhs, (Card, NumPred)):
+        flips = {"<=": ">=", "<": ">", ">=": "<=", ">": "<", "==": "==",
+                 "!=": "!="}
+        lhs, rhs, op = rhs, lhs, flips[op]
+    if not isinstance(lhs, (Card, NumPred)):
+        return None
+    param, value = _bound_of(rhs)
+    if param is None and value is None:
+        return None
+    if isinstance(lhs, Card) and op in ("<=", "<"):
+        return Compensation(
+            invariant=invariant,
+            kind="trim-collection",
+            predicate=lhs.pred.name,
+            trigger_ops=trigger_ops,
+            bound_param=param,
+            bound_value=value,
+        )
+    if isinstance(lhs, NumPred) and op in (">=", ">"):
+        return Compensation(
+            invariant=invariant,
+            kind="replenish-counter",
+            predicate=lhs.pred.name,
+            trigger_ops=trigger_ops,
+            bound_param=param,
+            bound_value=value,
+        )
+    if isinstance(lhs, NumPred) and op in ("<=", "<"):
+        return Compensation(
+            invariant=invariant,
+            kind="cancel-excess",
+            predicate=lhs.pred.name,
+            trigger_ops=trigger_ops,
+            bound_param=param,
+            bound_value=value,
+        )
+    return None
+
+
+def generate_compensations(
+    spec: ApplicationSpec, witness: ConflictWitness
+) -> list[Compensation]:
+    """Compensations for the invariants a flagged conflict violates."""
+    trigger = tuple(
+        sorted({witness.op1.original_name, witness.op2.original_name})
+    )
+    compensations = []
+    for invariant in witness.violated:
+        compensation = compensation_for_invariant(invariant, trigger)
+        if compensation is not None:
+            compensations.append(compensation)
+    return compensations

@@ -1,0 +1,438 @@
+"""Pairwise conflict detection (the paper's extended ``isConflicting``).
+
+An operation pair *conflicts* when there is a reachable initial state in
+which both operations can execute (the invariant and both weakest
+preconditions hold) yet the merge of their concurrent effects -- with
+the predicates' convergence rules applied to opposing assignments --
+violates the invariant.  Checking pairs is sound (Gotsman et al.), and
+the bounded model finder explores all parameter-aliasing patterns, so a
+returned *no conflict* means none exists within the analysis bounds.
+
+The counterexample returned on conflict is a :class:`ConflictWitness`
+carrying the four states of Figure 2 (initial, each operation applied
+alone, and the merge), which the report generator renders.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.logic.ast import Atom, NumPred
+from repro.logic.transform import substitute
+from repro.solver.models import Model, evaluate
+from repro.solver.smt import BoundedModelFinder
+from repro.spec.application import ApplicationSpec
+from repro.spec.effects import ConvergenceRules
+from repro.spec.invariants import Invariant
+from repro.spec.operations import Operation
+
+from repro.analysis.bindings import (
+    PairBinding,
+    enumerate_pair_bindings,
+    enumerate_single_bindings,
+)
+from repro.analysis.encoding import (
+    GroundEffects,
+    family,
+    merged_state_constraints,
+    rename_formula,
+    single_state_constraints,
+)
+
+#: Analysis-time cap on numeric parameters such as ``Capacity``: a
+#: violation of a bound only needs the bound to be *representable* in
+#: the small grounding domain, so large application defaults are clipped.
+ANALYSIS_PARAM_CAP = 2
+
+
+def opposing_effects(op1: Operation, op2: Operation) -> bool:
+    """Do the two operations assign opposing values to some predicate?
+
+    This is the guard on line 8 of Algorithm 1: only for opposing pairs
+    do convergence rules change the merged state.
+    """
+    return any(
+        e1.opposes(e2) for e1 in op1.effects for e2 in op2.effects
+    )
+
+
+@dataclass
+class ConflictWitness:
+    """Concrete evidence that a pair of operations conflicts."""
+
+    op1: Operation
+    op2: Operation
+    binding: PairBinding
+    initial: Model
+    after_op1: Model
+    after_op2: Model
+    merged: Model
+    violated: list[Invariant]
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.op1.name, self.op2.name)
+
+    def describe(self) -> str:
+        lines = [
+            f"conflict: {self.op1} || {self.op2}  "
+            f"with {self.binding.describe()}",
+            f"  initial state : {self.initial.describe()}",
+            f"  after {self.op1.name:<12}: {self.after_op1.describe()}",
+            f"  after {self.op2.name:<12}: {self.after_op2.describe()}",
+            f"  merged state  : {self.merged.describe()}",
+        ]
+        for invariant in self.violated:
+            lines.append(f"  violates      : {invariant.describe()}")
+        return "\n".join(lines)
+
+
+class ConflictChecker:
+    """Runs conflict queries against one application specification.
+
+    ``params`` overrides the analysis values of numeric parameters
+    (defaults: schema values clipped to :data:`ANALYSIS_PARAM_CAP`).
+    ``extra`` is the number of spare constants per sort in the grounding
+    domain (entities the operations do not mention but invariant
+    quantifiers may range over).
+    """
+
+    def __init__(
+        self,
+        spec: ApplicationSpec,
+        extra: int = 1,
+        int_bound: int | None = None,
+        params: dict[str, int] | None = None,
+    ) -> None:
+        self._spec = spec
+        self._extra = extra
+        if int_bound is None:
+            # Numeric state must be able to represent: the analysis
+            # parameter values, one violation past any bound, and the
+            # merged effect of two concurrent deltas.
+            max_delta = max(
+                (
+                    abs(effect.delta)
+                    for op in spec.operations.values()
+                    for effect in op.num_effects()
+                ),
+                default=0,
+            )
+            max_param = max(
+                (min(v, ANALYSIS_PARAM_CAP) for v in spec.schema.params.values()),
+                default=0,
+            )
+            int_bound = max(8, 2 * max_delta + max_param + 4)
+        self._int_bound = int_bound
+        defaults = {
+            name: min(value, ANALYSIS_PARAM_CAP)
+            for name, value in spec.schema.params.items()
+        }
+        defaults.update(params or {})
+        self._params = defaults
+        self._queries = 0
+        self._executable_cache: dict[Operation, bool] = {}
+        self._preserving_cache: dict[tuple[Operation, Operation], bool] = {}
+        # The invariant conjunction is snapshot once: the repair loop
+        # changes operations and rules, never invariants.  Ground copies
+        # are cached per (state family, domain shape) -- the dominant
+        # cost of a query otherwise.
+        self._invariant = spec.invariant_formula()
+        self._renamed = {
+            tag: rename_formula(self._invariant, tag)
+            for tag in ("", "1", "2", "m")
+        }
+        self._ground_cache: dict[tuple[str, tuple], object] = {}
+
+    def _ground_invariant(self, tag: str, domain):
+        from repro.logic.grounding import ground
+
+        key = (
+            tag,
+            tuple(
+                sorted(
+                    (sort.name, tuple(c.name for c in consts))
+                    for sort, consts in domain.constants.items()
+                )
+            ),
+        )
+        cached = self._ground_cache.get(key)
+        if cached is None:
+            cached = ground(self._renamed[tag], domain)
+            self._ground_cache[key] = cached
+        return cached
+
+    @property
+    def spec(self) -> ApplicationSpec:
+        return self._spec
+
+    @property
+    def params(self) -> dict[str, int]:
+        return dict(self._params)
+
+    @property
+    def queries_issued(self) -> int:
+        """Number of solver queries issued so far (for the speed bench)."""
+        return self._queries
+
+    # -- the core query -----------------------------------------------------
+
+    def is_conflicting(
+        self,
+        op1: Operation,
+        op2: Operation,
+        rules: ConvergenceRules | None = None,
+        try_first: PairBinding | None = None,
+    ) -> ConflictWitness | None:
+        """Check one pair under (possibly overridden) convergence rules.
+
+        ``try_first`` reorders the aliasing patterns so a previously
+        conflicting one is tested first -- the repair search uses the
+        witness's binding, which rejects failing candidates in one
+        query.
+        """
+        rules = rules or self._spec.rules
+        preds = list(self._spec.schema.predicates.values())
+        sorts = list(self._spec.schema.sorts.values())
+        bindings = list(
+            enumerate_pair_bindings(op1, op2, sorts, extra=self._extra)
+        )
+        if try_first is not None and try_first in bindings:
+            bindings.remove(try_first)
+            bindings.insert(0, try_first)
+        for binding in bindings:
+            domain = binding.domain
+            effects1 = GroundEffects.from_effects(
+                op1.instantiate(binding.binding1), domain
+            )
+            effects2 = GroundEffects.from_effects(
+                op2.instantiate(binding.binding2), domain
+            )
+            query = [
+                self._ground_invariant("", domain),
+                self._ground_precondition(op1, binding.binding1, domain),
+                self._ground_precondition(op2, binding.binding2, domain),
+                single_state_constraints("1", effects1, preds, domain),
+                single_state_constraints("2", effects2, preds, domain),
+                self._ground_invariant("1", domain),
+                self._ground_invariant("2", domain),
+                merged_state_constraints(
+                    "m", effects1, effects2, rules, preds, domain
+                ),
+                # The merged state must violate the invariant.
+                ~self._ground_invariant("m", domain),
+            ]
+            finder = BoundedModelFinder(
+                domain, params=self._params, int_bound=self._int_bound
+            )
+            self._queries += 1
+            result = finder.check_ground(*query)
+            if result.sat:
+                return self._witness(op1, op2, binding, result.model)
+        return None
+
+    def _ground_precondition(self, operation, binding, domain):
+        from repro.logic.ast import TrueF
+        from repro.logic.grounding import ground
+
+        pre = operation.precondition
+        if isinstance(pre, TrueF):
+            return pre
+        return ground(substitute(pre, binding), domain)
+
+    # -- side conditions on repaired operations --------------------------------
+
+    def is_executable(self, operation: Operation) -> bool:
+        """Can the operation run at all in some invariant-valid state?
+
+        Augmenting an operation with self-contradictory effects (e.g.
+        ``rem_tourn`` that also sets ``active(t)``) would make its
+        weakest precondition unsatisfiable -- conflicts involving it
+        vanish trivially because the operation can never execute.  Such
+        degenerate repairs are rejected with this check.
+        """
+        cached = self._executable_cache.get(operation)
+        if cached is not None:
+            return cached
+        preds = list(self._spec.schema.predicates.values())
+        sorts = list(self._spec.schema.sorts.values())
+        executable = False
+        for single in enumerate_single_bindings(
+            operation, sorts, extra=self._extra
+        ):
+            effects = GroundEffects.from_effects(
+                operation.instantiate(single.binding), single.domain
+            )
+            query = [
+                self._ground_invariant("", single.domain),
+                self._ground_precondition(
+                    operation, single.binding, single.domain
+                ),
+                single_state_constraints("1", effects, preds, single.domain),
+                self._ground_invariant("1", single.domain),
+            ]
+            finder = BoundedModelFinder(
+                single.domain, params=self._params, int_bound=self._int_bound
+            )
+            self._queries += 1
+            if finder.check_ground(*query).sat:
+                executable = True
+                break
+        self._executable_cache[operation] = executable
+        return executable
+
+    def preserves_solo_semantics(
+        self, original: Operation, modified: Operation
+    ) -> bool:
+        """Are the added effects no-ops when no concurrent conflict occurs?
+
+        The paper requires modified operations to keep their original
+        semantics in conflict-free executions: every extra boolean
+        assignment must already hold in the state the *original*
+        operation produces (whenever the original is executable).  Extra
+        numeric effects always change the state, so they never pass.
+        """
+        key = (original, modified)
+        cached = self._preserving_cache.get(key)
+        if cached is not None:
+            return cached
+        if modified.num_effects() != original.num_effects():
+            self._preserving_cache[key] = False
+            return False
+        preds = list(self._spec.schema.predicates.values())
+        sorts = list(self._spec.schema.sorts.values())
+        preserving = True
+        for single in enumerate_single_bindings(
+            modified, sorts, extra=self._extra
+        ):
+            effects_orig = GroundEffects.from_effects(
+                original.instantiate(single.binding), single.domain
+            )
+            effects_mod = GroundEffects.from_effects(
+                modified.instantiate(single.binding), single.domain
+            )
+            mismatches = []
+            for atom, value in effects_mod.bool_assigns.items():
+                if effects_orig.bool_assigns.get(atom) == value:
+                    continue
+                post_atom = Atom(family(atom.pred, "1"), atom.args)
+                mismatches.append(
+                    ~post_atom if value else post_atom
+                )
+            if not mismatches:
+                continue
+            from repro.logic.ast import disj
+
+            query = [
+                self._ground_invariant("", single.domain),
+                self._ground_precondition(
+                    original, single.binding, single.domain
+                ),
+                single_state_constraints(
+                    "1", effects_orig, preds, single.domain
+                ),
+                self._ground_invariant("1", single.domain),
+                disj(mismatches),
+            ]
+            finder = BoundedModelFinder(
+                single.domain, params=self._params, int_bound=self._int_bound
+            )
+            self._queries += 1
+            if finder.check_ground(*query).sat:
+                preserving = False
+                break
+        self._preserving_cache[key] = preserving
+        return preserving
+
+    # -- pair enumeration ----------------------------------------------------
+
+    def pairs(
+        self, operations: list[Operation] | None = None
+    ) -> list[tuple[Operation, Operation]]:
+        """All unordered pairs, including self-pairs."""
+        ops = operations or list(self._spec.operations.values())
+        return list(
+            itertools.combinations_with_replacement(ops, 2)
+        )
+
+    def find_conflicts(
+        self,
+        operations: list[Operation] | None = None,
+        rules: ConvergenceRules | None = None,
+    ) -> list[ConflictWitness]:
+        """All conflicting pairs of the specification."""
+        witnesses = []
+        for op1, op2 in self.pairs(operations):
+            witness = self.is_conflicting(op1, op2, rules)
+            if witness is not None:
+                witnesses.append(witness)
+        return witnesses
+
+    def find_first(
+        self,
+        operations: list[Operation] | None = None,
+        rules: ConvergenceRules | None = None,
+        skip: set[tuple[str, str]] | None = None,
+    ) -> ConflictWitness | None:
+        """The first conflicting pair, skipping flagged ones.
+
+        This is ``findConflictingPair`` of Algorithm 1; ``skip`` holds
+        the pairs already flagged unsolvable.
+        """
+        skip = skip or set()
+        for op1, op2 in self.pairs(operations):
+            if (op1.name, op2.name) in skip or (op2.name, op1.name) in skip:
+                continue
+            witness = self.is_conflicting(op1, op2, rules)
+            if witness is not None:
+                return witness
+        return None
+
+    # -- witness decoding -----------------------------------------------------
+
+    def _witness(
+        self,
+        op1: Operation,
+        op2: Operation,
+        binding: PairBinding,
+        model: Model,
+    ) -> ConflictWitness:
+        states = {
+            tag: self._project(model, tag) for tag in ("", "1", "2", "m")
+        }
+        merged = states["m"]
+        violated = [
+            invariant
+            for invariant in self._spec.invariants
+            if not evaluate(invariant.formula, merged)
+        ]
+        return ConflictWitness(
+            op1=op1,
+            op2=op2,
+            binding=binding,
+            initial=states[""],
+            after_op1=states["1"],
+            after_op2=states["2"],
+            merged=merged,
+            violated=violated,
+        )
+
+    def _project(self, model: Model, tag: str) -> Model:
+        """Extract the state of family ``tag`` as a plain model."""
+        projected = Model(
+            domain=model.domain, params=dict(model.params)
+        )
+        for pred in self._spec.schema.predicates.values():
+            renamed = family(pred, tag)
+            pools = [model.domain.of(sort) for sort in pred.arg_sorts]
+            for combo in itertools.product(*pools):
+                if pred.numeric:
+                    value = model.numerics.get(NumPred(renamed, combo))
+                    if value is not None:
+                        projected.numerics[NumPred(pred, combo)] = value
+                else:
+                    projected.atoms[Atom(pred, combo)] = model.holds(
+                        Atom(renamed, combo)
+                    )
+        return projected

@@ -1,0 +1,247 @@
+"""Encoding of operation effects as state-transition constraints.
+
+The conflict query (Figure 2 of the paper) involves four database
+states: the common initial state ``S``, the two single-operation states
+``S1 = op1(S)`` and ``S2 = op2(S)``, and the merged state
+``Sm = merge(S1, S2)``.  We encode each state as a *family* of renamed
+predicates (``enrolled@1``, ``enrolled@m``, ...) and constrain the
+families with assignment and frame axioms:
+
+- an atom assigned by an operation's effects is pinned to the assigned
+  value;
+- an atom assigned opposing values by *both* operations is pinned to the
+  value chosen by the predicate's convergence rule (Add-wins: true,
+  Rem-wins: false; LWW: left unconstrained, i.e. either replica's value
+  may survive, which is the sound pessimistic treatment);
+- every other atom keeps its initial value (frame);
+- a numeric predicate's merged value is the initial value plus the sum
+  of both operations' deltas (counter CRDT semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import AnalysisError
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    PredicateDecl,
+    TrueF,
+    conj,
+)
+from repro.logic.grounding import Domain, expand_wildcard_args
+from repro.spec.effects import BoolEffect, ConvergenceRules, Effect, NumEffect
+
+
+def family(pred: PredicateDecl, tag: str) -> PredicateDecl:
+    """The renamed copy of ``pred`` for state family ``tag``."""
+    if not tag:
+        return pred
+    return PredicateDecl(f"{pred.name}@{tag}", pred.arg_sorts, pred.numeric)
+
+
+def rename_formula(formula: Formula, tag: str) -> Formula:
+    """Rewrite every predicate of ``formula`` into family ``tag``."""
+    if not tag:
+        return formula
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(family(formula.pred, tag), formula.args)
+    if isinstance(formula, Cmp):
+        return Cmp(
+            formula.op,
+            _rename_num(formula.lhs, tag),
+            _rename_num(formula.rhs, tag),
+        )
+    if isinstance(formula, Not):
+        return Not(rename_formula(formula.arg, tag))
+    if isinstance(formula, And):
+        return And(tuple(rename_formula(a, tag) for a in formula.args))
+    if isinstance(formula, Or):
+        return Or(tuple(rename_formula(a, tag) for a in formula.args))
+    if isinstance(formula, Implies):
+        return Implies(
+            rename_formula(formula.lhs, tag), rename_formula(formula.rhs, tag)
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            rename_formula(formula.lhs, tag), rename_formula(formula.rhs, tag)
+        )
+    if isinstance(formula, (ForAll, Exists)):
+        return type(formula)(
+            formula.vars, rename_formula(formula.body, tag)
+        )
+    raise AnalysisError(f"cannot rename formula node {formula!r}")
+
+
+def _rename_num(term: NumTerm, tag: str) -> NumTerm:
+    if isinstance(term, (IntConst, Param)):
+        return term
+    if isinstance(term, NumPred):
+        return NumPred(family(term.pred, tag), term.args)
+    if isinstance(term, Card):
+        return Card(family(term.pred, tag), term.args)
+    if isinstance(term, Add):
+        return Add(tuple(_rename_num(t, tag) for t in term.terms))
+    raise AnalysisError(f"cannot rename numeric term {term!r}")
+
+
+@dataclass
+class GroundEffects:
+    """Ground effect maps of one instantiated operation.
+
+    ``bool_assigns`` maps each affected ground atom to its assigned
+    value; wildcard effects have been expanded over the domain.
+    Specific (non-wildcard) assignments take precedence over wildcard
+    ones, matching the runtime where a targeted add/remove is issued
+    after a predicate-scoped one inside the same transaction.
+    """
+
+    bool_assigns: dict[Atom, bool] = field(default_factory=dict)
+    num_deltas: dict[NumPred, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_effects(
+        cls, effects: Iterable[Effect], domain: Domain
+    ) -> "GroundEffects":
+        ground = cls()
+        specific: dict[Atom, bool] = {}
+        wildcard: dict[Atom, bool] = {}
+        for effect in effects:
+            if isinstance(effect, BoolEffect):
+                target = wildcard if effect.has_wildcard else specific
+                for args in expand_wildcard_args(
+                    effect.pred, effect.args, domain
+                ):
+                    atom = Atom(effect.pred, args)
+                    if target is specific and atom in specific and (
+                        specific[atom] != effect.value
+                    ):
+                        raise AnalysisError(
+                            f"operation assigns both values to {atom}"
+                        )
+                    target[atom] = effect.value
+            elif isinstance(effect, NumEffect):
+                for args in expand_wildcard_args(
+                    effect.pred, effect.args, domain
+                ):
+                    numpred = NumPred(effect.pred, args)
+                    ground.num_deltas[numpred] = (
+                        ground.num_deltas.get(numpred, 0) + effect.delta
+                    )
+            else:  # pragma: no cover - exhaustive over Effect
+                raise AnalysisError(f"unknown effect {effect!r}")
+        ground.bool_assigns = {**wildcard, **specific}
+        return ground
+
+
+def _all_ground_atoms(
+    preds: Iterable[PredicateDecl], domain: Domain
+) -> Iterable[Atom]:
+    import itertools
+
+    for pred in preds:
+        if pred.numeric:
+            continue
+        pools = [domain.of(sort) for sort in pred.arg_sorts]
+        for combo in itertools.product(*pools):
+            yield Atom(pred, combo)
+
+
+def _all_ground_numpreds(
+    preds: Iterable[PredicateDecl], domain: Domain
+) -> Iterable[NumPred]:
+    import itertools
+
+    for pred in preds:
+        if not pred.numeric:
+            continue
+        pools = [domain.of(sort) for sort in pred.arg_sorts]
+        for combo in itertools.product(*pools):
+            yield NumPred(pred, combo)
+
+
+def single_state_constraints(
+    tag: str,
+    effects: GroundEffects,
+    preds: Iterable[PredicateDecl],
+    domain: Domain,
+) -> Formula:
+    """Constraints defining state ``tag`` = effects applied to the base."""
+    parts: list[Formula] = []
+    for atom in _all_ground_atoms(preds, domain):
+        renamed = Atom(family(atom.pred, tag), atom.args)
+        assigned = effects.bool_assigns.get(atom)
+        if assigned is True:
+            parts.append(renamed)
+        elif assigned is False:
+            parts.append(Not(renamed))
+        else:
+            parts.append(Iff(renamed, atom))
+    for numpred in _all_ground_numpreds(preds, domain):
+        renamed_num = NumPred(family(numpred.pred, tag), numpred.args)
+        delta = effects.num_deltas.get(numpred, 0)
+        if delta:
+            parts.append(
+                Cmp("==", renamed_num, Add((numpred, IntConst(delta))))
+            )
+        else:
+            parts.append(Cmp("==", renamed_num, numpred))
+    return conj(parts)
+
+
+def merged_state_constraints(
+    tag: str,
+    effects1: GroundEffects,
+    effects2: GroundEffects,
+    rules: ConvergenceRules,
+    preds: Iterable[PredicateDecl],
+    domain: Domain,
+) -> Formula:
+    """Constraints defining the merged state of two concurrent operations."""
+    parts: list[Formula] = []
+    for atom in _all_ground_atoms(preds, domain):
+        renamed = Atom(family(atom.pred, tag), atom.args)
+        v1 = effects1.bool_assigns.get(atom)
+        v2 = effects2.bool_assigns.get(atom)
+        if v1 is None and v2 is None:
+            parts.append(Iff(renamed, atom))
+            continue
+        if v1 is None or v2 is None or v1 == v2:
+            value = v1 if v1 is not None else v2
+        else:
+            value = rules.merged_value(atom.pred)
+            if value is None:
+                continue  # LWW: either value may win; leave unconstrained
+        parts.append(renamed if value else Not(renamed))
+    for numpred in _all_ground_numpreds(preds, domain):
+        renamed_num = NumPred(family(numpred.pred, tag), numpred.args)
+        delta = effects1.num_deltas.get(numpred, 0) + effects2.num_deltas.get(
+            numpred, 0
+        )
+        if delta:
+            parts.append(
+                Cmp("==", renamed_num, Add((numpred, IntConst(delta))))
+            )
+        else:
+            parts.append(Cmp("==", renamed_num, numpred))
+    return conj(parts)

@@ -1,0 +1,213 @@
+"""Candidate repair generation (function ``generate`` of Algorithm 1).
+
+Given a conflicting pair, the algorithm collects the predicates of the
+invariant clauses involved in the conflict and proposes *extra effects*
+over those predicates, added to one operation of the pair.  Each
+candidate also records the convergence rule the added effect needs in
+order to win against the concurrent opposing assignment (Add-wins for a
+``true`` effect, Rem-wins for ``false``) -- in the paper the programmer
+chooses these rules interactively; here they travel with the candidate
+and are installed when a resolution is applied.
+
+Argument synthesis follows the paper's examples: an effect argument is
+an operation parameter of the right sort when one exists, and a
+wildcard otherwise (wildcards are only generated for ``false`` effects,
+matching ``enrolled(*, t) = false`` of Figure 2c -- "add everything" is
+never a sensible repair).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.logic.ast import PredicateDecl, Term, Var, Wildcard
+from repro.spec.application import ApplicationSpec
+from repro.spec.effects import (
+    BoolEffect,
+    ConvergencePolicy,
+    Effect,
+)
+from repro.spec.invariants import Invariant
+from repro.spec.operations import Operation
+
+
+@dataclass(frozen=True)
+class CandidateRepair:
+    """One proposed modification: extra effects on one side of a pair.
+
+    ``side`` is 1 or 2 (which operation of the pair is modified);
+    ``rule_requirements`` lists the convergence policies the effects
+    need to prevail under concurrency.
+    """
+
+    side: int
+    extra_effects: tuple[Effect, ...]
+    rule_requirements: tuple[tuple[str, ConvergencePolicy], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.extra_effects)
+
+    def is_superset_of(self, other: "CandidateRepair") -> bool:
+        """Minimality test (``isPairSubset`` of Algorithm 1, line 18)."""
+        return self.side == other.side and set(other.extra_effects) <= set(
+            self.extra_effects
+        )
+
+    def describe(self) -> str:
+        effects = "; ".join(str(e) for e in self.extra_effects)
+        rules = ", ".join(
+            f"{name}:{policy.value}" for name, policy in self.rule_requirements
+        )
+        text = f"add [{effects}] to operation #{self.side}"
+        if rules:
+            text += f" (requires {rules})"
+        return text
+
+
+def involved_invariants(
+    spec: ApplicationSpec, op1: Operation, op2: Operation
+) -> list[Invariant]:
+    """Invariant clauses whose predicates the pair's effects touch.
+
+    This is ``invClauses(I, opPair)`` (Algorithm 1, line 15).
+    """
+    touched = op1.touched_predicates() | op2.touched_predicates()
+    return [
+        invariant
+        for invariant in spec.invariants
+        if invariant.predicates() & touched
+    ]
+
+
+def predicate_pool(
+    spec: ApplicationSpec, op1: Operation, op2: Operation
+) -> list[PredicateDecl]:
+    """Boolean predicates available for building repair effects."""
+    names: set[str] = set()
+    for invariant in involved_invariants(spec, op1, op2):
+        names |= invariant.predicates()
+    pool = [
+        spec.schema.pred(name)
+        for name in sorted(names)
+        if not spec.schema.pred(name).numeric
+    ]
+    return pool
+
+
+def _argument_choices(
+    pred: PredicateDecl, operation: Operation
+) -> list[tuple[Term, ...]]:
+    """Possible argument tuples for an effect on ``pred``.
+
+    Each position can take any operation parameter of the matching sort,
+    or a wildcard (a wildcard is only usable in ``false`` effects --
+    ``disenroll(p, t)`` may need ``inMatch(p, *, t) = false`` to clear
+    matches against *any* opponent).
+    """
+    position_options: list[list[Term]] = []
+    for sort in pred.arg_sorts:
+        options: list[Term] = [
+            param for param in operation.params if param.sort == sort
+        ]
+        options.append(Wildcard(sort))
+        position_options.append(options)
+    return [tuple(combo) for combo in itertools.product(*position_options)]
+
+
+def _single_effects(
+    pred: PredicateDecl, operation: Operation
+) -> list[BoolEffect]:
+    """All candidate effects on one predicate for one operation."""
+    effects: list[BoolEffect] = []
+    for args in _argument_choices(pred, operation):
+        has_wildcard = any(isinstance(a, Wildcard) for a in args)
+        if not has_wildcard:
+            effects.append(BoolEffect(pred, args, value=True))
+        effects.append(BoolEffect(pred, args, value=False))
+    return effects
+
+
+def _is_redundant(effect: BoolEffect, operation: Operation) -> bool:
+    """Is the effect already present, or opposing the op's own effects?"""
+    for existing in operation.effects:
+        if existing == effect:
+            return True
+        if isinstance(existing, BoolEffect) and effect.opposes(existing):
+            # Never make an operation fight itself (e.g. rem_tourn must
+            # not also add the tournament back).
+            return True
+    return False
+
+
+def _required_rule(
+    effect: BoolEffect,
+) -> tuple[str, ConvergencePolicy]:
+    policy = (
+        ConvergencePolicy.ADD_WINS if effect.value else ConvergencePolicy.REM_WINS
+    )
+    return (effect.pred.name, policy)
+
+
+def generate_candidates(
+    spec: ApplicationSpec,
+    op1: Operation,
+    op2: Operation,
+    max_effects: int = 2,
+    allow_rule_changes: bool = True,
+) -> list[CandidateRepair]:
+    """All candidate repairs for a pair, ordered by size (fewest first).
+
+    Mirrors ``generate`` of Algorithm 1: the powerset (up to
+    ``max_effects``) of candidate effects over the involved invariant
+    predicates, applied to each side of the pair in turn.
+    """
+    candidates: list[CandidateRepair] = []
+    pool = predicate_pool(spec, op1, op2)
+    for side, operation in ((1, op1), (2, op2)):
+        effects: list[BoolEffect] = []
+        for pred in pool:
+            for effect in _single_effects(pred, operation):
+                if _is_redundant(effect, operation):
+                    continue
+                required = _required_rule(effect)
+                if not allow_rule_changes:
+                    current = spec.rules.policy(effect.pred)
+                    if current.winning_value != effect.value:
+                        continue
+                effects.append(effect)
+        for count in range(1, max_effects + 1):
+            for combo in itertools.combinations(effects, count):
+                # Internally contradictory combos are useless.
+                if any(
+                    a.opposes(b)
+                    for a, b in itertools.combinations(combo, 2)
+                ):
+                    continue
+                requirements = {}
+                for effect in combo:
+                    name, policy = _required_rule(effect)
+                    if requirements.get(name, policy) != policy:
+                        break  # same predicate needs both policies
+                    requirements[name] = policy
+                else:
+                    # Drop requirements the current rules already satisfy.
+                    needed = tuple(
+                        sorted(
+                            (name, policy)
+                            for name, policy in requirements.items()
+                            if spec.rules.policy(name) != policy
+                        )
+                    )
+                    if needed and not allow_rule_changes:
+                        continue
+                    candidates.append(
+                        CandidateRepair(
+                            side=side,
+                            extra_effects=tuple(combo),
+                            rule_requirements=needed,
+                        )
+                    )
+    candidates.sort(key=lambda c: (c.size, c.side, str(c.extra_effects)))
+    return candidates

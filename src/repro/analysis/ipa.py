@@ -1,0 +1,268 @@
+"""The IPA main loop (Algorithm 1) and the tool façade.
+
+``run_ipa`` iterates: find a conflicting pair, generate and verify
+repairs, let the pick policy choose one, install it (replacing the
+operations and convergence rules), and continue until no unflagged
+conflicts remain.  Pairs with no acceptable repair are *flagged*; when
+the violated invariant is a numeric/aggregation bound, a compensation
+is synthesised for it (§3.4), otherwise the pair is reported as needing
+coordination (the escape hatch of Step 3 of the recipe).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError, UnsolvableConflictError
+from repro.spec.application import ApplicationSpec
+
+from repro.analysis.compensation import Compensation, generate_compensations
+from repro.analysis.conflicts import ConflictChecker, ConflictWitness
+from repro.analysis.repair import (
+    PickPolicy,
+    Resolution,
+    default_policy,
+    repair_conflict,
+)
+
+
+@dataclass
+class AppliedResolution:
+    """One repair the loop installed, kept for the final report."""
+
+    witness: ConflictWitness
+    resolution: Resolution
+    alternatives: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.witness.op1.name} || {self.witness.op2.name}: "
+            f"{self.resolution.describe()} "
+            f"({self.alternatives} candidate resolution(s))"
+        )
+
+
+@dataclass
+class FlaggedConflict:
+    """A conflict no acceptable repair exists for."""
+
+    witness: ConflictWitness
+    compensations: list[Compensation] = field(default_factory=list)
+
+    @property
+    def needs_coordination(self) -> bool:
+        """True when not even a compensation covers this conflict."""
+        return not self.compensations
+
+
+@dataclass
+class IpaResult:
+    """Everything ``run_ipa`` produced."""
+
+    original: ApplicationSpec
+    modified: ApplicationSpec
+    applied: list[AppliedResolution]
+    flagged: list[FlaggedConflict]
+    rounds: int
+    elapsed_seconds: float
+    solver_queries: int
+
+    @property
+    def compensations(self) -> list[Compensation]:
+        """Distinct compensations, with trigger operations merged.
+
+        The same capacity invariant is typically flagged once per
+        offending pair (``enroll || enroll``, ``enroll || do_match``,
+        ...); the runtime only needs one compensation with the union of
+        their triggers.
+        """
+        merged: dict[tuple[str, str, str], Compensation] = {}
+        for flagged in self.flagged:
+            for comp in flagged.compensations:
+                key = (comp.kind, comp.predicate, comp.invariant.describe())
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = comp
+                else:
+                    triggers = tuple(
+                        sorted(set(existing.trigger_ops) | set(comp.trigger_ops))
+                    )
+                    merged[key] = Compensation(
+                        invariant=existing.invariant,
+                        kind=existing.kind,
+                        predicate=existing.predicate,
+                        trigger_ops=triggers,
+                        bound_param=existing.bound_param,
+                        bound_value=existing.bound_value,
+                    )
+        return list(merged.values())
+
+    @property
+    def is_invariant_preserving(self) -> bool:
+        """True when every conflict was repaired or compensated."""
+        return all(not f.needs_coordination for f in self.flagged)
+
+    def describe(self) -> str:
+        lines = [
+            f"IPA analysis of {self.original.name!r}: "
+            f"{self.rounds} round(s), {self.solver_queries} solver "
+            f"queries, {self.elapsed_seconds:.2f}s"
+        ]
+        if self.applied:
+            lines.append("repairs applied:")
+            for applied in self.applied:
+                lines.append(f"  - {applied.describe()}")
+        if self.compensations:
+            lines.append("compensations generated:")
+            for compensation in self.compensations:
+                lines.append(f"  - {compensation.describe()}")
+        coordination = [f for f in self.flagged if f.needs_coordination]
+        if coordination:
+            lines.append("conflicts requiring coordination:")
+            for flagged in coordination:
+                lines.append(
+                    f"  - {flagged.witness.op1.name} || "
+                    f"{flagged.witness.op2.name}"
+                )
+        if not self.applied and not self.flagged:
+            lines.append("specification is already I-Confluent")
+        return "\n".join(lines)
+
+
+def run_ipa(
+    spec: ApplicationSpec,
+    pick: PickPolicy = default_policy,
+    max_effects: int = 2,
+    max_rounds: int = 100,
+    allow_rule_changes: bool = True,
+    require_semantics_preserving: bool = True,
+    strict: bool = False,
+    checker: ConflictChecker | None = None,
+) -> IpaResult:
+    """Make ``spec`` invariant-preserving (Algorithm 1).
+
+    The input spec is not mutated; the returned result carries the
+    modified copy.  ``strict=True`` raises
+    :class:`~repro.errors.UnsolvableConflictError` instead of flagging a
+    pair that not even a compensation covers.
+    """
+    started = time.perf_counter()
+    work = spec.copy()
+    checker = checker or ConflictChecker(work)
+    if checker.spec is not work:
+        checker = ConflictChecker(work, params=checker.params)
+    applied: list[AppliedResolution] = []
+    flagged: list[FlaggedConflict] = []
+    skip: set[tuple[str, str]] = set()
+    # Pairs already verified non-conflicting under the current
+    # operations and rules: re-checked only when an involved operation
+    # is replaced (any rule change clears the whole set).
+    clean: set[tuple[str, str]] = set()
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        witness = _find_first(checker, skip, clean)
+        if witness is None:
+            break
+        solutions = repair_conflict(
+            work,
+            checker,
+            witness,
+            max_effects=max_effects,
+            allow_rule_changes=allow_rule_changes,
+            require_semantics_preserving=require_semantics_preserving,
+        )
+        chosen = pick(witness, solutions)
+        if chosen is None:
+            compensations = generate_compensations(work, witness)
+            entry = FlaggedConflict(witness, compensations)
+            if strict and entry.needs_coordination:
+                raise UnsolvableConflictError(
+                    f"no repair or compensation for "
+                    f"{witness.op1.name} || {witness.op2.name}"
+                )
+            flagged.append(entry)
+            skip.add((witness.op1.name, witness.op2.name))
+            continue
+        if chosen.rule_changes:
+            clean.clear()
+        for name, policy in chosen.rule_changes:
+            work.rules.set(name, policy)
+        if chosen.new_op1 is not witness.op1:
+            work.replace_operation(witness.op1.name, chosen.new_op1)
+            clean = {
+                pair for pair in clean if witness.op1.name not in pair
+            }
+        if chosen.new_op2 is not witness.op2:
+            work.replace_operation(witness.op2.name, chosen.new_op2)
+            clean = {
+                pair for pair in clean if witness.op2.name not in pair
+            }
+        applied.append(
+            AppliedResolution(
+                witness=witness,
+                resolution=chosen,
+                alternatives=len(solutions),
+            )
+        )
+    else:
+        raise AnalysisError(
+            f"IPA did not converge within {max_rounds} rounds"
+        )
+    return IpaResult(
+        original=spec,
+        modified=work,
+        applied=applied,
+        flagged=flagged,
+        rounds=rounds,
+        elapsed_seconds=time.perf_counter() - started,
+        solver_queries=checker.queries_issued,
+    )
+
+
+def _find_first(
+    checker: ConflictChecker,
+    skip: set[tuple[str, str]],
+    clean: set[tuple[str, str]],
+) -> ConflictWitness | None:
+    """``findConflictingPair`` with a memo of verified-clean pairs."""
+    for op1, op2 in checker.pairs():
+        key = (op1.name, op2.name)
+        if key in skip or (op2.name, op1.name) in skip:
+            continue
+        if key in clean:
+            continue
+        witness = checker.is_conflicting(op1, op2)
+        if witness is not None:
+            return witness
+        clean.add(key)
+    return None
+
+
+class IpaTool:
+    """Convenience façade mirroring the paper's command-line tool.
+
+    Wraps a spec, runs the analysis lazily, and exposes the pieces the
+    evaluation needs (modified operations, compensations, report).
+    """
+
+    def __init__(self, spec: ApplicationSpec, **kwargs) -> None:
+        self._spec = spec
+        self._kwargs = kwargs
+        self._result: IpaResult | None = None
+
+    @property
+    def result(self) -> IpaResult:
+        if self._result is None:
+            self._result = run_ipa(self._spec, **self._kwargs)
+        return self._result
+
+    @property
+    def modified_spec(self) -> ApplicationSpec:
+        return self.result.modified
+
+    def report(self) -> str:
+        from repro.analysis.report import render_result
+
+        return render_result(self.result)

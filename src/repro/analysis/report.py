@@ -1,0 +1,71 @@
+"""Human-readable analysis reports.
+
+Renders the artefacts of an IPA run the way the paper's tool presents
+them to the programmer: the conflicting pairs with their Figure 2-style
+counterexample states, the candidate resolutions, the repairs chosen,
+and the final patched specification.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.conflicts import ConflictWitness
+from repro.analysis.ipa import IpaResult
+from repro.analysis.repair import Resolution
+from repro.spec.application import ApplicationSpec
+
+
+def render_witness(witness: ConflictWitness) -> str:
+    """One conflict with its counterexample (Figure 2 layout)."""
+    return witness.describe()
+
+
+def render_resolutions(resolutions: list[Resolution]) -> str:
+    """The candidate list shown to the programmer in Step 2."""
+    if not resolutions:
+        return "no resolutions found"
+    lines = []
+    for index, resolution in enumerate(resolutions, start=1):
+        lines.append(f"  [{index}] {resolution.describe()}")
+    return "\n".join(lines)
+
+
+def render_patch(original: ApplicationSpec, modified: ApplicationSpec) -> str:
+    """The per-operation diff the programmer applies in Step 3."""
+    lines: list[str] = []
+    for name, new_op in modified.operations.items():
+        old_op = original.operations.get(new_op.original_name)
+        if old_op is None or old_op.effects == new_op.effects:
+            continue
+        added = [e for e in new_op.effects if e not in old_op.effects]
+        lines.append(f"operation {new_op.original_name}:")
+        for effect in added:
+            lines.append(f"  + {effect}")
+    for pred, policy in sorted(modified.rules.policies.items()):
+        old_policy = original.rules.policy(pred)
+        if old_policy != policy:
+            lines.append(
+                f"convergence rule {pred}: {old_policy.value} -> "
+                f"{policy.value}"
+            )
+    if not lines:
+        return "no changes required"
+    return "\n".join(lines)
+
+
+def render_result(result: IpaResult) -> str:
+    """The full report for one IPA run."""
+    sections = [result.describe()]
+    if result.applied:
+        sections.append("\nconflicts repaired:")
+        for applied in result.applied:
+            sections.append(render_witness(applied.witness))
+            sections.append(f"  chosen: {applied.resolution.describe()}")
+    if result.flagged:
+        sections.append("\nconflicts flagged:")
+        for flagged in result.flagged:
+            sections.append(render_witness(flagged.witness))
+            for compensation in flagged.compensations:
+                sections.append(f"  -> {compensation.describe()}")
+    sections.append("\npatch:")
+    sections.append(render_patch(result.original, result.modified))
+    return "\n".join(sections)

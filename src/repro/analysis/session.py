@@ -1,0 +1,154 @@
+"""Interactive analysis sessions.
+
+The paper's tool is *interactive*: "programmers interact with the tool
+during the analysis process to choose the preferred resolution rules
+for each data-type and the preferred resolutions for conflicting
+operations".  :class:`IpaSession` exposes that loop as an API a UI (or
+a test) can drive step by step:
+
+    session = IpaSession(spec)
+    while (conflict := session.next_conflict()) is not None:
+        print(conflict.describe())
+        for index, option in enumerate(session.options()):
+            print(index, option.describe())
+        session.choose(0)          # or session.flag()
+    patched = session.finish()
+
+``run_ipa`` remains the batch equivalent (it is this loop with a
+pick-policy callable instead of a person).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.spec.application import ApplicationSpec
+
+from repro.analysis.compensation import Compensation, generate_compensations
+from repro.analysis.conflicts import ConflictChecker, ConflictWitness
+from repro.analysis.repair import Resolution, repair_conflict
+
+
+@dataclass
+class SessionLogEntry:
+    """One decision taken during the session."""
+
+    witness: ConflictWitness
+    resolution: Resolution | None  # None when flagged
+    compensations: list[Compensation] = field(default_factory=list)
+
+
+class IpaSession:
+    """Step-by-step IPA analysis with programmer-driven choices."""
+
+    def __init__(
+        self,
+        spec: ApplicationSpec,
+        max_effects: int = 2,
+        allow_rule_changes: bool = True,
+        require_semantics_preserving: bool = True,
+        checker: ConflictChecker | None = None,
+    ) -> None:
+        self._work = spec.copy()
+        self._original = spec
+        self._checker = checker or ConflictChecker(self._work)
+        self._max_effects = max_effects
+        self._allow_rule_changes = allow_rule_changes
+        self._require_preserving = require_semantics_preserving
+        self._skip: set[tuple[str, str]] = set()
+        self._current: ConflictWitness | None = None
+        self._options: list[Resolution] = []
+        self.log: list[SessionLogEntry] = []
+
+    @property
+    def spec(self) -> ApplicationSpec:
+        """The working specification (mutates as choices are made)."""
+        return self._work
+
+    # -- the interactive loop -----------------------------------------------------
+
+    def next_conflict(self) -> ConflictWitness | None:
+        """Find the next unresolved conflicting pair (or None: done)."""
+        if self._current is not None:
+            raise AnalysisError(
+                "resolve the current conflict first (choose/flag)"
+            )
+        witness = self._checker.find_first(skip=self._skip)
+        if witness is None:
+            return None
+        self._current = witness
+        self._options = repair_conflict(
+            self._work,
+            self._checker,
+            witness,
+            max_effects=self._max_effects,
+            allow_rule_changes=self._allow_rule_changes,
+            require_semantics_preserving=self._require_preserving,
+        )
+        return witness
+
+    def options(self) -> list[Resolution]:
+        """The verified resolutions for the current conflict."""
+        if self._current is None:
+            raise AnalysisError("no conflict selected; call next_conflict")
+        return list(self._options)
+
+    def choose(self, index: int) -> Resolution:
+        """Apply the ``index``-th resolution to the specification."""
+        if self._current is None:
+            raise AnalysisError("no conflict selected; call next_conflict")
+        try:
+            resolution = self._options[index]
+        except IndexError:
+            raise AnalysisError(
+                f"resolution index {index} out of range "
+                f"(have {len(self._options)})"
+            ) from None
+        witness = self._current
+        for name, policy in resolution.rule_changes:
+            self._work.rules.set(name, policy)
+        if resolution.new_op1 is not witness.op1:
+            self._work.replace_operation(witness.op1.name, resolution.new_op1)
+        if resolution.new_op2 is not witness.op2:
+            self._work.replace_operation(witness.op2.name, resolution.new_op2)
+        self.log.append(SessionLogEntry(witness, resolution))
+        self._current = None
+        self._options = []
+        return resolution
+
+    def flag(self) -> list[Compensation]:
+        """Leave the current conflict unresolved; synthesise
+        compensations where its invariants allow."""
+        if self._current is None:
+            raise AnalysisError("no conflict selected; call next_conflict")
+        witness = self._current
+        compensations = generate_compensations(self._work, witness)
+        self._skip.add((witness.op1.name, witness.op2.name))
+        self.log.append(SessionLogEntry(witness, None, compensations))
+        self._current = None
+        self._options = []
+        return compensations
+
+    # -- completion ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """No unresolved, unflagged conflicts remain."""
+        if self._current is not None:
+            return False
+        return self._checker.find_first(skip=self._skip) is None
+
+    def finish(self) -> ApplicationSpec:
+        """The patched specification; raises if conflicts remain."""
+        if not self.done:
+            raise AnalysisError(
+                "unresolved conflicts remain; keep iterating"
+            )
+        return self._work
+
+    def compensations(self) -> list[Compensation]:
+        out: list[Compensation] = []
+        for entry in self.log:
+            out.extend(entry.compensations)
+        return out

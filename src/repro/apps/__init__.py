@@ -1,0 +1,33 @@
+"""The evaluation applications (§5.1.2).
+
+Each module provides two halves:
+
+- a ``*_spec()`` function building the application's
+  :class:`~repro.spec.application.ApplicationSpec` -- the input to the
+  IPA analysis and to Table 1;
+- a runnable implementation over :class:`~repro.store.cluster.Cluster`
+  in several *variants*: ``CAUSAL`` (the unmodified application, which
+  can violate its invariants), ``IPA`` (patched with the repairs the
+  analysis proposes -- the hardcoded patches match the tool's output,
+  see ``examples/tournament_analysis.py`` for the live derivation),
+  plus application-specific strategy variants (Twitter's Add-wins vs
+  Rem-wins, §5.2.3).
+"""
+
+from repro.apps.common import Variant
+from repro.apps.ticket import TicketApp, ticket_spec
+from repro.apps.tournament import TournamentApp, tournament_spec
+from repro.apps.tpcw import TpcwApp, tpcw_spec
+from repro.apps.twitter import TwitterApp, twitter_spec
+
+__all__ = [
+    "TicketApp",
+    "TournamentApp",
+    "TpcwApp",
+    "TwitterApp",
+    "Variant",
+    "ticket_spec",
+    "tournament_spec",
+    "tpcw_spec",
+    "twitter_spec",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: experiment drivers for every table and figure.
+
+Each public function reproduces one element of the paper's evaluation
+(§5) on the simulated testbed and returns plain data (lists of rows /
+series); the pytest-benchmark files under ``benchmarks/`` call these and
+print the same rows the paper plots.  See EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.bench.configs import CONFIGS, ExperimentConfig, build_tournament
+from repro.bench.figures import (
+    fig4_tournament_scalability,
+    fig5_tournament_op_latency,
+    fig6_twitter_strategies,
+    fig7_ticket_compensations,
+    fig8_micro_speedups,
+    fig9_reservation_contention,
+    table1_invariant_classes,
+)
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "CONFIGS",
+    "ExperimentConfig",
+    "build_tournament",
+    "fig4_tournament_scalability",
+    "fig5_tournament_op_latency",
+    "fig6_twitter_strategies",
+    "fig7_ticket_compensations",
+    "fig8_micro_speedups",
+    "fig9_reservation_contention",
+    "format_series",
+    "format_table",
+    "table1_invariant_classes",
+]

@@ -1,0 +1,52 @@
+"""Plain-text rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(empty)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(
+            len(column), *(len(_cell(row.get(column))) for row in rows)
+        )
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(
+                _cell(row.get(column)).ljust(widths[column])
+                for column in columns
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Mapping[str, Iterable[tuple]], header: Sequence[str]
+) -> str:
+    """Render named (x, y, ...) series, one block per name."""
+    lines = [title]
+    for name, points in series.items():
+        lines.append(f"  [{name}]")
+        lines.append("    " + "  ".join(f"{h:>12}" for h in header))
+        for point in points:
+            lines.append(
+                "    " + "  ".join(f"{_cell(v):>12}" for v in point)
+            )
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

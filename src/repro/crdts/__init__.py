@@ -1,0 +1,51 @@
+"""Conflict-free replicated data types (the paper's §4.2).
+
+Operation-based CRDTs designed for a store with causal delivery and
+exactly-once application (which :mod:`repro.store` provides).  Each type
+follows a *prepare/effect* split: ``prepare_*`` runs at the origin
+replica and captures whatever context the update needs (fresh dots,
+observed tombstones); the resulting payload is applied with ``effect``
+at every replica, the origin included.
+
+Beyond the textbook types, this package implements the extensions IPA
+needs (§4.2.1-§4.2.2):
+
+- wildcard (predicate-scoped) adds/removes on both set flavours,
+  implementing effects such as ``enrolled(*, t) = false``;
+- the *touch* operation: an add that preserves the payload associated
+  with the element (:class:`~repro.crdts.ormap.ORMap`);
+- the *Compensation Set*: a bounded set that detects constraint
+  violations on read and emits deterministic, idempotent compensating
+  updates (:mod:`repro.crdts.compset`);
+- a compensated counter with replenish/cancel semantics for numeric
+  invariants, and an escrow-style bounded counter for comparison.
+"""
+
+from repro.crdts.base import CRDT, Dot, EventContext
+from repro.crdts.awset import AWSet
+from repro.crdts.bcounter import BoundedCounter
+from repro.crdts.clock import VersionVector
+from repro.crdts.compset import CompensationSet
+from repro.crdts.counter import CompensatedCounter, PNCounter
+from repro.crdts.idgen import UniqueIdGenerator
+from repro.crdts.lww import LWWRegister
+from repro.crdts.ormap import ORMap
+from repro.crdts.pattern import Pattern
+from repro.crdts.rwset import RWSet
+
+__all__ = [
+    "AWSet",
+    "BoundedCounter",
+    "CRDT",
+    "CompensatedCounter",
+    "CompensationSet",
+    "Dot",
+    "EventContext",
+    "LWWRegister",
+    "ORMap",
+    "PNCounter",
+    "Pattern",
+    "RWSet",
+    "UniqueIdGenerator",
+    "VersionVector",
+]

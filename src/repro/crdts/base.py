@@ -1,0 +1,75 @@
+"""CRDT base machinery: dots, event contexts, the CRDT interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import CRDTError
+from repro.crdts.clock import VersionVector
+
+
+@dataclass(frozen=True, order=True)
+class Dot:
+    """A globally unique event identifier: (origin replica, counter)."""
+
+    replica: str
+    counter: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.replica}:{self.counter}"
+
+
+@dataclass(frozen=True)
+class EventContext:
+    """Causal context of one update event.
+
+    ``dot`` identifies the event; ``vv`` is the origin replica's version
+    vector *including* the dot, so ``a`` causally precedes ``b`` iff
+    ``b.vv.contains_dot(a.dot.replica, a.dot.counter)`` (equivalently
+    ``b.vv.dominates(a.vv)`` under causal delivery).
+    """
+
+    dot: Dot
+    vv: VersionVector
+
+    def happened_before(self, other: "EventContext") -> bool:
+        return other.vv.contains_dot(self.dot.replica, self.dot.counter)
+
+    def concurrent_with(self, other: "EventContext") -> bool:
+        return not self.happened_before(other) and not other.happened_before(
+            self
+        )
+
+
+class CRDT:
+    """Base class of every replicated type.
+
+    Subclasses implement ``effect(payload, ctx)`` -- the deterministic,
+    exactly-once application of a prepared update -- plus type-specific
+    ``prepare_*`` methods that run at the origin and build payloads.
+    ``value()`` exposes the query model.
+
+    ``compact(stable)`` may discard metadata for events that are
+    *causally stable* (delivered at every replica): the store calls it
+    with the stable version vector as stability advances.
+    """
+
+    #: Short type tag used by the store's type registry.
+    type_name: str = "crdt"
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        raise NotImplementedError
+
+    def value(self) -> Any:
+        raise NotImplementedError
+
+    def compact(self, stable: VersionVector) -> None:
+        """Garbage-collect metadata covered by the stable vector."""
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise CRDTError(message)

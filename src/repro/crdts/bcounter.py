@@ -1,0 +1,142 @@
+"""Escrow-style bounded counter (related work: O'Neil '86, Balegas '15).
+
+The paper contrasts IPA's compensations with *escrow* techniques for
+numeric invariants: the allowed slack above a lower bound is split into
+per-replica *rights*; a replica may decrement locally only while it
+holds rights, so the bound can never be violated -- at the price of
+failing (or coordinating a transfer) when local rights run out.  The
+benchmarks use this type as the coordination-flavoured baseline for
+numeric invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CRDTError
+from repro.crdts.base import CRDT, EventContext
+
+
+@dataclass(frozen=True)
+class BCIncrement:
+    """Adds value (and hence rights) at the origin replica."""
+
+    replica: str
+    amount: int
+
+
+@dataclass(frozen=True)
+class BCDecrement:
+    """Consumes rights held by the origin replica."""
+
+    replica: str
+    amount: int
+
+
+@dataclass(frozen=True)
+class BCTransfer:
+    """Moves rights between replicas."""
+
+    source: str
+    target: str
+    amount: int
+
+
+class BoundedCounter(CRDT):
+    """A counter that cannot drop below ``lower_bound``.
+
+    Rights accounting is replicated deterministically: every replica
+    applies the same increments/decrements/transfers, so the rights map
+    converges.  ``prepare_decrement`` fails at the origin when it holds
+    insufficient rights -- the caller must then transfer rights from a
+    peer (which is where the coordination cost shows up).
+    """
+
+    type_name = "bounded-counter"
+
+    def __init__(self, lower_bound: int = 0, initial: int = 0) -> None:
+        if initial < lower_bound:
+            raise CRDTError("initial value below the lower bound")
+        self._lower = lower_bound
+        self._rights: dict[str, int] = {}
+        self._initial_slack = initial - lower_bound
+        self._value = initial
+
+    def rights_of(self, replica: str) -> int:
+        base = self._rights.get(replica, 0)
+        return base
+
+    def seed_rights(self, allocation: dict[str, int]) -> None:
+        """Distribute the initial slack among replicas (deterministic).
+
+        Must be called identically at every replica before any update
+        (typically from the object's constructor arguments).
+        """
+        if sum(allocation.values()) != self._initial_slack:
+            raise CRDTError(
+                "rights allocation must equal the initial slack "
+                f"({self._initial_slack})"
+            )
+        self._rights = dict(allocation)
+
+    # -- prepare -------------------------------------------------------------
+
+    def prepare_increment(self, replica: str, amount: int) -> BCIncrement:
+        if amount <= 0:
+            raise CRDTError("increment must be positive")
+        return BCIncrement(replica, amount)
+
+    def prepare_decrement(self, replica: str, amount: int) -> BCDecrement:
+        if amount <= 0:
+            raise CRDTError("decrement must be positive")
+        if self.rights_of(replica) < amount:
+            raise CRDTError(
+                f"replica {replica} holds {self.rights_of(replica)} rights, "
+                f"needs {amount}"
+            )
+        return BCDecrement(replica, amount)
+
+    def prepare_transfer(
+        self, source: str, target: str, amount: int
+    ) -> BCTransfer:
+        if amount <= 0:
+            raise CRDTError("transfer must be positive")
+        if self.rights_of(source) < amount:
+            raise CRDTError(
+                f"replica {source} holds {self.rights_of(source)} rights, "
+                f"cannot transfer {amount}"
+            )
+        return BCTransfer(source, target, amount)
+
+    # -- effect ---------------------------------------------------------------
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        if isinstance(payload, BCIncrement):
+            self._rights[payload.replica] = (
+                self._rights.get(payload.replica, 0) + payload.amount
+            )
+            self._value += payload.amount
+            return
+        if isinstance(payload, BCDecrement):
+            self._rights[payload.replica] = (
+                self._rights.get(payload.replica, 0) - payload.amount
+            )
+            self._value -= payload.amount
+            return
+        if isinstance(payload, BCTransfer):
+            self._rights[payload.source] = (
+                self._rights.get(payload.source, 0) - payload.amount
+            )
+            self._rights[payload.target] = (
+                self._rights.get(payload.target, 0) + payload.amount
+            )
+            return
+        self._require(False, f"bounded-counter cannot apply {payload!r}")
+
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def lower_bound(self) -> int:
+        return self._lower

@@ -1,0 +1,79 @@
+"""Version vectors: the causality metadata under every CRDT here."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass
+class VersionVector:
+    """A mapping replica-id -> events-seen counter.
+
+    Missing entries are zero.  Instances are mutable; use :meth:`copy`
+    before stashing one in a payload.
+    """
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    def get(self, replica: str) -> int:
+        return self.entries.get(replica, 0)
+
+    def increment(self, replica: str) -> int:
+        """Advance ``replica``'s component; returns the new counter."""
+        value = self.entries.get(replica, 0) + 1
+        self.entries[replica] = value
+        return value
+
+    def merge(self, other: "VersionVector") -> None:
+        """Pointwise maximum, in place."""
+        for replica, counter in other.entries.items():
+            if counter > self.entries.get(replica, 0):
+                self.entries[replica] = counter
+
+    def merged(self, other: "VersionVector") -> "VersionVector":
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """``self >= other`` pointwise."""
+        return all(
+            self.get(replica) >= counter
+            for replica, counter in other.entries.items()
+        )
+
+    def strictly_dominates(self, other: "VersionVector") -> bool:
+        return self.dominates(other) and self != other
+
+    def concurrent(self, other: "VersionVector") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def contains_dot(self, replica: str, counter: int) -> bool:
+        """Has the event ``(replica, counter)`` been seen?"""
+        return self.get(replica) >= counter
+
+    def copy(self) -> "VersionVector":
+        return VersionVector(dict(self.entries))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self._normalised() == other._normalised()
+
+    def _normalised(self) -> dict[str, int]:
+        return {r: c for r, c in self.entries.items() if c}
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self.entries.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(
+            f"{replica}:{counter}"
+            for replica, counter in sorted(self.entries.items())
+        )
+        return f"VV({inner})"
+
+    @classmethod
+    def of(cls, entries: Mapping[str, int]) -> "VersionVector":
+        return cls(dict(entries))

@@ -1,0 +1,138 @@
+"""Counters: the PN-counter and the compensated counter (§3.4, §5.1.2).
+
+:class:`PNCounter` is the textbook increment/decrement counter --
+deltas commute and the store delivers each exactly once.
+
+:class:`CompensatedCounter` adds IPA's lazy repair for numeric
+invariants (e.g. TPC-C/W stock): a lower bound is declared, and when a
+read observes the counter below it, a *correction* is emitted that
+replenishes the counter (restock) -- or, symmetrically, cancels the
+excess for an upper bound.  Corrections must stay convergent when
+several replicas detect the same violation independently, so they are
+keyed by a deterministic *epoch* (the number of corrections observed so
+far): concurrent corrections for the same epoch merge by taking the
+largest delta (idempotent, commutative, monotonic -- the requirements
+§3.4 states).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crdts.base import CRDT, EventContext
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    amount: int
+
+
+class PNCounter(CRDT):
+    """Increment/decrement counter."""
+
+    type_name = "pn-counter"
+
+    def __init__(self, initial: int = 0) -> None:
+        self._initial = initial
+        self._per_replica: dict[str, int] = {}
+
+    def prepare_add(self, amount: int) -> CounterDelta:
+        return CounterDelta(amount)
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        self._require(
+            isinstance(payload, CounterDelta),
+            f"pn-counter cannot apply {payload!r}",
+        )
+        replica = ctx.dot.replica
+        self._per_replica[replica] = (
+            self._per_replica.get(replica, 0) + payload.amount
+        )
+
+    def value(self) -> int:
+        return self._initial + sum(self._per_replica.values())
+
+
+@dataclass(frozen=True)
+class Correction:
+    """A compensation emitted when a bound violation is observed."""
+
+    epoch: int
+    amount: int
+
+
+class CompensatedCounter(CRDT):
+    """A counter with a declared bound repaired lazily on read.
+
+    ``lower_bound`` mode (TPC restock): reading a value below the bound
+    produces a correction raising it back to ``replenish_to`` (defaults
+    to the bound).  ``upper_bound`` mode (cancel oversold): reading a
+    value above the bound produces a negative correction.  The caller
+    (the store's transaction layer) commits the correction payload
+    alongside the reading transaction, exactly as §4.2.2 describes.
+    """
+
+    type_name = "compensated-counter"
+
+    def __init__(
+        self,
+        initial: int = 0,
+        lower_bound: int | None = None,
+        upper_bound: int | None = None,
+        replenish_to: int | None = None,
+    ) -> None:
+        self._raw = PNCounter(initial)
+        self._lower = lower_bound
+        self._upper = upper_bound
+        self._replenish_to = replenish_to
+        # epoch -> largest correction amount observed for that epoch.
+        self._corrections: dict[int, int] = {}
+
+    # -- plain counter API -----------------------------------------------------
+
+    def prepare_add(self, amount: int) -> CounterDelta:
+        return CounterDelta(amount)
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        if isinstance(payload, CounterDelta):
+            self._raw.effect(payload, ctx)
+            return
+        if isinstance(payload, Correction):
+            previous = self._corrections.get(payload.epoch)
+            if previous is None or abs(payload.amount) > abs(previous):
+                self._corrections[payload.epoch] = payload.amount
+            return
+        self._require(False, f"compensated-counter cannot apply {payload!r}")
+
+    def value(self) -> int:
+        return self._raw.value() + sum(self._corrections.values())
+
+    @property
+    def corrections_applied(self) -> int:
+        return len(self._corrections)
+
+    # -- compensation ------------------------------------------------------------
+
+    def check_violation(self) -> Correction | None:
+        """The correction a reader must commit, or None if in bounds.
+
+        Deterministic in the observed state: replicas seeing the same
+        state emit the same (epoch, amount) correction, which merges
+        idempotently.
+        """
+        value = self.value()
+        epoch = len(self._corrections)
+        if self._lower is not None and value < self._lower:
+            target = (
+                self._replenish_to if self._replenish_to is not None
+                else self._lower
+            )
+            return Correction(epoch=epoch, amount=target - value)
+        if self._upper is not None and value > self._upper:
+            target = (
+                self._replenish_to if self._replenish_to is not None
+                else self._upper
+            )
+            return Correction(epoch=epoch, amount=target - value)
+        return None

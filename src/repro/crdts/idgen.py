@@ -1,0 +1,31 @@
+"""Partitioned unique-identifier generation (Table 1, "Unique id.").
+
+Unique identifiers are the one coordination-flavoured invariant that
+weak consistency preserves for free: pre-partition the identifier space
+among the replicas that generate them (here, by prefixing with the
+replica id), and collisions are impossible without any runtime
+coordination.  *Sequential* identifiers, by contrast, need a total
+order and are not supported under weak consistency -- the paper (and
+this library) recommends replacing them with unique ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UniqueIdGenerator:
+    """Generates ids unique across replicas without coordination."""
+
+    replica: str
+    _counter: int = field(default=0)
+
+    def next_id(self) -> str:
+        """A fresh id of the form ``<replica>-<n>``."""
+        self._counter += 1
+        return f"{self.replica}-{self._counter}"
+
+    @property
+    def issued(self) -> int:
+        return self._counter

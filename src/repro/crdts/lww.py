@@ -1,0 +1,51 @@
+"""Last-writer-wins register.
+
+Concurrent writes are ordered deterministically by (logical timestamp,
+origin replica); the largest wins.  The analysis treats LWW predicates
+pessimistically (either value may survive a concurrent race), so IPA
+never *relies* on a register to restore preconditions -- it is here for
+entity payloads (names, details) where any deterministic winner is
+acceptable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crdts.base import CRDT, EventContext
+
+
+@dataclass(frozen=True)
+class LWWWrite:
+    value: Any
+    stamp: int
+
+
+class LWWRegister(CRDT):
+    """Register resolving concurrent writes by largest (stamp, replica)."""
+
+    type_name = "lww-register"
+
+    def __init__(self, initial: Any = None) -> None:
+        self._value = initial
+        self._winner: tuple[int, str] | None = None
+        self._clock = 0
+
+    def prepare_write(self, value: Any) -> LWWWrite:
+        """Build a write stamped above everything seen locally."""
+        return LWWWrite(value, self._clock + 1)
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        self._require(
+            isinstance(payload, LWWWrite),
+            f"lww-register cannot apply {payload!r}",
+        )
+        self._clock = max(self._clock, payload.stamp)
+        candidate = (payload.stamp, ctx.dot.replica)
+        if self._winner is None or candidate > self._winner:
+            self._winner = candidate
+            self._value = payload.value
+
+    def value(self) -> Any:
+        return self._value

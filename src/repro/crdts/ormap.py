@@ -1,0 +1,158 @@
+"""CRDT map with touch semantics and payload preservation (§4.2.1).
+
+Entities in real applications carry payload (a player's details, a
+tweet's text) beyond their membership bit.  IPA's *touch* operation
+"acts as an add for determining if the element is in the collection,
+but preserves the information that was associated with the entity".
+The map therefore keeps the nested value of a removed key around
+(tombstoned) so a touch -- or an add-wins race -- restores the entity
+complete with its payload; causal stability garbage-collects the
+tombstoned values (:meth:`ORMap.compact`).
+
+Key visibility follows either add-wins or rem-wins semantics, chosen at
+construction -- the same choice the IPA analysis makes per predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.errors import CRDTError
+from repro.crdts.awset import AWSet
+from repro.crdts.base import CRDT, EventContext
+from repro.crdts.clock import VersionVector
+from repro.crdts.pattern import Pattern
+from repro.crdts.rwset import RWSet
+
+
+@dataclass(frozen=True)
+class MapKeyOp:
+    """Add/touch/remove of a key: wraps the key-set payload."""
+
+    inner: Any
+
+
+@dataclass(frozen=True)
+class MapValueOp:
+    """An update to the nested CRDT of a key.
+
+    ``key_add`` optionally carries a key-set add so that updating an
+    absent key also makes it visible (SwiftCloud-style upsert).
+    """
+
+    key: Hashable
+    inner: Any
+    key_add: Any = None
+
+
+class ORMap(CRDT):
+    """Map from keys to nested CRDTs with set-CRDT key visibility."""
+
+    type_name = "or-map"
+
+    def __init__(
+        self,
+        value_factory: Callable[[], CRDT],
+        key_semantics: str = "add-wins",
+    ) -> None:
+        if key_semantics == "add-wins":
+            self._keys: AWSet | RWSet = AWSet()
+        elif key_semantics == "rem-wins":
+            self._keys = RWSet()
+        else:
+            raise CRDTError(f"unknown key semantics {key_semantics!r}")
+        self._value_factory = value_factory
+        # Values survive key removal (tombstoned) until compaction.
+        self._values: dict[Hashable, CRDT] = {}
+
+    # -- prepare (origin side) -------------------------------------------------
+
+    def prepare_put(self, key: Hashable) -> MapKeyOp:
+        return MapKeyOp(self._keys.prepare_add(key))
+
+    def prepare_touch(self, key: Hashable) -> MapKeyOp:
+        return MapKeyOp(self._keys.prepare_touch(key))
+
+    def prepare_remove(self, key: Hashable) -> MapKeyOp:
+        return MapKeyOp(self._keys.prepare_remove(key))
+
+    def prepare_remove_where(self, pattern: Pattern) -> MapKeyOp:
+        return MapKeyOp(self._keys.prepare_remove_where(pattern))
+
+    def prepare_update(
+        self, key: Hashable, prepare: Callable[[CRDT], Any],
+        implicit_add: bool = True,
+    ) -> MapValueOp:
+        """Prepare a nested update; ``prepare`` receives the inner CRDT.
+
+        Example::
+
+            payload = followers.prepare_update(
+                "alice", lambda s: s.prepare_add("bob"))
+        """
+        inner = self._values.get(key)
+        if inner is None:
+            inner = self._value_factory()
+            self._values[key] = inner
+        inner_payload = prepare(inner)
+        key_add = self._keys.prepare_add(key) if implicit_add else None
+        return MapValueOp(key=key, inner=inner_payload, key_add=key_add)
+
+    # -- effect (all replicas) ---------------------------------------------------
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        if isinstance(payload, MapKeyOp):
+            self._keys.effect(payload.inner, ctx)
+            return
+        if isinstance(payload, MapValueOp):
+            inner = self._values.get(payload.key)
+            if inner is None:
+                inner = self._value_factory()
+                self._values[payload.key] = inner
+            inner.effect(payload.inner, ctx)
+            if payload.key_add is not None:
+                self._keys.effect(payload.key_add, ctx)
+            return
+        self._require(False, f"or-map cannot apply {payload!r}")
+
+    # -- queries -------------------------------------------------------------------
+
+    def keys(self) -> set:
+        return self._keys.value()
+
+    def get(self, key: Hashable) -> CRDT | None:
+        """The nested CRDT of a *visible* key (None otherwise)."""
+        if key in self._keys:
+            return self._values.get(key)
+        return None
+
+    def peek(self, key: Hashable) -> CRDT | None:
+        """The nested CRDT even if the key is tombstoned.
+
+        This is what makes *touch* restore an entity's payload.
+        """
+        return self._values.get(key)
+
+    def value(self) -> dict:
+        return {
+            key: self._values[key].value()
+            for key in self.keys()
+            if key in self._values
+        }
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def compact(self, stable: VersionVector) -> None:
+        """Drop tombstoned values whose removal is causally stable."""
+        self._keys.compact(stable)
+        visible = self._keys.value()
+        for key in list(self._values):
+            if key not in visible:
+                del self._values[key]

@@ -1,0 +1,72 @@
+"""Element patterns for wildcard (predicate-scoped) set operations.
+
+IPA repairs produce effects such as ``enrolled(*, t) = false``: remove
+every element whose second component is ``t``.  A :class:`Pattern`
+captures that shape -- a tuple where ``WILDCARD`` positions match
+anything -- and is shipped inside remove payloads so remote replicas can
+apply it to adds the origin never saw (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+class _Wildcard:
+    """Singleton marker for a don't-care position."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A match pattern over tuple elements.
+
+    ``Pattern.of("*", "t1")`` matches ``("anyone", "t1")``.  Non-tuple
+    elements are treated as 1-tuples, so ``Pattern.of("*")`` matches any
+    scalar element.
+    """
+
+    fields: tuple
+
+    @classmethod
+    def of(cls, *fields) -> "Pattern":
+        normalised = tuple(
+            WILDCARD if field == "*" else field for field in fields
+        )
+        return cls(normalised)
+
+    @classmethod
+    def exact(cls, element) -> "Pattern":
+        """A pattern matching exactly one element."""
+        if isinstance(element, tuple):
+            return cls(element)
+        return cls((element,))
+
+    def matches(self, element) -> bool:
+        parts = element if isinstance(element, tuple) else (element,)
+        if len(parts) != len(self.fields):
+            return False
+        return all(
+            field is WILDCARD or field == part
+            for field, part in zip(self.fields, parts)
+        )
+
+    @property
+    def is_exact(self) -> bool:
+        return all(field is not WILDCARD for field in self.fields)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return "(" + ", ".join(map(repr, self.fields)) + ")"

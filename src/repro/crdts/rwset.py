@@ -1,0 +1,161 @@
+"""Remove-wins set with wildcard (predicate-scoped) tombstones.
+
+Under remove-wins semantics an element is in the set iff some add of it
+causally follows *every* remove that covers it: a remove kills both the
+adds it observed and any add concurrent with it.  This is the
+convergence rule IPA leans on for clearing effects -- e.g.
+``enrolled(*, t) = false`` in ``rem_tourn`` guarantees no player stays
+enrolled in a removed tournament even if an ``enroll`` raced with it
+(Figure 2c).
+
+State per element: the set of alive add contexts and a merged version
+vector of all removes covering the element (a single pointwise-max
+vector is equivalent to keeping every remove separately, because under
+causal delivery "add follows remove r" is ``add.vv >= r.vv``, and
+dominating the max dominates each).  Wildcard removes are kept as
+pattern tombstones so they also kill matching adds delivered later yet
+concurrent; causal stability folds them away (:meth:`RWSet.compact`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.crdts.base import CRDT, Dot, EventContext
+from repro.crdts.clock import VersionVector
+from repro.crdts.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class RWAdd:
+    element: Hashable
+    touch: bool = False
+
+
+@dataclass(frozen=True)
+class RWRemove:
+    element: Hashable
+
+
+@dataclass(frozen=True)
+class RWRemoveWhere:
+    pattern: Pattern
+
+
+class RWSet(CRDT):
+    """Remove-wins set."""
+
+    type_name = "rw-set"
+
+    def __init__(self) -> None:
+        # element -> list of (dot, vv) of alive adds.
+        self._adds: dict[Hashable, list[EventContext]] = {}
+        # element -> merged vv of targeted removes.
+        self._removes: dict[Hashable, VersionVector] = {}
+        # pattern tombstones, each with the vv of its remove event.
+        self._pattern_tombstones: list[tuple[Pattern, VersionVector]] = []
+
+    # -- prepare (origin side) -------------------------------------------------
+
+    def prepare_add(self, element: Hashable) -> RWAdd:
+        return RWAdd(element)
+
+    def prepare_touch(self, element: Hashable) -> RWAdd:
+        return RWAdd(element, touch=True)
+
+    def prepare_remove(self, element: Hashable) -> RWRemove:
+        return RWRemove(element)
+
+    def prepare_remove_where(self, pattern: Pattern) -> RWRemoveWhere:
+        return RWRemoveWhere(pattern)
+
+    # -- effect (all replicas) ---------------------------------------------------
+
+    def effect(self, payload: Any, ctx: EventContext) -> None:
+        if isinstance(payload, RWAdd):
+            self._adds.setdefault(payload.element, []).append(ctx)
+            self._prune(payload.element)
+            return
+        if isinstance(payload, RWRemove):
+            merged = self._removes.get(payload.element)
+            if merged is None:
+                self._removes[payload.element] = ctx.vv.copy()
+            else:
+                merged.merge(ctx.vv)
+            self._prune(payload.element)
+            return
+        if isinstance(payload, RWRemoveWhere):
+            self._pattern_tombstones.append((payload.pattern, ctx.vv.copy()))
+            for element in list(self._adds):
+                if payload.pattern.matches(element):
+                    self._prune(element)
+            return
+        self._require(False, f"rw-set cannot apply {payload!r}")
+
+    def _killed(self, element: Hashable, add: EventContext) -> bool:
+        """Is this add covered by some remove (targeted or pattern)?"""
+        targeted = self._removes.get(element)
+        if targeted is not None and not add.vv.dominates(targeted):
+            return True
+        for pattern, vv in self._pattern_tombstones:
+            if pattern.matches(element) and not add.vv.dominates(vv):
+                return True
+        return False
+
+    def _prune(self, element: Hashable) -> None:
+        """Drop adds that can never become visible again.
+
+        Safe because removes' vectors only grow: once an add fails to
+        dominate the current remove vector it fails forever.
+        """
+        adds = self._adds.get(element)
+        if not adds:
+            return
+        alive = [add for add in adds if not self._killed(element, add)]
+        if alive:
+            self._adds[element] = alive
+        else:
+            del self._adds[element]
+
+    # -- queries -------------------------------------------------------------------
+
+    def _visible(self, element: Hashable) -> bool:
+        return any(
+            not self._killed(element, add)
+            for add in self._adds.get(element, ())
+        )
+
+    def value(self) -> set:
+        return {e for e in self._adds if self._visible(e)}
+
+    def __contains__(self, element: Hashable) -> bool:
+        return self._visible(element)
+
+    def __len__(self) -> int:
+        return len(self.value())
+
+    def elements_matching(self, pattern: Pattern) -> set:
+        return {e for e in self.value() if pattern.matches(e)}
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def compact(self, stable: VersionVector) -> None:
+        """Fold causally-stable pattern tombstones into element state.
+
+        A tombstone whose vector is dominated by the stable vector has
+        been delivered everywhere; no future add can be concurrent with
+        it, so its effect is fully captured by the per-element prune it
+        already performed.
+        """
+        kept = []
+        for pattern, vv in self._pattern_tombstones:
+            if stable.dominates(vv):
+                continue
+            kept.append((pattern, vv))
+        self._pattern_tombstones = kept
+        # Targeted remove vectors dominated by the stable vector can go
+        # too: every future add will dominate them.
+        for element in list(self._removes):
+            if stable.dominates(self._removes[element]):
+                del self._removes[element]

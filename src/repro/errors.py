@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems: the logic/parsing front-end, the solver, the static analysis,
+the CRDT library and the replicated store.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(ReproError):
+    """An application specification is malformed or inconsistent."""
+
+
+class ParseError(SpecError):
+    """The invariant/effect language parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SortError(SpecError):
+    """A term was used with the wrong sort (type) or an unknown sort."""
+
+
+class ArityError(SpecError):
+    """A predicate was applied to the wrong number of arguments."""
+
+
+class SolverError(ReproError):
+    """The bounded model finder failed or was misused."""
+
+
+class GroundingError(SolverError):
+    """A formula could not be grounded over the finite domain."""
+
+
+class AnalysisError(ReproError):
+    """The IPA analysis could not complete."""
+
+
+class UnsolvableConflictError(AnalysisError):
+    """A conflicting pair admits no repair under the given rules.
+
+    The IPA algorithm normally *flags* such pairs rather than raising; this
+    error is raised only when the caller asked for strict mode.
+    """
+
+
+class CRDTError(ReproError):
+    """A CRDT was driven outside its contract (e.g. duplicate dot)."""
+
+
+class StoreError(ReproError):
+    """The replicated store rejected an operation."""
+
+
+class TransactionError(StoreError):
+    """A transaction was used after commit/abort, or commit failed."""
+
+
+class ReservationError(StoreError):
+    """A reservation could not be acquired (Indigo mode)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,85 @@
+"""First-order logic substrate used by the IPA analysis.
+
+This package provides:
+
+- :mod:`repro.logic.ast` -- sorts, terms and formula nodes;
+- :mod:`repro.logic.parser` -- a parser for the paper's invariant language
+  (``forall(Player: p, Tournament: t) :- enrolled(p, t) => player(p) and
+  tournament(t)``);
+- :mod:`repro.logic.transform` -- substitution, negation normal form,
+  simplification;
+- :mod:`repro.logic.grounding` -- bounded-domain quantifier elimination,
+  turning first-order formulas into propositional ones for the SAT solver;
+- :mod:`repro.logic.pretty` -- human-readable formula rendering.
+"""
+
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    PredicateDecl,
+    Sort,
+    Term,
+    TrueF,
+    Var,
+    Wildcard,
+)
+from repro.logic.parser import parse_formula, parse_invariant
+from repro.logic.pretty import pretty
+from repro.logic.transform import (
+    free_vars,
+    negate,
+    simplify,
+    substitute,
+    to_nnf,
+)
+
+__all__ = [
+    "Add",
+    "And",
+    "Atom",
+    "Card",
+    "Cmp",
+    "Const",
+    "Exists",
+    "FalseF",
+    "ForAll",
+    "Formula",
+    "Iff",
+    "Implies",
+    "IntConst",
+    "Not",
+    "NumPred",
+    "NumTerm",
+    "Or",
+    "Param",
+    "PredicateDecl",
+    "Sort",
+    "Term",
+    "TrueF",
+    "Var",
+    "Wildcard",
+    "free_vars",
+    "negate",
+    "parse_formula",
+    "parse_invariant",
+    "pretty",
+    "simplify",
+    "substitute",
+    "to_nnf",
+]

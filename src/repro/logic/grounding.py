@@ -1,0 +1,289 @@
+"""Bounded-domain grounding of first-order formulas.
+
+The IPA analysis decides queries of the form "is there a small database
+state in which <formula> holds?".  Pairwise operation analysis is sound
+(Gotsman et al., POPL'16), and each query only mentions the handful of
+entities named by one pair of operations, so it suffices to search for
+models over a *small finite domain* -- two or three constants per sort.
+
+This module turns a quantified formula into an equivalent quantifier-free
+formula over *ground atoms* (boolean predicate applications whose
+arguments are all domain constants) and *ground numeric terms*.  The
+solver then treats each ground atom as a propositional variable and each
+numeric term as a small bounded integer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import GroundingError
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    PredicateDecl,
+    Sort,
+    Term,
+    TrueF,
+    Var,
+    Wildcard,
+    conj,
+    disj,
+)
+from repro.logic.transform import substitute, to_nnf
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A finite universe: a tuple of constants per sort.
+
+    Use :meth:`of_sizes` to build the default universe used by the
+    analysis (``k`` fresh constants per sort).
+    """
+
+    constants: Mapping[Sort, tuple[Const, ...]]
+
+    @classmethod
+    def of_sizes(cls, sizes: Mapping[Sort, int]) -> "Domain":
+        universe = {
+            sort: tuple(
+                Const(f"{sort.name.lower()}{i}", sort) for i in range(size)
+            )
+            for sort, size in sizes.items()
+        }
+        return cls(universe)
+
+    @classmethod
+    def uniform(cls, sorts: Iterable[Sort], size: int) -> "Domain":
+        return cls.of_sizes({sort: size for sort in sorts})
+
+    def of(self, sort: Sort) -> tuple[Const, ...]:
+        try:
+            return self.constants[sort]
+        except KeyError:
+            raise GroundingError(f"no domain for sort {sort.name}") from None
+
+    def size(self, sort: Sort) -> int:
+        return len(self.of(sort))
+
+    def extended(self, extra: Mapping[Sort, Iterable[Const]]) -> "Domain":
+        """A new domain with ``extra`` constants added (deduplicated)."""
+        merged: dict[Sort, tuple[Const, ...]] = dict(self.constants)
+        for sort, consts in extra.items():
+            seen = list(merged.get(sort, ()))
+            for const in consts:
+                if const not in seen:
+                    seen.append(const)
+            merged[sort] = tuple(seen)
+        return Domain(merged)
+
+    def assignments(
+        self, variables: Iterable[Var]
+    ) -> Iterator[dict[Var, Const]]:
+        """All ways of mapping ``variables`` to domain constants."""
+        variables = tuple(variables)
+        pools = [self.of(v.sort) for v in variables]
+        for combo in itertools.product(*pools):
+            yield dict(zip(variables, combo))
+
+
+def ground(formula: Formula, domain: Domain) -> Formula:
+    """Expand quantifiers of ``formula`` over ``domain``.
+
+    The result contains no quantifiers and no variables; its boolean
+    leaves are :class:`Atom` nodes with constant arguments, and its
+    numeric leaves are :class:`Card`/:class:`NumPred` terms with constant
+    or wildcard arguments.  Raises :class:`GroundingError` if the formula
+    has free variables.
+    """
+    grounded = _ground(to_nnf(formula), domain)
+    _check_ground(grounded)
+    return grounded
+
+
+def _ground(formula: Formula, domain: Domain) -> Formula:
+    if isinstance(formula, (TrueF, FalseF, Atom, Cmp)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_ground(formula.arg, domain))
+    if isinstance(formula, And):
+        return conj(_ground(a, domain) for a in formula.args)
+    if isinstance(formula, Or):
+        return disj(_ground(a, domain) for a in formula.args)
+    if isinstance(formula, (Implies, Iff)):
+        cls = type(formula)
+        return cls(_ground(formula.lhs, domain), _ground(formula.rhs, domain))
+    if isinstance(formula, ForAll):
+        return conj(
+            _ground(substitute(formula.body, assignment), domain)
+            for assignment in domain.assignments(formula.vars)
+        )
+    if isinstance(formula, Exists):
+        return disj(
+            _ground(substitute(formula.body, assignment), domain)
+            for assignment in domain.assignments(formula.vars)
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _check_term(term: Term, context: str) -> None:
+    if isinstance(term, Var):
+        raise GroundingError(f"free variable {term.name} in {context}")
+
+
+def _check_num(term: NumTerm) -> None:
+    if isinstance(term, (IntConst, Param)):
+        return
+    if isinstance(term, (NumPred, Card)):
+        for arg in term.args:
+            _check_term(arg, str(term))
+        return
+    if isinstance(term, Add):
+        for sub in term.terms:
+            _check_num(sub)
+        return
+    raise TypeError(f"unknown numeric term {term!r}")
+
+
+def _check_ground(formula: Formula) -> None:
+    if isinstance(formula, (TrueF, FalseF)):
+        return
+    if isinstance(formula, Atom):
+        for arg in formula.args:
+            _check_term(arg, str(formula))
+            if isinstance(arg, Wildcard):
+                raise GroundingError(
+                    f"wildcard in boolean atom {formula}; wildcards are "
+                    "only allowed in cardinality terms and effects"
+                )
+        return
+    if isinstance(formula, Cmp):
+        _check_num(formula.lhs)
+        _check_num(formula.rhs)
+        return
+    if isinstance(formula, Not):
+        _check_ground(formula.arg)
+        return
+    if isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _check_ground(arg)
+        return
+    if isinstance(formula, (Implies, Iff)):
+        _check_ground(formula.lhs)
+        _check_ground(formula.rhs)
+        return
+    raise GroundingError(f"formula is not ground: {formula}")
+
+
+def expand_card(card: Card, domain: Domain) -> list[Atom]:
+    """The ground atoms a cardinality term counts over.
+
+    ``#enrolled(*, t0)`` with a 2-player domain expands to
+    ``[enrolled(player0, t0), enrolled(player1, t0)]``.
+    """
+    pools: list[tuple[Term, ...]] = []
+    for arg in card.args:
+        if isinstance(arg, Wildcard):
+            pools.append(domain.of(arg.sort))
+        else:
+            pools.append((arg,))
+    return [Atom(card.pred, combo) for combo in itertools.product(*pools)]
+
+
+def expand_wildcard_args(
+    pred: PredicateDecl, args: tuple[Term, ...], domain: Domain
+) -> list[tuple[Term, ...]]:
+    """All ground argument tuples matched by ``args`` (with wildcards)."""
+    pools: list[tuple[Term, ...]] = []
+    for arg in args:
+        if isinstance(arg, Wildcard):
+            pools.append(domain.of(arg.sort))
+        else:
+            pools.append((arg,))
+    return [combo for combo in itertools.product(*pools)]
+
+
+def collect_atoms(formula: Formula, domain: Domain) -> set[Atom]:
+    """All ground boolean atoms occurring in ``formula``.
+
+    Cardinality terms contribute the atoms they count over, so the solver
+    can allocate a propositional variable for each.
+    """
+    atoms: set[Atom] = set()
+    _collect(formula, domain, atoms, set())
+    return atoms
+
+
+def collect_numpreds(formula: Formula, domain: Domain) -> set[NumPred]:
+    """All ground numeric predicate applications occurring in ``formula``."""
+    numpreds: set[NumPred] = set()
+    _collect(formula, domain, set(), numpreds)
+    return numpreds
+
+
+def _collect(
+    formula: Formula,
+    domain: Domain,
+    atoms: set[Atom],
+    numpreds: set[NumPred],
+) -> None:
+    if isinstance(formula, (TrueF, FalseF)):
+        return
+    if isinstance(formula, Atom):
+        atoms.add(formula)
+        return
+    if isinstance(formula, Cmp):
+        for side in (formula.lhs, formula.rhs):
+            _collect_num(side, domain, atoms, numpreds)
+        return
+    if isinstance(formula, Not):
+        _collect(formula.arg, domain, atoms, numpreds)
+        return
+    if isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _collect(arg, domain, atoms, numpreds)
+        return
+    if isinstance(formula, (Implies, Iff)):
+        _collect(formula.lhs, domain, atoms, numpreds)
+        _collect(formula.rhs, domain, atoms, numpreds)
+        return
+    raise GroundingError(f"formula is not ground: {formula}")
+
+
+def _collect_num(
+    term: NumTerm,
+    domain: Domain,
+    atoms: set[Atom],
+    numpreds: set[NumPred],
+) -> None:
+    if isinstance(term, (IntConst, Param)):
+        return
+    if isinstance(term, Card):
+        atoms.update(expand_card(term, domain))
+        return
+    if isinstance(term, NumPred):
+        numpreds.add(term)
+        return
+    if isinstance(term, Add):
+        for sub in term.terms:
+            _collect_num(sub, domain, atoms, numpreds)
+        return
+    raise TypeError(f"unknown numeric term {term!r}")

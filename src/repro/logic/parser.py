@@ -1,0 +1,404 @@
+"""Parser for the paper's invariant and effect language.
+
+The concrete syntax follows the annotations of Figure 1 of the paper::
+
+    forall(Player: p, Tournament: t) :- enrolled(p, t) =>
+        player(p) and tournament(t)
+    forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) =>
+        enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))
+    forall(Tournament: t) :- #enrolled(*, t) <= Capacity
+    forall(Tournament: t) :- not (active(t) and finished(t))
+
+Grammar (informal)::
+
+    invariant := quantified | formula
+    quantified:= ('forall' | 'exists') '(' binders ')' ':-' formula
+    binders   := SortName ':' var (',' var)* (',' binders)?
+    formula   := iff
+    iff       := implies ('<=>' implies)*
+    implies   := or ('=>' or)*              -- right associative
+    or        := and ('or' and)*
+    and       := unary ('and' unary)*
+    unary     := 'not' unary | primary
+    primary   := '(' formula ')' | 'true' | 'false' | cmp | atom
+    cmp       := numterm OP numterm          -- OP in <= < >= > == !=
+    numterm   := '#' app | NUMBER | app | NAME   -- NAME is a parameter
+    app       := NAME '(' arg (',' arg)* ')'
+    arg       := NAME | '*'
+
+Names are resolved against a :class:`SymbolTable`: bound variables first,
+then predicate declarations; an unresolved bare name inside a comparison
+is treated as a symbolic :class:`~repro.logic.ast.Param`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import ParseError, SortError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    PredicateDecl,
+    Sort,
+    Term,
+    TrueF,
+    Var,
+    Wildcard,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<cmp><=>|=>|:-|<=|>=|==|!=|<|>)
+  | (?P<punct>[(),:#*])
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "and", "or", "not", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "name" and value in _KEYWORDS:
+            kind = "kw"
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+@dataclass
+class SymbolTable:
+    """Name resolution context for the parser.
+
+    ``predicates`` maps predicate name to its declaration, ``sorts`` maps
+    sort name to the :class:`Sort` object, and ``variables`` carries any
+    free variables allowed in the formula (e.g. operation parameters).
+    """
+
+    predicates: Mapping[str, PredicateDecl]
+    sorts: Mapping[str, Sort] = field(default_factory=dict)
+    variables: Mapping[str, Var] = field(default_factory=dict)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], symbols: SymbolTable) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._symbols = symbols
+        self._scope: dict[str, Var] = dict(symbols.variables)
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, found {token.text!r}", token.pos
+            )
+        return token
+
+    def _at(self, text: str) -> bool:
+        return self._peek().text == text
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._invariant()
+        token = self._peek()
+        if token.kind != "eof":
+            raise ParseError(f"trailing input {token.text!r}", token.pos)
+        return formula
+
+    def _invariant(self) -> Formula:
+        token = self._peek()
+        if token.kind == "kw" and token.text in ("forall", "exists"):
+            self._next()
+            self._expect("(")
+            binders = self._binders()
+            self._expect(")")
+            self._expect(":-")
+            for var in binders:
+                self._scope[var.name] = var
+            body = self._formula()
+            for var in binders:
+                del self._scope[var.name]
+            cls = ForAll if token.text == "forall" else Exists
+            return cls(tuple(binders), body)
+        return self._formula()
+
+    def _binders(self) -> list[Var]:
+        binders: list[Var] = []
+        current_sort: Sort | None = None
+        while True:
+            name_token = self._next()
+            if name_token.kind != "name":
+                raise ParseError(
+                    f"expected name in binder, found {name_token.text!r}",
+                    name_token.pos,
+                )
+            if self._at(":"):
+                self._next()
+                sort = self._symbols.sorts.get(name_token.text)
+                if sort is None:
+                    sort = Sort(name_token.text)
+                current_sort = sort
+                var_token = self._next()
+                if var_token.kind != "name":
+                    raise ParseError(
+                        f"expected variable after sort, found "
+                        f"{var_token.text!r}",
+                        var_token.pos,
+                    )
+                binders.append(Var(var_token.text, current_sort))
+            else:
+                if current_sort is None:
+                    raise ParseError(
+                        f"binder {name_token.text!r} has no sort",
+                        name_token.pos,
+                    )
+                binders.append(Var(name_token.text, current_sort))
+            if self._at(","):
+                self._next()
+                continue
+            return binders
+
+    def _formula(self) -> Formula:
+        return self._iff()
+
+    def _iff(self) -> Formula:
+        lhs = self._implies()
+        while self._at("<=>"):
+            self._next()
+            rhs = self._implies()
+            lhs = Iff(lhs, rhs)
+        return lhs
+
+    def _implies(self) -> Formula:
+        lhs = self._or()
+        if self._at("=>"):
+            self._next()
+            rhs = self._implies()
+            return Implies(lhs, rhs)
+        return lhs
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._peek().text == "or":
+            self._next()
+            parts.append(self._and())
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts))
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._peek().text == "and":
+            self._next()
+            parts.append(self._unary())
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts))
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token.kind == "kw" and token.text == "not":
+            self._next()
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Formula:
+        token = self._peek()
+        if token.text == "(":
+            # Could be a parenthesised formula or the lhs of a comparison
+            # like "(x) <= 3"; parenthesised numeric terms are not in the
+            # paper's syntax, so treat as formula.
+            self._next()
+            inner = self._formula()
+            self._expect(")")
+            return inner
+        if token.kind == "kw" and token.text == "true":
+            self._next()
+            return TrueF()
+        if token.kind == "kw" and token.text == "false":
+            self._next()
+            return FalseF()
+        if token.text == "#" or token.kind == "num":
+            lhs = self._numterm()
+            return self._finish_cmp(lhs)
+        if token.kind == "name":
+            return self._atom_or_cmp()
+        raise ParseError(f"unexpected token {token.text!r}", token.pos)
+
+    def _finish_cmp(self, lhs: NumTerm) -> Cmp:
+        op_token = self._next()
+        if op_token.text not in ("<=", "<", ">=", ">", "==", "!="):
+            raise ParseError(
+                f"expected comparison operator, found {op_token.text!r}",
+                op_token.pos,
+            )
+        rhs = self._numterm()
+        return Cmp(op_token.text, lhs, rhs)
+
+    def _atom_or_cmp(self) -> Formula:
+        token = self._next()
+        name = token.text
+        if self._at("("):
+            pred = self._symbols.predicates.get(name)
+            if pred is None:
+                raise ParseError(f"unknown predicate {name!r}", token.pos)
+            args = self._args(pred)
+            if pred.numeric:
+                return self._finish_cmp(NumPred(pred, args))
+            atom = Atom(pred, args)
+            nxt = self._peek()
+            if nxt.text in ("<=", "<", ">=", ">", "==", "!="):
+                raise ParseError(
+                    f"boolean predicate {name!r} used in comparison",
+                    nxt.pos,
+                )
+            return atom
+        # Bare name: a parameter compared against something.
+        return self._finish_cmp(self._resolve_numname(token))
+
+    def _numterm(self) -> NumTerm:
+        token = self._next()
+        if token.text == "#":
+            name_token = self._next()
+            pred = self._symbols.predicates.get(name_token.text)
+            if pred is None:
+                raise ParseError(
+                    f"unknown predicate {name_token.text!r}", name_token.pos
+                )
+            args = self._args(pred)
+            return Card(pred, args)
+        if token.kind == "num":
+            return IntConst(int(token.text))
+        if token.kind == "name":
+            if self._at("("):
+                pred = self._symbols.predicates.get(token.text)
+                if pred is None:
+                    raise ParseError(
+                        f"unknown predicate {token.text!r}", token.pos
+                    )
+                if not pred.numeric:
+                    raise ParseError(
+                        f"boolean predicate {token.text!r} used as a "
+                        "numeric term",
+                        token.pos,
+                    )
+                return NumPred(pred, self._args(pred))
+            return self._resolve_numname(token)
+        raise ParseError(f"expected numeric term, found {token.text!r}",
+                         token.pos)
+
+    def _resolve_numname(self, token: _Token) -> NumTerm:
+        if token.text in self._scope:
+            raise ParseError(
+                f"variable {token.text!r} used as a numeric term", token.pos
+            )
+        return Param(token.text)
+
+    def _args(self, pred: PredicateDecl) -> tuple[Term, ...]:
+        self._expect("(")
+        args: list[Term] = []
+        position = 0
+        while True:
+            token = self._next()
+            if position >= pred.arity:
+                raise ParseError(
+                    f"too many arguments for {pred.name}/{pred.arity}",
+                    token.pos,
+                )
+            expected_sort = pred.arg_sorts[position]
+            if token.text == "*":
+                args.append(Wildcard(expected_sort))
+            elif token.kind == "name":
+                var = self._scope.get(token.text)
+                if var is None:
+                    raise ParseError(
+                        f"unbound variable {token.text!r}", token.pos
+                    )
+                if var.sort != expected_sort:
+                    raise SortError(
+                        f"argument {var.name} of {pred.name} has sort "
+                        f"{var.sort.name}, expected {expected_sort.name}"
+                    )
+                args.append(var)
+            else:
+                raise ParseError(
+                    f"expected argument, found {token.text!r}", token.pos
+                )
+            position += 1
+            closing = self._next()
+            if closing.text == ",":
+                continue
+            if closing.text == ")":
+                break
+            raise ParseError(
+                f"expected ',' or ')', found {closing.text!r}", closing.pos
+            )
+        if position != pred.arity:
+            raise ParseError(
+                f"too few arguments for {pred.name}/{pred.arity}",
+                self._peek().pos,
+            )
+        return tuple(args)
+
+
+def parse_formula(text: str, symbols: SymbolTable) -> Formula:
+    """Parse ``text`` into a formula, resolving names via ``symbols``."""
+    return _Parser(_tokenize(text), symbols).parse()
+
+
+def parse_invariant(text: str, symbols: SymbolTable) -> Formula:
+    """Parse an invariant annotation (alias of :func:`parse_formula`).
+
+    Kept as a separate entry point because application front-ends treat
+    invariants (usually quantified) and effect guards differently.
+    """
+    return parse_formula(text, symbols)

@@ -1,0 +1,82 @@
+"""Human-readable rendering of formulas.
+
+``str()`` on AST nodes already produces readable output; :func:`pretty`
+additionally minimises parentheses and renders quantifier blocks the way
+the paper writes them.  Used by the analysis report generator.
+"""
+
+from __future__ import annotations
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Cmp,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+)
+
+# Binding strength, loosest first.  Used to decide parenthesisation.
+_LEVELS = {
+    ForAll: 0,
+    Exists: 0,
+    Iff: 1,
+    Implies: 2,
+    Or: 3,
+    And: 4,
+    Not: 5,
+}
+_ATOM_LEVEL = 6
+
+
+def _level(formula: Formula) -> int:
+    return _LEVELS.get(type(formula), _ATOM_LEVEL)
+
+
+def pretty(formula: Formula, _parent_level: int = 0) -> str:
+    """Render ``formula`` with minimal parentheses."""
+    level = _level(formula)
+    text = _render(formula, level)
+    if level < _parent_level:
+        return f"({text})"
+    return text
+
+
+def _render(formula: Formula, level: int) -> str:
+    if isinstance(formula, (TrueF, FalseF, Atom, Cmp)):
+        return str(formula)
+    if isinstance(formula, Not):
+        return f"not {pretty(formula.arg, level + 1)}"
+    if isinstance(formula, And):
+        return " and ".join(pretty(a, level + 1) for a in formula.args)
+    if isinstance(formula, Or):
+        return " or ".join(pretty(a, level + 1) for a in formula.args)
+    if isinstance(formula, Implies):
+        return (
+            f"{pretty(formula.lhs, level + 1)} => "
+            f"{pretty(formula.rhs, level)}"
+        )
+    if isinstance(formula, Iff):
+        return (
+            f"{pretty(formula.lhs, level + 1)} <=> "
+            f"{pretty(formula.rhs, level + 1)}"
+        )
+    if isinstance(formula, (ForAll, Exists)):
+        keyword = "forall" if isinstance(formula, ForAll) else "exists"
+        groups: list[str] = []
+        last_sort = None
+        for var in formula.vars:
+            if var.sort == last_sort:
+                groups[-1] += f", {var.name}"
+            else:
+                groups.append(f"{var.sort.name}: {var.name}")
+                last_sort = var.sort
+        binders = ", ".join(groups)
+        return f"{keyword}({binders}) :- {pretty(formula.body, 1)}"
+    raise TypeError(f"unknown formula node {formula!r}")

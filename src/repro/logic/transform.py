@@ -1,0 +1,312 @@
+"""Formula transformations: substitution, NNF, negation, simplification.
+
+These are pure structural recursions over the AST in
+:mod:`repro.logic.ast`.  They are used by the grounding layer (which wants
+negation normal form with quantifiers expanded) and by the analysis layer
+(which substitutes operation parameters and effect values into
+invariants).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SortError
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    Term,
+    TrueF,
+    Var,
+    Wildcard,
+    conj,
+    disj,
+)
+
+Subst = Mapping[Var, Term]
+
+
+def _subst_term(term: Term, mapping: Subst) -> Term:
+    if isinstance(term, Var) and term in mapping:
+        replacement = mapping[term]
+        if replacement.sort != term.sort:
+            raise SortError(
+                f"substituting {replacement} (sort {replacement.sort.name}) "
+                f"for {term} (sort {term.sort.name})"
+            )
+        return replacement
+    return term
+
+
+def _subst_num(term: NumTerm, mapping: Subst) -> NumTerm:
+    if isinstance(term, (IntConst, Param)):
+        return term
+    if isinstance(term, NumPred):
+        return NumPred(term.pred, tuple(_subst_term(a, mapping) for a in term.args))
+    if isinstance(term, Card):
+        return Card(term.pred, tuple(_subst_term(a, mapping) for a in term.args))
+    if isinstance(term, Add):
+        return Add(tuple(_subst_num(t, mapping) for t in term.terms))
+    raise TypeError(f"unknown numeric term {term!r}")
+
+
+def substitute(formula: Formula, mapping: Subst) -> Formula:
+    """Replace free variables in ``formula`` according to ``mapping``.
+
+    Bound variables shadow the mapping (they are removed from it under
+    their binder), so capture cannot occur as long as replacement terms
+    are constants -- which is the only case the analysis uses.
+    """
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(
+            formula.pred, tuple(_subst_term(a, mapping) for a in formula.args)
+        )
+    if isinstance(formula, Cmp):
+        return Cmp(
+            formula.op,
+            _subst_num(formula.lhs, mapping),
+            _subst_num(formula.rhs, mapping),
+        )
+    if isinstance(formula, Not):
+        return Not(substitute(formula.arg, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(a, mapping) for a in formula.args))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(a, mapping) for a in formula.args))
+    if isinstance(formula, Implies):
+        return Implies(
+            substitute(formula.lhs, mapping), substitute(formula.rhs, mapping)
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            substitute(formula.lhs, mapping), substitute(formula.rhs, mapping)
+        )
+    if isinstance(formula, (ForAll, Exists)):
+        inner = {v: t for v, t in mapping.items() if v not in formula.vars}
+        cls = type(formula)
+        return cls(formula.vars, substitute(formula.body, inner))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _term_vars(term: Term) -> set[Var]:
+    return {term} if isinstance(term, Var) else set()
+
+
+def _num_vars(term: NumTerm) -> set[Var]:
+    if isinstance(term, (IntConst, Param)):
+        return set()
+    if isinstance(term, (NumPred, Card)):
+        out: set[Var] = set()
+        for a in term.args:
+            out |= _term_vars(a)
+        return out
+    if isinstance(term, Add):
+        out = set()
+        for t in term.terms:
+            out |= _num_vars(t)
+        return out
+    raise TypeError(f"unknown numeric term {term!r}")
+
+
+def free_vars(formula: Formula) -> set[Var]:
+    """The set of free variables of ``formula``."""
+    if isinstance(formula, (TrueF, FalseF)):
+        return set()
+    if isinstance(formula, Atom):
+        out: set[Var] = set()
+        for a in formula.args:
+            out |= _term_vars(a)
+        return out
+    if isinstance(formula, Cmp):
+        return _num_vars(formula.lhs) | _num_vars(formula.rhs)
+    if isinstance(formula, Not):
+        return free_vars(formula.arg)
+    if isinstance(formula, (And, Or)):
+        out = set()
+        for a in formula.args:
+            out |= free_vars(a)
+        return out
+    if isinstance(formula, (Implies, Iff)):
+        return free_vars(formula.lhs) | free_vars(formula.rhs)
+    if isinstance(formula, (ForAll, Exists)):
+        return free_vars(formula.body) - set(formula.vars)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+_NEGATED_CMP = {
+    "<=": ">",
+    "<": ">=",
+    ">=": "<",
+    ">": "<=",
+    "==": "!=",
+    "!=": "==",
+}
+
+
+def negate(formula: Formula) -> Formula:
+    """The negation of ``formula``, pushed one level where cheap."""
+    if isinstance(formula, TrueF):
+        return FalseF()
+    if isinstance(formula, FalseF):
+        return TrueF()
+    if isinstance(formula, Not):
+        return formula.arg
+    if isinstance(formula, Cmp):
+        return Cmp(_NEGATED_CMP[formula.op], formula.lhs, formula.rhs)
+    return Not(formula)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations only on atoms, no =>/<=>.
+
+    Quantifiers are retained (the grounding layer expands them).
+    """
+    if isinstance(formula, (TrueF, FalseF, Atom, Cmp)):
+        return formula
+    if isinstance(formula, And):
+        return conj(to_nnf(a) for a in formula.args)
+    if isinstance(formula, Or):
+        return disj(to_nnf(a) for a in formula.args)
+    if isinstance(formula, Implies):
+        return disj((to_nnf(Not(formula.lhs)), to_nnf(formula.rhs)))
+    if isinstance(formula, Iff):
+        return conj(
+            (
+                to_nnf(Implies(formula.lhs, formula.rhs)),
+                to_nnf(Implies(formula.rhs, formula.lhs)),
+            )
+        )
+    if isinstance(formula, ForAll):
+        return ForAll(formula.vars, to_nnf(formula.body))
+    if isinstance(formula, Exists):
+        return Exists(formula.vars, to_nnf(formula.body))
+    if isinstance(formula, Not):
+        inner = formula.arg
+        if isinstance(inner, TrueF):
+            return FalseF()
+        if isinstance(inner, FalseF):
+            return TrueF()
+        if isinstance(inner, Atom):
+            return formula
+        if isinstance(inner, Cmp):
+            return Cmp(_NEGATED_CMP[inner.op], inner.lhs, inner.rhs)
+        if isinstance(inner, Not):
+            return to_nnf(inner.arg)
+        if isinstance(inner, And):
+            return disj(to_nnf(Not(a)) for a in inner.args)
+        if isinstance(inner, Or):
+            return conj(to_nnf(Not(a)) for a in inner.args)
+        if isinstance(inner, Implies):
+            return conj((to_nnf(inner.lhs), to_nnf(Not(inner.rhs))))
+        if isinstance(inner, Iff):
+            return to_nnf(
+                Or(
+                    (
+                        And((inner.lhs, Not(inner.rhs))),
+                        And((Not(inner.lhs), inner.rhs)),
+                    )
+                )
+            )
+        if isinstance(inner, ForAll):
+            return Exists(inner.vars, to_nnf(Not(inner.body)))
+        if isinstance(inner, Exists):
+            return ForAll(inner.vars, to_nnf(Not(inner.body)))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Constant-fold and flatten nested conjunctions/disjunctions."""
+    if isinstance(formula, (TrueF, FalseF, Atom, Cmp)):
+        if isinstance(formula, Cmp):
+            lhs, rhs = formula.lhs, formula.rhs
+            if isinstance(lhs, IntConst) and isinstance(rhs, IntConst):
+                result = _eval_cmp(formula.op, lhs.value, rhs.value)
+                return TrueF() if result else FalseF()
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.arg)
+        if isinstance(inner, TrueF):
+            return FalseF()
+        if isinstance(inner, FalseF):
+            return TrueF()
+        if isinstance(inner, Not):
+            return inner.arg
+        return Not(inner)
+    if isinstance(formula, And):
+        flat: list[Formula] = []
+        for a in formula.args:
+            s = simplify(a)
+            if isinstance(s, And):
+                flat.extend(s.args)
+            else:
+                flat.append(s)
+        return conj(flat)
+    if isinstance(formula, Or):
+        flat = []
+        for a in formula.args:
+            s = simplify(a)
+            if isinstance(s, Or):
+                flat.extend(s.args)
+            else:
+                flat.append(s)
+        return disj(flat)
+    if isinstance(formula, Implies):
+        lhs, rhs = simplify(formula.lhs), simplify(formula.rhs)
+        if isinstance(lhs, FalseF) or isinstance(rhs, TrueF):
+            return TrueF()
+        if isinstance(lhs, TrueF):
+            return rhs
+        if isinstance(rhs, FalseF):
+            return simplify(Not(lhs))
+        return Implies(lhs, rhs)
+    if isinstance(formula, Iff):
+        lhs, rhs = simplify(formula.lhs), simplify(formula.rhs)
+        if isinstance(lhs, TrueF):
+            return rhs
+        if isinstance(rhs, TrueF):
+            return lhs
+        if isinstance(lhs, FalseF):
+            return simplify(Not(rhs))
+        if isinstance(rhs, FalseF):
+            return simplify(Not(lhs))
+        return Iff(lhs, rhs)
+    if isinstance(formula, (ForAll, Exists)):
+        body = simplify(formula.body)
+        if isinstance(body, (TrueF, FalseF)):
+            return body
+        return type(formula)(formula.vars, body)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _eval_cmp(op: str, a: int, b: int) -> bool:
+    if op == "<=":
+        return a <= b
+    if op == "<":
+        return a < b
+    if op == ">=":
+        return a >= b
+    if op == ">":
+        return a > b
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    raise ValueError(op)

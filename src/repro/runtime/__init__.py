@@ -1,0 +1,35 @@
+"""Generic spec execution: run a specification on the replicated store.
+
+The evaluation applications in :mod:`repro.apps` hand-code their
+operations; this package instead *interprets* an
+:class:`~repro.spec.application.ApplicationSpec` directly:
+
+- each boolean predicate becomes a set CRDT whose flavour follows the
+  spec's convergence rule (Add-wins / Rem-wins) -- so installing an IPA
+  rule change is just re-running :func:`registry_for_spec`;
+- each operation executes by translating its effects into prepared CRDT
+  payloads (wildcards become predicate-scoped removes, touches become
+  touch payloads, numeric deltas become counter adds);
+- origin-side preconditions are checked the way §2.2 describes: the
+  operation runs only if its local post-state satisfies the invariant;
+- trim-collection compensations synthesised by the analysis are applied
+  on read (:meth:`SpecExecutor.apply_compensations`).
+
+Together with :func:`materialize` (replica state -> a logic
+:class:`~repro.solver.models.Model`) this closes the loop: the same
+invariant formula the static analysis reasoned about is evaluated
+against live replica state, which is how the differential soundness
+tests check that *analysis-clean specs never violate at runtime*.
+"""
+
+from repro.runtime.executor import SpecExecutor, registry_for_spec
+from repro.runtime.state import materialize
+from repro.runtime.workload import SpecWorkload, entity_pool_sampler
+
+__all__ = [
+    "SpecExecutor",
+    "SpecWorkload",
+    "entity_pool_sampler",
+    "materialize",
+    "registry_for_spec",
+]

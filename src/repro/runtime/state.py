@@ -1,0 +1,91 @@
+"""Materialising replica state as a logic model.
+
+The static analysis reasons over :class:`~repro.solver.models.Model`
+objects; the runtime holds CRDTs.  :func:`materialize` bridges them: it
+reads a replica's predicate objects and produces the model of that
+state over a given entity universe, so the very same invariant formulas
+can be evaluated against live data (used by audits, compensations and
+the differential soundness tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.ast import Atom, Const, NumPred, Sort
+from repro.logic.grounding import Domain
+from repro.solver.models import Model
+from repro.spec.application import ApplicationSpec
+from repro.store.replica import Replica
+
+
+def predicate_key(pred_name: str) -> str:
+    """Store key of a boolean predicate's backing set."""
+    return f"pred:{pred_name}"
+
+
+def counter_key(pred_name: str, args: tuple[str, ...]) -> str:
+    """Store key of one ground numeric predicate instance."""
+    return f"count:{pred_name}:" + ",".join(args)
+
+
+def domain_of_values(
+    spec: ApplicationSpec, values: dict[str, Iterable[str]]
+) -> Domain:
+    """A grounding domain from concrete entity names per sort name."""
+    constants = {}
+    for sort_name, names in values.items():
+        sort = spec.schema.sorts[sort_name]
+        constants[sort] = tuple(Const(name, sort) for name in names)
+    # Sorts with no listed entities still need (empty) domains.
+    for sort in spec.schema.sorts.values():
+        constants.setdefault(sort, ())
+    return Domain(constants)
+
+
+def materialize(
+    replica: Replica, spec: ApplicationSpec, domain: Domain
+) -> Model:
+    """The logic model of one replica's current state.
+
+    Boolean predicates read their backing set; tuples outside the given
+    domain are ignored (the model only answers questions about the
+    entities the caller cares about).  Numeric predicates read their
+    per-instance counters.  Parameters come from the schema defaults.
+    """
+    model = Model(domain=domain, params=dict(spec.schema.params))
+    for pred in spec.schema.predicates.values():
+        if pred.numeric:
+            import itertools
+
+            pools = [domain.of(sort) for sort in pred.arg_sorts]
+            for combo in itertools.product(*pools):
+                key = counter_key(
+                    pred.name, tuple(c.name for c in combo)
+                )
+                if replica.has_object(key):
+                    model.numerics[NumPred(pred, combo)] = (
+                        replica.get_object(key).value()
+                    )
+            continue
+        key = predicate_key(pred.name)
+        if not replica.has_object(key):
+            continue
+        obj = replica.get_object(key)
+        by_name = {
+            sort: {c.name: c for c in domain.of(sort)}
+            for sort in set(pred.arg_sorts)
+        }
+        for element in obj.value():
+            parts = element if isinstance(element, tuple) else (element,)
+            if len(parts) != pred.arity:
+                continue
+            consts = []
+            for sort, part in zip(pred.arg_sorts, parts):
+                const = by_name[sort].get(part)
+                if const is None:
+                    break
+                consts.append(const)
+            else:
+                model.atoms[Atom(pred, tuple(consts))] = True
+    return model

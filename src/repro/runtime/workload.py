@@ -1,0 +1,65 @@
+"""Closed-loop workloads over the generic executor.
+
+Lets a specification be load-tested exactly like the hand-coded
+applications: give each operation a weight and an argument sampler, and
+the adapter plugs into :func:`repro.sim.runner.run_closed_loop`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping
+
+from repro.sim.runner import Client
+from repro.sim.workload import OperationMix
+
+from repro.runtime.executor import SpecExecutor
+
+ArgSampler = Callable[[random.Random, Client], dict[str, str]]
+
+
+class SpecWorkload:
+    """Issues weighted spec operations with sampled arguments."""
+
+    def __init__(
+        self,
+        executor: SpecExecutor,
+        weights: Mapping[str, float],
+        samplers: Mapping[str, ArgSampler],
+        seed: int = 47,
+    ) -> None:
+        unknown = set(weights) - set(executor.spec.operations)
+        if unknown:
+            raise ValueError(
+                f"weights for unknown operations: {sorted(unknown)}"
+            )
+        missing = set(weights) - set(samplers)
+        if missing:
+            raise ValueError(
+                f"operations without argument samplers: {sorted(missing)}"
+            )
+        self._executor = executor
+        self._mix = OperationMix(dict(weights), seed=seed)
+        self._samplers = dict(samplers)
+        self._rng = random.Random(seed * 19 + 5)
+
+    def issue(self, client: Client, done: Callable[[str], None]) -> None:
+        op_name = self._mix.sample()
+        args = self._samplers[op_name](self._rng, client)
+        self._executor.execute(client.region, op_name, args, done)
+
+
+def entity_pool_sampler(
+    pools: Mapping[str, list[str]],
+) -> ArgSampler:
+    """A sampler drawing each parameter uniformly from a named pool.
+
+    ``pools`` maps *parameter names* to candidate entity names::
+
+        sampler = entity_pool_sampler({"p": players, "t": tournaments})
+    """
+
+    def sample(rng: random.Random, _client: Client) -> dict[str, str]:
+        return {param: rng.choice(pool) for param, pool in pools.items()}
+
+    return sample

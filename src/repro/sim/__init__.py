@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates on a 3-datacenter EC2 deployment; this package
+provides the equivalent simulated testbed: an event-driven clock
+(:mod:`repro.sim.events`), a geo latency model with the paper's
+US-EAST/US-WEST/EU-WEST round-trip times (:mod:`repro.sim.latency`), a
+message-passing network (:mod:`repro.sim.network`), workload
+generators (:mod:`repro.sim.workload`), latency/throughput metrics
+(:mod:`repro.sim.metrics`) and a closed-loop client driver
+(:mod:`repro.sim.runner`).
+"""
+
+from repro.sim.events import Simulator
+from repro.sim.latency import GeoLatencyModel, REGIONS
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.network import Network
+from repro.sim.runner import ClientPool, RunResult, run_closed_loop
+from repro.sim.workload import OperationMix, ZipfGenerator
+
+__all__ = [
+    "ClientPool",
+    "GeoLatencyModel",
+    "LatencyStats",
+    "MetricsCollector",
+    "Network",
+    "OperationMix",
+    "REGIONS",
+    "RunResult",
+    "Simulator",
+    "ZipfGenerator",
+    "run_closed_loop",
+]

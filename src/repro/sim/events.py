@@ -1,0 +1,82 @@
+"""The discrete-event engine: a clock and a pending-event heap.
+
+Time is measured in milliseconds (float) to match the latency numbers
+the paper reports.  Events are callbacks scheduled at absolute times;
+ties break by insertion order, keeping runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[_Event] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
+        """Run ``fn`` after ``delay`` ms; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        event = _Event(self._now + delay, self._seq, fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def at(self, time: float, fn: Callable[[], None]) -> _Event:
+        """Run ``fn`` at absolute simulated time ``time``."""
+        return self.schedule(max(0.0, time - self._now), fn)
+
+    @staticmethod
+    def cancel(event: _Event) -> None:
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Process one event; False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn()
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> None:
+        """Process events until the queue drains or ``until`` (ms)."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,63 @@
+"""Geo latency model matching the paper's deployment (§5.2.1).
+
+Three regions with mean round-trip times of ~80 ms between US-EAST and
+each of the others and ~160 ms between US-WEST and EU-WEST.  One-way
+latency is half the RTT, with configurable multiplicative jitter drawn
+from a seeded RNG so runs are reproducible.  Clients are co-located
+with their region's server (sub-millisecond RTT).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+US_EAST = "us-east"
+US_WEST = "us-west"
+EU_WEST = "eu-west"
+
+REGIONS = (US_EAST, US_WEST, EU_WEST)
+
+#: Mean round-trip times in milliseconds, as reported in the paper.
+DEFAULT_RTT = {
+    frozenset((US_EAST, US_WEST)): 80.0,
+    frozenset((US_EAST, EU_WEST)): 80.0,
+    frozenset((US_WEST, EU_WEST)): 160.0,
+}
+
+#: RTT between a client and its co-located server.
+LOCAL_RTT = 0.6
+
+
+@dataclass
+class GeoLatencyModel:
+    """One-way latency samples over the 3-region topology."""
+
+    rtt: dict[frozenset, float] | None = None
+    jitter: float = 0.05
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rtt is None:
+            self.rtt = dict(DEFAULT_RTT)
+        self._rng = random.Random(self.seed)
+
+    def rtt_between(self, a: str, b: str) -> float:
+        """Mean round-trip time between two regions."""
+        if a == b:
+            return LOCAL_RTT
+        key = frozenset((a, b))
+        try:
+            return self.rtt[key]
+        except KeyError:
+            raise SimulationError(f"no RTT configured for {a} <-> {b}") from None
+
+    def one_way(self, a: str, b: str) -> float:
+        """A jittered one-way latency sample."""
+        mean = self.rtt_between(a, b) / 2.0
+        if self.jitter <= 0:
+            return mean
+        factor = max(0.0, self._rng.gauss(1.0, self.jitter))
+        return mean * factor

@@ -1,0 +1,109 @@
+"""Latency and throughput metrics for simulated runs.
+
+Collects per-operation latency samples inside a measurement window
+(excluding warm-up), plus named counters (e.g. invariant violations for
+Figure 7).  Summaries expose the statistics the paper plots: mean,
+percentiles, standard deviation, and throughput over the window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a set of latency samples (ms)."""
+
+    count: int
+    mean: float
+    stddev: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, samples: list[float]) -> "LatencyStats":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+        count = len(ordered)
+        mean = sum(ordered) / count
+        variance = sum((s - mean) ** 2 for s in ordered) / count
+        return cls(
+            count=count,
+            mean=mean,
+            stddev=math.sqrt(variance),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+class MetricsCollector:
+    """Accumulates samples and counters during a run."""
+
+    def __init__(
+        self, warmup_ms: float = 0.0, window_ms: float | None = None
+    ) -> None:
+        self._warmup = warmup_ms
+        self._window = window_ms
+        self._samples: dict[str, list[float]] = {}
+        self._counters: dict[str, int] = {}
+        self._count_points: dict[str, list[float]] = {}
+
+    def _in_window(self, now: float) -> bool:
+        if now < self._warmup:
+            return False
+        if self._window is not None and now > self._warmup + self._window:
+            return False
+        return True
+
+    def record_latency(self, now: float, op: str, latency_ms: float) -> None:
+        if not self._in_window(now):
+            return
+        self._samples.setdefault(op, []).append(latency_ms)
+
+    def increment(self, now: float, counter: str, by: int = 1) -> None:
+        if not self._in_window(now):
+            return
+        self._counters[counter] = self._counters.get(counter, 0) + by
+        self._count_points.setdefault(counter, []).append(now)
+
+    # -- summaries --------------------------------------------------------------
+
+    def operations(self) -> list[str]:
+        return sorted(self._samples)
+
+    def stats(self, op: str | None = None) -> LatencyStats:
+        """Stats for one operation, or across all when ``op`` is None."""
+        if op is not None:
+            return LatencyStats.of(self._samples.get(op, []))
+        merged: list[float] = []
+        for samples in self._samples.values():
+            merged.extend(samples)
+        return LatencyStats.of(merged)
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def total_operations(self) -> int:
+        return sum(len(samples) for samples in self._samples.values())
+
+    def throughput(self, window_ms: float) -> float:
+        """Completed operations per second over the window."""
+        if window_ms <= 0:
+            return 0.0
+        return self.total_operations() / (window_ms / 1000.0)

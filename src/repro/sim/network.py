@@ -1,0 +1,54 @@
+"""Message-passing network over the simulated clock.
+
+Messages between regions take one jittered one-way latency; delivery
+order between a pair of endpoints is FIFO (a delivery is never
+scheduled before one already in flight on the same edge), which the
+causal-delivery layer of the store relies on for per-origin ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.events import Simulator
+from repro.sim.latency import GeoLatencyModel
+
+
+class Network:
+    """Delivers payloads between named regions with geo latency."""
+
+    def __init__(self, sim: Simulator, latency: GeoLatencyModel) -> None:
+        self._sim = sim
+        self._latency = latency
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self.messages_sent = 0
+
+    @property
+    def latency_model(self) -> GeoLatencyModel:
+        return self._latency
+
+    def send(
+        self,
+        source: str,
+        target: str,
+        payload: Any,
+        deliver: Callable[[Any], None],
+    ) -> None:
+        """Deliver ``payload`` to ``deliver`` after one-way latency.
+
+        FIFO per (source, target) edge: delivery time is clamped to not
+        precede earlier messages on the same edge.
+        """
+        self.messages_sent += 1
+        delay = self._latency.one_way(source, target)
+        arrival = self._sim.now + delay
+        edge = (source, target)
+        previous = self._last_delivery.get(edge, 0.0)
+        arrival = max(arrival, previous)
+        self._last_delivery[edge] = arrival
+        self._sim.at(arrival, lambda: deliver(payload))
+
+    def rtt(self, source: str, target: str) -> float:
+        """Mean round-trip time (used by latency accounting)."""
+        return self._latency.rtt_between(source, target)

@@ -1,0 +1,133 @@
+"""Closed-loop client driver.
+
+Reproduces the paper's load model: a number of client threads per
+region, each issuing one operation at a time against its co-located
+server, with optional think time.  Throughput scales with the client
+count until the servers saturate -- which is how the peak-throughput
+curves (Figures 4 and 7) are produced.
+
+The application under test is an *issuer* callable: it receives the
+client descriptor and a completion callback and performs one operation
+against the simulated cluster, invoking the callback (with the
+operation name) when the response reaches the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.events import Simulator
+from repro.sim.metrics import LatencyStats, MetricsCollector
+
+
+@dataclass(frozen=True)
+class Client:
+    """One closed-loop client thread."""
+
+    client_id: int
+    region: str
+
+
+Issuer = Callable[[Client, Callable[[str], None]], None]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one closed-loop run."""
+
+    metrics: MetricsCollector
+    window_ms: float
+    total_clients: int
+
+    @property
+    def throughput(self) -> float:
+        """Committed operations per second in the measurement window."""
+        return self.metrics.throughput(self.window_ms)
+
+    def stats(self, op: str | None = None) -> LatencyStats:
+        return self.metrics.stats(op)
+
+
+class ClientPool:
+    """Spawns clients and keeps each one operation in flight."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        issue: Issuer,
+        metrics: MetricsCollector,
+        think_ms: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._issue = issue
+        self._metrics = metrics
+        self._think = think_ms
+        self._stopped = False
+        self._next_id = 0
+
+    def spawn(self, region: str, count: int) -> None:
+        for _ in range(count):
+            client = Client(self._next_id, region)
+            self._next_id += 1
+            # Stagger starts so clients do not issue in lock-step.
+            offset = (client.client_id % 17) * 0.37
+            self._sim.schedule(offset, lambda c=client: self._loop(c))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def total_clients(self) -> int:
+        return self._next_id
+
+    def _loop(self, client: Client) -> None:
+        if self._stopped:
+            return
+        started = self._sim.now
+
+        def complete(op_name: str) -> None:
+            self._metrics.record_latency(
+                self._sim.now, op_name, self._sim.now - started
+            )
+            delay = self._think
+            if delay > 0:
+                self._sim.schedule(delay, lambda: self._loop(client))
+            else:
+                self._sim.schedule(0.0, lambda: self._loop(client))
+
+        self._issue(client, complete)
+
+
+def run_closed_loop(
+    sim: Simulator,
+    issue: Issuer,
+    clients_per_region: dict[str, int],
+    duration_ms: float = 10_000.0,
+    warmup_ms: float = 1_000.0,
+    think_ms: float = 0.0,
+    metrics: MetricsCollector | None = None,
+) -> RunResult:
+    """Run a closed-loop experiment and return its metrics.
+
+    ``duration_ms`` is the measurement window; the run lasts
+    ``warmup_ms + duration_ms`` of simulated time.
+    """
+    # The collector windows are absolute sim times; anchor them at the
+    # current clock so experiments can run after a setup phase.
+    metrics = metrics or MetricsCollector(
+        warmup_ms=sim.now + warmup_ms, window_ms=duration_ms
+    )
+    pool = ClientPool(sim, issue, metrics, think_ms=think_ms)
+    for region, count in clients_per_region.items():
+        pool.spawn(region, count)
+    end = sim.now + warmup_ms + duration_ms
+    sim.run(until=end)
+    pool.stop()
+    # Drain in-flight work so the next experiment starts clean.
+    sim.run(until=end + 1_000.0)
+    return RunResult(
+        metrics=metrics,
+        window_ms=duration_ms,
+        total_clients=pool.total_clients,
+    )

@@ -1,0 +1,70 @@
+"""Workload generation: operation mixes and skewed key choice.
+
+The Tournament benchmark uses a 35%-write mix (§5.2.2); the Ticket
+benchmark raises contention by skewing event popularity.  Both shapes
+are expressed here: a weighted :class:`OperationMix` and a
+:class:`ZipfGenerator` over key indices, all driven by seeded RNGs for
+reproducible runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class ZipfGenerator:
+    """Zipf-distributed indices in ``[0, n)``.
+
+    ``theta=0`` degenerates to uniform; larger values skew toward low
+    indices (hot keys).  Sampling uses the precomputed CDF, O(log n).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 11) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((i + 1) ** theta) for i in range(n)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def sample(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+
+@dataclass
+class OperationMix:
+    """A weighted choice over operation names."""
+
+    weights: dict[str, float]
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("empty operation mix")
+        self._rng = random.Random(self.seed)
+        self._names = list(self.weights)
+        total = sum(self.weights.values())
+        cumulative = []
+        acc = 0.0
+        for name in self._names:
+            acc += self.weights[name] / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cdf = cumulative
+
+    def sample(self) -> str:
+        return self._names[bisect.bisect_left(self._cdf, self._rng.random())]
+
+    def write_fraction(self, write_ops: Sequence[str]) -> float:
+        """The fraction of the mix that falls on the given operations."""
+        total = sum(self.weights.values())
+        return sum(self.weights.get(op, 0.0) for op in write_ops) / total

@@ -1,0 +1,35 @@
+"""Bounded model finder: the reproduction's stand-in for Z3.
+
+The paper drives its conflict-detection queries through the Z3 SMT
+solver.  Z3 is not available offline, so this package implements the
+decision procedure the analysis actually needs:
+
+- :mod:`repro.solver.dpll` -- a CDCL SAT solver (watched literals,
+  first-UIP clause learning, VSIDS branching, restarts);
+- :mod:`repro.solver.cnf` -- Tseitin transformation from ground formulas
+  to CNF;
+- :mod:`repro.solver.theory` -- order-encoded bounded integers, covering
+  numeric predicates, cardinality terms and linear sums;
+- :mod:`repro.solver.smt` -- the façade: ground a first-order formula
+  over a small domain, encode, solve, decode a model;
+- :mod:`repro.solver.models` -- model objects and a reference evaluator.
+
+Because the IPA analysis is pairwise and each query mentions only the
+entities of one operation pair, searching for models over a domain of
+two or three constants per sort decides exactly the same queries the
+paper sent to Z3 (see DESIGN.md).
+"""
+
+from repro.solver.dpll import SatSolver, TRUE_LIT, FALSE_LIT
+from repro.solver.models import Model, evaluate
+from repro.solver.smt import BoundedModelFinder, SmtResult
+
+__all__ = [
+    "BoundedModelFinder",
+    "FALSE_LIT",
+    "Model",
+    "SatSolver",
+    "SmtResult",
+    "TRUE_LIT",
+    "evaluate",
+]

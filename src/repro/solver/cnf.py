@@ -1,0 +1,167 @@
+"""Tseitin transformation of ground formulas into CNF.
+
+:class:`CnfBuilder` wraps a :class:`~repro.solver.dpll.SatSolver` and
+converts arbitrary ground boolean structure into clauses, allocating one
+propositional variable per distinct ground atom and one auxiliary
+variable per distinct connective node (structural hashing keeps the
+encoding linear in formula size).
+
+Numeric comparisons are not handled here: the theory layer
+(:mod:`repro.solver.theory`) rewrites each :class:`~repro.logic.ast.Cmp`
+node into boolean structure whose leaves are :class:`RawLit` wrappers
+around already-allocated solver literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Cmp,
+    FalseF,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TrueF,
+)
+from repro.solver.dpll import FALSE_LIT, TRUE_LIT, SatSolver
+
+
+@dataclass(frozen=True)
+class RawLit(Formula):
+    """A formula leaf that is already a solver literal.
+
+    The theory encoder produces these when rewriting comparisons; the
+    Tseitin pass treats them like atoms whose variable is pre-allocated.
+    """
+
+    lit: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"<lit {self.lit}>"
+
+
+class CnfBuilder:
+    """Incrementally encode formulas into a shared SAT solver."""
+
+    def __init__(self, solver: SatSolver) -> None:
+        self._solver = solver
+        self._atom_vars: dict[Atom, int] = {}
+        self._node_cache: dict[tuple, int] = {}
+
+    @property
+    def solver(self) -> SatSolver:
+        return self._solver
+
+    @property
+    def atom_vars(self) -> dict[Atom, int]:
+        """Mapping from ground atom to its propositional variable."""
+        return self._atom_vars
+
+    def lit_for_atom(self, atom: Atom) -> int:
+        """The (positive) literal representing a ground atom."""
+        var = self._atom_vars.get(atom)
+        if var is None:
+            var = self._solver.new_var()
+            self._atom_vars[atom] = var
+        return var
+
+    def assert_formula(self, formula: Formula) -> None:
+        """Constrain the solver so every model satisfies ``formula``."""
+        self._solver.add_clause([self.tseitin(formula)])
+
+    def tseitin(self, formula: Formula) -> int:
+        """Return a literal equivalent to ``formula`` (adding clauses)."""
+        if isinstance(formula, TrueF):
+            return TRUE_LIT
+        if isinstance(formula, FalseF):
+            return FALSE_LIT
+        if isinstance(formula, RawLit):
+            return formula.lit
+        if isinstance(formula, Atom):
+            return self.lit_for_atom(formula)
+        if isinstance(formula, Cmp):
+            raise SolverError(
+                "comparison reached the CNF layer; run the theory encoder "
+                f"first: {formula}"
+            )
+        if isinstance(formula, Not):
+            return -self.tseitin(formula.arg)
+        if isinstance(formula, And):
+            return self._gate("and", [self.tseitin(a) for a in formula.args])
+        if isinstance(formula, Or):
+            return self._gate("or", [self.tseitin(a) for a in formula.args])
+        if isinstance(formula, Implies):
+            return self._gate(
+                "or",
+                [-self.tseitin(formula.lhs), self.tseitin(formula.rhs)],
+            )
+        if isinstance(formula, Iff):
+            return self._iff(
+                self.tseitin(formula.lhs), self.tseitin(formula.rhs)
+            )
+        raise SolverError(f"cannot encode formula node {formula!r}")
+
+    # -- gates ---------------------------------------------------------------
+
+    def _gate(self, kind: str, lits: list[int]) -> int:
+        # Constant folding keeps the clause database small.
+        if kind == "and":
+            if FALSE_LIT in lits:
+                return FALSE_LIT
+            lits = [l for l in lits if l != TRUE_LIT]
+            if not lits:
+                return TRUE_LIT
+        else:
+            if TRUE_LIT in lits:
+                return TRUE_LIT
+            lits = [l for l in lits if l != FALSE_LIT]
+            if not lits:
+                return FALSE_LIT
+        if len(lits) == 1:
+            return lits[0]
+        key = (kind,) + tuple(sorted(lits))
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        z = self._solver.new_var()
+        if kind == "and":
+            for lit in lits:
+                self._solver.add_clause([-z, lit])
+            self._solver.add_clause([z] + [-lit for lit in lits])
+        else:
+            for lit in lits:
+                self._solver.add_clause([z, -lit])
+            self._solver.add_clause([-z] + lits)
+        self._node_cache[key] = z
+        return z
+
+    def _iff(self, a: int, b: int) -> int:
+        if a == TRUE_LIT:
+            return b
+        if b == TRUE_LIT:
+            return a
+        if a == FALSE_LIT:
+            return -b
+        if b == FALSE_LIT:
+            return -a
+        if a == b:
+            return TRUE_LIT
+        if a == -b:
+            return FALSE_LIT
+        key = ("iff",) + tuple(sorted((a, b), key=abs))
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        z = self._solver.new_var()
+        self._solver.add_clause([-z, -a, b])
+        self._solver.add_clause([-z, a, -b])
+        self._solver.add_clause([z, a, b])
+        self._solver.add_clause([z, -a, -b])
+        self._node_cache[key] = z
+        return z

@@ -1,0 +1,151 @@
+"""Models (finite structures) and a reference evaluator.
+
+A :class:`Model` is an interpretation over a finite
+:class:`~repro.logic.grounding.Domain`: a truth value for every ground
+boolean atom and an integer for every ground numeric predicate.  The
+model finder returns these as counterexamples; the analysis renders them
+in conflict reports, and the test suite uses :func:`evaluate` as an
+independent check that the SAT encoding is faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import SolverError
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    TrueF,
+)
+from repro.logic.grounding import Domain, expand_card
+from repro.logic.transform import substitute
+
+
+@dataclass
+class Model:
+    """A finite interpretation: the state of a small database."""
+
+    domain: Domain
+    atoms: dict[Atom, bool] = field(default_factory=dict)
+    numerics: dict[NumPred, int] = field(default_factory=dict)
+    params: dict[str, int] = field(default_factory=dict)
+
+    def holds(self, atom: Atom) -> bool:
+        """Truth value of a ground atom (unlisted atoms are false)."""
+        return self.atoms.get(atom, False)
+
+    def value(self, numpred: NumPred) -> int:
+        """Integer value of a ground numeric predicate (default 0)."""
+        return self.numerics.get(numpred, 0)
+
+    def true_atoms(self) -> list[Atom]:
+        """The ground atoms that are true, sorted for stable output."""
+        return sorted(
+            (a for a, v in self.atoms.items() if v), key=str
+        )
+
+    def describe(self) -> str:
+        """A one-line rendering, e.g. for conflict reports."""
+        parts = [str(a) for a in self.true_atoms()]
+        parts += [
+            f"{np}={v}" for np, v in sorted(
+                self.numerics.items(), key=lambda kv: str(kv[0])
+            ) if v
+        ]
+        return "{" + ", ".join(parts) + "}"
+
+
+def evaluate(formula: Formula, model: Model) -> bool:
+    """Evaluate a (possibly quantified) formula in ``model``.
+
+    This is the reference semantics the SAT encoding is tested against.
+    Quantifiers range over the model's domain; parameters are looked up
+    in ``model.params``.
+    """
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Atom):
+        return model.holds(formula)
+    if isinstance(formula, Cmp):
+        lhs = _eval_num(formula.lhs, model)
+        rhs = _eval_num(formula.rhs, model)
+        return _cmp(formula.op, lhs, rhs)
+    if isinstance(formula, Not):
+        return not evaluate(formula.arg, model)
+    if isinstance(formula, And):
+        return all(evaluate(a, model) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(evaluate(a, model) for a in formula.args)
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.lhs, model)) or evaluate(
+            formula.rhs, model
+        )
+    if isinstance(formula, Iff):
+        return evaluate(formula.lhs, model) == evaluate(formula.rhs, model)
+    if isinstance(formula, ForAll):
+        return all(
+            evaluate(substitute(formula.body, assignment), model)
+            for assignment in model.domain.assignments(formula.vars)
+        )
+    if isinstance(formula, Exists):
+        return any(
+            evaluate(substitute(formula.body, assignment), model)
+            for assignment in model.domain.assignments(formula.vars)
+        )
+    raise SolverError(f"cannot evaluate formula node {formula!r}")
+
+
+def _eval_num(term: NumTerm, model: Model) -> int:
+    if isinstance(term, IntConst):
+        return term.value
+    if isinstance(term, Param):
+        try:
+            return model.params[term.name]
+        except KeyError:
+            raise SolverError(
+                f"parameter {term.name!r} has no value in the model"
+            ) from None
+    if isinstance(term, NumPred):
+        return model.value(term)
+    if isinstance(term, Card):
+        return sum(
+            1 for atom in expand_card(term, model.domain) if model.holds(atom)
+        )
+    if isinstance(term, Add):
+        return sum(_eval_num(t, model) for t in term.terms)
+    raise SolverError(f"cannot evaluate numeric term {term!r}")
+
+
+def _cmp(op: str, a: int, b: int) -> bool:
+    if op == "<=":
+        return a <= b
+    if op == "<":
+        return a < b
+    if op == ">=":
+        return a >= b
+    if op == ">":
+        return a > b
+    if op == "==":
+        return a == b
+    if op == "!=":
+        return a != b
+    raise SolverError(f"unknown comparison operator {op!r}")

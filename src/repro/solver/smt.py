@@ -1,0 +1,106 @@
+"""The bounded model finder: the analysis-facing solver façade.
+
+A :class:`BoundedModelFinder` answers the single question the IPA
+analysis needs: *is there a small database state satisfying this set of
+first-order constraints?*  It grounds each formula over a finite domain
+(:mod:`repro.logic.grounding`), rewrites numeric comparisons with the
+order-encoding theory (:mod:`repro.solver.theory`), converts the result
+to CNF (:mod:`repro.solver.cnf`) and runs the CDCL solver
+(:mod:`repro.solver.dpll`).  On SAT, the witness is decoded into a
+:class:`~repro.solver.models.Model` -- the concrete counterexample
+state shown in conflict reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.ast import Formula
+from repro.logic.grounding import Domain, ground
+from repro.solver.cnf import CnfBuilder
+from repro.solver.dpll import SatSolver
+from repro.solver.models import Model
+from repro.solver.theory import DEFAULT_INT_BOUND, TheoryEncoder
+
+
+@dataclass
+class SmtResult:
+    """Outcome of a satisfiability query."""
+
+    sat: bool
+    model: Model | None = None
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+
+class BoundedModelFinder:
+    """One-shot satisfiability over a finite domain.
+
+    Example::
+
+        finder = BoundedModelFinder(domain, params={"Capacity": 2})
+        result = finder.check(invariant, precondition, Not(post_invariant))
+        if result.sat:
+            print(result.model.describe())
+
+    Each :meth:`check` call builds a fresh solver; the queries issued by
+    the pairwise analysis are small enough that incrementality would buy
+    nothing over this much simpler lifecycle.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        params: dict[str, int] | None = None,
+        int_bound: int = DEFAULT_INT_BOUND,
+    ) -> None:
+        self._domain = domain
+        self._params = dict(params or {})
+        self._int_bound = int_bound
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def params(self) -> dict[str, int]:
+        return dict(self._params)
+
+    def check(self, *formulas: Formula) -> SmtResult:
+        """Satisfiability of the conjunction of ``formulas``."""
+        return self.check_ground(
+            *(ground(formula, self._domain) for formula in formulas)
+        )
+
+    def check_ground(self, *formulas: Formula) -> SmtResult:
+        """Like :meth:`check`, for formulas already ground.
+
+        Callers that build (or cache) ground formulas themselves --
+        the conflict checker grounds the invariant once per domain
+        shape, and state-transition constraints are ground by
+        construction -- use this entry point to skip re-grounding.
+        """
+        solver = SatSolver()
+        builder = CnfBuilder(solver)
+        encoder = TheoryEncoder(
+            builder, self._domain, self._params, self._int_bound
+        )
+        for formula in formulas:
+            builder.assert_formula(encoder.encode(formula))
+        if not solver.solve():
+            return SmtResult(sat=False)
+        model = Model(domain=self._domain, params=dict(self._params))
+        for atom, var in builder.atom_vars.items():
+            model.atoms[atom] = bool(solver.value(var))
+        for numpred, order_int in encoder.numpred_vars.items():
+            model.numerics[numpred] = order_int.decode(
+                lambda lit: bool(solver.value(lit))
+            )
+        return SmtResult(sat=True, model=model)
+
+    def is_valid(self, formula: Formula, *assumptions: Formula) -> bool:
+        """Is ``formula`` true in every state satisfying ``assumptions``?"""
+        from repro.logic.transform import negate
+
+        return not self.check(*assumptions, negate(formula)).sat

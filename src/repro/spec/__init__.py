@@ -1,0 +1,47 @@
+"""Application specifications: invariants, operations, convergence rules.
+
+This package is the Python analogue of the paper's annotated Java
+interfaces (Figure 1).  An :class:`ApplicationSpec` bundles:
+
+- a :class:`~repro.spec.predicates.Schema` (sorts + predicate
+  declarations + numeric parameters);
+- :class:`~repro.spec.invariants.Invariant` objects (first-order
+  formulas over the schema);
+- :class:`~repro.spec.operations.Operation` objects (typed parameters
+  plus predicate *effects*: the ``@True``/``@False``/increment/decrement
+  assignments of the paper);
+- :class:`~repro.spec.effects.ConvergenceRules` choosing Add-wins or
+  Rem-wins semantics per predicate.
+
+Build specs either programmatically or with the string-based
+:class:`~repro.spec.annotations.SpecBuilder`, which accepts the paper's
+concrete syntax verbatim.
+"""
+
+from repro.spec.annotations import SpecBuilder
+from repro.spec.application import ApplicationSpec
+from repro.spec.effects import (
+    BoolEffect,
+    ConvergencePolicy,
+    ConvergenceRules,
+    Effect,
+    NumEffect,
+)
+from repro.spec.invariants import Invariant
+from repro.spec.merge import merge_specs
+from repro.spec.operations import Operation
+from repro.spec.predicates import Schema
+
+__all__ = [
+    "ApplicationSpec",
+    "BoolEffect",
+    "ConvergencePolicy",
+    "ConvergenceRules",
+    "Effect",
+    "Invariant",
+    "merge_specs",
+    "NumEffect",
+    "Operation",
+    "Schema",
+    "SpecBuilder",
+]

@@ -1,0 +1,225 @@
+"""String-based specification front-end.
+
+:class:`SpecBuilder` lets applications be specified in (almost) the
+paper's concrete syntax::
+
+    b = SpecBuilder("tournament")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.invariant(
+        "forall(Player: p, Tournament: t) :- "
+        "enrolled(p, t) => player(p) and tournament(t)"
+    )
+    b.operation("enroll", "Player: p, Tournament: t",
+                true=["enrolled(p, t)"])
+    b.operation("rem_tourn", "Tournament: t",
+                false=["tournament(t)"])
+    spec = b.build(rules={"tournament": "add-wins"})
+
+Effect strings are predicate applications whose arguments are operation
+parameters or ``*`` wildcards; ``true=``/``false=`` correspond to the
+paper's ``@True``/``@False`` annotations, ``touch=`` to the touch
+operation of §4.2.1, and ``incr=``/``decr=`` to numeric effects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError, SpecError
+from repro.logic.ast import Sort, Term, Var, Wildcard
+from repro.logic.parser import parse_invariant
+from repro.spec.application import ApplicationSpec
+from repro.spec.effects import (
+    BoolEffect,
+    ConvergencePolicy,
+    ConvergenceRules,
+    Effect,
+    NumEffect,
+)
+from repro.spec.invariants import Invariant
+from repro.spec.operations import Operation
+from repro.spec.predicates import Schema
+
+_APP_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<args>[^)]*)\)\s*$"
+)
+
+
+class SpecBuilder:
+    """Accumulates declarations and produces an :class:`ApplicationSpec`."""
+
+    def __init__(self, name: str) -> None:
+        self._schema = Schema(name)
+        self._invariants: list[Invariant] = []
+        self._operations: list[Operation] = []
+
+    # -- vocabulary ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def sort(self, name: str) -> Sort:
+        return self._schema.sort(name)
+
+    def predicate(self, name: str, *arg_sorts: str, numeric: bool = False):
+        return self._schema.predicate(name, *arg_sorts, numeric=numeric)
+
+    def parameter(self, name: str, default: int) -> None:
+        self._schema.parameter(name, default)
+
+    # -- invariants -----------------------------------------------------------
+
+    def invariant(
+        self, text: str, name: str = "", category: str = ""
+    ) -> Invariant:
+        formula = parse_invariant(text, self._schema.symbol_table())
+        inv = Invariant(
+            formula=formula,
+            source=" ".join(text.split()),
+            name=name,
+            category=category,
+        )
+        self._invariants.append(inv)
+        return inv
+
+    # -- operations ----------------------------------------------------------
+
+    def operation(
+        self,
+        name: str,
+        params: str = "",
+        true: list[str] | None = None,
+        false: list[str] | None = None,
+        touch: list[str] | None = None,
+        incr: list[str] | None = None,
+        decr: list[str] | None = None,
+    ) -> Operation:
+        """Declare an operation.
+
+        ``params`` uses the binder syntax ``"Player: p, Tournament: t"``.
+        ``incr``/``decr`` entries may carry an explicit amount:
+        ``"stock(i) 3"`` (default 1).
+        """
+        param_vars = self._parse_params(name, params)
+        scope = {v.name: v for v in param_vars}
+        effects: list[Effect] = []
+        for text in true or []:
+            effects.append(self._bool_effect(text, scope, value=True))
+        for text in false or []:
+            effects.append(self._bool_effect(text, scope, value=False))
+        for text in touch or []:
+            effects.append(
+                self._bool_effect(text, scope, value=True, touch=True)
+            )
+        for text in incr or []:
+            effects.append(self._num_effect(text, scope, sign=+1))
+        for text in decr or []:
+            effects.append(self._num_effect(text, scope, sign=-1))
+        operation = Operation(
+            name=name, params=tuple(param_vars), effects=tuple(effects)
+        )
+        self._operations.append(operation)
+        return operation
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(
+        self,
+        rules: dict[str, ConvergencePolicy | str] | None = None,
+        default_rule: ConvergencePolicy | str = ConvergencePolicy.ADD_WINS,
+    ) -> ApplicationSpec:
+        if isinstance(default_rule, str):
+            default_rule = ConvergencePolicy(default_rule)
+        convergence = ConvergenceRules.from_mapping(
+            rules or {}, default=default_rule
+        )
+        for pred_name in convergence.policies:
+            if pred_name not in self._schema.predicates:
+                raise SpecError(
+                    f"convergence rule for unknown predicate {pred_name!r}"
+                )
+        spec = ApplicationSpec(schema=self._schema, rules=convergence)
+        spec.invariants.extend(self._invariants)
+        for operation in self._operations:
+            spec.add_operation(operation)
+        return spec
+
+    # -- parsing helpers -------------------------------------------------------
+
+    def _parse_params(self, op_name: str, text: str) -> list[Var]:
+        params: list[Var] = []
+        current_sort: Sort | None = None
+        text = text.strip()
+        if not text:
+            return params
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if ":" in chunk:
+                sort_name, _, var_name = chunk.partition(":")
+                current_sort = self._schema.sort(sort_name.strip())
+                var_name = var_name.strip()
+            else:
+                var_name = chunk
+            if current_sort is None:
+                raise SpecError(
+                    f"operation {op_name}: parameter {chunk!r} has no sort"
+                )
+            if not var_name.isidentifier():
+                raise SpecError(
+                    f"operation {op_name}: bad parameter name {var_name!r}"
+                )
+            params.append(Var(var_name, current_sort))
+        return params
+
+    def _parse_application(
+        self, text: str, scope: dict[str, Var]
+    ) -> tuple[str, tuple[Term, ...]]:
+        match = _APP_RE.match(text)
+        if match is None:
+            raise ParseError(f"malformed effect {text!r}")
+        pred = self._schema.pred(match.group("name"))
+        raw_args = [a.strip() for a in match.group("args").split(",")]
+        if raw_args == [""]:
+            raw_args = []
+        if len(raw_args) != pred.arity:
+            raise ParseError(
+                f"effect {text!r}: {pred.name} expects {pred.arity} "
+                f"arguments, got {len(raw_args)}"
+            )
+        args: list[Term] = []
+        for position, raw in enumerate(raw_args):
+            if raw == "*":
+                args.append(Wildcard(pred.arg_sorts[position]))
+            elif raw in scope:
+                args.append(scope[raw])
+            else:
+                raise ParseError(
+                    f"effect {text!r}: unknown parameter {raw!r}"
+                )
+        return pred.name, tuple(args)
+
+    def _bool_effect(
+        self,
+        text: str,
+        scope: dict[str, Var],
+        value: bool,
+        touch: bool = False,
+    ) -> BoolEffect:
+        name, args = self._parse_application(text, scope)
+        return BoolEffect(
+            self._schema.pred(name), args, value=value, touch=touch
+        )
+
+    def _num_effect(
+        self, text: str, scope: dict[str, Var], sign: int
+    ) -> NumEffect:
+        amount = 1
+        text = text.strip()
+        match = re.match(r"^(.*\))\s+(\d+)$", text)
+        if match is not None:
+            text, amount = match.group(1), int(match.group(2))
+        name, args = self._parse_application(text, scope)
+        return NumEffect(self._schema.pred(name), args, delta=sign * amount)

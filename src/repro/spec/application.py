@@ -1,0 +1,76 @@
+"""The complete specification of one application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SpecError
+from repro.logic.ast import Formula, conj
+from repro.spec.effects import ConvergenceRules
+from repro.spec.invariants import Invariant
+from repro.spec.operations import Operation
+from repro.spec.predicates import Schema
+
+
+@dataclass
+class ApplicationSpec:
+    """Invariants + operations + convergence rules over one schema.
+
+    This is the input (and, after repair, the output) of the IPA
+    algorithm.  Instances are mutated only through
+    :meth:`replace_operation` / :meth:`add_operation`, which the
+    analysis main loop uses to install repaired operations.
+    """
+
+    schema: Schema
+    invariants: list[Invariant] = field(default_factory=list)
+    operations: dict[str, Operation] = field(default_factory=dict)
+    rules: ConvergenceRules = field(default_factory=ConvergenceRules)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def invariant_formula(self) -> Formula:
+        """The conjunction of all invariants."""
+        return conj(inv.formula for inv in self.invariants)
+
+    def operation(self, name: str) -> Operation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise SpecError(
+                f"application {self.name!r} has no operation {name!r}"
+            ) from None
+
+    def add_operation(self, operation: Operation) -> None:
+        if operation.name in self.operations:
+            raise SpecError(
+                f"operation {operation.name!r} already defined"
+            )
+        self.operations[operation.name] = operation
+
+    def replace_operation(self, old_name: str, new: Operation) -> None:
+        """Swap an operation for its repaired version (Algorithm 1 l.5)."""
+        if old_name not in self.operations:
+            raise SpecError(f"no operation {old_name!r} to replace")
+        del self.operations[old_name]
+        self.operations[new.name] = new
+
+    def copy(self) -> "ApplicationSpec":
+        """A deep-enough copy: the analysis mutates operations/rules."""
+        return ApplicationSpec(
+            schema=self.schema,
+            invariants=list(self.invariants),
+            operations=dict(self.operations),
+            rules=self.rules.copy(),
+        )
+
+    def describe(self) -> str:
+        """A textual dump mirroring the paper's Figure 1 layout."""
+        lines = [f"application {self.name}"]
+        for inv in self.invariants:
+            lines.append(f"  @Inv  {inv.describe()}")
+        for op in self.operations.values():
+            lines.append("  " + op.describe().replace("\n", "\n  "))
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Invariants: named first-order conditions over the database state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    NumPred,
+    Or,
+)
+from repro.logic.pretty import pretty
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One application invariant.
+
+    ``source`` preserves the annotation text it was parsed from (useful
+    in reports); programmatically built invariants leave it empty.
+    ``category`` optionally pins the Table 1 invariant class when the
+    syntactic classifier cannot infer it (unique/sequential identifiers
+    are not expressible in the first-order fragment and are declared
+    with an explicit category).
+    """
+
+    formula: Formula
+    source: str = ""
+    name: str = ""
+    category: str = ""
+
+    def predicates(self) -> set[str]:
+        """Names of all predicates the invariant mentions."""
+        names: set[str] = set()
+        _collect_predicates(self.formula, names)
+        return names
+
+    def describe(self) -> str:
+        return self.source or pretty(self.formula)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _collect_predicates(formula: Formula, out: set[str]) -> None:
+    if isinstance(formula, Atom):
+        out.add(formula.pred.name)
+    elif isinstance(formula, Cmp):
+        for side in (formula.lhs, formula.rhs):
+            if isinstance(side, (NumPred, Card)):
+                out.add(side.pred.name)
+    elif isinstance(formula, Not):
+        _collect_predicates(formula.arg, out)
+    elif isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _collect_predicates(arg, out)
+    elif isinstance(formula, (Implies, Iff)):
+        _collect_predicates(formula.lhs, out)
+        _collect_predicates(formula.rhs, out)
+    elif isinstance(formula, (ForAll, Exists)):
+        _collect_predicates(formula.body, out)

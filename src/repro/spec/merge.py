@@ -1,0 +1,81 @@
+"""Combining specifications of applications sharing a database (§5.1.4).
+
+"If a database is shared by multiple applications, the programmer must
+create a single specification of all applications for the analysis to
+identify all possible conflicts."  :func:`merge_specs` builds that
+single specification: schemas are unified (shared predicates must agree
+on their signatures), invariants are concatenated (with duplicates
+dropped), operations get prefixed with their application name when two
+applications declare the same operation name, and convergence rules
+must not contradict each other -- a predicate cannot be add-wins for
+one application and rem-wins for another, since it is one CRDT in the
+shared store.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecError
+from repro.spec.application import ApplicationSpec
+from repro.spec.effects import ConvergenceRules
+from repro.spec.predicates import Schema
+
+
+def merge_specs(
+    name: str, *specs: ApplicationSpec
+) -> ApplicationSpec:
+    """One combined specification for a shared database."""
+    if not specs:
+        raise SpecError("merge_specs needs at least one specification")
+    schema = Schema(name)
+    merged = ApplicationSpec(schema=schema)
+    seen_invariants: set[str] = set()
+    # Pre-compute which operation names collide across applications.
+    op_owners: dict[str, list[str]] = {}
+    for spec in specs:
+        for op_name in spec.operations:
+            op_owners.setdefault(op_name, []).append(spec.name)
+
+    for spec in specs:
+        for sort in spec.schema.sorts.values():
+            schema.sort(sort.name)
+        for pred in spec.schema.predicates.values():
+            existing = schema.predicates.get(pred.name)
+            if existing is None:
+                schema.predicates[pred.name] = pred
+            elif existing != pred:
+                raise SpecError(
+                    f"predicate {pred.name!r} declared with different "
+                    f"signatures by {spec.name!r} and an earlier "
+                    "application"
+                )
+        for param, value in spec.schema.params.items():
+            existing_value = schema.params.get(param)
+            if existing_value is not None and existing_value != value:
+                raise SpecError(
+                    f"parameter {param!r} has conflicting values "
+                    f"({existing_value} vs {value})"
+                )
+            schema.params[param] = value
+        for invariant in spec.invariants:
+            key = invariant.describe()
+            if key not in seen_invariants:
+                seen_invariants.add(key)
+                merged.invariants.append(invariant)
+        for op_name, operation in spec.operations.items():
+            if len(op_owners[op_name]) > 1:
+                qualified = operation.with_extra_effects(
+                    [], rename=f"{spec.name}.{op_name}"
+                )
+                merged.add_operation(qualified)
+            else:
+                merged.add_operation(operation)
+        for pred_name, policy in spec.rules.policies.items():
+            current = merged.rules.policies.get(pred_name)
+            if current is not None and current != policy:
+                raise SpecError(
+                    f"predicate {pred_name!r} has contradictory "
+                    f"convergence rules ({current.value} vs "
+                    f"{policy.value}); a shared object has one CRDT"
+                )
+            merged.rules.set(pred_name, policy)
+    return merged

@@ -1,0 +1,64 @@
+"""Schemas: the vocabulary an application specification is written in.
+
+A :class:`Schema` owns the sorts (entity types), predicate declarations
+and numeric parameters of one application.  It doubles as the symbol
+table handed to the invariant parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpecError
+from repro.logic.ast import PredicateDecl, Sort
+from repro.logic.parser import SymbolTable
+
+
+@dataclass
+class Schema:
+    """Sorts, predicates and parameters of one application."""
+
+    name: str
+    sorts: dict[str, Sort] = field(default_factory=dict)
+    predicates: dict[str, PredicateDecl] = field(default_factory=dict)
+    params: dict[str, int] = field(default_factory=dict)
+
+    def sort(self, name: str) -> Sort:
+        """Declare (or fetch) a sort by name."""
+        existing = self.sorts.get(name)
+        if existing is not None:
+            return existing
+        sort = Sort(name)
+        self.sorts[name] = sort
+        return sort
+
+    def predicate(
+        self, name: str, *arg_sorts: Sort | str, numeric: bool = False
+    ) -> PredicateDecl:
+        """Declare a predicate; sort arguments may be names or objects."""
+        if name in self.predicates:
+            raise SpecError(f"predicate {name!r} declared twice")
+        resolved = tuple(
+            self.sort(s) if isinstance(s, str) else s for s in arg_sorts
+        )
+        decl = PredicateDecl(name, resolved, numeric=numeric)
+        self.predicates[name] = decl
+        return decl
+
+    def parameter(self, name: str, default: int) -> None:
+        """Declare a numeric parameter (e.g. ``Capacity``) with a value."""
+        self.params[name] = default
+
+    def pred(self, name: str) -> PredicateDecl:
+        try:
+            return self.predicates[name]
+        except KeyError:
+            raise SpecError(f"unknown predicate {name!r}") from None
+
+    def symbol_table(self, variables=None) -> SymbolTable:
+        """A parser symbol table over this schema."""
+        return SymbolTable(
+            predicates=self.predicates,
+            sorts=self.sorts,
+            variables=dict(variables or {}),
+        )

@@ -1,0 +1,198 @@
+"""Plain-text specification files for the command-line tool.
+
+The paper's tool consumes annotated Java interfaces; this library's CLI
+consumes an equivalent plain-text format so specifications can live in
+version control next to the application::
+
+    application tournament
+
+    sort Player
+    sort Tournament
+
+    predicate player(Player)
+    predicate tournament(Tournament)
+    predicate enrolled(Player, Tournament)
+    numeric   budget(Tournament)
+
+    param Capacity = 5
+
+    invariant forall(Player: p, Tournament: t) :-
+        enrolled(p, t) => player(p) and tournament(t)
+    invariant forall(Tournament: t) :- #enrolled(*, t) <= Capacity
+
+    rule enrolled = add-wins
+
+    operation enroll(Player: p, Tournament: t)
+        true  enrolled(p, t)
+    operation rem_tourn(Tournament: t)
+        false tournament(t)
+    operation fund(Tournament: t)
+        incr  budget(t) 10
+
+Lines starting with ``#`` are comments.  Declarations end at the next
+keyword line; invariants and effect clauses may wrap onto indented
+continuation lines.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError, SpecError
+from repro.spec import ApplicationSpec, SpecBuilder
+
+_KEYWORDS = (
+    "application", "sort", "predicate", "numeric", "param",
+    "invariant", "rule", "operation", "true", "false", "touch",
+    "incr", "decr", "category",
+)
+
+_OP_HEAD_RE = re.compile(
+    r"^operation\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"\((?P<params>[^)]*)\)\s*$"
+)
+
+
+@dataclass
+class _Line:
+    number: int
+    keyword: str
+    rest: str
+
+
+def _logical_lines(text: str) -> list[_Line]:
+    """Join continuation lines onto their keyword line."""
+    lines: list[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        word = stripped.split(None, 1)[0]
+        is_continuation = (
+            word not in _KEYWORDS
+            and raw[:1] in (" ", "\t")
+            and lines
+        )
+        if is_continuation:
+            lines[-1].rest += " " + stripped
+            continue
+        if word not in _KEYWORDS:
+            raise ParseError(
+                f"line {number}: unknown keyword {word!r}"
+            )
+        rest = stripped[len(word):].strip()
+        lines.append(_Line(number, word, rest))
+    return lines
+
+
+def parse_specfile(text: str) -> ApplicationSpec:
+    """Parse a spec file into an :class:`ApplicationSpec`."""
+    lines = _logical_lines(text)
+    builder: SpecBuilder | None = None
+    rules: dict[str, str] = {}
+    current_op: dict | None = None
+    pending_ops: list[dict] = []
+
+    def flush_op() -> None:
+        nonlocal current_op
+        if current_op is not None:
+            pending_ops.append(current_op)
+            current_op = None
+
+    for line in lines:
+        if line.keyword == "application":
+            if builder is not None:
+                raise ParseError(
+                    f"line {line.number}: duplicate application header"
+                )
+            if not line.rest:
+                raise ParseError(
+                    f"line {line.number}: application needs a name"
+                )
+            builder = SpecBuilder(line.rest)
+            continue
+        if builder is None:
+            raise ParseError(
+                f"line {line.number}: missing 'application <name>' header"
+            )
+        if line.keyword == "sort":
+            flush_op()
+            builder.sort(line.rest)
+        elif line.keyword in ("predicate", "numeric"):
+            flush_op()
+            match = _OP_HEAD_RE.match(f"operation {line.rest}")
+            if match is None:
+                raise ParseError(
+                    f"line {line.number}: malformed predicate {line.rest!r}"
+                )
+            sorts = [
+                s.strip()
+                for s in match.group("params").split(",")
+                if s.strip()
+            ]
+            builder.predicate(
+                match.group("name"),
+                *sorts,
+                numeric=(line.keyword == "numeric"),
+            )
+        elif line.keyword == "param":
+            flush_op()
+            name, _, value = line.rest.partition("=")
+            try:
+                builder.parameter(name.strip(), int(value.strip()))
+            except ValueError:
+                raise ParseError(
+                    f"line {line.number}: bad parameter value {value!r}"
+                ) from None
+        elif line.keyword == "invariant":
+            flush_op()
+            category = ""
+            rest = line.rest
+            match = re.match(r"^\[(?P<cat>[a-z-]+)\]\s*(?P<body>.*)$", rest)
+            if match is not None:
+                category = match.group("cat")
+                rest = match.group("body")
+            builder.invariant(rest, category=category)
+        elif line.keyword == "rule":
+            flush_op()
+            name, _, policy = line.rest.partition("=")
+            rules[name.strip()] = policy.strip()
+        elif line.keyword == "operation":
+            flush_op()
+            match = _OP_HEAD_RE.match(f"operation {line.rest}")
+            if match is None:
+                raise ParseError(
+                    f"line {line.number}: malformed operation {line.rest!r}"
+                )
+            current_op = {
+                "name": match.group("name"),
+                "params": match.group("params"),
+                "true": [], "false": [], "touch": [],
+                "incr": [], "decr": [],
+            }
+        elif line.keyword in ("true", "false", "touch", "incr", "decr"):
+            if current_op is None:
+                raise ParseError(
+                    f"line {line.number}: effect outside an operation"
+                )
+            current_op[line.keyword].append(line.rest)
+        else:  # pragma: no cover - keyword list is closed
+            raise ParseError(
+                f"line {line.number}: unexpected {line.keyword!r}"
+            )
+    flush_op()
+    if builder is None:
+        raise ParseError("empty specification file")
+    for op in pending_ops:
+        builder.operation(
+            op["name"], op["params"],
+            true=op["true"], false=op["false"], touch=op["touch"],
+            incr=op["incr"], decr=op["decr"],
+        )
+    return builder.build(rules=rules or None)
+
+
+def load_specfile(path: str) -> ApplicationSpec:
+    with open(path) as handle:
+        return parse_specfile(handle.read())

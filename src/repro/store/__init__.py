@@ -1,0 +1,42 @@
+"""A weakly-consistent geo-replicated key-value store.
+
+The simulated equivalent of SwiftCloud (the paper's substrate): a
+fully-replicated object store per region with
+
+- *highly available transactions*: operations read locally and buffer
+  CRDT update payloads, committed atomically with one dot
+  (:mod:`repro.store.transaction`);
+- *causal replication*: commit records ship asynchronously and apply at
+  remote replicas only once their dependencies have
+  (:mod:`repro.store.replication`);
+- *per-object conflict resolution*: every key is a CRDT from
+  :mod:`repro.crdts`, chosen via a type registry
+  (:mod:`repro.store.registry`);
+- a service-time model per server so load produces the saturation
+  curves of the evaluation (:mod:`repro.store.server`);
+- the comparison configurations of §5.2.1: Causal/IPA (local commit),
+  Strong (updates forwarded to a primary), and Indigo-style
+  reservations (:mod:`repro.store.reservations`).
+
+:class:`~repro.store.cluster.Cluster` ties it all together on top of the
+simulator.
+"""
+
+from repro.store.cluster import Cluster, ConsistencyMode
+from repro.store.registry import TypeRegistry
+from repro.store.replica import Replica
+from repro.store.reservations import ReservationManager
+from repro.store.server import ProcessingQueue, ServiceModel
+from repro.store.transaction import CommitRecord, Transaction
+
+__all__ = [
+    "Cluster",
+    "CommitRecord",
+    "ConsistencyMode",
+    "ProcessingQueue",
+    "Replica",
+    "ReservationManager",
+    "ServiceModel",
+    "Transaction",
+    "TypeRegistry",
+]

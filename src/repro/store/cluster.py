@@ -1,0 +1,254 @@
+"""The geo-replicated cluster: replicas + network + consistency mode.
+
+One :class:`Cluster` wires a :class:`~repro.store.replica.Replica` per
+region onto the simulated network and exposes the single entry point
+applications use, :meth:`Cluster.submit`: run a transaction at the
+client's region (or at the primary, under Strong), pay the modelled
+service time, reply to the client, and replicate the commit record
+causally to the other regions.
+
+Consistency modes (§5.2.1):
+
+- ``CAUSAL``: local execution, asynchronous replication.  Both the
+  unmodified applications (which then violate invariants) and the
+  IPA-modified ones (which do not) run in this mode -- IPA is not a
+  storage-level mode, it is the application change.
+- ``STRONG``: update transactions are forwarded to the primary region
+  for serialisation; clients pay the round trip.
+- ``INDIGO``: like causal, but a transaction declaring reservations
+  waits until its region holds them (pairwise asynchronous exchange).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.errors import StoreError
+from repro.crdts.clock import VersionVector
+from repro.sim.events import Simulator
+from repro.sim.latency import LOCAL_RTT, GeoLatencyModel, REGIONS
+from repro.sim.network import Network
+from repro.store.registry import TypeRegistry
+from repro.store.replica import Replica
+from repro.store.replication import CausalReceiver
+from repro.store.reservations import ReservationManager
+from repro.store.server import ProcessingQueue, ServiceModel
+from repro.store.transaction import CommitRecord, Transaction
+
+
+class ConsistencyMode(enum.Enum):
+    CAUSAL = "causal"
+    STRONG = "strong"
+    INDIGO = "indigo"
+
+
+#: A transaction body: receives the open transaction, returns a label
+#: (the operation name) used for metrics.
+TxnBody = Callable[[Transaction], str]
+
+
+class Cluster:
+    """All regions of one deployment, on one simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: TypeRegistry,
+        regions: tuple[str, ...] = REGIONS,
+        mode: ConsistencyMode = ConsistencyMode.CAUSAL,
+        primary: str | None = None,
+        latency: GeoLatencyModel | None = None,
+        service: ServiceModel | None = None,
+        workers_per_replica: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.mode = mode
+        self.regions = regions
+        self.primary = primary or regions[0]
+        self.network = Network(sim, latency or GeoLatencyModel())
+        self.service = service or ServiceModel()
+        self._replicas: dict[str, Replica] = {}
+        self._receivers: dict[str, CausalReceiver] = {}
+        self._queues: dict[str, ProcessingQueue] = {}
+        for region in regions:
+            replica = Replica(region, registry)
+            self._replicas[region] = replica
+            self._receivers[region] = CausalReceiver(replica)
+            self._queues[region] = ProcessingQueue(
+                sim, workers=workers_per_replica
+            )
+        self.reservations = ReservationManager(sim, self.network)
+        self._down: set[str] = set()
+
+    # -- topology ------------------------------------------------------------
+
+    def replica(self, region: str) -> Replica:
+        try:
+            return self._replicas[region]
+        except KeyError:
+            raise StoreError(f"unknown region {region!r}") from None
+
+    def queue(self, region: str) -> ProcessingQueue:
+        return self._queues[region]
+
+    def fail_region(self, region: str) -> None:
+        """Partition a region away (fault-tolerance experiments)."""
+        self._down.add(region)
+        self.reservations.mark_unavailable(region)
+
+    def heal_region(self, region: str) -> None:
+        self._down.discard(region)
+        self.reservations.mark_available(region)
+
+    # -- the application entry point ----------------------------------------------
+
+    def submit(
+        self,
+        region: str,
+        body: TxnBody,
+        done: Callable[[str], None],
+        is_update: bool = True,
+        reservations: tuple[str, ...] = (),
+        exclusive_reservations: bool = True,
+    ) -> None:
+        """Run ``body`` as one operation issued by a client in ``region``.
+
+        ``done(op_name)`` fires when the response reaches the client.
+        """
+        if region in self._down:
+            raise StoreError(f"region {region!r} is unavailable")
+        execute_at = region
+        if self.mode is ConsistencyMode.STRONG:
+            if self.primary in self._down:
+                # The whole system loses update availability with its
+                # primary -- the weakness weak consistency avoids.
+                raise StoreError(
+                    f"primary {self.primary!r} is unavailable"
+                )
+            # Serialisation happens at the primary: every operation --
+            # reads included, to preserve the single view -- forwards,
+            # so two thirds of the operations pay a wide-area round
+            # trip (§5.2.2).
+            execute_at = self.primary
+
+        def at_server() -> None:
+            if self.mode is ConsistencyMode.INDIGO and reservations:
+                # Acquiring (even locally) touches durable reservation
+                # state: the rights record plus the usage ledger that
+                # lets rights be exchanged asynchronously later.
+                self.reservations.acquire(
+                    execute_at,
+                    reservations,
+                    lambda: self._enqueue(
+                        execute_at, region, body, done,
+                        extra_objects=2 * len(reservations),
+                    ),
+                    exclusive=exclusive_reservations,
+                )
+            else:
+                self._enqueue(execute_at, region, body, done)
+
+        # Client -> server hop.
+        self.network.send(region, execute_at, None, lambda _=None: at_server())
+
+    def _enqueue(
+        self,
+        server: str,
+        client_region: str,
+        body: TxnBody,
+        done: Callable[[str], None],
+        extra_objects: int = 0,
+    ) -> None:
+        replica = self._replicas[server]
+        queue = self._queues[server]
+        result: dict[str, Any] = {}
+
+        def run() -> float:
+            txn = replica.begin()
+            result["op"] = body(txn)
+            objects = txn.updated_object_count + extra_objects
+            cost = self.service.cost(
+                reads=txn.read_count,
+                updates=txn.update_count,
+                objects=objects,
+            )
+            record = txn.commit()
+            if record is not None:
+                self._replicate(server, record)
+            return cost
+
+        def respond() -> None:
+            # Server -> client hop.
+            self.network.send(
+                server,
+                client_region,
+                None,
+                lambda _=None: done(result["op"]),
+            )
+
+        queue.submit(run, respond)
+
+    def _replicate(self, origin: str, record: CommitRecord) -> None:
+        for region, receiver in self._receivers.items():
+            if region == origin or region in self._down:
+                continue
+            self.network.send(
+                origin,
+                region,
+                record,
+                receiver.receive,
+            )
+
+    # -- stability ------------------------------------------------------------------
+
+    def stable_vector(self) -> VersionVector:
+        """Pointwise minimum of all replicas' vectors."""
+        stable = VersionVector()
+        first = True
+        for replica in self._replicas.values():
+            if first:
+                stable = replica.vv.copy()
+                first = False
+                continue
+            merged: dict[str, int] = {}
+            for origin in set(stable.entries) | set(replica.vv.entries):
+                merged[origin] = min(
+                    stable.get(origin), replica.vv.get(origin)
+                )
+            stable = VersionVector(merged)
+        return stable
+
+    def compact_all(self) -> None:
+        """Run stability GC at every replica (§4.2.1)."""
+        stable = self.stable_vector()
+        for replica in self._replicas.values():
+            replica.compact(stable)
+
+    def start_stability_service(self, interval_ms: float = 1_000.0) -> None:
+        """Periodically compute the stable vector and compact.
+
+        SwiftCloud distributes stability information with replication
+        metadata; the simulated equivalent is this periodic service.
+        Idempotent: starting twice keeps a single schedule.
+        """
+        if getattr(self, "_stability_running", False):
+            return
+        self._stability_running = True
+
+        def tick() -> None:
+            self.compact_all()
+            self.sim.schedule(interval_ms, tick)
+
+        self.sim.schedule(interval_ms, tick)
+
+    # -- convergence helpers (used heavily by tests) --------------------------------
+
+    def converged(self) -> bool:
+        """Have all replicas applied all commits?"""
+        vectors = [replica.vv for replica in self._replicas.values()]
+        return all(v == vectors[0] for v in vectors[1:])
+
+    def settle(self, slack_ms: float = 5_000.0) -> None:
+        """Run the simulator until in-flight replication drains."""
+        self.sim.run(until=self.sim.now + slack_ms)

@@ -1,0 +1,51 @@
+"""Type registry: which CRDT backs which key.
+
+Applications register a factory per key or key *prefix* (longest match
+wins), mirroring how the paper's applications pick an Add-wins or
+Rem-wins set per predicate -- the registry is where an IPA rule change
+such as ``enrolled: add-wins -> rem-wins`` lands at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import StoreError
+from repro.crdts.base import CRDT
+
+Factory = Callable[[], CRDT]
+
+
+class TypeRegistry:
+    """Maps keys to CRDT factories by exact name or longest prefix."""
+
+    def __init__(self) -> None:
+        self._exact: dict[str, Factory] = {}
+        self._prefixes: dict[str, Factory] = {}
+
+    def register(self, key: str, factory: Factory) -> None:
+        """Register an exact key."""
+        self._exact[key] = factory
+
+    def register_prefix(self, prefix: str, factory: Factory) -> None:
+        """Register every key starting with ``prefix`` (e.g. ``"enrolled:"``)."""
+        self._prefixes[prefix] = factory
+
+    def create(self, key: str) -> CRDT:
+        factory = self._exact.get(key)
+        if factory is not None:
+            return factory()
+        best: tuple[int, Factory] | None = None
+        for prefix, candidate in self._prefixes.items():
+            if key.startswith(prefix):
+                if best is None or len(prefix) > best[0]:
+                    best = (len(prefix), candidate)
+        if best is None:
+            raise StoreError(f"no CRDT type registered for key {key!r}")
+        return best[1]()
+
+    def copy(self) -> "TypeRegistry":
+        clone = TypeRegistry()
+        clone._exact = dict(self._exact)
+        clone._prefixes = dict(self._prefixes)
+        return clone

@@ -1,0 +1,98 @@
+"""One replica: the full object store of a region."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import StoreError
+from repro.crdts.base import CRDT, Dot, EventContext
+from repro.crdts.clock import VersionVector
+from repro.store.registry import TypeRegistry
+from repro.store.transaction import CommitRecord, Transaction
+
+
+class Replica:
+    """Object store + causality bookkeeping for one region.
+
+    Replication (shipping commit records and applying remote ones in
+    causal order) lives in :mod:`repro.store.replication`; this class
+    exposes the local mechanics it needs: :meth:`commit` for local
+    transactions and :meth:`apply_remote` for remote records.
+    """
+
+    def __init__(self, replica_id: str, registry: TypeRegistry) -> None:
+        self.replica_id = replica_id
+        self._registry = registry
+        self._objects: dict[str, CRDT] = {}
+        self.vv = VersionVector()
+        self._clock = 0
+        self.commits_applied = 0
+
+    # -- objects ------------------------------------------------------------
+
+    def get_object(self, key: str) -> CRDT:
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = self._registry.create(key)
+            self._objects[key] = obj
+        return obj
+
+    def has_object(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    # -- transactions ---------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return Transaction(self)
+
+    def commit(self, updates: tuple[tuple[str, object], ...]) -> CommitRecord:
+        """Assign a dot, apply locally, return the record to replicate."""
+        deps = self.vv.copy()
+        self._clock += 1
+        dot = Dot(self.replica_id, self._clock)
+        record = CommitRecord(
+            origin=self.replica_id, dot=dot, deps=deps, updates=updates
+        )
+        self._apply(record)
+        return record
+
+    # -- remote application ------------------------------------------------------
+
+    def can_apply(self, record: CommitRecord) -> bool:
+        """Causal delivery condition: deps seen, per-origin in order."""
+        if record.dot.counter != self.vv.get(record.origin) + 1:
+            return False
+        return self.vv.dominates(record.deps)
+
+    def apply_remote(self, record: CommitRecord) -> None:
+        if record.origin == self.replica_id:
+            raise StoreError("remote application of a local commit")
+        if not self.can_apply(record):
+            raise StoreError(
+                f"record {record.dot} not causally deliverable at "
+                f"{self.replica_id}"
+            )
+        self._apply(record)
+
+    def _apply(self, record: CommitRecord) -> None:
+        # The event context carries the ORIGIN's causal past (deps +
+        # the new dot), not this replica's: every replica must judge
+        # concurrency of this event identically or rem-wins semantics
+        # would diverge.
+        vv = record.deps.copy()
+        vv.entries[record.origin] = record.dot.counter
+        ctx = EventContext(dot=record.dot, vv=vv)
+        for key, payload in record.updates:
+            self.get_object(key).effect(payload, ctx)
+        self.vv.entries[record.origin] = record.dot.counter
+        self.commits_applied += 1
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def compact(self, stable: VersionVector) -> None:
+        """Run stability GC on every object (§4.2.1)."""
+        for obj in self._objects.values():
+            obj.compact(stable)

@@ -1,0 +1,56 @@
+"""Causal replication: shipping commit records between replicas.
+
+Commit records broadcast asynchronously after local commit.  A receiver
+applies a record only when its dependencies are satisfied (per-origin
+FIFO plus cross-origin version-vector domination); undeliverable
+records wait in a pending buffer that is retried after every
+application.  This is the causal-consistency contract the modified
+applications (and the CRDTs) assume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.store.replica import Replica
+from repro.store.transaction import CommitRecord
+
+
+class CausalReceiver:
+    """Per-replica inbox enforcing causal delivery."""
+
+    def __init__(
+        self,
+        replica: Replica,
+        on_apply: Callable[[CommitRecord], None] | None = None,
+    ) -> None:
+        self._replica = replica
+        self._pending: list[CommitRecord] = []
+        self._on_apply = on_apply
+        self.buffered_high_water = 0
+
+    def receive(self, record: CommitRecord) -> None:
+        self._pending.append(record)
+        self.buffered_high_water = max(
+            self.buffered_high_water, len(self._pending)
+        )
+        self._drain()
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            still_pending: list[CommitRecord] = []
+            for record in self._pending:
+                if self._replica.can_apply(record):
+                    self._replica.apply_remote(record)
+                    if self._on_apply is not None:
+                        self._on_apply(record)
+                    progressed = True
+                else:
+                    still_pending.append(record)
+            self._pending = still_pending
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,183 @@
+"""Indigo-style reservations (the coordination baseline, §5.2.1).
+
+In Indigo, a conflicting operation may only execute at a replica that
+holds the corresponding *reservation right*.  Rights migrate between
+replicas on demand, exchanged pairwise and asynchronously, and come in
+two grant modes:
+
+- **shared**: several replicas may hold the right simultaneously
+  (operations that don't conflict with each other -- e.g. enrolments
+  under a capacity that escrow covers -- run locally everywhere);
+- **exclusive**: one replica only; acquiring it *revokes* the right
+  from every other holder, paying a wide-area round trip.
+
+An operation whose replica already holds a compatible grant executes
+with no extra latency; otherwise it waits for the exchange.  If a
+holder it must contact is unreachable, the operation cannot run -- the
+availability weakness §5.2.5 contrasts IPA against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReservationError
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+
+
+@dataclass
+class _ReservationState:
+    holders: set[str]
+    exclusive_mode: bool = True
+    transferring: bool = False
+    waiters: deque = field(default_factory=deque)
+
+
+class ReservationManager:
+    """Tracks reservation grants and migrates them on demand."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self._sim = sim
+        self._network = network
+        self._reservations: dict[str, _ReservationState] = {}
+        self._unavailable: set[str] = set()
+        self.transfers = 0
+        self.revocations = 0
+
+    def register(self, key: str, initial_holder: str) -> None:
+        self._reservations[key] = _ReservationState(
+            holders={initial_holder}
+        )
+
+    def holder_of(self, key: str) -> str:
+        """The (first, in sorted order) current holder."""
+        return min(self._state(key).holders)
+
+    def holders_of(self, key: str) -> frozenset[str]:
+        return frozenset(self._state(key).holders)
+
+    def is_exclusive(self, key: str) -> bool:
+        return self._state(key).exclusive_mode
+
+    def mark_unavailable(self, region: str) -> None:
+        """Simulate a region failure: its grants stop migrating."""
+        self._unavailable.add(region)
+
+    def mark_available(self, region: str) -> None:
+        self._unavailable.discard(region)
+
+    # -- acquisition ------------------------------------------------------------
+
+    def acquire(
+        self,
+        region: str,
+        keys: tuple[str, ...],
+        then: Callable[[], None],
+        exclusive: bool = True,
+    ) -> None:
+        """Run ``then`` once ``region`` holds every reservation in
+        ``keys`` with (at least) the requested grant mode.
+
+        Keys are acquired in sorted order (deadlock-free).
+        """
+        remaining = list(sorted(keys))
+
+        def acquire_next() -> None:
+            if not remaining:
+                then()
+                return
+            key = remaining.pop(0)
+            self._acquire_one(region, key, exclusive, acquire_next)
+
+        acquire_next()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _state(self, key: str) -> _ReservationState:
+        state = self._reservations.get(key)
+        if state is None:
+            raise ReservationError(f"unknown reservation {key!r}")
+        return state
+
+    def _compatible(
+        self, state: _ReservationState, region: str, exclusive: bool
+    ) -> bool:
+        """Does the current grant already cover this request?"""
+        if region not in state.holders:
+            return False
+        if exclusive:
+            return state.holders == {region}
+        return True
+
+    def _acquire_one(
+        self,
+        region: str,
+        key: str,
+        exclusive: bool,
+        then: Callable[[], None],
+    ) -> None:
+        state = self._state(key)
+        if not state.transferring and self._compatible(
+            state, region, exclusive
+        ):
+            if exclusive:
+                state.exclusive_mode = True
+            then()
+            return
+        state.waiters.append((region, exclusive, then))
+        self._pump(key)
+
+    def _pump(self, key: str) -> None:
+        state = self._state(key)
+        if state.transferring or not state.waiters:
+            return
+        region, exclusive, then = state.waiters.popleft()
+        if self._compatible(state, region, exclusive):
+            if exclusive:
+                state.exclusive_mode = True
+            then()
+            self._sim.schedule(0.0, lambda: self._pump(key))
+            return
+        # Pick the peers the exchange must reach.
+        if exclusive:
+            peers = sorted(state.holders - {region})
+        else:
+            peers = [min(state.holders)]
+        blocked = [p for p in peers if p in self._unavailable]
+        if blocked:
+            # The grant cannot move while a required holder is down.
+            state.waiters.appendleft((region, exclusive, then))
+            return
+        state.transferring = True
+        self.transfers += 1
+        if exclusive:
+            self.revocations += len(peers)
+        # All exchanges run in parallel; the slowest round trip gates.
+        pending = {"count": len(peers)}
+
+        def one_done() -> None:
+            pending["count"] -= 1
+            if pending["count"]:
+                return
+            if exclusive:
+                state.holders = {region}
+                state.exclusive_mode = True
+            else:
+                state.holders.add(region)
+                state.exclusive_mode = False
+            state.transferring = False
+            then()
+            self._pump(key)
+
+        for peer in peers:
+            self._network.send(
+                region,
+                peer,
+                key,
+                lambda _req, p=peer: self._network.send(
+                    p, region, key, lambda _grant: one_done()
+                ),
+            )

@@ -1,0 +1,123 @@
+"""Highly available transactions (Bailis et al., cited as [6]).
+
+A transaction reads from its replica's current causal state and buffers
+prepared CRDT payloads; commit assigns one dot, applies every payload
+locally under a single event context (atomicity), and hands the commit
+record to the replication layer.  Nothing ever blocks on a remote
+replica -- this is what "highly available" buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.errors import TransactionError
+from repro.crdts.base import CRDT, Dot, EventContext
+from repro.crdts.clock import VersionVector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.replica import Replica
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """The replicated unit: one transaction's effects plus metadata."""
+
+    origin: str
+    dot: Dot
+    deps: VersionVector
+    updates: tuple[tuple[str, Any], ...]
+
+    @property
+    def update_count(self) -> int:
+        return len(self.updates)
+
+
+class Transaction:
+    """One read/update transaction against a single replica."""
+
+    def __init__(self, replica: "Replica") -> None:
+        self._replica = replica
+        self._buffered: list[tuple[str, Any]] = []
+        self._reads = 0
+        self._done = False
+
+    @property
+    def replica(self) -> "Replica":
+        """The replica this transaction executes at (read-side views)."""
+        return self._replica
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, key: str) -> CRDT:
+        """The object's current causal state at this replica.
+
+        Reads see the replica's committed state; buffered updates of
+        this same transaction are not yet visible (they apply at
+        commit).
+        """
+        self._check_open()
+        self._reads += 1
+        return self._replica.get_object(key)
+
+    # -- updates --------------------------------------------------------------
+
+    def charge_reads(self, count: int) -> None:
+        """Account extra read work (e.g. per-entry compensation scans)."""
+        self._check_open()
+        self._reads += count
+
+    def update(self, key: str, prepare: Callable[[CRDT], Any]) -> Any:
+        """Prepare an update at the origin and buffer its payload.
+
+        ``prepare`` receives the object's current state (so it can
+        capture observed dots etc.) and returns the payload to
+        replicate.  The payload is also returned to the caller for
+        inspection.
+        """
+        self._check_open()
+        payload = prepare(self._replica.get_object(key))
+        self._buffered.append((key, payload))
+        return payload
+
+    def add_prepared(self, key: str, payload: Any) -> None:
+        """Buffer an already-prepared payload (compensations use this)."""
+        self._check_open()
+        self._buffered.append((key, payload))
+
+    # -- commit ---------------------------------------------------------------
+
+    @property
+    def update_count(self) -> int:
+        return len(self._buffered)
+
+    @property
+    def updated_object_count(self) -> int:
+        """Distinct objects this transaction writes (service costing)."""
+        return len({key for key, _ in self._buffered})
+
+    @property
+    def read_count(self) -> int:
+        return self._reads
+
+    def commit(self) -> CommitRecord | None:
+        """Apply buffered payloads locally and return the commit record.
+
+        Read-only transactions return None (nothing to replicate).
+        """
+        self._check_open()
+        self._done = True
+        if not self._buffered:
+            return None
+        record = self._replica.commit(tuple(self._buffered))
+        return record
+
+    def abort(self) -> None:
+        self._check_open()
+        self._done = True
+        self._buffered.clear()
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise TransactionError("transaction already finished")

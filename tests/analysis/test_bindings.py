@@ -1,0 +1,99 @@
+"""Parameter-aliasing enumeration tests."""
+
+from repro.analysis.bindings import (
+    enumerate_pair_bindings,
+    enumerate_single_bindings,
+    set_partitions,
+)
+from repro.logic.ast import PredicateDecl, Sort, Var
+from repro.spec.effects import BoolEffect
+from repro.spec.operations import Operation
+
+P = Sort("Player")
+T = Sort("Tournament")
+player = PredicateDecl("player", (P,))
+tournament = PredicateDecl("tournament", (T,))
+p = Var("p", P)
+q = Var("q", P)
+t = Var("t", T)
+
+
+def op(name, params, effects=()):
+    return Operation(name, params, tuple(effects))
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        # Bell numbers: B(0)=1, B(1)=1, B(2)=2, B(3)=5, B(4)=15.
+        for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert len(list(set_partitions(list(range(n))))) == bell
+
+    def test_partitions_cover_all_items(self):
+        for partition in set_partitions([1, 2, 3]):
+            flattened = sorted(x for block in partition for x in block)
+            assert flattened == [1, 2, 3]
+
+
+class TestPairBindings:
+    def test_shared_sort_aliasing_patterns(self):
+        enroll = op("enroll", (p, t))
+        rem = op("rem_tourn", (t,))
+        bindings = list(enumerate_pair_bindings(enroll, rem, [P, T]))
+        # One Player param (1 partition) x two Tournament params
+        # (2 partitions: aliased / distinct).
+        assert len(bindings) == 2
+        aliased = [
+            b for b in bindings
+            if b.binding1[t] == b.binding2[t]
+        ]
+        assert len(aliased) == 1
+
+    def test_self_pair_keeps_sides_distinct(self):
+        enroll = op("enroll", (p, t))
+        bindings = list(enumerate_pair_bindings(enroll, enroll, [P, T]))
+        # Player: p vs p' -> 2 partitions; Tournament: t vs t' -> 2.
+        assert len(bindings) == 4
+        for binding in bindings:
+            assert p in binding.binding1 and p in binding.binding2
+            assert t in binding.binding1 and t in binding.binding2
+
+    def test_domain_contains_extra_constants(self):
+        enroll = op("enroll", (p, t))
+        rem = op("rem_tourn", (t,))
+        for binding in enumerate_pair_bindings(enroll, rem, [P, T], extra=2):
+            used_players = {binding.binding1[p]}
+            assert len(binding.domain.of(P)) == len(used_players) + 2
+
+    def test_sorts_without_params_still_in_domain(self):
+        add = op("add_player", (p,))
+        bindings = list(enumerate_pair_bindings(add, add, [P, T], extra=1))
+        for binding in bindings:
+            assert len(binding.domain.of(T)) == 1
+
+    def test_three_params_same_sort(self):
+        match = op("do_match", (p, q, t))
+        add = op("add_player", (p,))
+        bindings = list(enumerate_pair_bindings(match, add, [P, T]))
+        # Player params: p, q, p' -> B(3)=5; Tournament: t -> 1.
+        assert len(bindings) == 5
+
+
+class TestSingleBindings:
+    def test_single_param(self):
+        rem = op("rem_tourn", (t,))
+        bindings = list(enumerate_single_bindings(rem, [P, T]))
+        assert len(bindings) == 1
+        assert t in bindings[0].binding
+
+    def test_two_params_same_sort(self):
+        match = op("do_match", (p, q, t))
+        bindings = list(enumerate_single_bindings(match, [P, T]))
+        # p/q aliased or not: B(2) x B(1) = 2.
+        assert len(bindings) == 2
+
+    def test_binding_describe(self):
+        enroll = op("enroll", (p, t))
+        rem = op("rem_tourn", (t,))
+        binding = next(iter(enumerate_pair_bindings(enroll, rem, [P, T])))
+        text = binding.describe()
+        assert "p=" in text and "t=" in text

@@ -1,0 +1,78 @@
+"""ConflictChecker configuration behaviour: parameter clipping and
+integer-bound auto-sizing."""
+
+from repro.analysis.conflicts import ANALYSIS_PARAM_CAP, ConflictChecker
+from repro.spec import SpecBuilder
+
+
+def capacity_spec(capacity):
+    b = SpecBuilder("cap")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.parameter("Capacity", capacity)
+    b.invariant("forall(Tournament: t) :- #enrolled(*, t) <= Capacity")
+    b.operation(
+        "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+    )
+    return b.build()
+
+
+class TestParamClipping:
+    def test_large_params_clipped_for_analysis(self):
+        checker = ConflictChecker(capacity_spec(1_000))
+        assert checker.params["Capacity"] == ANALYSIS_PARAM_CAP
+
+    def test_small_params_kept(self):
+        checker = ConflictChecker(capacity_spec(1))
+        assert checker.params["Capacity"] == 1
+
+    def test_explicit_override_wins(self):
+        checker = ConflictChecker(capacity_spec(1_000), params={"Capacity": 3})
+        assert checker.params["Capacity"] == 3
+
+    def test_clipping_preserves_conflict_detection(self):
+        """A conflict that exists for Capacity=1000 is still found with
+        the clipped analysis value (the violation only needs the bound
+        to be representable)."""
+        spec = capacity_spec(1_000)
+        checker = ConflictChecker(spec)
+        witness = checker.is_conflicting(
+            spec.operation("enroll"), spec.operation("enroll")
+        )
+        assert witness is not None
+
+
+class TestIntBoundAutoSizing:
+    def stock_spec(self, delta):
+        b = SpecBuilder("stock")
+        b.predicate("stock", "Item", numeric=True)
+        b.invariant("forall(Item: i) :- stock(i) >= 0")
+        b.operation("buy", "Item: i", decr=["stock(i)"])
+        b.operation("restock", "Item: i", incr=[f"stock(i) {delta}"])
+        return b.build()
+
+    def test_bound_covers_large_deltas(self):
+        spec = self.stock_spec(10)
+        checker = ConflictChecker(spec)
+        assert checker._int_bound >= 2 * 10
+
+    def test_restock_executable_despite_large_delta(self):
+        """The auto-sized bound keeps restock representable (with the
+        default bound of 8 the +10 delta would make the operation look
+        unexecutable)."""
+        spec = self.stock_spec(10)
+        checker = ConflictChecker(spec)
+        assert checker.is_executable(spec.operation("restock"))
+
+    def test_explicit_bound_respected(self):
+        spec = self.stock_spec(2)
+        checker = ConflictChecker(spec, int_bound=20)
+        assert checker._int_bound == 20
+
+    def test_queries_counted(self):
+        spec = capacity_spec(1)
+        checker = ConflictChecker(spec)
+        assert checker.queries_issued == 0
+        checker.is_conflicting(
+            spec.operation("enroll"), spec.operation("enroll")
+        )
+        assert checker.queries_issued >= 1

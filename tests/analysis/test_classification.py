@@ -1,0 +1,120 @@
+"""Invariant classification tests (Table 1 taxonomy)."""
+
+from repro.analysis.classification import (
+    InvariantClass,
+    classify_invariant,
+    classify_spec,
+    table1_rows,
+)
+from repro.apps import ticket_spec, tournament_spec, tpcw_spec, twitter_spec
+from repro.spec import SpecBuilder
+
+
+def classify_text(text, build=None):
+    b = SpecBuilder("cls")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.predicate("active", "Tournament")
+    b.predicate("finished", "Tournament")
+    b.predicate("stock", "Tournament", numeric=True)
+    b.parameter("Capacity", 5)
+    if build:
+        build(b)
+    return classify_invariant(b.invariant(text))
+
+
+class TestSyntacticClassification:
+    def test_referential_integrity(self):
+        assert classify_text(
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => player(p) and tournament(t)"
+        ) is InvariantClass.REFERENTIAL_INTEGRITY
+
+    def test_disjunction_in_consequent(self):
+        assert classify_text(
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => active(t) or finished(t)"
+        ) is InvariantClass.DISJUNCTION
+
+    def test_mutual_exclusion_is_disjunction(self):
+        assert classify_text(
+            "forall(Tournament: t) :- not (active(t) and finished(t))"
+        ) is InvariantClass.DISJUNCTION
+
+    def test_aggregation_constraint(self):
+        assert classify_text(
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        ) is InvariantClass.AGGREGATION_CONSTRAINT
+
+    def test_numeric_invariant(self):
+        assert classify_text(
+            "forall(Tournament: t) :- stock(t) >= 0"
+        ) is InvariantClass.NUMERIC
+
+    def test_membership_is_aggregation_inclusion(self):
+        assert classify_text(
+            "forall(Tournament: t) :- tournament(t)"
+        ) is InvariantClass.AGGREGATION_INCLUSION
+
+    def test_explicit_category_overrides(self):
+        b = SpecBuilder("ids")
+        inv = b.invariant("true", category="unique-id")
+        assert classify_invariant(inv) is InvariantClass.UNIQUE_ID
+
+
+class TestVerdicts:
+    def test_i_confluent_column(self):
+        confluent = {
+            cls for cls in InvariantClass if cls.i_confluent
+        }
+        assert confluent == {
+            InvariantClass.UNIQUE_ID,
+            InvariantClass.AGGREGATION_INCLUSION,
+        }
+
+    def test_ipa_column(self):
+        assert InvariantClass.SEQUENTIAL_ID.ipa_treatment == "no"
+        assert InvariantClass.NUMERIC.ipa_treatment == "compensation"
+        assert (
+            InvariantClass.AGGREGATION_CONSTRAINT.ipa_treatment
+            == "compensation"
+        )
+        for cls in (
+            InvariantClass.UNIQUE_ID,
+            InvariantClass.AGGREGATION_INCLUSION,
+            InvariantClass.REFERENTIAL_INTEGRITY,
+            InvariantClass.DISJUNCTION,
+        ):
+            assert cls.ipa_treatment == "yes"
+
+
+class TestApplicationSpecs:
+    def test_tournament_classes(self):
+        grouped = classify_spec(tournament_spec())
+        assert InvariantClass.REFERENTIAL_INTEGRITY in grouped
+        assert InvariantClass.AGGREGATION_CONSTRAINT in grouped
+        assert InvariantClass.DISJUNCTION in grouped
+        assert InvariantClass.UNIQUE_ID in grouped
+        assert InvariantClass.AGGREGATION_INCLUSION in grouped
+
+    def test_tpcw_classes(self):
+        grouped = classify_spec(tpcw_spec())
+        assert InvariantClass.NUMERIC in grouped
+        assert InvariantClass.SEQUENTIAL_ID in grouped
+        assert InvariantClass.REFERENTIAL_INTEGRITY in grouped
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows(
+            {"Tour": tournament_spec(), "Twitter": twitter_spec()}
+        )
+        assert len(rows) == 7
+        assert rows[0]["Inv. Type"] == "Sequential id."
+        for row in rows:
+            assert set(row) == {
+                "Inv. Type", "I-Conf.", "IPA", "Tour", "Twitter",
+            }
+
+    def test_ticket_has_aggregation_constraint(self):
+        grouped = classify_spec(ticket_spec())
+        assert InvariantClass.AGGREGATION_CONSTRAINT in grouped

@@ -1,0 +1,101 @@
+"""Compensation synthesis tests (§3.4)."""
+
+from repro.analysis.compensation import (
+    compensation_for_invariant,
+    generate_compensations,
+)
+from repro.logic.parser import parse_invariant
+from repro.spec import SpecBuilder
+from repro.spec.invariants import Invariant
+
+
+def make_invariant(builder, text):
+    return builder.invariant(text)
+
+
+def schema_builder():
+    b = SpecBuilder("comp")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.predicate("stock", "Item", numeric=True)
+    b.parameter("Capacity", 5)
+    return b
+
+
+class TestShapes:
+    def test_cardinality_upper_bound_trims(self):
+        b = schema_builder()
+        inv = make_invariant(
+            b, "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        )
+        comp = compensation_for_invariant(inv, ("enroll",))
+        assert comp is not None
+        assert comp.kind == "trim-collection"
+        assert comp.predicate == "enrolled"
+        assert comp.bound_param == "Capacity"
+        assert comp.bound_value is None
+
+    def test_numeric_lower_bound_replenishes(self):
+        b = schema_builder()
+        inv = make_invariant(b, "forall(Item: i) :- stock(i) >= 0")
+        comp = compensation_for_invariant(inv, ("buy",))
+        assert comp.kind == "replenish-counter"
+        assert comp.bound_value == 0
+
+    def test_numeric_upper_bound_cancels(self):
+        b = schema_builder()
+        inv = make_invariant(b, "forall(Item: i) :- stock(i) <= 10")
+        comp = compensation_for_invariant(inv, ("sell",))
+        assert comp.kind == "cancel-excess"
+        assert comp.bound_value == 10
+
+    def test_flipped_comparison_normalised(self):
+        b = schema_builder()
+        inv = make_invariant(
+            b, "forall(Tournament: t) :- Capacity >= #enrolled(*, t)"
+        )
+        comp = compensation_for_invariant(inv, ("enroll",))
+        assert comp is not None
+        assert comp.kind == "trim-collection"
+
+    def test_non_numeric_invariant_unsupported(self):
+        b = schema_builder()
+        b.predicate("player", "Player")
+        inv = make_invariant(
+            b,
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => player(p)",
+        )
+        assert compensation_for_invariant(inv, ("enroll",)) is None
+
+    def test_describe(self):
+        b = schema_builder()
+        inv = make_invariant(
+            b, "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        )
+        comp = compensation_for_invariant(inv, ("enroll", "do_match"))
+        text = comp.describe()
+        assert "trim-collection" in text
+        assert "enroll" in text and "do_match" in text
+
+
+class TestFromWitness:
+    def test_generated_for_flagged_conflict(self):
+        b = SpecBuilder("cap")
+        b.predicate("enrolled", "Player", "Tournament")
+        b.parameter("Capacity", 1)
+        b.invariant(
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        )
+        b.operation(
+            "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+        )
+        spec = b.build()
+        from repro.analysis.conflicts import ConflictChecker
+
+        checker = ConflictChecker(spec)
+        witness = checker.is_conflicting(
+            spec.operation("enroll"), spec.operation("enroll")
+        )
+        comps = generate_compensations(spec, witness)
+        assert len(comps) == 1
+        assert comps[0].trigger_ops == ("enroll",)

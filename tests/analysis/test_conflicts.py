@@ -1,0 +1,311 @@
+"""Conflict detection tests: the paper's Figure 2 scenarios and more."""
+
+import pytest
+
+from repro.analysis.conflicts import ConflictChecker, opposing_effects
+from repro.solver.models import evaluate
+from repro.spec import SpecBuilder
+from repro.spec.effects import BoolEffect, ConvergencePolicy
+
+from tests.conftest import make_mini_tournament_spec
+
+
+@pytest.fixture
+def spec():
+    return make_mini_tournament_spec()
+
+
+@pytest.fixture
+def checker(spec):
+    return ConflictChecker(spec)
+
+
+class TestFigure2a:
+    """rem_tourn(t) || enroll(p, t) breaks referential integrity."""
+
+    def test_conflict_detected(self, spec, checker):
+        witness = checker.is_conflicting(
+            spec.operation("rem_tourn"), spec.operation("enroll")
+        )
+        assert witness is not None
+
+    def test_witness_states_match_figure(self, spec, checker):
+        witness = checker.is_conflicting(
+            spec.operation("rem_tourn"), spec.operation("enroll")
+        )
+        enrolled = spec.schema.pred("enrolled")
+        tournament = spec.schema.pred("tournament")
+        t_const = witness.binding.binding1[
+            spec.operation("rem_tourn").params[0]
+        ]
+        p_const = witness.binding.binding2[
+            spec.operation("enroll").params[0]
+        ]
+        from repro.logic.ast import Atom
+
+        # Initial: tournament exists, preconditions of both ops hold.
+        assert witness.initial.holds(Atom(tournament, (t_const,)))
+        # After rem_tourn: gone.  After enroll: enrolled.
+        assert not witness.after_op1.holds(Atom(tournament, (t_const,)))
+        assert witness.after_op2.holds(Atom(enrolled, (p_const, t_const)))
+        # Merged: enrolled but tournament removed -> invariant broken.
+        assert witness.merged.holds(Atom(enrolled, (p_const, t_const)))
+        assert not witness.merged.holds(Atom(tournament, (t_const,)))
+
+    def test_violated_invariant_reported(self, spec, checker):
+        witness = checker.is_conflicting(
+            spec.operation("rem_tourn"), spec.operation("enroll")
+        )
+        assert len(witness.violated) == 1
+        assert "enrolled" in witness.violated[0].describe()
+        for invariant in witness.violated:
+            assert not evaluate(invariant.formula, witness.merged)
+
+    def test_describe_renders_states(self, spec, checker):
+        witness = checker.is_conflicting(
+            spec.operation("rem_tourn"), spec.operation("enroll")
+        )
+        text = witness.describe()
+        assert "initial state" in text
+        assert "merged state" in text
+        assert "violates" in text
+
+
+class TestFigure2b:
+    """enroll + tournament(t)=true with Add-wins removes the conflict."""
+
+    def test_repaired_pair_clean(self, spec, checker):
+        enroll = spec.operation("enroll")
+        repaired = enroll.with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("tournament"),
+                    (enroll.params[1],),
+                    value=True,
+                )
+            ]
+        )
+        assert checker.is_conflicting(
+            spec.operation("rem_tourn"), repaired
+        ) is None
+
+    def test_repair_needs_add_wins(self, spec, checker):
+        """Under Rem-wins for tournament the same repair fails."""
+        enroll = spec.operation("enroll")
+        repaired = enroll.with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("tournament"),
+                    (enroll.params[1],),
+                    value=True,
+                )
+            ]
+        )
+        rules = spec.rules.copy()
+        rules.set("tournament", ConvergencePolicy.REM_WINS)
+        witness = checker.is_conflicting(
+            spec.operation("rem_tourn"), repaired, rules
+        )
+        assert witness is not None
+
+
+class TestFigure2c:
+    """rem_tourn + enrolled(*, t)=false with Rem-wins removes it too."""
+
+    def test_wildcard_clear_repairs(self, spec, checker):
+        from repro.logic.ast import Wildcard
+
+        rem = spec.operation("rem_tourn")
+        enrolled = spec.schema.pred("enrolled")
+        player_sort = spec.schema.sorts["Player"]
+        repaired = rem.with_extra_effects(
+            [
+                BoolEffect(
+                    enrolled,
+                    (Wildcard(player_sort), rem.params[0]),
+                    value=False,
+                )
+            ]
+        )
+        rules = spec.rules.copy()
+        rules.set("enrolled", ConvergencePolicy.REM_WINS)
+        assert checker.is_conflicting(
+            repaired, spec.operation("enroll"), rules
+        ) is None
+
+    def test_wildcard_clear_needs_rem_wins(self, spec, checker):
+        from repro.logic.ast import Wildcard
+
+        rem = spec.operation("rem_tourn")
+        enrolled = spec.schema.pred("enrolled")
+        player_sort = spec.schema.sorts["Player"]
+        repaired = rem.with_extra_effects(
+            [
+                BoolEffect(
+                    enrolled,
+                    (Wildcard(player_sort), rem.params[0]),
+                    value=False,
+                )
+            ]
+        )
+        # Under the default Add-wins rules the concurrent enroll wins
+        # and the conflict stays.
+        assert checker.is_conflicting(
+            repaired, spec.operation("enroll")
+        ) is not None
+
+
+class TestNonConflictingPairs:
+    def test_pure_adds_never_conflict(self, spec, checker):
+        assert checker.is_conflicting(
+            spec.operation("add_player"), spec.operation("add_tourn")
+        ) is None
+
+    def test_enroll_with_itself(self, spec, checker):
+        assert checker.is_conflicting(
+            spec.operation("enroll"), spec.operation("enroll")
+        ) is None
+
+    def test_find_conflicts_exactly_one_pair(self, spec, checker):
+        conflicts = checker.find_conflicts()
+        pairs = {
+            frozenset((w.op1.name, w.op2.name)) for w in conflicts
+        }
+        assert pairs == {frozenset(("rem_tourn", "enroll"))}
+
+    def test_find_first_respects_skip(self, spec, checker):
+        witness = checker.find_first()
+        assert witness is not None
+        skipped = checker.find_first(
+            skip={(witness.op1.name, witness.op2.name)}
+        )
+        assert skipped is None
+
+
+class TestCapacitySelfConflict:
+    def test_enroll_parallel_enroll_violates_capacity(self):
+        b = SpecBuilder("capacity")
+        b.predicate("enrolled", "Player", "Tournament")
+        b.parameter("Capacity", 1)
+        b.invariant(
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        )
+        b.operation(
+            "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+        )
+        spec = b.build()
+        checker = ConflictChecker(spec)
+        witness = checker.is_conflicting(
+            spec.operation("enroll"), spec.operation("enroll")
+        )
+        assert witness is not None
+        # The violated invariant is the capacity bound.
+        assert "Capacity" in witness.violated[0].describe()
+
+
+class TestNumericConflict:
+    def test_concurrent_decrements_break_lower_bound(self):
+        b = SpecBuilder("stock")
+        b.predicate("stock", "Item", numeric=True)
+        b.invariant("forall(Item: i) :- stock(i) >= 0")
+        b.operation("buy", "Item: i", decr=["stock(i)"])
+        b.operation("restock", "Item: i", incr=["stock(i) 3"])
+        spec = b.build()
+        checker = ConflictChecker(spec)
+        witness = checker.is_conflicting(
+            spec.operation("buy"), spec.operation("buy")
+        )
+        assert witness is not None
+
+    def test_increments_never_conflict(self):
+        b = SpecBuilder("stock2")
+        b.predicate("stock", "Item", numeric=True)
+        b.invariant("forall(Item: i) :- stock(i) >= 0")
+        b.operation("restock", "Item: i", incr=["stock(i) 3"])
+        spec = b.build()
+        checker = ConflictChecker(spec)
+        assert checker.is_conflicting(
+            spec.operation("restock"), spec.operation("restock")
+        ) is None
+
+
+class TestOpposingEffects:
+    def test_opposing_pair(self, spec):
+        assert opposing_effects(
+            spec.operation("add_tourn"), spec.operation("rem_tourn")
+        )
+
+    def test_non_opposing_pair(self, spec):
+        assert not opposing_effects(
+            spec.operation("enroll"), spec.operation("rem_tourn")
+        )
+
+
+class TestSideConditions:
+    def test_original_ops_executable(self, spec, checker):
+        for operation in spec.operations.values():
+            assert checker.is_executable(operation)
+
+    def test_contradictory_op_not_executable(self, spec, checker):
+        # rem_tourn that also enrols someone in t: the post state can
+        # never satisfy referential integrity.
+        rem = spec.operation("rem_tourn")
+        player_sort = spec.schema.sorts["Player"]
+        from repro.logic.ast import Wildcard
+
+        bad = spec.operation("enroll").with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("tournament"),
+                    (spec.operation("enroll").params[1],),
+                    value=False,
+                )
+            ]
+        )
+        assert not checker.is_executable(bad)
+
+    def test_preserving_extra_effect(self, spec, checker):
+        """tournament(t)=true added to enroll is a no-op when alone."""
+        enroll = spec.operation("enroll")
+        repaired = enroll.with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("tournament"),
+                    (enroll.params[1],),
+                    value=True,
+                )
+            ]
+        )
+        assert checker.preserves_solo_semantics(enroll, repaired)
+
+    def test_non_preserving_extra_effect(self, spec, checker):
+        """player(p)=false added to enroll changes solo behaviour."""
+        enroll = spec.operation("enroll")
+        modified = enroll.with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("player"),
+                    (enroll.params[0],),
+                    value=False,
+                )
+            ]
+        )
+        assert not checker.preserves_solo_semantics(enroll, modified)
+
+    def test_wildcard_clear_on_rem_tourn_preserves(self, spec, checker):
+        """Figure 2c's repair is a no-op in conflict-free executions:
+        rem_tourn only runs in states with no enrolments in t."""
+        from repro.logic.ast import Wildcard
+
+        rem = spec.operation("rem_tourn")
+        player_sort = spec.schema.sorts["Player"]
+        repaired = rem.with_extra_effects(
+            [
+                BoolEffect(
+                    spec.schema.pred("enrolled"),
+                    (Wildcard(player_sort), rem.params[0]),
+                    value=False,
+                )
+            ]
+        )
+        assert checker.preserves_solo_semantics(rem, repaired)

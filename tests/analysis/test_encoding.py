@@ -1,0 +1,216 @@
+"""State-transition encoding tests."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.encoding import (
+    GroundEffects,
+    family,
+    merged_state_constraints,
+    rename_formula,
+    single_state_constraints,
+)
+from repro.logic.ast import (
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    ForAll,
+    IntConst,
+    NumPred,
+    PredicateDecl,
+    Sort,
+    Var,
+    Wildcard,
+)
+from repro.logic.grounding import Domain
+from repro.solver.smt import BoundedModelFinder
+from repro.spec.effects import BoolEffect, ConvergenceRules, NumEffect
+from repro.spec.effects import ConvergencePolicy
+
+P = Sort("Player")
+T = Sort("Tournament")
+tournament = PredicateDecl("tournament", (T,))
+enrolled = PredicateDecl("enrolled", (P, T))
+stock = PredicateDecl("stock", (T,), numeric=True)
+PREDS = [tournament, enrolled, stock]
+DOMAIN = Domain.of_sizes({P: 2, T: 1})
+p0, p1 = DOMAIN.of(P)
+(t0,) = DOMAIN.of(T)
+
+
+class TestFamilyRenaming:
+    def test_family_is_deterministic(self):
+        assert family(tournament, "m") == family(tournament, "m")
+        assert family(tournament, "m").name == "tournament@m"
+
+    def test_empty_tag_is_identity(self):
+        assert family(tournament, "") is tournament
+
+    def test_rename_formula(self):
+        t = Var("t", T)
+        formula = ForAll((t,), Atom(tournament, (t,)))
+        renamed = rename_formula(formula, "1")
+        assert renamed.body.pred.name == "tournament@1"
+
+    def test_rename_numeric(self):
+        formula = Cmp(">=", NumPred(stock, (t0,)), IntConst(0))
+        renamed = rename_formula(formula, "2")
+        assert renamed.lhs.pred.name == "stock@2"
+
+    def test_rename_card(self):
+        formula = Cmp(
+            "<=", Card(enrolled, (Wildcard(P), t0)), IntConst(1)
+        )
+        renamed = rename_formula(formula, "m")
+        assert renamed.lhs.pred.name == "enrolled@m"
+
+
+class TestGroundEffects:
+    def test_specific_assignment(self):
+        effects = GroundEffects.from_effects(
+            [BoolEffect(enrolled, (p0, t0), value=True)], DOMAIN
+        )
+        assert effects.bool_assigns == {Atom(enrolled, (p0, t0)): True}
+
+    def test_wildcard_expansion(self):
+        effects = GroundEffects.from_effects(
+            [BoolEffect(enrolled, (Wildcard(P), t0), value=False)], DOMAIN
+        )
+        assert effects.bool_assigns == {
+            Atom(enrolled, (p0, t0)): False,
+            Atom(enrolled, (p1, t0)): False,
+        }
+
+    def test_specific_overrides_wildcard(self):
+        effects = GroundEffects.from_effects(
+            [
+                BoolEffect(enrolled, (Wildcard(P), t0), value=False),
+                BoolEffect(enrolled, (p0, t0), value=True),
+            ],
+            DOMAIN,
+        )
+        assert effects.bool_assigns[Atom(enrolled, (p0, t0))] is True
+        assert effects.bool_assigns[Atom(enrolled, (p1, t0))] is False
+
+    def test_contradictory_specific_assignments_rejected(self):
+        with pytest.raises(AnalysisError):
+            GroundEffects.from_effects(
+                [
+                    BoolEffect(enrolled, (p0, t0), value=True),
+                    BoolEffect(enrolled, (p0, t0), value=False),
+                ],
+                DOMAIN,
+            )
+
+    def test_numeric_deltas_accumulate(self):
+        effects = GroundEffects.from_effects(
+            [NumEffect(stock, (t0,), delta=2), NumEffect(stock, (t0,), -1)],
+            DOMAIN,
+        )
+        assert effects.num_deltas == {NumPred(stock, (t0,)): 1}
+
+
+def solve(domain, *formulas):
+    return BoundedModelFinder(domain, int_bound=8).check(*formulas)
+
+
+class TestSingleStateConstraints:
+    def test_assignment_pins_post_atom(self):
+        effects = GroundEffects.from_effects(
+            [BoolEffect(tournament, (t0,), value=False)], DOMAIN
+        )
+        constraints = single_state_constraints("1", effects, PREDS, DOMAIN)
+        post_atom = Atom(family(tournament, "1"), (t0,))
+        result = solve(DOMAIN, constraints, post_atom)
+        assert not result.sat  # cannot be true: the effect pins it false
+
+    def test_frame_preserves_unassigned(self):
+        effects = GroundEffects.from_effects([], DOMAIN)
+        constraints = single_state_constraints("1", effects, PREDS, DOMAIN)
+        pre = Atom(tournament, (t0,))
+        post = Atom(family(tournament, "1"), (t0,))
+        assert not solve(DOMAIN, constraints, pre, ~post).sat
+        assert not solve(DOMAIN, constraints, ~pre, post).sat
+
+    def test_numeric_delta_applied(self):
+        effects = GroundEffects.from_effects(
+            [NumEffect(stock, (t0,), delta=3)], DOMAIN
+        )
+        constraints = single_state_constraints("1", effects, PREDS, DOMAIN)
+        result = solve(
+            DOMAIN,
+            constraints,
+            Cmp("==", NumPred(stock, (t0,)), IntConst(2)),
+        )
+        assert result.sat
+        post = NumPred(family(stock, "1"), (t0,))
+        assert result.model.value(post) == 5
+
+
+class TestMergedStateConstraints:
+    def _merged(self, effects1, effects2, rules):
+        return merged_state_constraints(
+            "m",
+            GroundEffects.from_effects(effects1, DOMAIN),
+            GroundEffects.from_effects(effects2, DOMAIN),
+            rules,
+            PREDS,
+            DOMAIN,
+        )
+
+    def test_opposing_add_wins(self):
+        rules = ConvergenceRules()  # default add-wins
+        constraints = self._merged(
+            [BoolEffect(tournament, (t0,), value=True)],
+            [BoolEffect(tournament, (t0,), value=False)],
+            rules,
+        )
+        merged_atom = Atom(family(tournament, "m"), (t0,))
+        assert not solve(DOMAIN, constraints, ~merged_atom).sat
+
+    def test_opposing_rem_wins(self):
+        rules = ConvergenceRules()
+        rules.set("tournament", ConvergencePolicy.REM_WINS)
+        constraints = self._merged(
+            [BoolEffect(tournament, (t0,), value=True)],
+            [BoolEffect(tournament, (t0,), value=False)],
+            rules,
+        )
+        merged_atom = Atom(family(tournament, "m"), (t0,))
+        assert not solve(DOMAIN, constraints, merged_atom).sat
+
+    def test_lww_leaves_atom_unconstrained(self):
+        rules = ConvergenceRules(default=ConvergencePolicy.LWW)
+        constraints = self._merged(
+            [BoolEffect(tournament, (t0,), value=True)],
+            [BoolEffect(tournament, (t0,), value=False)],
+            rules,
+        )
+        merged_atom = Atom(family(tournament, "m"), (t0,))
+        assert solve(DOMAIN, constraints, merged_atom).sat
+        assert solve(DOMAIN, constraints, ~merged_atom).sat
+
+    def test_single_sided_effect_applies(self):
+        rules = ConvergenceRules()
+        constraints = self._merged(
+            [BoolEffect(tournament, (t0,), value=False)], [], rules
+        )
+        merged_atom = Atom(family(tournament, "m"), (t0,))
+        assert not solve(DOMAIN, constraints, merged_atom).sat
+
+    def test_concurrent_numeric_deltas_sum(self):
+        rules = ConvergenceRules()
+        constraints = self._merged(
+            [NumEffect(stock, (t0,), delta=-1)],
+            [NumEffect(stock, (t0,), delta=-2)],
+            rules,
+        )
+        result = solve(
+            DOMAIN,
+            constraints,
+            Cmp("==", NumPred(stock, (t0,)), IntConst(1)),
+        )
+        assert result.sat
+        merged = NumPred(family(stock, "m"), (t0,))
+        assert result.model.value(merged) == -2

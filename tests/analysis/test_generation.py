@@ -1,0 +1,149 @@
+"""Candidate-generation tests (Algorithm 1's ``generate``)."""
+
+from repro.analysis.generation import (
+    CandidateRepair,
+    generate_candidates,
+    involved_invariants,
+    predicate_pool,
+)
+from repro.logic.ast import Wildcard
+from repro.spec.effects import BoolEffect, ConvergencePolicy
+
+from tests.conftest import make_mini_tournament_spec
+
+
+def pair(spec):
+    return spec.operation("rem_tourn"), spec.operation("enroll")
+
+
+class TestInvolvedInvariants:
+    def test_selects_touched_clauses(self):
+        spec = make_mini_tournament_spec()
+        op1, op2 = pair(spec)
+        invariants = involved_invariants(spec, op1, op2)
+        assert len(invariants) == 1
+        assert "enrolled" in invariants[0].describe()
+
+    def test_untouched_pair_selects_nothing(self):
+        spec = make_mini_tournament_spec()
+        b_op = spec.operation("add_player")
+        # add_player touches "player", which does appear in the clause.
+        invariants = involved_invariants(spec, b_op, b_op)
+        assert len(invariants) == 1
+
+
+class TestPredicatePool:
+    def test_pool_is_boolean_invariant_predicates(self):
+        spec = make_mini_tournament_spec()
+        pool = predicate_pool(spec, *pair(spec))
+        assert {p.name for p in pool} == {
+            "enrolled", "player", "tournament",
+        }
+
+
+class TestGenerate:
+    def test_ordered_by_size(self):
+        spec = make_mini_tournament_spec()
+        candidates = generate_candidates(spec, *pair(spec))
+        sizes = [c.size for c in candidates]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1
+
+    def test_paper_candidates_present(self):
+        """Both Figure 2 repairs appear in the candidate list."""
+        spec = make_mini_tournament_spec()
+        rem, enroll = pair(spec)
+        candidates = generate_candidates(spec, rem, enroll)
+        tournament = spec.schema.pred("tournament")
+        enrolled = spec.schema.pred("enrolled")
+        player_sort = spec.schema.sorts["Player"]
+        fig2b = BoolEffect(tournament, (enroll.params[1],), value=True)
+        fig2c = BoolEffect(
+            enrolled, (Wildcard(player_sort), rem.params[0]), value=False
+        )
+        singles = [
+            c.extra_effects[0] for c in candidates if c.size == 1
+        ]
+        assert fig2b in singles
+        assert fig2c in singles
+
+    def test_no_wildcard_true_effects(self):
+        spec = make_mini_tournament_spec()
+        for candidate in generate_candidates(spec, *pair(spec)):
+            for effect in candidate.extra_effects:
+                if effect.has_wildcard:
+                    assert effect.value is False
+
+    def test_no_self_opposing_candidates(self):
+        """rem_tourn never gets tournament(t)=true added to it."""
+        spec = make_mini_tournament_spec()
+        rem, enroll = pair(spec)
+        tournament = spec.schema.pred("tournament")
+        bad = BoolEffect(tournament, (rem.params[0],), value=True)
+        for candidate in generate_candidates(spec, rem, enroll):
+            if candidate.side == 1:
+                assert bad not in candidate.extra_effects
+
+    def test_rule_requirements_attached(self):
+        spec = make_mini_tournament_spec()  # default rules: add-wins
+        rem, enroll = pair(spec)
+        for candidate in generate_candidates(spec, rem, enroll):
+            for effect in candidate.extra_effects:
+                if effect.value is False:
+                    assert (
+                        effect.pred.name,
+                        ConvergencePolicy.REM_WINS,
+                    ) in candidate.rule_requirements
+
+    def test_rule_changes_disallowed_filters(self):
+        spec = make_mini_tournament_spec()
+        rem, enroll = pair(spec)
+        candidates = generate_candidates(
+            spec, rem, enroll, allow_rule_changes=False
+        )
+        # With add-wins everywhere, only value=True effects remain.
+        for candidate in candidates:
+            for effect in candidate.extra_effects:
+                assert effect.value is True
+            assert candidate.rule_requirements == ()
+
+    def test_max_effects_respected(self):
+        spec = make_mini_tournament_spec()
+        for candidate in generate_candidates(
+            spec, *pair(spec), max_effects=1
+        ):
+            assert candidate.size == 1
+
+
+class TestMinimality:
+    def test_is_superset_of(self):
+        spec = make_mini_tournament_spec()
+        rem, enroll = pair(spec)
+        tournament = spec.schema.pred("tournament")
+        player = spec.schema.pred("player")
+        small = CandidateRepair(
+            side=2,
+            extra_effects=(
+                BoolEffect(tournament, (enroll.params[1],), value=True),
+            ),
+            rule_requirements=(),
+        )
+        big = CandidateRepair(
+            side=2,
+            extra_effects=(
+                BoolEffect(tournament, (enroll.params[1],), value=True),
+                BoolEffect(player, (enroll.params[0],), value=True),
+            ),
+            rule_requirements=(),
+        )
+        assert big.is_superset_of(small)
+        assert not small.is_superset_of(big)
+
+    def test_different_sides_never_supersets(self):
+        spec = make_mini_tournament_spec()
+        rem, enroll = pair(spec)
+        tournament = spec.schema.pred("tournament")
+        effect = BoolEffect(tournament, (enroll.params[1],), value=True)
+        c1 = CandidateRepair(1, (effect,), ())
+        c2 = CandidateRepair(2, (effect,), ())
+        assert not c1.is_superset_of(c2)

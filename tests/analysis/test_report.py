@@ -1,0 +1,51 @@
+"""Report rendering tests."""
+
+from repro.analysis.conflicts import ConflictChecker
+from repro.analysis.ipa import run_ipa
+from repro.analysis.repair import repair_conflict
+from repro.analysis.report import (
+    render_patch,
+    render_resolutions,
+    render_result,
+    render_witness,
+)
+
+from tests.conftest import make_mini_tournament_spec
+
+
+class TestRendering:
+    def test_render_witness(self):
+        spec = make_mini_tournament_spec()
+        checker = ConflictChecker(spec)
+        witness = checker.find_first()
+        text = render_witness(witness)
+        assert "conflict:" in text
+
+    def test_render_resolutions(self):
+        spec = make_mini_tournament_spec()
+        checker = ConflictChecker(spec)
+        witness = checker.find_first()
+        solutions = repair_conflict(spec, checker, witness)
+        text = render_resolutions(solutions)
+        assert "[1]" in text and "[2]" in text
+
+    def test_render_resolutions_empty(self):
+        assert "no resolutions" in render_resolutions([])
+
+    def test_render_patch_shows_added_effects_and_rules(self):
+        spec = make_mini_tournament_spec()
+        result = run_ipa(spec)
+        patch = render_patch(spec, result.modified)
+        assert "operation enroll:" in patch
+        assert "+ tournament(t) = true" in patch
+
+    def test_render_patch_no_changes(self):
+        spec = make_mini_tournament_spec()
+        assert render_patch(spec, spec.copy()) == "no changes required"
+
+    def test_render_result_full(self):
+        spec = make_mini_tournament_spec()
+        result = run_ipa(spec)
+        text = render_result(result)
+        assert "conflicts repaired:" in text
+        assert "patch:" in text

@@ -1,0 +1,110 @@
+"""Interactive session tests."""
+
+import pytest
+
+from repro.analysis.conflicts import ConflictChecker
+from repro.analysis.session import IpaSession
+from repro.errors import AnalysisError
+from repro.spec import SpecBuilder
+
+from tests.conftest import make_mini_tournament_spec
+
+
+class TestSessionFlow:
+    def test_choose_figure2b(self):
+        session = IpaSession(make_mini_tournament_spec())
+        conflict = session.next_conflict()
+        assert conflict is not None
+        options = session.options()
+        assert len(options) == 2
+        # Pick the enroll-side repair explicitly (Figure 2b).
+        index = next(
+            i for i, r in enumerate(options)
+            if r.modified_op.original_name == "enroll"
+        )
+        chosen = session.choose(index)
+        assert chosen.modified_op.original_name == "enroll"
+        assert session.next_conflict() is None
+        patched = session.finish()
+        assert ConflictChecker(patched).find_conflicts() == []
+
+    def test_choose_figure2c_instead(self):
+        """The programmer may prefer the other semantics."""
+        session = IpaSession(make_mini_tournament_spec())
+        session.next_conflict()
+        options = session.options()
+        index = next(
+            i for i, r in enumerate(options)
+            if r.modified_op.original_name == "rem_tourn"
+        )
+        session.choose(index)
+        assert session.next_conflict() is None
+        patched = session.finish()
+        from repro.spec.effects import ConvergencePolicy
+
+        assert patched.rules.policy("enrolled") is (
+            ConvergencePolicy.REM_WINS
+        )
+
+    def test_flag_generates_compensation(self):
+        b = SpecBuilder("cap")
+        b.predicate("enrolled", "Player", "Tournament")
+        b.parameter("Capacity", 1)
+        b.invariant(
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity"
+        )
+        b.operation(
+            "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+        )
+        session = IpaSession(b.build())
+        assert session.next_conflict() is not None
+        compensations = session.flag()
+        assert compensations and compensations[0].kind == "trim-collection"
+        assert session.done
+        session.finish()
+        assert session.compensations() == compensations
+
+    def test_log_records_decisions(self):
+        session = IpaSession(make_mini_tournament_spec())
+        session.next_conflict()
+        session.choose(0)
+        assert len(session.log) == 1
+        assert session.log[0].resolution is not None
+
+
+class TestSessionErrors:
+    def test_options_before_next_conflict(self):
+        session = IpaSession(make_mini_tournament_spec())
+        with pytest.raises(AnalysisError):
+            session.options()
+
+    def test_choose_without_conflict(self):
+        session = IpaSession(make_mini_tournament_spec())
+        with pytest.raises(AnalysisError):
+            session.choose(0)
+
+    def test_double_next_conflict(self):
+        session = IpaSession(make_mini_tournament_spec())
+        session.next_conflict()
+        with pytest.raises(AnalysisError, match="resolve"):
+            session.next_conflict()
+
+    def test_choose_out_of_range(self):
+        session = IpaSession(make_mini_tournament_spec())
+        session.next_conflict()
+        with pytest.raises(AnalysisError, match="out of range"):
+            session.choose(99)
+
+    def test_finish_with_pending_conflict(self):
+        session = IpaSession(make_mini_tournament_spec())
+        session.next_conflict()
+        with pytest.raises(AnalysisError, match="unresolved"):
+            session.finish()
+
+    def test_original_spec_untouched(self):
+        spec = make_mini_tournament_spec()
+        before = dict(spec.operations)
+        session = IpaSession(spec)
+        session.next_conflict()
+        session.choose(0)
+        assert spec.operations == before

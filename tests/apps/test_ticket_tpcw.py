@@ -1,0 +1,197 @@
+"""Ticket and TPC-W application tests."""
+
+import pytest
+
+from repro.apps.common import Variant
+from repro.apps.ticket import (
+    TicketApp,
+    ticket_registry,
+    ticket_spec,
+)
+from repro.apps.tpcw import TpcwApp, tpcw_registry, tpcw_spec
+from repro.crdts import AWSet, CompensatedCounter, CompensationSet, PNCounter
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+
+def settle(sim):
+    sim.run(until=sim.now + 2_000.0)
+
+
+# ---------------------------------------------------------------------------
+# Ticket
+# ---------------------------------------------------------------------------
+
+
+def make_ticket(variant=Variant.IPA, capacity=2):
+    sim = Simulator()
+    cluster = Cluster(sim, ticket_registry(variant, capacity=capacity))
+    app = TicketApp(cluster, variant, capacity=capacity)
+    app.setup(["e1"], US_EAST)
+    return sim, cluster, app
+
+
+class TestTicketSpec:
+    def test_invariants(self):
+        spec = ticket_spec(capacity=10)
+        texts = [inv.describe() for inv in spec.invariants]
+        assert any("EventCapacity" in t for t in texts)
+        assert spec.schema.params["EventCapacity"] == 10
+
+    def test_registry_variants(self):
+        assert isinstance(
+            ticket_registry(Variant.IPA).create("sold:e1"),
+            CompensationSet,
+        )
+        assert isinstance(
+            ticket_registry(Variant.CAUSAL).create("sold:e1"), AWSet
+        )
+
+
+class TestTicketApp:
+    def test_buy_within_capacity(self):
+        sim, cluster, app = make_ticket()
+        ops = []
+        app.buy_ticket(US_EAST, "k1", "e1", ops.append)
+        settle(sim)
+        assert ops == ["buy_ticket"]
+        assert app.count_violations(US_EAST) == 0
+
+    def test_locally_sold_out_rejected(self):
+        sim, cluster, app = make_ticket(capacity=1)
+        ops = []
+        app.buy_ticket(US_EAST, "k1", "e1", ops.append)
+        settle(sim)
+        app.buy_ticket(US_EAST, "k2", "e1", ops.append)
+        settle(sim)
+        assert ops == ["buy_ticket", "buy_rejected"]
+
+    def test_concurrent_oversell_compensated(self):
+        sim, cluster, app = make_ticket(capacity=1)
+        app.buy_ticket(US_EAST, "k1", "e1", lambda _op: None)
+        app.buy_ticket(EU_WEST, "k2", "e1", lambda _op: None)
+        settle(sim)
+        # Raw state oversold; observed state never is.
+        assert app.count_raw_oversells(US_EAST) == 1
+        assert app.count_violations(US_EAST) == 0
+        app.view_event(US_WEST, "e1", lambda _op: None)
+        settle(sim)
+        assert all(app.count_raw_oversells(r) == 0 for r in REGIONS)
+        assert app.reimbursements(US_EAST) == 1
+
+    def test_create_event(self):
+        sim, cluster, app = make_ticket()
+        app.create_event(US_EAST, "e2", lambda _op: None)
+        settle(sim)
+        assert "e2" in cluster.replica(EU_WEST).get_object(
+            "events"
+        ).value()
+
+
+# ---------------------------------------------------------------------------
+# TPC-W
+# ---------------------------------------------------------------------------
+
+
+def make_tpcw(variant=Variant.IPA):
+    sim = Simulator()
+    cluster = Cluster(sim, tpcw_registry(variant))
+    app = TpcwApp(cluster, variant)
+    app.setup(["i1", "i2"], US_EAST)
+    return sim, cluster, app
+
+
+class TestTpcwSpec:
+    def test_numeric_invariant(self):
+        spec = tpcw_spec()
+        texts = [inv.describe() for inv in spec.invariants]
+        assert any("stock" in t for t in texts)
+
+    def test_sequential_id_declared(self):
+        spec = tpcw_spec()
+        assert any(
+            inv.category == "sequential-id" for inv in spec.invariants
+        )
+
+    def test_registry_variants(self):
+        assert isinstance(
+            tpcw_registry(Variant.IPA).create("stock:i1"),
+            CompensatedCounter,
+        )
+        assert isinstance(
+            tpcw_registry(Variant.CAUSAL).create("stock:i1"), PNCounter
+        )
+
+
+class TestTpcwApp:
+    def test_order_decrements_stock(self):
+        sim, cluster, app = make_tpcw()
+        app.new_order(US_EAST, "o1", "i1", lambda _op: None)
+        settle(sim)
+        replica = cluster.replica(US_EAST)
+        assert replica.get_object("stock:i1").value() == 19
+        assert ("o1", "i1") in replica.get_object("orderOf").value()
+
+    def test_restock(self):
+        sim, cluster, app = make_tpcw()
+        app.restock(US_EAST, "i1", 5, lambda _op: None)
+        settle(sim)
+        assert cluster.replica(US_EAST).get_object(
+            "stock:i1"
+        ).value() == 25
+
+    def test_order_of_empty_stock_rejected(self):
+        sim, cluster, app = make_tpcw()
+        for index in range(20):
+            app.new_order(US_EAST, f"o{index}", "i1", lambda _op: None)
+        settle(sim)
+        ops = []
+        app.new_order(US_EAST, "o-extra", "i1", ops.append)
+        settle(sim)
+        assert ops == ["order_rejected"]
+
+    def test_concurrent_oversell_replenished_on_read(self):
+        sim, cluster, app = make_tpcw()
+        # Drain stock to 1 then race two orders.
+        for index in range(19):
+            app.new_order(US_EAST, f"o{index}", "i1", lambda _op: None)
+        settle(sim)
+        app.new_order(US_WEST, "oa", "i1", lambda _op: None)
+        app.new_order(EU_WEST, "ob", "i1", lambda _op: None)
+        settle(sim)
+        app.browse(US_EAST, "i1", lambda _op: None)
+        settle(sim)
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+            assert cluster.replica(region).get_object(
+                "stock:i1"
+            ).value() >= 0
+
+    def test_rem_product_clears_orders_ipa(self):
+        sim, cluster, app = make_tpcw()
+        app.new_order(US_EAST, "o1", "i1", lambda _op: None)
+        settle(sim)
+        app.rem_product(US_EAST, "i1", lambda _op: None)
+        settle(sim)
+        for region in REGIONS:
+            order_refs = cluster.replica(region).get_object(
+                "orderOf"
+            ).value()
+            assert all(product != "i1" for _o, product in order_refs)
+
+    def test_concurrent_order_vs_rem_product(self):
+        sim, cluster, app = make_tpcw()
+        app.new_order(US_WEST, "o1", "i1", lambda _op: None)
+        app.rem_product(EU_WEST, "i1", lambda _op: None)
+        settle(sim)
+        assert cluster.converged()
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+
+    def test_causal_variant_violates_on_race(self):
+        sim, cluster, app = make_tpcw(Variant.CAUSAL)
+        app.new_order(US_WEST, "o1", "i1", lambda _op: None)
+        app.rem_product(EU_WEST, "i1", lambda _op: None)
+        settle(sim)
+        assert any(app.count_violations(r) > 0 for r in REGIONS)

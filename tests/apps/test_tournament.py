@@ -1,0 +1,114 @@
+"""Tournament application tests."""
+
+import pytest
+
+from repro.analysis import ConflictChecker
+from repro.apps.common import Variant
+from repro.apps.tournament import (
+    TournamentApp,
+    tournament_registry,
+    tournament_spec,
+)
+from repro.crdts import AWSet, CompensationSet, RWSet
+from repro.sim.events import Simulator
+from repro.sim.latency import REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+
+def make_app(variant=Variant.IPA, capacity=3):
+    sim = Simulator()
+    cluster = Cluster(sim, tournament_registry(variant, capacity=capacity))
+    app = TournamentApp(cluster, variant, capacity=capacity)
+    app.setup([f"p{i}" for i in range(6)], ["t1", "t2"], US_EAST)
+    return sim, cluster, app
+
+
+class TestSpec:
+    def test_figure1_invariants_count(self):
+        spec = tournament_spec()
+        # Six Figure 1 invariants plus the two category-tagged ones.
+        assert len(spec.invariants) == 8
+
+    def test_all_figure1_operations_present(self):
+        spec = tournament_spec()
+        assert set(spec.operations) == {
+            "add_player", "add_tourn", "rem_tourn", "enroll",
+            "disenroll", "begin_tourn", "finish_tourn", "do_match",
+        }
+
+    def test_capacity_parameter(self):
+        spec = tournament_spec(capacity=3)
+        assert spec.schema.params["Capacity"] == 3
+
+    def test_spec_has_figure2_conflict(self):
+        spec = tournament_spec()
+        checker = ConflictChecker(spec)
+        assert checker.is_conflicting(
+            spec.operation("rem_tourn"), spec.operation("enroll")
+        ) is not None
+
+
+class TestRegistry:
+    def test_ipa_variant_uses_rem_wins_for_cleared_predicates(self):
+        registry = tournament_registry(Variant.IPA)
+        assert isinstance(registry.create("enrolled"), RWSet)
+        assert isinstance(registry.create("inMatch"), RWSet)
+        assert isinstance(registry.create("tournaments"), AWSet)
+        assert isinstance(registry.create("capacity:t1"), CompensationSet)
+
+    def test_causal_variant_all_add_wins(self):
+        registry = tournament_registry(Variant.CAUSAL)
+        assert isinstance(registry.create("enrolled"), AWSet)
+        assert isinstance(registry.create("capacity:t1"), AWSet)
+
+
+class TestOperations:
+    def test_enroll_and_status(self):
+        sim, cluster, app = make_app()
+        ops = []
+        app.enroll(US_EAST, "p0", "t1", ops.append)
+        app.status(US_EAST, "t1", ops.append)
+        sim.run(until=sim.now + 2_000.0)
+        assert ops == ["enroll", "status"]
+        assert ("p0", "t1") in cluster.replica(
+            US_EAST
+        ).get_object("enrolled").value()
+
+    def test_disenroll(self):
+        sim, cluster, app = make_app()
+        app.enroll(US_EAST, "p0", "t1", lambda _op: None)
+        sim.run(until=sim.now + 1_000.0)
+        app.disenroll(US_EAST, "p0", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert cluster.replica(US_EAST).get_object(
+            "enrolled"
+        ).value() == set()
+
+    def test_begin_finish_lifecycle(self):
+        sim, cluster, app = make_app()
+        app.begin_tourn(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 1_000.0)
+        replica = cluster.replica(US_EAST)
+        assert "t1" in replica.get_object("active").value()
+        app.finish_tourn(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert "t1" not in replica.get_object("active").value()
+        assert "t1" in replica.get_object("finished").value()
+
+    def test_capacity_compensation_trims(self):
+        sim, cluster, app = make_app(capacity=2)
+        # Oversell concurrently from different regions.
+        for index, region in enumerate(REGIONS):
+            app.enroll(region, f"p{index}", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        app.status(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+
+    def test_violation_audit_counts(self):
+        sim, cluster, app = make_app(Variant.CAUSAL)
+        app.enroll(US_WEST, "p0", "t1", lambda _op: None)
+        app.rem_tourn(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert app.count_violations(US_EAST) >= 1

@@ -1,0 +1,144 @@
+"""Twitter clone tests."""
+
+import pytest
+
+from repro.apps.common import Variant
+from repro.apps.twitter import TwitterApp, twitter_registry, twitter_spec
+from repro.crdts import AWSet, RWSet
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+
+def make_app(variant=Variant.ADD_WINS):
+    sim = Simulator()
+    cluster = Cluster(sim, twitter_registry(variant))
+    app = TwitterApp(cluster, variant)
+    app.setup(["alice", "bob", "carol"], US_EAST)
+    return sim, cluster, app
+
+
+def settle(sim):
+    sim.run(until=sim.now + 2_000.0)
+
+
+class TestSpec:
+    def test_operations(self):
+        spec = twitter_spec()
+        assert {"tweet", "retweet", "del_tweet", "follow", "rem_user"} <= set(
+            spec.operations
+        )
+
+    def test_referential_integrity_invariants(self):
+        spec = twitter_spec()
+        texts = [inv.describe() for inv in spec.invariants]
+        assert any("authored" in t for t in texts)
+        assert any("inTimeline" in t for t in texts)
+
+
+class TestRegistry:
+    def test_rem_wins_variant_uses_rwsets(self):
+        registry = twitter_registry(Variant.REM_WINS)
+        assert isinstance(registry.create("users"), RWSet)
+        assert isinstance(registry.create("timeline:alice"), RWSet)
+
+    def test_other_variants_use_awsets(self):
+        for variant in (Variant.CAUSAL, Variant.ADD_WINS):
+            registry = twitter_registry(variant)
+            assert isinstance(registry.create("users"), AWSet)
+
+
+class TestTweeting:
+    def test_tweet_fans_out_to_followers(self):
+        sim, cluster, app = make_app()
+        app.follow(US_EAST, "bob", "alice", lambda _op: None)
+        settle(sim)
+        app.tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        replica = cluster.replica(US_EAST)
+        assert ("w1", "alice") in replica.get_object(
+            "timeline:bob"
+        ).value()
+        assert ("w1", "alice") in replica.get_object(
+            "timeline:alice"
+        ).value()
+        assert "w1" in replica.get_object("tweets").value()
+
+    def test_del_tweet_removes_globally(self):
+        sim, cluster, app = make_app()
+        app.tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        app.del_tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        assert "w1" not in cluster.replica(EU_WEST).get_object(
+            "tweets"
+        ).value()
+
+
+class TestAddWinsStrategy:
+    def test_tweet_restores_user_against_concurrent_removal(self):
+        sim, cluster, app = make_app(Variant.ADD_WINS)
+        app.tweet(US_WEST, "alice", "w1", lambda _op: None)
+        app.rem_user(EU_WEST, "alice", lambda _op: None)
+        settle(sim)
+        assert cluster.converged()
+        for region in REGIONS:
+            users = cluster.replica(region).get_object("users").value()
+            assert "alice" in users
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+
+    def test_causal_variant_leaves_dangling_author(self):
+        sim, cluster, app = make_app(Variant.CAUSAL)
+        app.tweet(US_WEST, "alice", "w1", lambda _op: None)
+        app.rem_user(EU_WEST, "alice", lambda _op: None)
+        settle(sim)
+        assert any(app.count_violations(r) > 0 for r in REGIONS)
+
+
+class TestRemWinsStrategy:
+    def test_rem_user_purges_concurrent_tweet(self):
+        sim, cluster, app = make_app(Variant.REM_WINS)
+        app.follow(US_EAST, "bob", "alice", lambda _op: None)
+        settle(sim)
+        app.tweet(US_WEST, "alice", "w1", lambda _op: None)
+        app.rem_user(EU_WEST, "alice", lambda _op: None)
+        settle(sim)
+        assert cluster.converged()
+        for region in REGIONS:
+            replica = cluster.replica(region)
+            assert "alice" not in replica.get_object("users").value()
+            timeline = replica.get_object("timeline:bob").value()
+            assert all(author != "alice" for _w, author in timeline)
+
+    def test_timeline_read_hides_removed_tweets(self):
+        sim, cluster, app = make_app(Variant.REM_WINS)
+        app.follow(US_EAST, "bob", "alice", lambda _op: None)
+        settle(sim)
+        app.tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        # Remove the tweet; bob's timeline entry dangles until read.
+        app.del_tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        app.timeline(US_EAST, "bob", lambda _op: None)
+        settle(sim)
+        replica = cluster.replica(US_EAST)
+        assert replica.get_object("timeline:bob").value() == set()
+
+    def test_retweet_of_removed_tweet_hidden_by_compensation(self):
+        sim, cluster, app = make_app(Variant.REM_WINS)
+        app.follow(US_EAST, "bob", "carol", lambda _op: None)
+        app.tweet(US_EAST, "alice", "w1", lambda _op: None)
+        settle(sim)
+        # Concurrent: delete w1 vs retweet w1 into bob's timeline.
+        app.del_tweet(US_WEST, "alice", "w1", lambda _op: None)
+        app.retweet(EU_WEST, "carol", "w1", "alice", lambda _op: None)
+        settle(sim)
+        # Reading bob's timeline compensates the dangling entry away.
+        app.timeline(US_EAST, "bob", lambda _op: None)
+        settle(sim)
+        timeline = cluster.replica(US_EAST).get_object(
+            "timeline:bob"
+        ).value()
+        tweets = cluster.replica(US_EAST).get_object("tweets").value()
+        assert all(w in tweets for w, _a in timeline)

@@ -1,0 +1,101 @@
+"""Bench-harness tests: table formatting and tiny experiment smokes.
+
+Full-scale experiment runs live under ``benchmarks/``; these tests only
+verify the drivers are wired correctly (tiny parameters, seconds not
+minutes).
+"""
+
+import pytest
+
+from repro.apps.common import Variant
+from repro.bench.configs import (
+    CONFIGS,
+    TOURNAMENT_MIX,
+    build_ticket,
+    build_tournament,
+    build_twitter,
+)
+from repro.bench.tables import format_series, format_table
+from repro.sim.latency import REGIONS
+from repro.sim.runner import run_closed_loop
+from repro.sim.workload import OperationMix
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "a", "value": 1.5},
+            {"name": "longer", "value": None},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "—" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_format_series(self):
+        text = format_series(
+            "title", {"line": [(1, 2.0)]}, ("x", "y")
+        )
+        assert "title" in text
+        assert "[line]" in text
+        assert "2.00" in text
+
+
+class TestConfigs:
+    def test_four_configurations(self):
+        names = [config.name for config in CONFIGS]
+        assert names == ["Strong", "Indigo", "IPA", "Causal"]
+
+    def test_mix_is_35_percent_writes(self):
+        mix = OperationMix(TOURNAMENT_MIX)
+        writes = [op for op in TOURNAMENT_MIX if op != "status"]
+        assert mix.write_fraction(writes) == pytest.approx(0.35)
+
+
+class TestWorkloadSmokes:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.name)
+    def test_tournament_workload_runs(self, config):
+        sim, app, workload = build_tournament(
+            config, n_players=10, n_tournaments=3
+        )
+        result = run_closed_loop(
+            sim,
+            workload.issue,
+            {region: 1 for region in REGIONS},
+            duration_ms=500.0,
+            warmup_ms=50.0,
+        )
+        assert result.metrics.total_operations() > 0
+
+    @pytest.mark.parametrize(
+        "variant", [Variant.CAUSAL, Variant.ADD_WINS, Variant.REM_WINS]
+    )
+    def test_twitter_workload_runs(self, variant):
+        sim, app, workload = build_twitter(variant, n_users=8)
+        result = run_closed_loop(
+            sim,
+            workload.issue,
+            {region: 1 for region in REGIONS},
+            duration_ms=500.0,
+            warmup_ms=50.0,
+        )
+        assert result.metrics.total_operations() > 0
+
+    @pytest.mark.parametrize("variant", [Variant.CAUSAL, Variant.IPA])
+    def test_ticket_workload_runs(self, variant):
+        sim, app, workload = build_ticket(variant, n_events=4)
+        result = run_closed_loop(
+            sim,
+            workload.issue,
+            {region: 1 for region in REGIONS},
+            duration_ms=500.0,
+            warmup_ms=50.0,
+        )
+        assert result.metrics.total_operations() > 0
+        # The audit functions run on live state without blowing up.
+        for region in REGIONS:
+            assert app.count_violations(region) >= 0

@@ -1,0 +1,40 @@
+"""Extra table-formatter edge cases."""
+
+from repro.bench.tables import format_series, format_table
+
+
+class TestCellFormatting:
+    def test_floats_rounded_to_two_places(self):
+        text = format_table([{"x": 3.14159}])
+        assert "3.14" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table([{"x": None}])
+        assert "—" in text
+
+    def test_mixed_width_columns_align(self):
+        rows = [
+            {"left": "a", "right": 123456},
+            {"left": "bbbb", "right": 1},
+        ]
+        lines = format_table(rows).splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_missing_keys_render_as_dash(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "—" in text
+
+
+class TestSeriesFormatting:
+    def test_multiple_series_blocks(self):
+        text = format_series(
+            "t", {"one": [(1, 2)], "two": [(3, 4)]}, ("x", "y")
+        )
+        assert "[one]" in text and "[two]" in text
+
+    def test_rows_follow_header_order(self):
+        text = format_series("t", {"s": [(1, 2.5, "z")]}, ("a", "b", "c"))
+        lines = text.splitlines()
+        header_line = next(l for l in lines if "a" in l and "b" in l)
+        row_line = lines[lines.index(header_line) + 1]
+        assert "2.50" in row_line and "z" in row_line

@@ -1,0 +1,104 @@
+"""Workload-class behaviour tests (locality, hot keys, pools)."""
+
+import random
+
+from repro.apps.common import Variant
+from repro.bench.configs import (
+    CONFIGS,
+    TicketWorkload,
+    TournamentWorkload,
+    TwitterWorkload,
+    build_ticket,
+    build_tournament,
+    build_twitter,
+)
+from repro.sim.latency import REGIONS
+from repro.sim.runner import Client
+
+
+class TestTournamentLocality:
+    def test_high_locality_prefers_region_partition(self):
+        config = next(c for c in CONFIGS if c.name == "Causal")
+        _sim, app, _wl = build_tournament(config, n_tournaments=9)
+        workload = TournamentWorkload(
+            app,
+            [f"p{i}" for i in range(10)],
+            [f"t{i}" for i in range(9)],
+            locality=1.0,
+        )
+        region = REGIONS[0]
+        local_pool = set(workload._local[region])
+        for _ in range(50):
+            assert workload._pick_tournament(region) in local_pool
+
+    def test_zero_locality_spreads_globally(self):
+        config = next(c for c in CONFIGS if c.name == "Causal")
+        _sim, app, _wl = build_tournament(config, n_tournaments=9)
+        workload = TournamentWorkload(
+            app,
+            [f"p{i}" for i in range(10)],
+            [f"t{i}" for i in range(9)],
+            locality=0.0,
+        )
+        picks = {
+            workload._pick_tournament(REGIONS[0]) for _ in range(300)
+        }
+        # With no locality, picks cover (nearly) the whole pool.
+        assert len(picks) >= 7
+
+    def test_partitions_cover_all_tournaments(self):
+        config = next(c for c in CONFIGS if c.name == "Causal")
+        _sim, app, workload = build_tournament(config, n_tournaments=12)
+        covered = set()
+        for pool in workload._local.values():
+            covered.update(pool)
+        assert len(covered) == 12
+
+
+class TestTicketHotEvents:
+    def test_event_pool_bounded(self):
+        sim, app, workload = build_ticket(Variant.CAUSAL, n_events=10)
+        client = Client(0, REGIONS[0])
+        for _ in range(600):
+            workload.issue(client, lambda _op: None)
+            sim.run(until=sim.now + 5.0)
+        assert len(workload._events) <= 40
+
+    def test_fresh_events_are_hot(self):
+        """Zipf indexing from the end of the pool targets new events."""
+        sim, app, workload = build_ticket(Variant.CAUSAL, n_events=20)
+        # Force buys only.
+        workload._mix = type(workload._mix)({"buy_ticket": 1.0}, seed=1)
+        counts: dict[str, int] = {}
+        original = app.buy_ticket
+
+        def spy(region, ticket, event, done):
+            counts[event] = counts.get(event, 0) + 1
+            original(region, ticket, event, done)
+
+        app.buy_ticket = spy
+        client = Client(0, REGIONS[0])
+        for _ in range(400):
+            workload.issue(client, lambda _op: None)
+            sim.run(until=sim.now + 5.0)
+        hot = max(counts, key=counts.get)
+        # The hottest event is near the end of the initial pool.
+        assert int(hot[1:]) >= 15
+
+
+class TestTwitterPools:
+    def test_tweet_ids_unique_per_region_sequence(self):
+        _sim, app, workload = build_twitter(Variant.CAUSAL, n_users=6)
+        ids = {
+            workload._new_tweet_id(REGIONS[0]) for _ in range(100)
+        }
+        assert len(ids) == 100
+
+    def test_recent_tweet_pool_bounded(self):
+        sim, app, workload = build_twitter(Variant.CAUSAL, n_users=6)
+        workload._mix = type(workload._mix)({"tweet": 1.0}, seed=2)
+        client = Client(0, REGIONS[0])
+        for _ in range(200):
+            workload.issue(client, lambda _op: None)
+            sim.run(until=sim.now + 5.0)
+        assert len(workload._recent_tweets) <= 64

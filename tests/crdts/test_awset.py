@@ -1,0 +1,135 @@
+"""Add-wins (observed-remove) set tests."""
+
+from repro.crdts import AWSet, Pattern
+
+from tests.conftest import ctx
+
+
+def replicate(payload, context, *replicas):
+    for replica in replicas:
+        replica.effect(payload, context)
+
+
+class TestSequential:
+    def test_add_then_remove(self):
+        s = AWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        assert "x" in s
+        s.effect(s.prepare_remove("x"), ctx("A", 2, {"A": 1}))
+        assert s.value() == set()
+
+    def test_remove_nonexistent_is_noop(self):
+        s = AWSet()
+        s.effect(s.prepare_remove("ghost"), ctx("A", 1))
+        assert s.value() == set()
+
+    def test_re_add_after_remove(self):
+        s = AWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_remove("x"), ctx("A", 2, {"A": 1}))
+        s.effect(s.prepare_add("x"), ctx("A", 3, {"A": 2}))
+        assert "x" in s
+
+    def test_len(self):
+        s = AWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_add("y"), ctx("A", 2, {"A": 1}))
+        assert len(s) == 2
+
+
+class TestConcurrent:
+    def test_add_wins_over_concurrent_remove(self):
+        a, b = AWSet(), AWSet()
+        p_add = a.prepare_add("x")
+        replicate(p_add, ctx("A", 1), a, b)
+        # A removes; B concurrently re-adds.
+        p_rem = a.prepare_remove("x")
+        p_readd = b.prepare_add("x")
+        c_rem, c_readd = ctx("A", 2, {"A": 1}), ctx("B", 1, {"A": 1})
+        a.effect(p_rem, c_rem)
+        a.effect(p_readd, c_readd)
+        b.effect(p_readd, c_readd)
+        b.effect(p_rem, c_rem)
+        assert a.value() == b.value() == {"x"}
+
+    def test_remove_covers_only_observed_dots(self):
+        a, b = AWSet(), AWSet()
+        p1 = a.prepare_add("x")
+        replicate(p1, ctx("A", 1), a)
+        # B adds x independently (different dot), then A's remove
+        # (which only saw its own add) arrives at B.
+        p2 = b.prepare_add("x")
+        b.effect(p2, ctx("B", 1))
+        p_rem = a.prepare_remove("x")
+        b.effect(p_rem, ctx("A", 2, {"A": 1}))
+        assert "x" in b  # B's own add survives
+
+    def test_touch_behaves_as_add_for_visibility(self):
+        a, b = AWSet(), AWSet()
+        p_add = a.prepare_add("x")
+        replicate(p_add, ctx("A", 1), a, b)
+        p_rem = a.prepare_remove("x")
+        p_touch = b.prepare_touch("x")
+        c_rem, c_touch = ctx("A", 2, {"A": 1}), ctx("B", 1, {"A": 1})
+        a.effect(p_rem, c_rem)
+        a.effect(p_touch, c_touch)
+        b.effect(p_touch, c_touch)
+        b.effect(p_rem, c_rem)
+        assert a.value() == b.value() == {"x"}
+
+
+class TestWildcard:
+    def test_remove_where_clears_matching(self):
+        s = AWSet()
+        s.effect(s.prepare_add(("p1", "t1")), ctx("A", 1))
+        s.effect(s.prepare_add(("p2", "t1")), ctx("A", 2, {"A": 1}))
+        s.effect(s.prepare_add(("p1", "t2")), ctx("A", 3, {"A": 2}))
+        payload = s.prepare_remove_where(Pattern.of("*", "t1"))
+        s.effect(payload, ctx("A", 4, {"A": 3}))
+        assert s.value() == {("p1", "t2")}
+
+    def test_remove_where_is_observed_only(self):
+        """Add-wins wildcard removes do NOT kill concurrent adds."""
+        a, b = AWSet(), AWSet()
+        payload_rm = a.prepare_remove_where(Pattern.of("*", "t1"))
+        payload_add = b.prepare_add(("p1", "t1"))
+        c_rm, c_add = ctx("A", 1), ctx("B", 1)
+        a.effect(payload_rm, c_rm)
+        a.effect(payload_add, c_add)
+        b.effect(payload_add, c_add)
+        b.effect(payload_rm, c_rm)
+        assert a.value() == b.value() == {("p1", "t1")}
+
+    def test_elements_matching(self):
+        s = AWSet()
+        s.effect(s.prepare_add(("p1", "t1")), ctx("A", 1))
+        s.effect(s.prepare_add(("p1", "t2")), ctx("A", 2, {"A": 1}))
+        assert s.elements_matching(Pattern.of("p1", "*")) == {
+            ("p1", "t1"), ("p1", "t2"),
+        }
+
+
+class TestExactlyOnceContract:
+    def test_same_payload_applied_at_both_replicas_converges(self):
+        a, b = AWSet(), AWSet()
+        payloads = []
+        contexts = []
+        p = a.prepare_add("x")
+        c = ctx("A", 1)
+        a.effect(p, c)
+        payloads.append(p)
+        contexts.append(c)
+        p = a.prepare_remove("x")
+        c = ctx("A", 2, {"A": 1})
+        a.effect(p, c)
+        payloads.append(p)
+        contexts.append(c)
+        for p, c in zip(payloads, contexts):
+            b.effect(p, c)
+        assert a.value() == b.value()
+
+    def test_dots_of(self):
+        s = AWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_add("x"), ctx("B", 1))
+        assert len(s.dots_of("x")) == 2

@@ -1,0 +1,99 @@
+"""Version vector tests, including lattice properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdts.clock import VersionVector
+
+
+def vectors():
+    return st.builds(
+        VersionVector.of,
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=5),
+            max_size=3,
+        ),
+    )
+
+
+class TestBasics:
+    def test_get_missing_is_zero(self):
+        assert VersionVector().get("a") == 0
+
+    def test_increment(self):
+        vv = VersionVector()
+        assert vv.increment("a") == 1
+        assert vv.increment("a") == 2
+        assert vv.get("a") == 2
+
+    def test_contains_dot(self):
+        vv = VersionVector.of({"a": 3})
+        assert vv.contains_dot("a", 3)
+        assert vv.contains_dot("a", 1)
+        assert not vv.contains_dot("a", 4)
+        assert not vv.contains_dot("b", 1)
+
+    def test_equality_ignores_zero_entries(self):
+        assert VersionVector.of({"a": 0}) == VersionVector()
+
+    def test_copy_isolated(self):
+        vv = VersionVector.of({"a": 1})
+        clone = vv.copy()
+        clone.increment("a")
+        assert vv.get("a") == 1
+
+
+class TestOrdering:
+    def test_dominates(self):
+        big = VersionVector.of({"a": 2, "b": 1})
+        small = VersionVector.of({"a": 1})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+        assert big.strictly_dominates(small)
+
+    def test_concurrent(self):
+        left = VersionVector.of({"a": 1})
+        right = VersionVector.of({"b": 1})
+        assert left.concurrent(right)
+        assert right.concurrent(left)
+
+    def test_self_domination_not_strict(self):
+        vv = VersionVector.of({"a": 1})
+        assert vv.dominates(vv)
+        assert not vv.strictly_dominates(vv.copy())
+
+
+class TestLatticeProperties:
+    @given(vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_commutative(self, x, y):
+        assert x.merged(y) == y.merged(x)
+
+    @given(vectors(), vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_associative(self, x, y, z):
+        assert x.merged(y).merged(z) == x.merged(y.merged(z))
+
+    @given(vectors())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_idempotent(self, x):
+        assert x.merged(x) == x
+
+    @given(vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_upper_bound(self, x, y):
+        merged = x.merged(y)
+        assert merged.dominates(x)
+        assert merged.dominates(y)
+
+    @given(vectors(), vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_trichotomy(self, x, y):
+        relations = [
+            x == y,
+            x.strictly_dominates(y),
+            y.strictly_dominates(x),
+            x.concurrent(y),
+        ]
+        assert relations.count(True) == 1

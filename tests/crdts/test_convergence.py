@@ -1,0 +1,219 @@
+"""Property-based convergence tests.
+
+The paper's whole construction rests on the CRDTs converging under any
+causally-consistent delivery order.  These tests generate random
+operation sequences issued at three replicas, then deliver the payloads
+to every other replica in *random causally-legal orders* and assert all
+replicas reach the same state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdts import AWSet, CompensationSet, Pattern, PNCounter, RWSet
+from repro.crdts.base import Dot, EventContext
+from repro.crdts.clock import VersionVector
+
+REPLICAS = ("A", "B", "C")
+ELEMENTS = (("p1", "t1"), ("p2", "t1"), ("p1", "t2"))
+PATTERNS = (Pattern.of("*", "t1"), Pattern.of("p1", "*"))
+
+
+@dataclass
+class Event:
+    origin: str
+    payload: object
+    ctx: EventContext
+
+    @property
+    def deps(self) -> VersionVector:
+        deps = self.ctx.vv.copy()
+        deps.entries[self.origin] = self.ctx.dot.counter - 1
+        return deps
+
+
+@dataclass
+class Harness:
+    """Three replicas of one CRDT with causal delivery."""
+
+    factory: type
+    replicas: dict = field(default_factory=dict)
+    seen: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    def __post_init__(self):
+        for replica in REPLICAS:
+            self.replicas[replica] = self.factory()
+            self.seen[replica] = VersionVector()
+
+    def issue(self, origin: str, prepare) -> None:
+        """Prepare at the origin, apply there, record for delivery."""
+        crdt = self.replicas[origin]
+        payload = prepare(crdt)
+        vv = self.seen[origin].copy()
+        counter = vv.increment(origin)
+        ctx = EventContext(Dot(origin, counter), vv.copy())
+        crdt.effect(payload, ctx)
+        self.seen[origin] = vv
+        self.events.append(Event(origin, payload, ctx))
+
+    def deliver_all(self, rng: random.Random) -> None:
+        """Deliver every event everywhere, in random legal orders."""
+        for replica in REPLICAS:
+            pending = [e for e in self.events if e.origin != replica]
+            seen = self.seen[replica]
+            while pending:
+                deliverable = [
+                    e for e in pending
+                    if seen.dominates(e.deps)
+                    and e.ctx.dot.counter == seen.get(e.origin) + 1
+                ]
+                assert deliverable, "causal delivery deadlock"
+                event = rng.choice(deliverable)
+                self.replicas[replica].effect(event.payload, event.ctx)
+                seen.entries[event.origin] = event.ctx.dot.counter
+                pending.remove(event)
+
+    def values(self) -> list:
+        out = []
+        for replica in REPLICAS:
+            crdt = self.replicas[replica]
+            raw = crdt.raw_value() if hasattr(crdt, "raw_value") else None
+            out.append((crdt.value(), raw))
+        return out
+
+
+def set_ops():
+    """Strategy: one random set operation."""
+    return st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(ELEMENTS)),
+        st.tuples(st.just("remove"), st.sampled_from(ELEMENTS)),
+        st.tuples(st.just("touch"), st.sampled_from(ELEMENTS)),
+        st.tuples(st.just("remove_where"), st.sampled_from(PATTERNS)),
+    )
+
+
+def apply_set_op(harness: Harness, origin: str, op) -> None:
+    kind, arg = op
+    if kind == "add":
+        harness.issue(origin, lambda s: s.prepare_add(arg))
+    elif kind == "remove":
+        harness.issue(origin, lambda s: s.prepare_remove(arg))
+    elif kind == "touch":
+        harness.issue(origin, lambda s: s.prepare_touch(arg))
+    else:
+        harness.issue(origin, lambda s: s.prepare_remove_where(arg))
+
+
+script = st.lists(
+    st.tuples(st.sampled_from(REPLICAS), set_ops()),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestSetConvergence:
+    @given(script, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_awset_converges(self, ops, seed):
+        harness = Harness(AWSet)
+        for origin, op in ops:
+            apply_set_op(harness, origin, op)
+        harness.deliver_all(random.Random(seed))
+        values = [v for v, _raw in harness.values()]
+        assert values[0] == values[1] == values[2]
+
+    @given(script, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_rwset_converges(self, ops, seed):
+        harness = Harness(RWSet)
+        for origin, op in ops:
+            apply_set_op(harness, origin, op)
+        harness.deliver_all(random.Random(seed))
+        values = [v for v, _raw in harness.values()]
+        assert values[0] == values[1] == values[2]
+
+    @given(script, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_delivery_order_independence(self, ops, seed):
+        """Two different legal delivery orders give identical states."""
+        for crdt_type in (AWSet, RWSet):
+            h1, h2 = Harness(crdt_type), Harness(crdt_type)
+            for origin, op in ops:
+                apply_set_op(h1, origin, op)
+                apply_set_op(h2, origin, op)
+            h1.deliver_all(random.Random(seed))
+            h2.deliver_all(random.Random(seed + 1))
+            assert [v for v, _ in h1.values()] == [
+                v for v, _ in h2.values()
+            ]
+
+
+class TestSemanticsUnderConcurrency:
+    @given(script, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_rem_wins_stronger_than_add_wins(self, ops, seed):
+        """Any element visible under rem-wins is visible under add-wins
+        (removes only ever kill MORE under rem-wins)."""
+        aw, rw = Harness(AWSet), Harness(RWSet)
+        for origin, op in ops:
+            apply_set_op(aw, origin, op)
+            apply_set_op(rw, origin, op)
+        aw.deliver_all(random.Random(seed))
+        rw.deliver_all(random.Random(seed))
+        aw_value = aw.values()[0][0]
+        rw_value = rw.values()[0][0]
+        assert rw_value <= aw_value
+
+
+class TestCounterConvergence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(REPLICAS),
+                st.integers(min_value=-3, max_value=3).filter(bool),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pncounter_converges(self, deltas, seed):
+        harness = Harness(PNCounter)
+        for origin, delta in deltas:
+            harness.issue(origin, lambda c, d=delta: c.prepare_add(d))
+        harness.deliver_all(random.Random(seed))
+        values = [v for v, _ in harness.values()]
+        assert values[0] == values[1] == values[2]
+        assert values[0] == sum(d for _o, d in deltas)
+
+
+class TestCompensationSetConvergence:
+    @given(script, st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=75, deadline=None)
+    def test_compensated_raw_state_converges(self, ops, seed):
+        harness = Harness(lambda: CompensationSet(max_size=2))
+        for origin, op in ops:
+            if op[0] == "touch":
+                op = ("add", op[1])
+            apply_set_op(harness, origin, op)
+        # Interleave compensating reads: each replica repairs what it
+        # sees, committing the compensation as a new event.
+        for replica in REPLICAS:
+            outcome = harness.replicas[replica].read()
+            if outcome.compensation is not None:
+                harness.issue(
+                    replica, lambda _s, p=outcome.compensation: p
+                )
+        harness.deliver_all(random.Random(seed))
+        raws = [raw for _v, raw in harness.values()]
+        assert raws[0] == raws[1] == raws[2]
+        # And every observed (compensated) view is within bounds.
+        for replica in REPLICAS:
+            assert len(harness.replicas[replica].value()) <= 2

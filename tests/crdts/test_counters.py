@@ -1,0 +1,152 @@
+"""Counter tests: PN, compensated, bounded (escrow)."""
+
+import pytest
+
+from repro.errors import CRDTError
+from repro.crdts import BoundedCounter, CompensatedCounter, PNCounter
+from repro.crdts.counter import Correction
+
+from tests.conftest import ctx
+
+
+class TestPNCounter:
+    def test_initial_value(self):
+        assert PNCounter(initial=5).value() == 5
+
+    def test_increments_and_decrements(self):
+        c = PNCounter()
+        c.effect(c.prepare_add(3), ctx("A", 1))
+        c.effect(c.prepare_add(-1), ctx("B", 1))
+        assert c.value() == 2
+
+    def test_concurrent_deltas_commute(self):
+        a, b = PNCounter(), PNCounter()
+        p1, c1 = a.prepare_add(2), ctx("A", 1)
+        p2, c2 = b.prepare_add(-5), ctx("B", 1)
+        a.effect(p1, c1)
+        a.effect(p2, c2)
+        b.effect(p2, c2)
+        b.effect(p1, c1)
+        assert a.value() == b.value() == -3
+
+
+class TestCompensatedCounter:
+    def make(self):
+        return CompensatedCounter(
+            initial=2, lower_bound=0, replenish_to=5
+        )
+
+    def test_within_bounds_no_violation(self):
+        c = self.make()
+        assert c.check_violation() is None
+
+    def test_violation_produces_replenish(self):
+        c = self.make()
+        c.effect(c.prepare_add(-4), ctx("A", 1))
+        assert c.value() == -2
+        correction = c.check_violation()
+        assert correction == Correction(epoch=0, amount=7)
+        c.effect(correction, ctx("A", 2, {"A": 1}))
+        assert c.value() == 5
+        assert c.check_violation() is None
+        assert c.corrections_applied == 1
+
+    def test_duplicate_corrections_idempotent(self):
+        """Two replicas detecting the same violation converge."""
+        a, b = self.make(), self.make()
+        delta, c_delta = a.prepare_add(-4), ctx("A", 1)
+        a.effect(delta, c_delta)
+        b.effect(delta, c_delta)
+        corr_a = a.check_violation()
+        corr_b = b.check_violation()
+        assert corr_a == corr_b
+        # Both replicas apply both corrections (same epoch key).
+        for counter in (a, b):
+            counter.effect(corr_a, ctx("A", 2, {"A": 1}))
+            counter.effect(corr_b, ctx("B", 1, {"A": 1}))
+        assert a.value() == b.value() == 5
+        assert a.corrections_applied == 1
+
+    def test_divergent_corrections_take_max(self):
+        """Replicas seeing different deficits converge to the larger
+        correction (monotonic merge)."""
+        a, b = self.make(), self.make()
+        d1, c1 = a.prepare_add(-4), ctx("A", 1)
+        d2, c2 = b.prepare_add(-2), ctx("B", 1)
+        a.effect(d1, c1)
+        b.effect(d1, c1)
+        b.effect(d2, c2)
+        corr_small = a.check_violation()   # saw only d1: deficit 2
+        corr_big = b.check_violation()     # saw both: deficit 4
+        a.effect(d2, c2)  # late delivery of d2 at A
+        for counter in (a, b):
+            counter.effect(corr_small, ctx("A", 2, {"A": 1}))
+            counter.effect(corr_big, ctx("B", 2, {"A": 1, "B": 1}))
+        assert a.value() == b.value()
+        assert a.value() >= 5  # replenished at least to the target
+
+    def test_upper_bound_cancel(self):
+        c = CompensatedCounter(initial=0, upper_bound=3)
+        c.effect(c.prepare_add(5), ctx("A", 1))
+        correction = c.check_violation()
+        assert correction.amount == -2
+        c.effect(correction, ctx("A", 2, {"A": 1}))
+        assert c.value() == 3
+
+
+class TestBoundedCounter:
+    def make(self):
+        counter = BoundedCounter(lower_bound=0, initial=6)
+        counter.seed_rights({"A": 3, "B": 3})
+        return counter
+
+    def test_initial_below_bound_rejected(self):
+        with pytest.raises(CRDTError):
+            BoundedCounter(lower_bound=5, initial=3)
+
+    def test_seed_rights_must_match_slack(self):
+        counter = BoundedCounter(lower_bound=0, initial=6)
+        with pytest.raises(CRDTError):
+            counter.seed_rights({"A": 2})
+
+    def test_decrement_consumes_rights(self):
+        counter = self.make()
+        payload = counter.prepare_decrement("A", 2)
+        counter.effect(payload, ctx("A", 1))
+        assert counter.value() == 4
+        assert counter.rights_of("A") == 1
+
+    def test_decrement_beyond_rights_rejected(self):
+        counter = self.make()
+        with pytest.raises(CRDTError, match="rights"):
+            counter.prepare_decrement("A", 4)
+
+    def test_transfer_enables_decrement(self):
+        counter = self.make()
+        transfer = counter.prepare_transfer("B", "A", 2)
+        counter.effect(transfer, ctx("B", 1))
+        payload = counter.prepare_decrement("A", 5)
+        counter.effect(payload, ctx("A", 1, {"B": 1}))
+        assert counter.value() == 1
+
+    def test_bound_never_violated(self):
+        """Total rights always equal value - lower bound, so local
+        checks suffice to protect the bound."""
+        counter = self.make()
+        total_rights = counter.rights_of("A") + counter.rights_of("B")
+        assert total_rights == counter.value() - counter.lower_bound
+
+    def test_increment_adds_rights(self):
+        counter = self.make()
+        counter.effect(counter.prepare_increment("A", 4), ctx("A", 1))
+        assert counter.value() == 10
+        assert counter.rights_of("A") == 7
+
+    def test_invalid_amounts(self):
+        counter = self.make()
+        with pytest.raises(CRDTError):
+            counter.prepare_increment("A", 0)
+        with pytest.raises(CRDTError):
+            counter.prepare_decrement("A", -1)
+        with pytest.raises(CRDTError):
+            counter.prepare_transfer("A", "B", 0)

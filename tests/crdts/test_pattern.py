@@ -1,0 +1,60 @@
+"""Pattern matching tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crdts.pattern import Pattern, WILDCARD
+
+
+class TestPattern:
+    def test_exact_match(self):
+        assert Pattern.of("p1", "t1").matches(("p1", "t1"))
+        assert not Pattern.of("p1", "t1").matches(("p1", "t2"))
+
+    def test_wildcard_positions(self):
+        pattern = Pattern.of("*", "t1")
+        assert pattern.matches(("anyone", "t1"))
+        assert not pattern.matches(("anyone", "t2"))
+
+    def test_all_wildcards(self):
+        assert Pattern.of("*", "*").matches(("a", "b"))
+
+    def test_arity_mismatch_never_matches(self):
+        assert not Pattern.of("*", "*").matches(("a", "b", "c"))
+        assert not Pattern.of("*").matches(("a", "b"))
+
+    def test_scalar_elements_as_singletons(self):
+        assert Pattern.of("*").matches("scalar")
+        assert Pattern.of("x").matches("x")
+        assert not Pattern.of("x").matches("y")
+
+    def test_exact_constructor(self):
+        assert Pattern.exact(("p1", "t1")).matches(("p1", "t1"))
+        assert Pattern.exact("solo").matches("solo")
+
+    def test_is_exact(self):
+        assert Pattern.of("a", "b").is_exact
+        assert not Pattern.of("a", "*").is_exact
+
+    def test_wildcard_singleton(self):
+        assert Pattern.of("*").fields[0] is WILDCARD
+        assert Pattern.of("*", "x").fields[0] is Pattern.of("*", "y").fields[0]
+
+    def test_literal_star_cannot_be_matched_literally(self):
+        # "*" in Pattern.of is always a wildcard marker; document it.
+        assert Pattern.of("*").matches("anything")
+
+    @given(
+        st.tuples(
+            st.sampled_from(["a", "b", "*"]),
+            st.sampled_from(["x", "y", "*"]),
+        ),
+        st.tuples(st.sampled_from(["a", "b"]), st.sampled_from(["x", "y"])),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_iff_positions_agree(self, pattern_fields, element):
+        pattern = Pattern.of(*pattern_fields)
+        expected = all(
+            f == "*" or f == e for f, e in zip(pattern_fields, element)
+        )
+        assert pattern.matches(element) == expected

@@ -1,0 +1,141 @@
+"""Remove-wins set tests, including wildcard tombstones and GC."""
+
+from repro.crdts import Pattern, RWSet, VersionVector
+
+from tests.conftest import ctx
+
+
+class TestSequential:
+    def test_add_visible(self):
+        s = RWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        assert "x" in s
+
+    def test_remove_after_add(self):
+        s = RWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_remove("x"), ctx("A", 2, {"A": 1}))
+        assert s.value() == set()
+
+    def test_add_after_remove_visible(self):
+        s = RWSet()
+        s.effect(s.prepare_remove("x"), ctx("A", 1))
+        s.effect(s.prepare_add("x"), ctx("A", 2, {"A": 1}))
+        assert "x" in s
+
+    def test_len_counts_visible(self):
+        s = RWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_add("y"), ctx("A", 2, {"A": 1}))
+        s.effect(s.prepare_remove("x"), ctx("A", 3, {"A": 2}))
+        assert len(s) == 1
+
+
+class TestConcurrent:
+    def test_remove_wins_over_concurrent_add(self):
+        a, b = RWSet(), RWSet()
+        seed = a.prepare_add("x")
+        c_seed = ctx("A", 1)
+        a.effect(seed, c_seed)
+        b.effect(seed, c_seed)
+        p_rem = a.prepare_remove("x")
+        p_add = b.prepare_add("x")
+        c_rem, c_add = ctx("A", 2, {"A": 1}), ctx("B", 1, {"A": 1})
+        a.effect(p_rem, c_rem)
+        a.effect(p_add, c_add)
+        b.effect(p_add, c_add)
+        b.effect(p_rem, c_rem)
+        assert a.value() == b.value() == set()
+
+    def test_add_after_remove_delivered_everywhere_survives(self):
+        a, b = RWSet(), RWSet()
+        p_rem = a.prepare_remove("x")
+        c_rem = ctx("A", 1)
+        a.effect(p_rem, c_rem)
+        b.effect(p_rem, c_rem)
+        # B adds having seen the remove: causally after -> visible.
+        p_add = b.prepare_add("x")
+        c_add = ctx("B", 1, {"A": 1})
+        b.effect(p_add, c_add)
+        a.effect(p_add, c_add)
+        assert a.value() == b.value() == {"x"}
+
+    def test_two_concurrent_removes_merge(self):
+        a, b, c = RWSet(), RWSet(), RWSet()
+        seed = a.prepare_add("x")
+        c_seed = ctx("A", 1)
+        for s in (a, b, c):
+            s.effect(seed, c_seed)
+        r1 = a.prepare_remove("x")
+        r2 = b.prepare_remove("x")
+        cr1, cr2 = ctx("A", 2, {"A": 1}), ctx("B", 1, {"A": 1})
+        for s in (a, b, c):
+            s.effect(r1, cr1)
+            s.effect(r2, cr2)
+        # An add concurrent with r2 but after r1 is still killed.
+        p_add = c.prepare_add("x")
+        c_add = ctx("C", 1, {"A": 2})
+        for s in (a, b, c):
+            s.effect(p_add, c_add)
+        assert a.value() == b.value() == c.value() == set()
+
+
+class TestWildcardTombstones:
+    def test_pattern_kills_concurrent_matching_add(self):
+        a, b = RWSet(), RWSet()
+        p_clear = a.prepare_remove_where(Pattern.of("*", "t1"))
+        p_add = b.prepare_add(("p1", "t1"))
+        c_clear, c_add = ctx("A", 1), ctx("B", 1)
+        a.effect(p_clear, c_clear)
+        a.effect(p_add, c_add)
+        b.effect(p_add, c_add)
+        b.effect(p_clear, c_clear)
+        assert a.value() == b.value() == set()
+
+    def test_pattern_spares_non_matching(self):
+        a = RWSet()
+        a.effect(a.prepare_add(("p1", "t2")), ctx("A", 1))
+        a.effect(
+            a.prepare_remove_where(Pattern.of("*", "t1")),
+            ctx("A", 2, {"A": 1}),
+        )
+        assert a.value() == {("p1", "t2")}
+
+    def test_add_causally_after_pattern_survives(self):
+        a = RWSet()
+        a.effect(a.prepare_remove_where(Pattern.of("*", "t1")), ctx("A", 1))
+        a.effect(a.prepare_add(("p1", "t1")), ctx("A", 2, {"A": 1}))
+        assert a.value() == {("p1", "t1")}
+
+
+class TestCompaction:
+    def test_stable_tombstones_dropped(self):
+        s = RWSet()
+        s.effect(s.prepare_remove_where(Pattern.of("*", "t1")), ctx("A", 1))
+        s.effect(s.prepare_remove("x"), ctx("A", 2, {"A": 1}))
+        assert s._pattern_tombstones  # internal, pre-GC
+        s.compact(VersionVector.of({"A": 2}))
+        assert not s._pattern_tombstones
+        assert not s._removes
+
+    def test_unstable_tombstones_kept(self):
+        s = RWSet()
+        s.effect(s.prepare_remove_where(Pattern.of("*", "t1")), ctx("A", 2))
+        s.compact(VersionVector.of({"A": 1}))
+        assert s._pattern_tombstones
+
+    def test_compaction_preserves_visibility(self):
+        s = RWSet()
+        s.effect(s.prepare_add("x"), ctx("A", 1))
+        s.effect(s.prepare_remove("y"), ctx("A", 2, {"A": 1}))
+        before = s.value()
+        s.compact(VersionVector.of({"A": 2}))
+        assert s.value() == before == {"x"}
+
+    def test_post_compaction_add_visible(self):
+        """After GC of a stable remove, later adds still work."""
+        s = RWSet()
+        s.effect(s.prepare_remove("x"), ctx("A", 1))
+        s.compact(VersionVector.of({"A": 1}))
+        s.effect(s.prepare_add("x"), ctx("B", 1, {"A": 1}))
+        assert "x" in s

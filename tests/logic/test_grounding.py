@@ -1,0 +1,137 @@
+"""Grounding tests: bounded quantifier expansion."""
+
+import pytest
+
+from repro.errors import GroundingError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    ForAll,
+    IntConst,
+    Or,
+    PredicateDecl,
+    Sort,
+    Var,
+    Wildcard,
+)
+from repro.logic.grounding import (
+    Domain,
+    collect_atoms,
+    collect_numpreds,
+    expand_card,
+    expand_wildcard_args,
+    ground,
+)
+
+P = Sort("Player")
+T = Sort("Tournament")
+player = PredicateDecl("player", (P,))
+enrolled = PredicateDecl("enrolled", (P, T))
+stock = PredicateDecl("stock", (T,), numeric=True)
+p = Var("p", P)
+t = Var("t", T)
+
+
+@pytest.fixture
+def domain():
+    return Domain.of_sizes({P: 2, T: 2})
+
+
+class TestDomain:
+    def test_of_sizes_names(self, domain):
+        assert [c.name for c in domain.of(P)] == ["player0", "player1"]
+        assert domain.size(T) == 2
+
+    def test_unknown_sort(self, domain):
+        with pytest.raises(GroundingError):
+            domain.of(Sort("Ghost"))
+
+    def test_uniform(self):
+        dom = Domain.uniform([P, T], 3)
+        assert dom.size(P) == dom.size(T) == 3
+
+    def test_extended_dedupes(self, domain):
+        extra = Const("player0", P)
+        extended = domain.extended({P: [extra, Const("px", P)]})
+        names = [c.name for c in extended.of(P)]
+        assert names == ["player0", "player1", "px"]
+
+    def test_assignments_cartesian(self, domain):
+        assignments = list(domain.assignments([p, t]))
+        assert len(assignments) == 4
+        assert all(set(a) == {p, t} for a in assignments)
+
+
+class TestGround:
+    def test_forall_expands_to_conjunction(self, domain):
+        formula = ForAll((p,), Atom(player, (p,)))
+        result = ground(formula, domain)
+        assert isinstance(result, And)
+        assert len(result.args) == 2
+        assert all(isinstance(x, Atom) for x in result.args)
+
+    def test_exists_expands_to_disjunction(self, domain):
+        formula = Exists((p,), Atom(player, (p,)))
+        result = ground(formula, domain)
+        assert isinstance(result, Or)
+
+    def test_nested_quantifiers(self, domain):
+        formula = ForAll((p, t), Atom(enrolled, (p, t)))
+        result = ground(formula, domain)
+        assert isinstance(result, And)
+        assert len(result.args) == 4
+
+    def test_free_variable_rejected(self, domain):
+        with pytest.raises(GroundingError, match="free variable"):
+            ground(Atom(player, (p,)), domain)
+
+    def test_wildcard_in_atom_rejected(self, domain):
+        with pytest.raises(GroundingError, match="wildcard"):
+            ground(Atom(player, (Wildcard(P),)), domain)
+
+    def test_cardinality_left_intact(self, domain):
+        formula = ForAll(
+            (t,), Cmp("<=", Card(enrolled, (Wildcard(P), t)), IntConst(1))
+        )
+        result = ground(formula, domain)
+        assert isinstance(result, And)
+        lhs = result.args[0].lhs
+        assert isinstance(lhs, Card)
+        assert isinstance(lhs.args[0], Wildcard)
+        assert isinstance(lhs.args[1], Const)
+
+
+class TestExpansionHelpers:
+    def test_expand_card(self, domain):
+        t0 = domain.of(T)[0]
+        atoms = expand_card(Card(enrolled, (Wildcard(P), t0)), domain)
+        assert len(atoms) == 2
+        assert {a.args[0].name for a in atoms} == {"player0", "player1"}
+
+    def test_expand_wildcard_args_full(self, domain):
+        combos = expand_wildcard_args(
+            enrolled, (Wildcard(P), Wildcard(T)), domain
+        )
+        assert len(combos) == 4
+
+    def test_expand_no_wildcards(self, domain):
+        t0 = domain.of(T)[0]
+        p0 = domain.of(P)[0]
+        combos = expand_wildcard_args(enrolled, (p0, t0), domain)
+        assert combos == [(p0, t0)]
+
+    def test_collect_atoms_includes_card_expansion(self, domain):
+        t0 = domain.of(T)[0]
+        formula = Cmp("<=", Card(enrolled, (Wildcard(P), t0)), IntConst(1))
+        atoms = collect_atoms(formula, domain)
+        assert len(atoms) == 2
+
+    def test_collect_numpreds(self, domain):
+        t0 = domain.of(T)[0]
+        formula = Cmp(">=", stock(t0), IntConst(0))
+        numpreds = collect_numpreds(formula, domain)
+        assert len(numpreds) == 1

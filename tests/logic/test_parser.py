@@ -1,0 +1,187 @@
+"""Parser tests: the paper's annotation language."""
+
+import pytest
+
+from repro.errors import ParseError, SortError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    ForAll,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    Or,
+    Param,
+    TrueF,
+    Var,
+    Wildcard,
+)
+from repro.logic.parser import parse_formula
+
+
+class TestPaperInvariants:
+    """Every invariant of Figure 1 must parse to the right shape."""
+
+    def test_referential_integrity(self, tournament_symbols):
+        inv = parse_formula(
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => player(p) and tournament(t)",
+            tournament_symbols,
+        )
+        assert isinstance(inv, ForAll)
+        assert [v.name for v in inv.vars] == ["p", "t"]
+        assert [v.sort.name for v in inv.vars] == ["Player", "Tournament"]
+        body = inv.body
+        assert isinstance(body, Implies)
+        assert isinstance(body.lhs, Atom) and body.lhs.pred.name == "enrolled"
+        assert isinstance(body.rhs, And)
+
+    def test_shared_sort_binders(self, tournament_symbols):
+        inv = parse_formula(
+            "forall(Player: p, q, Tournament: t) :- inMatch(p, q, t) => "
+            "enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))",
+            tournament_symbols,
+        )
+        assert isinstance(inv, ForAll)
+        sorts = [v.sort.name for v in inv.vars]
+        assert sorts == ["Player", "Player", "Tournament"]
+        # The disjunction survives inside the conjunction.
+        assert isinstance(inv.body.rhs, And)
+        assert any(isinstance(a, Or) for a in inv.body.rhs.args)
+
+    def test_cardinality_bound(self, tournament_symbols):
+        inv = parse_formula(
+            "forall(Tournament: t) :- #enrolled(*, t) <= Capacity",
+            tournament_symbols,
+        )
+        body = inv.body
+        assert isinstance(body, Cmp) and body.op == "<="
+        assert isinstance(body.lhs, Card)
+        assert isinstance(body.lhs.args[0], Wildcard)
+        assert body.lhs.args[0].sort.name == "Player"
+        assert body.rhs == Param("Capacity")
+
+    def test_mutual_exclusion(self, tournament_symbols):
+        inv = parse_formula(
+            "forall(Tournament: t) :- not (active(t) and finished(t))",
+            tournament_symbols,
+        )
+        assert isinstance(inv.body, Not)
+        assert isinstance(inv.body.arg, And)
+
+    def test_status_implication(self, tournament_symbols):
+        inv = parse_formula(
+            "forall(Tournament: t) :- active(t) => tournament(t)",
+            tournament_symbols,
+        )
+        assert isinstance(inv.body, Implies)
+
+
+class TestGrammar:
+    def test_true_false_literals(self, tournament_symbols):
+        assert isinstance(parse_formula("true", tournament_symbols), TrueF)
+
+    def test_exists(self, tournament_symbols):
+        formula = parse_formula(
+            "exists(Player: p) :- player(p)", tournament_symbols
+        )
+        assert isinstance(formula, Exists)
+
+    def test_iff(self, tournament_symbols):
+        formula = parse_formula(
+            "forall(Tournament: t) :- active(t) <=> not finished(t)",
+            tournament_symbols,
+        )
+        from repro.logic.ast import Iff
+
+        assert isinstance(formula.body, Iff)
+
+    def test_implies_right_associative(self, tournament_symbols):
+        formula = parse_formula(
+            "forall(Tournament: t) :- active(t) => finished(t) => tournament(t)",
+            tournament_symbols,
+        )
+        body = formula.body
+        assert isinstance(body, Implies)
+        assert isinstance(body.rhs, Implies)
+
+    def test_numeric_predicate_comparison(self, tournament_symbols):
+        formula = parse_formula(
+            "forall(Tournament: t) :- budget(t) >= 0", tournament_symbols
+        )
+        body = formula.body
+        assert isinstance(body.lhs, NumPred)
+        assert body.rhs == IntConst(0)
+
+    def test_free_variables_from_scope(self, tournament_symbols):
+        player_sort = tournament_symbols.sorts["Player"]
+        scope = {"p": Var("p", player_sort)}
+        symbols = type(tournament_symbols)(
+            predicates=tournament_symbols.predicates,
+            sorts=tournament_symbols.sorts,
+            variables=scope,
+        )
+        formula = parse_formula("player(p)", symbols)
+        assert formula == Atom(
+            tournament_symbols.predicates["player"], (Var("p", player_sort),)
+        )
+
+    def test_parenthesised_formula(self, tournament_symbols):
+        formula = parse_formula(
+            "forall(Tournament: t) :- (active(t) or finished(t)) "
+            "and tournament(t)",
+            tournament_symbols,
+        )
+        assert isinstance(formula.body, And)
+
+
+class TestErrors:
+    def test_unknown_predicate(self, tournament_symbols):
+        with pytest.raises(ParseError, match="unknown predicate"):
+            parse_formula(
+                "forall(Player: p) :- ghost(p)", tournament_symbols
+            )
+
+    def test_unbound_variable(self, tournament_symbols):
+        with pytest.raises(ParseError, match="unbound variable"):
+            parse_formula(
+                "forall(Player: p) :- enrolled(p, t)", tournament_symbols
+            )
+
+    def test_wrong_sort_argument(self, tournament_symbols):
+        with pytest.raises(SortError):
+            parse_formula(
+                "forall(Player: p) :- tournament(p)", tournament_symbols
+            )
+
+    def test_arity_mismatch(self, tournament_symbols):
+        with pytest.raises(ParseError, match="too (many|few) arguments"):
+            parse_formula(
+                "forall(Player: p) :- enrolled(p)", tournament_symbols
+            )
+
+    def test_trailing_input(self, tournament_symbols):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula(
+                "forall(Player: p) :- player(p) player(p)",
+                tournament_symbols,
+            )
+
+    def test_boolean_pred_in_comparison(self, tournament_symbols):
+        with pytest.raises(ParseError, match="comparison"):
+            parse_formula(
+                "forall(Player: p) :- player(p) <= 3", tournament_symbols
+            )
+
+    def test_unexpected_character(self, tournament_symbols):
+        with pytest.raises(ParseError):
+            parse_formula("forall(Player: p) :- player(p) $",
+                          tournament_symbols)
+
+    def test_missing_sort_in_binder(self, tournament_symbols):
+        with pytest.raises(ParseError, match="no sort"):
+            parse_formula("forall(p) :- player(p)", tournament_symbols)

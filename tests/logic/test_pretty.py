@@ -1,0 +1,71 @@
+"""Pretty-printer tests."""
+
+from repro.logic.ast import (
+    And,
+    Implies,
+    Not,
+    Or,
+    PredicateDecl,
+    Sort,
+    Var,
+)
+from repro.logic.parser import SymbolTable, parse_formula
+from repro.logic.pretty import pretty
+
+P = Sort("Player")
+T = Sort("Tournament")
+player = PredicateDecl("player", (P,))
+active = PredicateDecl("active", (T,))
+finished = PredicateDecl("finished", (T,))
+enrolled = PredicateDecl("enrolled", (P, T))
+p = Var("p", P)
+t = Var("t", T)
+
+SYMBOLS = SymbolTable(
+    predicates={
+        "player": player,
+        "active": active,
+        "finished": finished,
+        "enrolled": enrolled,
+    },
+    sorts={"Player": P, "Tournament": T},
+)
+
+
+class TestPretty:
+    def test_atom(self):
+        assert pretty(player(p)) == "player(p)"
+
+    def test_implication_minimal_parens(self):
+        formula = Implies(enrolled(p, t), And((player(p), active(t))))
+        assert pretty(formula) == "enrolled(p, t) => player(p) and active(t)"
+
+    def test_or_inside_and_parenthesised(self):
+        formula = And((player(p), Or((active(t), finished(t)))))
+        assert pretty(formula) == "player(p) and (active(t) or finished(t))"
+
+    def test_not_binding(self):
+        formula = Not(And((active(t), finished(t))))
+        assert pretty(formula) == "not (active(t) and finished(t))"
+
+    def test_quantifier_groups_binders_by_sort(self):
+        text = (
+            "forall(Player: p, q, Tournament: t) :- "
+            "enrolled(p, t) and enrolled(q, t)"
+        )
+        formula = parse_formula(text, SYMBOLS)
+        rendered = pretty(formula)
+        assert rendered.startswith("forall(Player: p, q, Tournament: t)")
+
+    def test_roundtrip_through_parser(self):
+        """pretty() output re-parses to the same formula."""
+        samples = [
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => player(p) and active(t)",
+            "forall(Tournament: t) :- not (active(t) and finished(t))",
+            "forall(Tournament: t) :- active(t) or finished(t)",
+        ]
+        for text in samples:
+            formula = parse_formula(text, SYMBOLS)
+            reparsed = parse_formula(pretty(formula), SYMBOLS)
+            assert reparsed == formula

@@ -1,0 +1,88 @@
+"""Property: pretty-printed formulas re-parse to themselves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    ForAll,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateDecl,
+    Sort,
+    Var,
+)
+from repro.logic.parser import SymbolTable, parse_formula
+from repro.logic.pretty import pretty
+
+P = Sort("Player")
+T = Sort("Tournament")
+player = PredicateDecl("player", (P,))
+tournament = PredicateDecl("tournament", (T,))
+enrolled = PredicateDecl("enrolled", (P, T))
+p = Var("p", P)
+t = Var("t", T)
+
+SYMBOLS = SymbolTable(
+    predicates={
+        "player": player,
+        "tournament": tournament,
+        "enrolled": enrolled,
+    },
+    sorts={"Player": P, "Tournament": T},
+)
+
+ATOMS = [player(p), tournament(t), enrolled(p, t)]
+
+
+def bodies():
+    base = st.sampled_from(ATOMS)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=8)
+
+
+class TestRoundTrip:
+    @given(bodies())
+    @settings(max_examples=250, deadline=None)
+    def test_pretty_then_parse_is_identity(self, body):
+        formula = ForAll((p, t), body)
+        rendered = pretty(formula)
+        reparsed = parse_formula(rendered, SYMBOLS)
+        assert _normalise(reparsed) == _normalise(formula), rendered
+
+
+def _normalise(formula):
+    """Collapse binary-tree vs flat n-ary conjunction differences."""
+    if isinstance(formula, And):
+        parts = []
+        for arg in formula.args:
+            n = _normalise(arg)
+            parts.extend(n.args if isinstance(n, And) else [n])
+        return And(tuple(parts))
+    if isinstance(formula, Or):
+        parts = []
+        for arg in formula.args:
+            n = _normalise(arg)
+            parts.extend(n.args if isinstance(n, Or) else [n])
+        return Or(tuple(parts))
+    if isinstance(formula, Not):
+        return Not(_normalise(formula.arg))
+    if isinstance(formula, Implies):
+        return Implies(_normalise(formula.lhs), _normalise(formula.rhs))
+    if isinstance(formula, Iff):
+        return Iff(_normalise(formula.lhs), _normalise(formula.rhs))
+    if isinstance(formula, ForAll):
+        return ForAll(formula.vars, _normalise(formula.body))
+    return formula

@@ -1,0 +1,209 @@
+"""Transformation tests, including hypothesis properties.
+
+The key property: NNF conversion and simplification preserve the truth
+value of a formula under every model, with the reference evaluator
+(:func:`repro.solver.models.evaluate`) as the semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SortError
+from repro.logic.ast import (
+    And,
+    Atom,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    Or,
+    PredicateDecl,
+    Sort,
+    TrueF,
+    Var,
+)
+from repro.logic.grounding import Domain
+from repro.logic.transform import (
+    free_vars,
+    negate,
+    simplify,
+    substitute,
+    to_nnf,
+)
+from repro.solver.models import Model, evaluate
+
+S = Sort("S")
+a = PredicateDecl("a", (S,))
+b = PredicateDecl("b", (S,))
+r = PredicateDecl("r", (S, S))
+x, y = Var("x", S), Var("y", S)
+c0, c1 = Const("c0", S), Const("c1", S)
+DOMAIN = Domain({S: (c0, c1)})
+
+
+class TestSubstitute:
+    def test_replaces_free_variable(self):
+        formula = a(x) & r(x, y)
+        result = substitute(formula, {x: c0})
+        assert result == a(c0) & r(c0, y)
+
+    def test_bound_variables_shadow(self):
+        formula = ForAll((x,), a(x) & b(y))
+        result = substitute(formula, {x: c0, y: c1})
+        assert result == ForAll((x,), a(x) & b(c1))
+
+    def test_sort_mismatch_rejected(self):
+        other = Sort("Other")
+        with pytest.raises(SortError):
+            substitute(a(x), {x: Const("z", other)})
+
+    def test_numeric_terms(self):
+        stock = PredicateDecl("stock", (S,), numeric=True)
+        formula = Cmp(">=", stock(x), IntConst(0))
+        result = substitute(formula, {x: c0})
+        assert result.lhs.args == (c0,)
+
+
+class TestFreeVars:
+    def test_atom(self):
+        assert free_vars(r(x, y)) == {x, y}
+
+    def test_quantifier_binds(self):
+        assert free_vars(ForAll((x,), r(x, y))) == {y}
+
+    def test_closed_formula(self):
+        assert free_vars(ForAll((x, y), r(x, y))) == set()
+
+    def test_constants_not_free(self):
+        assert free_vars(a(c0)) == set()
+
+
+class TestNegate:
+    def test_double_negation(self):
+        assert negate(Not(a(x))) == a(x)
+
+    def test_cmp_flips_operator(self):
+        stock = PredicateDecl("stock2", (S,), numeric=True)
+        cmp = Cmp("<=", stock(x), IntConst(5))
+        assert negate(cmp).op == ">"
+
+    def test_constants(self):
+        assert isinstance(negate(TrueF()), FalseF)
+        assert isinstance(negate(FalseF()), TrueF)
+
+
+# -- hypothesis: random ground formulas --------------------------------------
+
+
+def ground_atoms():
+    return st.sampled_from(
+        [a(c0), a(c1), b(c0), b(c1), r(c0, c1), r(c1, c0)]
+    )
+
+
+def formulas(max_depth=4):
+    base = st.one_of(
+        ground_atoms(),
+        st.just(TrueF()),
+        st.just(FalseF()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda l, r_: And((l, r_)), children, children),
+            st.builds(lambda l, r_: Or((l, r_)), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+def models():
+    atoms = [a(c0), a(c1), b(c0), b(c1), r(c0, c1), r(c1, c0)]
+    return st.builds(
+        lambda values: Model(
+            domain=DOMAIN, atoms=dict(zip(atoms, values))
+        ),
+        st.lists(st.booleans(), min_size=len(atoms), max_size=len(atoms)),
+    )
+
+
+class TestSemanticPreservation:
+    @given(formulas(), models())
+    @settings(max_examples=200, deadline=None)
+    def test_nnf_preserves_truth(self, formula, model):
+        assert evaluate(to_nnf(formula), model) == evaluate(formula, model)
+
+    @given(formulas(), models())
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_preserves_truth(self, formula, model):
+        assert evaluate(simplify(formula), model) == evaluate(formula, model)
+
+    @given(formulas(), models())
+    @settings(max_examples=200, deadline=None)
+    def test_negate_inverts_truth(self, formula, model):
+        assert evaluate(negate(formula), model) != evaluate(formula, model)
+
+    @given(formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_shape(self, formula):
+        """NNF has no =>/<=> and negations only over atoms."""
+        def check(node):
+            assert not isinstance(node, (Implies, Iff))
+            if isinstance(node, Not):
+                assert isinstance(node.arg, Atom)
+                return
+            if isinstance(node, (And, Or)):
+                for child in node.args:
+                    check(child)
+
+        check(to_nnf(formula))
+
+
+class TestQuantifierNnf:
+    def test_negated_forall_becomes_exists(self):
+        formula = Not(ForAll((x,), a(x)))
+        result = to_nnf(formula)
+        assert isinstance(result, Exists)
+        assert isinstance(result.body, Not)
+
+    def test_negated_exists_becomes_forall(self):
+        formula = Not(Exists((x,), a(x)))
+        result = to_nnf(formula)
+        assert isinstance(result, ForAll)
+
+    def test_quantified_equivalence_over_domain(self):
+        formula = Not(ForAll((x,), a(x)))
+        model = Model(domain=DOMAIN, atoms={a(c0): True, a(c1): False})
+        assert evaluate(formula, model) is True
+        assert evaluate(to_nnf(formula), model) is True
+
+
+class TestSimplify:
+    def test_constant_folding_cmp(self):
+        assert isinstance(
+            simplify(Cmp("<", IntConst(1), IntConst(2))), TrueF
+        )
+        assert isinstance(
+            simplify(Cmp(">", IntConst(1), IntConst(2))), FalseF
+        )
+
+    def test_flattens_nested_and(self):
+        formula = And((And((a(c0), b(c0))), a(c1)))
+        result = simplify(formula)
+        assert isinstance(result, And)
+        assert len(result.args) == 3
+
+    def test_implication_with_false_lhs(self):
+        assert isinstance(simplify(Implies(FalseF(), a(c0))), TrueF)
+
+    def test_quantifier_with_constant_body(self):
+        assert isinstance(simplify(ForAll((x,), TrueF())), TrueF)

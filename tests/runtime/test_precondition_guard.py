@@ -1,0 +1,73 @@
+"""The precondition-guard subtlety: patched ops keep original guards.
+
+IPA's extra effects deliberately weaken the *patched* operation's own
+weakest precondition (``enroll + tournament(t)=true`` could create a
+tournament out of thin air).  The application code, however, still
+performs the ORIGINAL check -- §2.2: "the code of the operation
+verifies that the local database state satisfies the operation
+preconditions".  The executor therefore guards with the original
+operation when ``original_spec`` is provided.
+"""
+
+from repro.analysis import run_ipa
+from repro.runtime import SpecExecutor, registry_for_spec
+from repro.sim import Simulator
+from repro.sim.latency import REGIONS, US_EAST
+from repro.store import Cluster
+
+from tests.conftest import make_mini_tournament_spec
+
+
+def settle(sim):
+    sim.run(until=sim.now + 2_000.0)
+
+
+def build(original_spec=None):
+    spec = make_mini_tournament_spec()
+    result = run_ipa(spec)
+    sim = Simulator()
+    cluster = Cluster(sim, registry_for_spec(result.modified))
+    executor = SpecExecutor(
+        result.modified,
+        cluster,
+        original_spec=result.original if original_spec else None,
+    )
+    executor.execute(US_EAST, "add_player", {"p": "p1"})
+    settle(sim)
+    return sim, cluster, executor
+
+
+class TestGuardSemantics:
+    def test_original_guard_rejects_ghost_tournament(self):
+        sim, _cluster, executor = build(original_spec=True)
+        done = []
+        executor.execute(
+            US_EAST, "enroll", {"p": "p1", "t": "ghost"}, done.append
+        )
+        settle(sim)
+        assert done == ["enroll_rejected"]
+
+    def test_without_original_the_patched_guard_is_weaker(self):
+        """Documented behaviour: guarding with the patched op lets the
+        extra effect satisfy the invariant, so the ghost enrol runs
+        (and the created state is still I-valid)."""
+        sim, cluster, executor = build(original_spec=False)
+        done = []
+        executor.execute(
+            US_EAST, "enroll", {"p": "p1", "t": "ghost"}, done.append
+        )
+        settle(sim)
+        assert done == ["enroll"]
+        for region in REGIONS:
+            assert executor.audit(region) == []
+
+    def test_valid_enrol_allowed_under_original_guard(self):
+        sim, _cluster, executor = build(original_spec=True)
+        done = []
+        executor.execute(US_EAST, "add_tourn", {"t": "t1"}, done.append)
+        settle(sim)
+        executor.execute(
+            US_EAST, "enroll", {"p": "p1", "t": "t1"}, done.append
+        )
+        settle(sim)
+        assert done == ["add_tourn", "enroll"]

@@ -1,0 +1,98 @@
+"""Spec workload adapter tests."""
+
+import pytest
+
+from repro.analysis import run_ipa
+from repro.runtime import (
+    SpecExecutor,
+    SpecWorkload,
+    entity_pool_sampler,
+    registry_for_spec,
+)
+from repro.sim import Simulator
+from repro.sim.latency import REGIONS
+from repro.sim.runner import run_closed_loop
+from repro.store import Cluster
+
+from tests.conftest import make_mini_tournament_spec
+
+PLAYERS = [f"p{i}" for i in range(4)]
+TOURNAMENTS = ["t1", "t2"]
+
+
+def patched_executor():
+    spec = make_mini_tournament_spec()
+    result = run_ipa(spec)
+    sim = Simulator()
+    cluster = Cluster(sim, registry_for_spec(result.modified))
+    executor = SpecExecutor(
+        result.modified, cluster, original_spec=result.original
+    )
+    for player in PLAYERS:
+        executor.execute(REGIONS[0], "add_player", {"p": player})
+    for tournament in TOURNAMENTS:
+        executor.execute(REGIONS[0], "add_tourn", {"t": tournament})
+    sim.run(until=sim.now + 2_000.0)
+    return sim, cluster, executor
+
+
+def samplers():
+    both = entity_pool_sampler({"p": PLAYERS, "t": TOURNAMENTS})
+    return {
+        "enroll": both,
+        "rem_tourn": entity_pool_sampler({"t": TOURNAMENTS}),
+        "add_player": entity_pool_sampler({"p": PLAYERS}),
+        "add_tourn": entity_pool_sampler({"t": TOURNAMENTS}),
+    }
+
+
+class TestSpecWorkload:
+    def test_closed_loop_run_stays_invariant_valid(self):
+        sim, cluster, executor = patched_executor()
+        workload = SpecWorkload(
+            executor,
+            weights={
+                "enroll": 50.0, "add_player": 20.0,
+                "add_tourn": 20.0, "rem_tourn": 10.0,
+            },
+            samplers=samplers(),
+        )
+        result = run_closed_loop(
+            sim,
+            workload.issue,
+            {region: 2 for region in REGIONS},
+            duration_ms=2_000.0,
+            warmup_ms=200.0,
+        )
+        assert result.metrics.total_operations() > 0
+        cluster.settle()
+        for region in REGIONS:
+            assert executor.audit(region) == []
+
+    def test_rejected_operations_labelled(self):
+        sim, cluster, executor = patched_executor()
+        workload = SpecWorkload(
+            executor,
+            weights={"enroll": 100.0},
+            samplers={
+                # ghost tournaments: every enrol is refused at origin.
+                "enroll": entity_pool_sampler(
+                    {"p": PLAYERS, "t": ["ghost"]}
+                ),
+            },
+        )
+        result = run_closed_loop(
+            sim, workload.issue, {REGIONS[0]: 1},
+            duration_ms=500.0, warmup_ms=0.0,
+        )
+        assert result.stats("enroll_rejected").count > 0
+
+    def test_unknown_operation_weight_rejected(self):
+        _sim, _cluster, executor = patched_executor()
+        with pytest.raises(ValueError, match="unknown operations"):
+            SpecWorkload(executor, {"ghost": 1.0}, {})
+
+    def test_missing_sampler_rejected(self):
+        _sim, _cluster, executor = patched_executor()
+        with pytest.raises(ValueError, match="without argument samplers"):
+            SpecWorkload(executor, {"enroll": 1.0}, {})

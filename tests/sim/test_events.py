@@ -1,0 +1,98 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("late"))
+        sim.schedule(1.0, lambda: log.append("early"))
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("first"))
+        sim.schedule(1.0, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: sim.at(7.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_at_in_the_past_runs_now(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: sim.at(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(10.0, lambda: log.append("b"))
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert log == []
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.cancel(handle)
+        assert sim.pending == 1

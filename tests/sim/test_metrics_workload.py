@@ -1,0 +1,108 @@
+"""Metrics and workload generator tests."""
+
+import pytest
+
+from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.workload import OperationMix, ZipfGenerator
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats.of([])
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_basic_statistics(self):
+        stats = LatencyStats.of([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.stddev == pytest.approx(1.1180, abs=1e-3)
+
+    def test_percentiles_ordered(self):
+        stats = LatencyStats.of(list(map(float, range(100))))
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+
+class TestMetricsCollector:
+    def test_warmup_excluded(self):
+        collector = MetricsCollector(warmup_ms=100.0)
+        collector.record_latency(50.0, "op", 1.0)
+        collector.record_latency(150.0, "op", 2.0)
+        assert collector.stats("op").count == 1
+
+    def test_window_excluded(self):
+        collector = MetricsCollector(warmup_ms=0.0, window_ms=100.0)
+        collector.record_latency(50.0, "op", 1.0)
+        collector.record_latency(150.0, "op", 2.0)
+        assert collector.stats("op").count == 1
+
+    def test_per_op_and_merged_stats(self):
+        collector = MetricsCollector()
+        collector.record_latency(1.0, "read", 1.0)
+        collector.record_latency(2.0, "write", 3.0)
+        assert collector.stats("read").mean == 1.0
+        assert collector.stats().count == 2
+        assert collector.operations() == ["read", "write"]
+
+    def test_counters(self):
+        collector = MetricsCollector()
+        collector.increment(1.0, "violations")
+        collector.increment(2.0, "violations", by=2)
+        assert collector.counter("violations") == 3
+        assert collector.counter("missing") == 0
+
+    def test_throughput(self):
+        collector = MetricsCollector()
+        for index in range(10):
+            collector.record_latency(float(index), "op", 1.0)
+        assert collector.throughput(1_000.0) == 10.0
+        assert collector.throughput(0.0) == 0.0
+
+
+class TestZipfGenerator:
+    def test_range(self):
+        gen = ZipfGenerator(10, theta=0.9, seed=1)
+        samples = [gen.sample() for _ in range(1_000)]
+        assert all(0 <= s < 10 for s in samples)
+
+    def test_skew_toward_low_indices(self):
+        gen = ZipfGenerator(10, theta=1.2, seed=2)
+        samples = [gen.sample() for _ in range(5_000)]
+        first = samples.count(0)
+        last = samples.count(9)
+        assert first > 4 * max(last, 1)
+
+    def test_theta_zero_roughly_uniform(self):
+        gen = ZipfGenerator(4, theta=0.0, seed=3)
+        samples = [gen.sample() for _ in range(8_000)]
+        counts = [samples.count(i) for i in range(4)]
+        assert max(counts) < 1.25 * min(counts)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+
+
+class TestOperationMix:
+    def test_respects_weights(self):
+        mix = OperationMix({"read": 80.0, "write": 20.0}, seed=4)
+        samples = [mix.sample() for _ in range(5_000)]
+        read_share = samples.count("read") / len(samples)
+        assert 0.75 < read_share < 0.85
+
+    def test_write_fraction(self):
+        mix = OperationMix({"read": 65.0, "a": 20.0, "b": 15.0})
+        assert mix.write_fraction(["a", "b"]) == pytest.approx(0.35)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix({})
+
+    def test_deterministic_given_seed(self):
+        m1 = OperationMix({"x": 1.0, "y": 1.0}, seed=5)
+        m2 = OperationMix({"x": 1.0, "y": 1.0}, seed=5)
+        assert [m1.sample() for _ in range(20)] == [
+            m2.sample() for _ in range(20)
+        ]

@@ -1,0 +1,88 @@
+"""Latency model and network tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+from repro.sim.latency import (
+    EU_WEST,
+    LOCAL_RTT,
+    US_EAST,
+    US_WEST,
+    GeoLatencyModel,
+)
+from repro.sim.network import Network
+
+
+class TestGeoLatencyModel:
+    def test_paper_rtts(self):
+        model = GeoLatencyModel(jitter=0.0)
+        assert model.rtt_between(US_EAST, US_WEST) == 80.0
+        assert model.rtt_between(US_EAST, EU_WEST) == 80.0
+        assert model.rtt_between(US_WEST, EU_WEST) == 160.0
+
+    def test_rtt_symmetric(self):
+        model = GeoLatencyModel(jitter=0.0)
+        assert model.rtt_between(US_WEST, US_EAST) == model.rtt_between(
+            US_EAST, US_WEST
+        )
+
+    def test_local_rtt(self):
+        model = GeoLatencyModel(jitter=0.0)
+        assert model.rtt_between(US_EAST, US_EAST) == LOCAL_RTT
+
+    def test_one_way_is_half_rtt_without_jitter(self):
+        model = GeoLatencyModel(jitter=0.0)
+        assert model.one_way(US_EAST, US_WEST) == 40.0
+
+    def test_jitter_varies_but_stays_positive(self):
+        model = GeoLatencyModel(jitter=0.1, seed=3)
+        samples = [model.one_way(US_EAST, US_WEST) for _ in range(100)]
+        assert len(set(samples)) > 1
+        assert all(s >= 0 for s in samples)
+        mean = sum(samples) / len(samples)
+        assert 35 < mean < 45
+
+    def test_deterministic_given_seed(self):
+        a = GeoLatencyModel(seed=9)
+        b = GeoLatencyModel(seed=9)
+        assert [a.one_way(US_EAST, US_WEST) for _ in range(5)] == [
+            b.one_way(US_EAST, US_WEST) for _ in range(5)
+        ]
+
+    def test_unknown_pair_rejected(self):
+        model = GeoLatencyModel()
+        with pytest.raises(SimulationError):
+            model.rtt_between(US_EAST, "mars")
+
+
+class TestNetwork:
+    def test_delivery_after_one_way_latency(self):
+        sim = Simulator()
+        network = Network(sim, GeoLatencyModel(jitter=0.0))
+        received = []
+        network.send(US_EAST, US_WEST, "msg", received.append)
+        sim.run()
+        assert received == ["msg"]
+        assert sim.now == pytest.approx(40.0)
+
+    def test_fifo_per_edge(self):
+        sim = Simulator()
+        network = Network(sim, GeoLatencyModel(jitter=0.3, seed=1))
+        order = []
+        for index in range(20):
+            network.send(US_EAST, US_WEST, index, order.append)
+        sim.run()
+        assert order == list(range(20))
+
+    def test_messages_counted(self):
+        sim = Simulator()
+        network = Network(sim, GeoLatencyModel(jitter=0.0))
+        network.send(US_EAST, US_WEST, None, lambda _m: None)
+        network.send(US_WEST, US_EAST, None, lambda _m: None)
+        assert network.messages_sent == 2
+
+    def test_rtt_passthrough(self):
+        sim = Simulator()
+        network = Network(sim, GeoLatencyModel(jitter=0.0))
+        assert network.rtt(US_WEST, EU_WEST) == 160.0

@@ -1,0 +1,77 @@
+"""Closed-loop client driver tests."""
+
+from repro.sim.events import Simulator
+from repro.sim.runner import Client, run_closed_loop
+
+
+def echo_issuer(delay_ms):
+    """An issuer whose 'operation' completes after a fixed delay."""
+
+    def issue(client: Client, done):
+        sim = issue.sim
+        sim.schedule(delay_ms, lambda: done("op"))
+
+    return issue
+
+
+class TestClosedLoop:
+    def test_throughput_matches_latency(self):
+        sim = Simulator()
+        issue = echo_issuer(10.0)
+        issue.sim = sim
+        result = run_closed_loop(
+            sim, issue, {"r": 1}, duration_ms=1_000.0, warmup_ms=100.0
+        )
+        # One client with 10 ms ops: ~100 ops/s.
+        assert 90 <= result.throughput <= 110
+        assert result.stats().mean == 10.0
+
+    def test_more_clients_more_throughput(self):
+        sim = Simulator()
+        issue = echo_issuer(10.0)
+        issue.sim = sim
+        result = run_closed_loop(
+            sim, issue, {"r": 4}, duration_ms=1_000.0, warmup_ms=100.0
+        )
+        assert 360 <= result.throughput <= 440
+        assert result.total_clients == 4
+
+    def test_think_time_reduces_rate(self):
+        sim = Simulator()
+        issue = echo_issuer(10.0)
+        issue.sim = sim
+        result = run_closed_loop(
+            sim, issue, {"r": 1},
+            duration_ms=1_000.0, warmup_ms=100.0, think_ms=90.0,
+        )
+        # 10 ms op + 90 ms think: ~10 ops/s.
+        assert 8 <= result.throughput <= 12
+
+    def test_clients_spread_across_regions(self):
+        sim = Simulator()
+        regions_seen = set()
+
+        def issue(client: Client, done):
+            regions_seen.add(client.region)
+            sim.schedule(1.0, lambda: done("op"))
+
+        run_closed_loop(
+            sim, issue, {"east": 1, "west": 1},
+            duration_ms=50.0, warmup_ms=0.0,
+        )
+        assert regions_seen == {"east", "west"}
+
+    def test_latency_recorded_per_operation_name(self):
+        sim = Simulator()
+        toggle = [0]
+
+        def issue(client: Client, done):
+            toggle[0] += 1
+            name = "a" if toggle[0] % 2 else "b"
+            sim.schedule(5.0, lambda: done(name))
+
+        result = run_closed_loop(
+            sim, issue, {"r": 1}, duration_ms=500.0, warmup_ms=0.0
+        )
+        assert result.stats("a").count > 0
+        assert result.stats("b").count > 0

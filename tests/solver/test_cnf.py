@@ -1,0 +1,126 @@
+"""Tseitin encoder tests: equivalence with the reference evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    And,
+    Atom,
+    Const,
+    FalseF,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    PredicateDecl,
+    Sort,
+    TrueF,
+)
+from repro.logic.grounding import Domain
+from repro.solver.cnf import CnfBuilder, RawLit
+from repro.solver.dpll import FALSE_LIT, TRUE_LIT, SatSolver
+from repro.solver.models import Model, evaluate
+
+S = Sort("S")
+a = PredicateDecl("a", (S,))
+b = PredicateDecl("b", (S,))
+c0, c1 = Const("c0", S), Const("c1", S)
+ATOMS = [a(c0), a(c1), b(c0), b(c1)]
+DOMAIN = Domain({S: (c0, c1)})
+
+
+def formulas():
+    base = st.one_of(
+        st.sampled_from(ATOMS), st.just(TrueF()), st.just(FalseF())
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda l, r: And((l, r)), children, children),
+            st.builds(lambda l, r: Or((l, r)), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+        )
+
+    return st.recursive(base, extend, max_leaves=10)
+
+
+class TestTseitinSemantics:
+    @given(formulas())
+    @settings(max_examples=200, deadline=None)
+    def test_models_match_evaluator(self, formula):
+        """Asserting F, then fixing each atom, matches evaluate()."""
+        import itertools
+
+        for values in itertools.product([False, True], repeat=len(ATOMS)):
+            solver = SatSolver()
+            builder = CnfBuilder(solver)
+            builder.assert_formula(formula)
+            for atom, value in zip(ATOMS, values):
+                lit = builder.lit_for_atom(atom)
+                solver.add_clause([lit if value else -lit])
+            model = Model(domain=DOMAIN, atoms=dict(zip(ATOMS, values)))
+            assert solver.solve() == evaluate(formula, model)
+
+
+class TestGates:
+    def test_and_gate_constant_folding(self):
+        builder = CnfBuilder(SatSolver())
+        lit = builder.tseitin(And((TrueF(), TrueF())))
+        assert lit == TRUE_LIT
+        lit = builder.tseitin(And((TrueF(), FalseF())))
+        assert lit == FALSE_LIT
+
+    def test_or_gate_constant_folding(self):
+        builder = CnfBuilder(SatSolver())
+        assert builder.tseitin(Or((FalseF(), FalseF()))) == FALSE_LIT
+        assert builder.tseitin(Or((TrueF(), FalseF()))) == TRUE_LIT
+
+    def test_structural_sharing(self):
+        solver = SatSolver()
+        builder = CnfBuilder(solver)
+        f = And((a(c0), b(c0)))
+        lit1 = builder.tseitin(f)
+        lit2 = builder.tseitin(And((a(c0), b(c0))))
+        assert lit1 == lit2
+
+    def test_atom_vars_shared(self):
+        builder = CnfBuilder(SatSolver())
+        assert builder.lit_for_atom(a(c0)) == builder.lit_for_atom(a(c0))
+        assert builder.lit_for_atom(a(c0)) != builder.lit_for_atom(a(c1))
+
+    def test_not_is_literal_negation(self):
+        builder = CnfBuilder(SatSolver())
+        lit = builder.tseitin(a(c0))
+        assert builder.tseitin(Not(a(c0))) == -lit
+
+    def test_raw_lit_passthrough(self):
+        solver = SatSolver()
+        builder = CnfBuilder(solver)
+        var = solver.new_var()
+        assert builder.tseitin(RawLit(var)) == var
+
+    def test_iff_constant_cases(self):
+        builder = CnfBuilder(SatSolver())
+        lit = builder.lit_for_atom(a(c0))
+        assert builder.tseitin(Iff(TrueF(), a(c0))) == lit
+        assert builder.tseitin(Iff(FalseF(), a(c0))) == -lit
+
+    def test_iff_same_literal(self):
+        builder = CnfBuilder(SatSolver())
+        assert builder.tseitin(Iff(a(c0), a(c0))) == TRUE_LIT
+        assert builder.tseitin(Iff(a(c0), Not(a(c0)))) == FALSE_LIT
+
+
+class TestErrors:
+    def test_cmp_rejected(self):
+        from repro.errors import SolverError
+        from repro.logic.ast import Cmp, IntConst, PredicateDecl
+
+        import pytest
+
+        stock = PredicateDecl("stock_cnf", (S,), numeric=True)
+        builder = CnfBuilder(SatSolver())
+        with pytest.raises(SolverError, match="theory"):
+            builder.tseitin(Cmp(">=", stock(c0), IntConst(0)))

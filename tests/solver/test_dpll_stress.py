@@ -1,0 +1,107 @@
+"""Harder SAT instances: exercise clause learning and restarts."""
+
+import itertools
+
+from repro.solver.dpll import SatSolver
+
+
+def pigeonhole(pigeons: int, holes: int) -> tuple[int, list[list[int]]]:
+    """PHP(p, h): p pigeons into h holes.  UNSAT when p > h."""
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    clauses: list[list[int]] = []
+    for pigeon in range(pigeons):
+        clauses.append([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            clauses.append([-var(p1, hole), -var(p2, hole)])
+    return pigeons * holes, clauses
+
+
+def solve(n: int, clauses: list[list[int]]) -> tuple[bool, SatSolver]:
+    solver = SatSolver()
+    for _ in range(n):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    return solver.solve(), solver
+
+
+class TestPigeonhole:
+    def test_php_4_4_sat(self):
+        n, clauses = pigeonhole(4, 4)
+        sat, solver = solve(n, clauses)
+        assert sat
+        for clause in clauses:
+            assert any(solver.value(lit) for lit in clause)
+
+    def test_php_5_4_unsat(self):
+        n, clauses = pigeonhole(5, 4)
+        sat, _solver = solve(n, clauses)
+        assert not sat
+
+    def test_php_6_5_unsat(self):
+        n, clauses = pigeonhole(6, 5)
+        sat, _solver = solve(n, clauses)
+        assert not sat
+
+
+class TestParity:
+    def test_xor_chain_unsat(self):
+        """x1 ^ x2, x2 ^ x3, ..., with contradictory parity: UNSAT."""
+        n = 12
+        clauses = []
+        for index in range(1, n):
+            a, b = index, index + 1
+            clauses.append([a, b])
+            clauses.append([-a, -b])  # a xor b
+        # The chain forces strict alternation from x1=True, so x_n is
+        # True exactly when n is odd.
+        clauses.append([1])
+        clauses.append([-n] if n % 2 == 0 else [n])
+        sat, solver = solve(n, clauses)
+        assert sat  # consistent parity
+        clauses[-1] = [n] if n % 2 == 0 else [-n]
+        sat2, _ = solve(n, clauses)
+        assert not sat2
+
+
+class TestGraphColouring:
+    def test_k4_is_not_3_colourable(self):
+        """K4 needs 4 colours."""
+        vertices, colours = 4, 3
+
+        def var(v: int, c: int) -> int:
+            return v * colours + c + 1
+
+        clauses = []
+        for v in range(vertices):
+            clauses.append([var(v, c) for c in range(colours)])
+        for v1, v2 in itertools.combinations(range(vertices), 2):
+            for c in range(colours):
+                clauses.append([-var(v1, c), -var(v2, c)])
+        sat, _ = solve(vertices * colours, clauses)
+        assert not sat
+
+    def test_cycle_is_2_colourable_iff_even(self):
+        def build(n_vertices: int):
+            colours = 2
+
+            def var(v: int, c: int) -> int:
+                return v * colours + c + 1
+
+            clauses = []
+            for v in range(n_vertices):
+                clauses.append([var(v, c) for c in range(colours)])
+                clauses.append([-var(v, 0), -var(v, 1)])
+            for v in range(n_vertices):
+                u = (v + 1) % n_vertices
+                for c in range(colours):
+                    clauses.append([-var(v, c), -var(u, c)])
+            return n_vertices * colours, clauses
+
+        sat_even, _ = solve(*build(8))
+        sat_odd, _ = solve(*build(9))
+        assert sat_even
+        assert not sat_odd

@@ -1,0 +1,135 @@
+"""Bounded model finder façade tests."""
+
+import pytest
+
+from repro.logic.ast import (
+    Atom,
+    Card,
+    Cmp,
+    Exists,
+    ForAll,
+    IntConst,
+    Not,
+    NumPred,
+    Param,
+    PredicateDecl,
+    Sort,
+    Var,
+    Wildcard,
+)
+from repro.logic.grounding import Domain
+from repro.solver.models import evaluate
+from repro.solver.smt import BoundedModelFinder
+
+P = Sort("Player")
+T = Sort("Tournament")
+player = PredicateDecl("player", (P,))
+tournament = PredicateDecl("tournament", (T,))
+enrolled = PredicateDecl("enrolled", (P, T))
+stock = PredicateDecl("stock", (T,), numeric=True)
+p = Var("p", P)
+t = Var("t", T)
+
+REF_INTEGRITY = ForAll((p, t), enrolled(p, t) >> (player(p) & tournament(t)))
+
+
+@pytest.fixture
+def finder():
+    return BoundedModelFinder(
+        Domain.uniform([P, T], 2), params={"Capacity": 1}
+    )
+
+
+class TestCheck:
+    def test_satisfiable_invariant(self, finder):
+        result = finder.check(REF_INTEGRITY)
+        assert result.sat
+        assert evaluate(REF_INTEGRITY, result.model)
+
+    def test_model_is_counterexample(self, finder):
+        dom = finder.domain
+        p0, t0 = dom.of(P)[0], dom.of(T)[0]
+        result = finder.check(
+            REF_INTEGRITY,
+            Atom(enrolled, (p0, t0)),
+        )
+        assert result.sat
+        assert result.model.holds(Atom(enrolled, (p0, t0)))
+        assert result.model.holds(Atom(player, (p0,)))
+        assert result.model.holds(Atom(tournament, (t0,)))
+
+    def test_unsat_contradiction(self, finder):
+        dom = finder.domain
+        p0, t0 = dom.of(P)[0], dom.of(T)[0]
+        result = finder.check(
+            REF_INTEGRITY,
+            Atom(enrolled, (p0, t0)),
+            Not(Atom(tournament, (t0,))),
+        )
+        assert not result.sat
+        assert result.model is None
+        assert not bool(result)
+
+    def test_capacity_param(self, finder):
+        dom = finder.domain
+        t0 = dom.of(T)[0]
+        capacity = ForAll(
+            (t,), Cmp("<=", Card(enrolled, (Wildcard(P), t)), Param("Capacity"))
+        )
+        both = [
+            Atom(enrolled, (dom.of(P)[0], t0)),
+            Atom(enrolled, (dom.of(P)[1], t0)),
+        ]
+        assert not finder.check(capacity, *both).sat
+        assert finder.check(capacity, both[0]).sat
+
+    def test_numeric_state_decoded(self, finder):
+        dom = finder.domain
+        t0 = dom.of(T)[0]
+        result = finder.check(Cmp("==", NumPred(stock, (t0,)), IntConst(3)))
+        assert result.sat
+        assert result.model.value(NumPred(stock, (t0,))) == 3
+
+    def test_existential_witness(self, finder):
+        result = finder.check(Exists((p,), Atom(player, (p,))))
+        assert result.sat
+        assert any(
+            result.model.holds(Atom(player, (c,)))
+            for c in finder.domain.of(P)
+        )
+
+
+class TestIsValid:
+    def test_tautology(self, finder):
+        assert finder.is_valid(
+            ForAll((p,), Atom(player, (p,)) | ~Atom(player, (p,)))
+        )
+
+    def test_invalid_formula(self, finder):
+        assert not finder.is_valid(ForAll((p,), Atom(player, (p,))))
+
+    def test_validity_under_assumptions(self, finder):
+        dom = finder.domain
+        p0, t0 = dom.of(P)[0], dom.of(T)[0]
+        # Under the invariant and the enrolment fact, the tournament
+        # necessarily exists.
+        assert finder.is_valid(
+            Atom(tournament, (t0,)),
+            REF_INTEGRITY,
+            Atom(enrolled, (p0, t0)),
+        )
+
+
+class TestModelEvaluationAgreement:
+    def test_every_sat_model_satisfies_query(self, finder):
+        dom = finder.domain
+        p0 = dom.of(P)[0]
+        queries = [
+            REF_INTEGRITY,
+            Exists((t,), Atom(tournament, (t,))),
+            ForAll((t,), Atom(tournament, (t,)) >> Atom(player, (p0,))),
+        ]
+        result = finder.check(*queries)
+        assert result.sat
+        for query in queries:
+            assert evaluate(query, result.model)

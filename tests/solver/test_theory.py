@@ -1,0 +1,226 @@
+"""Order-encoded integer theory tests.
+
+Exhaustive checks over small ranges: every comparison between every
+combination of counter values must agree with Python integers.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.logic.ast import (
+    Add,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    IntConst,
+    NumPred,
+    Param,
+    PredicateDecl,
+    Sort,
+    Wildcard,
+)
+from repro.logic.grounding import Domain
+from repro.solver.cnf import CnfBuilder
+from repro.solver.dpll import SatSolver
+from repro.solver.theory import (
+    AddExpr,
+    ConstInt,
+    OrderInt,
+    SumOfBools,
+    TheoryEncoder,
+)
+
+S = Sort("S")
+counter = PredicateDecl("counter", (S,), numeric=True)
+flag = PredicateDecl("flag", (S,))
+c0, c1, c2 = Const("c0", S), Const("c1", S), Const("c2", S)
+DOMAIN = Domain({S: (c0, c1, c2)})
+
+
+def fresh():
+    solver = SatSolver()
+    builder = CnfBuilder(solver)
+    encoder = TheoryEncoder(builder, DOMAIN, params={"K": 2}, int_bound=5)
+    return solver, builder, encoder
+
+
+def pin_int(solver, order_int, value):
+    """Force an order-encoded integer to one value."""
+    for k in range(order_int.lo + 1, order_int.hi + 1):
+        lit = order_int.ge_lit(k)
+        solver.add_clause([lit] if value >= k else [-lit])
+
+
+class TestOrderInt:
+    def test_chain_gives_consistent_decode(self):
+        for value in range(-5, 6):
+            solver, builder, encoder = fresh()
+            x = encoder.int_for(NumPred(counter, (c0,)))
+            pin_int(solver, x, value)
+            assert solver.solve()
+            assert x.decode(lambda lit: bool(solver.value(lit))) == value
+
+    def test_shared_across_formulas(self):
+        solver, builder, encoder = fresh()
+        x1 = encoder.int_for(NumPred(counter, (c0,)))
+        x2 = encoder.int_for(NumPred(counter, (c0,)))
+        assert x1 is x2
+
+    def test_empty_range_rejected(self):
+        solver = SatSolver()
+        builder = CnfBuilder(solver)
+        with pytest.raises(SolverError):
+            OrderInt(builder, 3, 1)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op", ["<=", "<", ">=", ">", "==", "!="])
+    def test_var_vs_constant_exhaustive(self, op):
+        import operator
+
+        py_ops = {
+            "<=": operator.le, "<": operator.lt, ">=": operator.ge,
+            ">": operator.gt, "==": operator.eq, "!=": operator.ne,
+        }
+        for value in range(-5, 6):
+            for bound in range(-3, 4):
+                solver, builder, encoder = fresh()
+                formula = encoder.encode(
+                    Cmp(op, NumPred(counter, (c0,)), IntConst(bound))
+                )
+                builder.assert_formula(formula)
+                x = encoder.int_for(NumPred(counter, (c0,)))
+                pin_int(solver, x, value)
+                expected = py_ops[op](value, bound)
+                assert solver.solve() == expected, (op, value, bound)
+
+    def test_var_vs_var(self):
+        for a_val in range(-2, 3):
+            for b_val in range(-2, 3):
+                solver, builder, encoder = fresh()
+                formula = encoder.encode(
+                    Cmp(
+                        "<",
+                        NumPred(counter, (c0,)),
+                        NumPred(counter, (c1,)),
+                    )
+                )
+                builder.assert_formula(formula)
+                pin_int(solver, encoder.int_for(NumPred(counter, (c0,))), a_val)
+                pin_int(solver, encoder.int_for(NumPred(counter, (c1,))), b_val)
+                assert solver.solve() == (a_val < b_val)
+
+    def test_param_resolution(self):
+        solver, builder, encoder = fresh()
+        formula = encoder.encode(
+            Cmp("==", NumPred(counter, (c0,)), Param("K"))
+        )
+        builder.assert_formula(formula)
+        assert solver.solve()
+        x = encoder.int_for(NumPred(counter, (c0,)))
+        assert x.decode(lambda lit: bool(solver.value(lit))) == 2
+
+    def test_unknown_param_raises(self):
+        solver, builder, encoder = fresh()
+        with pytest.raises(SolverError, match="parameter"):
+            encoder.encode(
+                Cmp("==", NumPred(counter, (c0,)), Param("Missing"))
+            )
+
+
+class TestCardinality:
+    def test_card_counts_true_atoms(self):
+        for true_count in range(4):
+            solver, builder, encoder = fresh()
+            card = Card(flag, (Wildcard(S),))
+            formula = encoder.encode(
+                Cmp("==", card, IntConst(true_count))
+            )
+            builder.assert_formula(formula)
+            consts = [c0, c1, c2]
+            for index, const in enumerate(consts):
+                lit = builder.lit_for_atom(Atom(flag, (const,)))
+                solver.add_clause([lit if index < true_count else -lit])
+            assert solver.solve() == (true_count <= 3)
+
+    def test_card_bound_forces_atoms(self):
+        solver, builder, encoder = fresh()
+        card = Card(flag, (Wildcard(S),))
+        builder.assert_formula(
+            encoder.encode(Cmp(">=", card, IntConst(3)))
+        )
+        assert solver.solve()
+        for const in (c0, c1, c2):
+            lit = builder.lit_for_atom(Atom(flag, (const,)))
+            assert solver.value(lit) is True
+
+    def test_card_upper_bound_unsat_when_exceeded(self):
+        solver, builder, encoder = fresh()
+        card = Card(flag, (Wildcard(S),))
+        builder.assert_formula(
+            encoder.encode(Cmp("<=", card, IntConst(1)))
+        )
+        for const in (c0, c1):
+            solver.add_clause([builder.lit_for_atom(Atom(flag, (const,)))])
+        assert not solver.solve()
+
+
+class TestAddition:
+    @given(
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+        st.integers(min_value=-6, max_value=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_sum_comparison_matches_python(self, a_val, b_val, bound):
+        solver, builder, encoder = fresh()
+        total = Add((NumPred(counter, (c0,)), NumPred(counter, (c1,))))
+        builder.assert_formula(
+            encoder.encode(Cmp(">=", total, IntConst(bound)))
+        )
+        pin_int(solver, encoder.int_for(NumPred(counter, (c0,))), a_val)
+        pin_int(solver, encoder.int_for(NumPred(counter, (c1,))), b_val)
+        assert solver.solve() == (a_val + b_val >= bound)
+
+    def test_sum_with_constant_delta(self):
+        # The conflict encoding's "post = pre + delta" shape.
+        for pre in range(-2, 3):
+            for delta in (-2, 1, 3):
+                solver, builder, encoder = fresh()
+                post = NumPred(counter, (c1,))
+                pre_term = NumPred(counter, (c0,))
+                builder.assert_formula(
+                    encoder.encode(
+                        Cmp("==", post, Add((pre_term, IntConst(delta))))
+                    )
+                )
+                pin_int(solver, encoder.int_for(pre_term), pre)
+                assert solver.solve()
+                decoded = encoder.int_for(post).decode(
+                    lambda lit: bool(solver.value(lit))
+                )
+                assert decoded == pre + delta
+
+
+class TestSumOfBools:
+    def test_exhaustive_small(self):
+        for pattern in range(8):
+            solver = SatSolver()
+            builder = CnfBuilder(solver)
+            lits = [solver.new_var() for _ in range(3)]
+            total = SumOfBools(builder, lits)
+            for index, lit in enumerate(lits):
+                value = bool(pattern & (1 << index))
+                solver.add_clause([lit if value else -lit])
+            assert solver.solve()
+            expected = bin(pattern).count("1")
+            for threshold in range(5):
+                got = solver.value(total.ge_lit(threshold))
+                assert got == (expected >= threshold), (
+                    pattern, threshold,
+                )

@@ -1,0 +1,112 @@
+"""Hypothesis properties for the integer theory encoder."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    Add,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    IntConst,
+    NumPred,
+    PredicateDecl,
+    Sort,
+    Wildcard,
+)
+from repro.logic.grounding import Domain
+from repro.solver.cnf import CnfBuilder
+from repro.solver.dpll import SatSolver
+from repro.solver.theory import TheoryEncoder
+
+S = Sort("S")
+counter = PredicateDecl("ctr", (S,), numeric=True)
+flag = PredicateDecl("flg", (S,))
+CONSTS = tuple(Const(f"c{i}", S) for i in range(3))
+DOMAIN = Domain({S: CONSTS})
+
+
+def fresh(int_bound=6):
+    solver = SatSolver()
+    builder = CnfBuilder(solver)
+    encoder = TheoryEncoder(builder, DOMAIN, params={}, int_bound=int_bound)
+    return solver, builder, encoder
+
+
+def pin(solver, order_int, value):
+    for k in range(order_int.lo + 1, order_int.hi + 1):
+        lit = order_int.ge_lit(k)
+        solver.add_clause([lit] if value >= k else [-lit])
+
+
+class TestThreeWaySums:
+    @given(
+        st.integers(-2, 2), st.integers(-2, 2), st.integers(-2, 2),
+        st.integers(-6, 6),
+        st.sampled_from(["<=", "<", ">=", ">", "==", "!="]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_chained_add_matches_python(self, a, b, c, bound, op):
+        import operator
+
+        ops = {
+            "<=": operator.le, "<": operator.lt, ">=": operator.ge,
+            ">": operator.gt, "==": operator.eq, "!=": operator.ne,
+        }
+        solver, builder, encoder = fresh()
+        total = Add(
+            (
+                NumPred(counter, (CONSTS[0],)),
+                NumPred(counter, (CONSTS[1],)),
+                NumPred(counter, (CONSTS[2],)),
+            )
+        )
+        builder.assert_formula(
+            encoder.encode(Cmp(op, total, IntConst(bound)))
+        )
+        for const, value in zip(CONSTS, (a, b, c)):
+            pin(solver, encoder.int_for(NumPred(counter, (const,))), value)
+        assert solver.solve() == ops[op](a + b + c, bound)
+
+
+class TestCardVsCounter:
+    @given(
+        st.lists(st.booleans(), min_size=3, max_size=3),
+        st.integers(-2, 4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_card_compared_to_numpred(self, flags, counter_value):
+        solver, builder, encoder = fresh()
+        card = Card(flag, (Wildcard(S),))
+        num = NumPred(counter, (CONSTS[0],))
+        builder.assert_formula(encoder.encode(Cmp("<=", card, num)))
+        for const, value in zip(CONSTS, flags):
+            lit = builder.lit_for_atom(Atom(flag, (const,)))
+            solver.add_clause([lit if value else -lit])
+        pin(solver, encoder.int_for(num), counter_value)
+        assert solver.solve() == (sum(flags) <= counter_value)
+
+
+class TestNegationConsistency:
+    @given(
+        st.integers(-3, 3), st.integers(-3, 3),
+        st.sampled_from(["<=", "<", ">=", ">", "==", "!="]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cmp_and_negation_partition(self, x_val, bound, op):
+        """Exactly one of Cmp and its negation is satisfiable once the
+        variable is pinned."""
+        from repro.logic.transform import negate
+
+        outcomes = []
+        for formula_builder in (
+            lambda num: Cmp(op, num, IntConst(bound)),
+            lambda num: negate(Cmp(op, num, IntConst(bound))),
+        ):
+            solver, builder, encoder = fresh()
+            num = NumPred(counter, (CONSTS[0],))
+            builder.assert_formula(encoder.encode(formula_builder(num)))
+            pin(solver, encoder.int_for(num), x_val)
+            outcomes.append(solver.solve())
+        assert outcomes.count(True) == 1

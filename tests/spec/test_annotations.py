@@ -1,0 +1,137 @@
+"""SpecBuilder front-end tests (the paper's annotation syntax)."""
+
+import pytest
+
+from repro.errors import ParseError, SpecError
+from repro.logic.ast import Wildcard
+from repro.spec import SpecBuilder
+from repro.spec.effects import BoolEffect, ConvergencePolicy, NumEffect
+
+
+def builder():
+    b = SpecBuilder("app")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.predicate("stock", "Tournament", numeric=True)
+    return b
+
+
+class TestPredicatesAndSorts:
+    def test_sorts_created_on_demand(self):
+        b = builder()
+        assert set(b.schema.sorts) == {"Player", "Tournament"}
+
+    def test_duplicate_predicate_rejected(self):
+        b = builder()
+        with pytest.raises(SpecError):
+            b.predicate("player", "Player")
+
+    def test_parameter(self):
+        b = builder()
+        b.parameter("Capacity", 5)
+        assert b.schema.params == {"Capacity": 5}
+
+
+class TestOperations:
+    def test_true_false_effects(self):
+        b = builder()
+        op = b.operation(
+            "swap", "Player: p, Tournament: t",
+            true=["enrolled(p, t)"], false=["tournament(t)"],
+        )
+        assert len(op.effects) == 2
+        assert op.effects[0].value is True
+        assert op.effects[1].value is False
+
+    def test_touch_effects(self):
+        b = builder()
+        op = b.operation(
+            "enroll", "Player: p, Tournament: t",
+            touch=["tournament(t)"],
+        )
+        assert op.effects[0].touch
+
+    def test_wildcard_argument(self):
+        b = builder()
+        op = b.operation(
+            "rem_tourn", "Tournament: t", false=["enrolled(*, t)"]
+        )
+        effect = op.effects[0]
+        assert isinstance(effect.args[0], Wildcard)
+        assert effect.args[0].sort.name == "Player"
+
+    def test_numeric_effects_with_amounts(self):
+        b = builder()
+        op = b.operation(
+            "restock", "Tournament: t",
+            incr=["stock(t) 10"], decr=["stock(t)"],
+        )
+        assert op.effects[0].delta == 10
+        assert op.effects[1].delta == -1
+
+    def test_shared_sort_params(self):
+        b = builder()
+        op = b.operation("match", "Player: p, q, Tournament: t")
+        assert [v.sort.name for v in op.params] == [
+            "Player", "Player", "Tournament",
+        ]
+
+    def test_unknown_param_in_effect(self):
+        b = builder()
+        with pytest.raises(ParseError, match="unknown parameter"):
+            b.operation("bad", "Player: p", true=["enrolled(p, t)"])
+
+    def test_wrong_arity_effect(self):
+        b = builder()
+        with pytest.raises(ParseError, match="expects"):
+            b.operation("bad", "Player: p", true=["enrolled(p)"])
+
+    def test_malformed_effect(self):
+        b = builder()
+        with pytest.raises(ParseError, match="malformed"):
+            b.operation("bad", "Player: p", true=["enrolled p"])
+
+    def test_param_without_sort_rejected(self):
+        b = builder()
+        with pytest.raises(SpecError, match="no sort"):
+            b.operation("bad", "p", true=["player(p)"])
+
+
+class TestBuild:
+    def test_rules_installed(self):
+        b = builder()
+        spec = b.build(rules={"enrolled": "rem-wins"})
+        assert spec.rules.policy("enrolled") is ConvergencePolicy.REM_WINS
+        assert spec.rules.policy("player") is ConvergencePolicy.ADD_WINS
+
+    def test_rule_for_unknown_predicate_rejected(self):
+        b = builder()
+        with pytest.raises(SpecError, match="unknown predicate"):
+            b.build(rules={"ghost": "add-wins"})
+
+    def test_invariant_category_annotation(self):
+        b = builder()
+        inv = b.invariant("true", name="ids", category="unique-id")
+        spec = b.build()
+        assert spec.invariants[0].category == "unique-id"
+        assert inv.name == "ids"
+
+    def test_invariant_source_normalised(self):
+        b = builder()
+        inv = b.invariant(
+            "forall(Player: p, Tournament: t) :-\n"
+            "    enrolled(p, t) => player(p)"
+        )
+        assert "\n" not in inv.source
+
+    def test_describe_round_trip(self):
+        b = builder()
+        b.invariant(
+            "forall(Player: p, Tournament: t) :- enrolled(p, t) => player(p)"
+        )
+        b.operation("add_player", "Player: p", true=["player(p)"])
+        spec = b.build()
+        text = spec.describe()
+        assert "@Inv" in text
+        assert "add_player(Player: p)" in text

@@ -1,0 +1,70 @@
+"""ApplicationSpec container tests."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.logic.ast import And, TrueF
+from repro.spec import SpecBuilder
+from repro.spec.effects import BoolEffect
+
+
+def spec():
+    b = SpecBuilder("app")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.invariant("forall(Player: p) :- player(p) => player(p)")
+    b.invariant("forall(Tournament: t) :- tournament(t) => tournament(t)")
+    b.operation("add_player", "Player: p", true=["player(p)"])
+    b.operation("add_tourn", "Tournament: t", true=["tournament(t)"])
+    return b.build()
+
+
+class TestApplicationSpec:
+    def test_invariant_formula_conjunction(self):
+        formula = spec().invariant_formula()
+        assert isinstance(formula, And)
+        assert len(formula.args) == 2
+
+    def test_empty_invariants_is_true(self):
+        b = SpecBuilder("empty")
+        assert isinstance(b.build().invariant_formula(), TrueF)
+
+    def test_operation_lookup(self):
+        s = spec()
+        assert s.operation("add_player").name == "add_player"
+        with pytest.raises(SpecError):
+            s.operation("ghost")
+
+    def test_add_duplicate_operation_rejected(self):
+        s = spec()
+        with pytest.raises(SpecError):
+            s.add_operation(s.operation("add_player"))
+
+    def test_replace_operation(self):
+        s = spec()
+        original = s.operation("add_player")
+        extra = BoolEffect(
+            s.schema.pred("player"), (original.params[0],), value=True,
+            touch=True,
+        )
+        modified = original.with_extra_effects([extra])
+        s.replace_operation("add_player", modified)
+        replaced = s.operation("add_player")
+        assert replaced.original_name == "add_player"
+        assert extra in replaced.effects
+
+    def test_replace_unknown_rejected(self):
+        with pytest.raises(SpecError):
+            spec().replace_operation("ghost", spec().operation("add_player"))
+
+    def test_copy_isolates_operations_and_rules(self):
+        s = spec()
+        clone = s.copy()
+        clone.replace_operation(
+            "add_player", s.operation("add_player").with_extra_effects([])
+        )
+        from repro.spec.effects import ConvergencePolicy
+
+        clone.rules.set("player", ConvergencePolicy.REM_WINS)
+        assert s.rules.policy("player") is ConvergencePolicy.ADD_WINS
+        assert s.operation("add_player").base is None

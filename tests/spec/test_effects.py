@@ -1,0 +1,137 @@
+"""Effect and convergence-rule tests."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.logic.ast import PredicateDecl, Sort, Var, Wildcard
+from repro.spec.effects import (
+    BoolEffect,
+    ConvergencePolicy,
+    ConvergenceRules,
+    NumEffect,
+)
+
+P = Sort("Player")
+T = Sort("Tournament")
+enrolled = PredicateDecl("enrolled", (P, T))
+tournament = PredicateDecl("tournament", (T,))
+stock = PredicateDecl("stock", (T,), numeric=True)
+p = Var("p", P)
+t = Var("t", T)
+
+
+class TestBoolEffect:
+    def test_construction(self):
+        effect = BoolEffect(enrolled, (p, t), value=True)
+        assert not effect.has_wildcard
+        assert str(effect) == "enrolled(p, t) = true"
+
+    def test_wildcard(self):
+        effect = BoolEffect(enrolled, (Wildcard(P), t), value=False)
+        assert effect.has_wildcard
+        assert str(effect) == "enrolled(*, t) = false"
+
+    def test_touch_rendering(self):
+        effect = BoolEffect(tournament, (t,), value=True, touch=True)
+        assert str(effect) == "tournament(t) = touch"
+
+    def test_touch_must_be_true(self):
+        with pytest.raises(SpecError):
+            BoolEffect(tournament, (t,), value=False, touch=True)
+
+    def test_numeric_pred_rejected(self):
+        with pytest.raises(SpecError):
+            BoolEffect(stock, (t,), value=True)
+
+    def test_rename(self):
+        from repro.logic.ast import Const
+
+        c = Const("t0", T)
+        effect = BoolEffect(enrolled, (p, t), value=True)
+        renamed = effect.rename({t: c})
+        assert renamed.args == (p, c)
+
+
+class TestOpposes:
+    def test_same_pred_opposing_values(self):
+        add = BoolEffect(tournament, (t,), value=True)
+        rem = BoolEffect(tournament, (t,), value=False)
+        assert add.opposes(rem)
+        assert rem.opposes(add)
+
+    def test_same_value_does_not_oppose(self):
+        a1 = BoolEffect(tournament, (t,), value=True)
+        a2 = BoolEffect(tournament, (t,), value=True)
+        assert not a1.opposes(a2)
+
+    def test_different_preds_do_not_oppose(self):
+        add = BoolEffect(tournament, (t,), value=True)
+        rem = BoolEffect(enrolled, (p, t), value=False)
+        assert not add.opposes(rem)
+
+    def test_wildcard_overlaps(self):
+        clear = BoolEffect(enrolled, (Wildcard(P), t), value=False)
+        add = BoolEffect(enrolled, (p, t), value=True)
+        assert clear.opposes(add)
+
+    def test_distinct_constants_do_not_oppose(self):
+        from repro.logic.ast import Const
+
+        t0, t1 = Const("t0", T), Const("t1", T)
+        add = BoolEffect(tournament, (t0,), value=True)
+        rem = BoolEffect(tournament, (t1,), value=False)
+        assert not add.opposes(rem)
+
+    def test_variables_may_alias(self):
+        t2 = Var("t2", T)
+        add = BoolEffect(tournament, (t,), value=True)
+        rem = BoolEffect(tournament, (t2,), value=False)
+        assert add.opposes(rem)
+
+    def test_num_effect_never_opposes(self):
+        incr = NumEffect(stock, (t,), delta=1)
+        decr = NumEffect(stock, (t,), delta=-1)
+        assert not incr.opposes(decr)
+
+
+class TestNumEffect:
+    def test_construction(self):
+        effect = NumEffect(stock, (t,), delta=-2)
+        assert str(effect) == "stock(t) -2"
+
+    def test_positive_rendering(self):
+        assert str(NumEffect(stock, (t,), delta=3)) == "stock(t) +3"
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(SpecError):
+            NumEffect(stock, (t,), delta=0)
+
+    def test_boolean_pred_rejected(self):
+        with pytest.raises(SpecError):
+            NumEffect(tournament, (t,), delta=1)
+
+
+class TestConvergenceRules:
+    def test_default_policy(self):
+        rules = ConvergenceRules()
+        assert rules.policy(tournament) is ConvergencePolicy.ADD_WINS
+        assert rules.merged_value(tournament) is True
+
+    def test_override(self):
+        rules = ConvergenceRules()
+        rules.set("enrolled", ConvergencePolicy.REM_WINS)
+        assert rules.merged_value("enrolled") is False
+
+    def test_lww_has_no_winner(self):
+        rules = ConvergenceRules(default=ConvergencePolicy.LWW)
+        assert rules.merged_value(tournament) is None
+
+    def test_from_mapping_with_strings(self):
+        rules = ConvergenceRules.from_mapping({"enrolled": "rem-wins"})
+        assert rules.policy("enrolled") is ConvergencePolicy.REM_WINS
+
+    def test_copy_isolated(self):
+        rules = ConvergenceRules()
+        clone = rules.copy()
+        clone.set("enrolled", ConvergencePolicy.REM_WINS)
+        assert rules.policy("enrolled") is ConvergencePolicy.ADD_WINS

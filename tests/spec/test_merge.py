@@ -1,0 +1,100 @@
+"""Multi-application spec merging tests (§5.1.4)."""
+
+import pytest
+
+from repro.analysis import ConflictChecker, run_ipa
+from repro.errors import SpecError
+from repro.spec import SpecBuilder
+from repro.spec.merge import merge_specs
+
+
+def reader_app():
+    """An application that only enrols players."""
+    b = SpecBuilder("enroller")
+    b.predicate("player", "Player")
+    b.predicate("tournament", "Tournament")
+    b.predicate("enrolled", "Player", "Tournament")
+    b.invariant(
+        "forall(Player: p, Tournament: t) :- "
+        "enrolled(p, t) => player(p) and tournament(t)"
+    )
+    b.operation(
+        "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+    )
+    return b.build()
+
+
+def admin_app():
+    """A separate admin application that removes tournaments."""
+    b = SpecBuilder("admin")
+    b.predicate("tournament", "Tournament")
+    b.operation("add_tourn", "Tournament: t", true=["tournament(t)"])
+    b.operation("rem_tourn", "Tournament: t", false=["tournament(t)"])
+    return b.build()
+
+
+class TestMergeSpecs:
+    def test_cross_application_conflict_found(self):
+        """Neither app conflicts alone; together they do (the paper's
+        motivation for a single combined specification)."""
+        enroller, admin = reader_app(), admin_app()
+        assert ConflictChecker(enroller).find_conflicts() == []
+        assert ConflictChecker(admin).find_conflicts() == []
+        combined = merge_specs("shared-db", enroller, admin)
+        conflicts = ConflictChecker(combined).find_conflicts()
+        pairs = {frozenset(w.pair) for w in conflicts}
+        assert frozenset(("enroll", "rem_tourn")) in pairs
+
+    def test_combined_spec_repairable(self):
+        combined = merge_specs("shared-db", reader_app(), admin_app())
+        result = run_ipa(combined)
+        assert result.is_invariant_preserving
+
+    def test_shared_predicates_unified(self):
+        combined = merge_specs("shared-db", reader_app(), admin_app())
+        assert combined.schema.pred("tournament").arity == 1
+        assert len(combined.schema.predicates) == 3
+
+    def test_colliding_operation_names_qualified(self):
+        a, b = admin_app(), admin_app()
+        b.schema.name = "admin2"
+        combined = merge_specs("shared-db", a, b)
+        assert "admin.rem_tourn" in combined.operations
+        assert "admin2.rem_tourn" in combined.operations
+
+    def test_signature_mismatch_rejected(self):
+        a = reader_app()
+        b = SpecBuilder("odd")
+        b.predicate("enrolled", "Player")  # wrong arity
+        with pytest.raises(SpecError, match="different signatures"):
+            merge_specs("shared-db", a, b.build())
+
+    def test_contradictory_rules_rejected(self):
+        a = SpecBuilder("a")
+        a.predicate("flag", "S")
+        spec_a = a.build(rules={"flag": "add-wins"})
+        b = SpecBuilder("b")
+        b.predicate("flag", "S")
+        spec_b = b.build(rules={"flag": "rem-wins"})
+        with pytest.raises(SpecError, match="contradictory"):
+            merge_specs("shared-db", spec_a, spec_b)
+
+    def test_conflicting_param_values_rejected(self):
+        a = SpecBuilder("a")
+        a.predicate("e", "S", "T")
+        a.parameter("Cap", 3)
+        b = SpecBuilder("b")
+        b.predicate("f", "S")
+        b.parameter("Cap", 5)
+        with pytest.raises(SpecError, match="conflicting values"):
+            merge_specs("shared-db", a.build(), b.build())
+
+    def test_duplicate_invariants_deduped(self):
+        a, b = reader_app(), reader_app()
+        b.schema.name = "enroller2"
+        combined = merge_specs("shared-db", a, b)
+        assert len(combined.invariants) == 1
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(SpecError):
+            merge_specs("nothing")

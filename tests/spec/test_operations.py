@@ -1,0 +1,97 @@
+"""Operation model tests."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.logic.ast import Const, PredicateDecl, Sort, Var, Wildcard
+from repro.spec.effects import BoolEffect
+from repro.spec.operations import Operation
+
+P = Sort("Player")
+T = Sort("Tournament")
+enrolled = PredicateDecl("enrolled", (P, T))
+tournament = PredicateDecl("tournament", (T,))
+p = Var("p", P)
+t = Var("t", T)
+
+
+def enroll_op():
+    return Operation(
+        name="enroll",
+        params=(p, t),
+        effects=(BoolEffect(enrolled, (p, t), value=True),),
+    )
+
+
+class TestConstruction:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(SpecError):
+            Operation("bad", (p, p), ())
+
+    def test_unknown_param_in_effect_rejected(self):
+        q = Var("q", P)
+        with pytest.raises(SpecError, match="unknown parameter"):
+            Operation(
+                "bad", (p,),
+                (BoolEffect(enrolled, (q, Wildcard(T)), value=False),),
+            )
+
+    def test_wildcards_allowed_without_params(self):
+        op = Operation(
+            "clear", (t,),
+            (BoolEffect(enrolled, (Wildcard(P), t), value=False),),
+        )
+        assert op.effects[0].has_wildcard
+
+
+class TestAugmentation:
+    def test_with_extra_effects_appends(self):
+        op = enroll_op()
+        extra = BoolEffect(tournament, (t,), value=True)
+        modified = op.with_extra_effects([extra])
+        assert modified.effects == op.effects + (extra,)
+        assert modified.base == "enroll"
+        assert modified.original_name == "enroll"
+
+    def test_duplicate_extras_skipped(self):
+        op = enroll_op()
+        existing = op.effects[0]
+        modified = op.with_extra_effects([existing])
+        assert modified.effects == op.effects
+
+    def test_base_chains_to_original(self):
+        op = enroll_op()
+        first = op.with_extra_effects(
+            [BoolEffect(tournament, (t,), value=True)]
+        )
+        second = first.with_extra_effects([])
+        assert second.original_name == "enroll"
+
+
+class TestInstantiate:
+    def test_binds_all_params(self):
+        op = enroll_op()
+        p0, t0 = Const("p0", P), Const("t0", T)
+        effects = op.instantiate({p: p0, t: t0})
+        assert effects[0].args == (p0, t0)
+
+    def test_missing_binding_rejected(self):
+        op = enroll_op()
+        with pytest.raises(SpecError, match="no binding"):
+            op.instantiate({p: Const("p0", P)})
+
+
+class TestQueries:
+    def test_touched_predicates(self):
+        op = enroll_op().with_extra_effects(
+            [BoolEffect(tournament, (t,), value=True)]
+        )
+        assert op.touched_predicates() == {"enrolled", "tournament"}
+
+    def test_describe_lists_effects(self):
+        text = enroll_op().describe()
+        assert "enroll(Player: p, Tournament: t)" in text
+        assert "enrolled(p, t) = true" in text
+
+    def test_operations_hashable(self):
+        assert len({enroll_op(), enroll_op()}) == 1

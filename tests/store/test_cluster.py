@@ -1,0 +1,184 @@
+"""Cluster orchestration tests."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.crdts import AWSet
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster, ConsistencyMode
+from repro.store.registry import TypeRegistry
+
+
+def make_cluster(mode=ConsistencyMode.CAUSAL, **kwargs):
+    registry = TypeRegistry()
+    registry.register_prefix("", AWSet)
+    sim = Simulator()
+    return sim, Cluster(sim, registry, mode=mode, **kwargs)
+
+
+def add_op(key, element):
+    def body(txn):
+        txn.update(key, lambda s: s.prepare_add(element))
+        return "add"
+
+    return body
+
+
+class TestCausalMode:
+    def test_local_commit_replicates_everywhere(self):
+        sim, cluster = make_cluster()
+        cluster.submit(US_WEST, add_op("s", "x"), lambda _op: None)
+        sim.run(until=5.0)
+        # Committed locally, not yet remote.
+        assert cluster.replica(US_WEST).get_object("s").value() == {"x"}
+        assert cluster.replica(EU_WEST).get_object("s").value() == set()
+        sim.run(until=500.0)
+        for region in REGIONS:
+            assert cluster.replica(region).get_object("s").value() == {"x"}
+        assert cluster.converged()
+
+    def test_local_latency(self):
+        sim, cluster = make_cluster()
+        done_at = []
+        cluster.submit(
+            EU_WEST, add_op("s", "x"), lambda _op: done_at.append(sim.now)
+        )
+        sim.run(until=100.0)
+        assert done_at and done_at[0] < 5.0
+
+    def test_concurrent_writes_converge(self):
+        sim, cluster = make_cluster()
+        cluster.submit(US_EAST, add_op("s", "a"), lambda _op: None)
+        cluster.submit(EU_WEST, add_op("s", "b"), lambda _op: None)
+        sim.run(until=1_000.0)
+        assert cluster.converged()
+        for region in REGIONS:
+            assert cluster.replica(region).get_object("s").value() == {
+                "a", "b",
+            }
+
+
+class TestStrongMode:
+    def test_remote_client_pays_round_trip(self):
+        sim, cluster = make_cluster(
+            mode=ConsistencyMode.STRONG, primary=US_EAST
+        )
+        done_at = []
+        cluster.submit(
+            EU_WEST, add_op("s", "x"), lambda _op: done_at.append(sim.now)
+        )
+        sim.run(until=1_000.0)
+        assert done_at and 70.0 < done_at[0] < 120.0
+
+    def test_primary_client_stays_fast(self):
+        sim, cluster = make_cluster(
+            mode=ConsistencyMode.STRONG, primary=US_EAST
+        )
+        done_at = []
+        cluster.submit(
+            US_EAST, add_op("s", "x"), lambda _op: done_at.append(sim.now)
+        )
+        sim.run(until=1_000.0)
+        assert done_at and done_at[0] < 10.0
+
+    def test_reads_also_forwarded(self):
+        sim, cluster = make_cluster(
+            mode=ConsistencyMode.STRONG, primary=US_EAST
+        )
+        done_at = []
+
+        def read_body(txn):
+            txn.get("s")
+            return "read"
+
+        cluster.submit(
+            US_WEST, read_body, lambda _op: done_at.append(sim.now),
+            is_update=False,
+        )
+        sim.run(until=1_000.0)
+        assert done_at and done_at[0] > 70.0
+
+    def test_all_updates_serialise_at_primary(self):
+        sim, cluster = make_cluster(
+            mode=ConsistencyMode.STRONG, primary=US_EAST
+        )
+        for index in range(5):
+            cluster.submit(
+                REGIONS[index % 3], add_op("s", index), lambda _op: None
+            )
+        sim.run(until=2_000.0)
+        assert cluster.replica(US_EAST).vv.get(US_EAST) == 5
+        assert cluster.converged()
+
+
+class TestIndigoMode:
+    def test_reservation_gates_execution(self):
+        sim, cluster = make_cluster(mode=ConsistencyMode.INDIGO)
+        cluster.reservations.register("res", US_EAST)
+        done_at = []
+        cluster.submit(
+            US_WEST, add_op("s", "x"),
+            lambda _op: done_at.append(sim.now),
+            reservations=("res",),
+        )
+        sim.run(until=1_000.0)
+        assert done_at and done_at[0] > 75.0
+
+    def test_held_reservation_is_fast(self):
+        sim, cluster = make_cluster(mode=ConsistencyMode.INDIGO)
+        cluster.reservations.register("res", US_WEST)
+        done_at = []
+        cluster.submit(
+            US_WEST, add_op("s", "x"),
+            lambda _op: done_at.append(sim.now),
+            reservations=("res",),
+        )
+        sim.run(until=1_000.0)
+        assert done_at and done_at[0] < 10.0
+
+
+class TestFailures:
+    def test_failed_region_rejects_clients(self):
+        sim, cluster = make_cluster()
+        cluster.fail_region(EU_WEST)
+        with pytest.raises(StoreError):
+            cluster.submit(EU_WEST, add_op("s", "x"), lambda _op: None)
+
+    def test_unknown_region(self):
+        sim, cluster = make_cluster()
+        with pytest.raises(StoreError):
+            cluster.replica("mars")
+
+    def test_healed_region_catches_up_on_new_commits(self):
+        sim, cluster = make_cluster()
+        cluster.fail_region(EU_WEST)
+        cluster.submit(US_EAST, add_op("s", "x"), lambda _op: None)
+        sim.run(until=500.0)
+        assert cluster.replica(EU_WEST).get_object("s").value() == set()
+        cluster.heal_region(EU_WEST)
+        cluster.submit(US_EAST, add_op("s", "y"), lambda _op: None)
+        sim.run(until=1_000.0)
+        # y depends on x; delivery waits for x, which was lost while
+        # partitioned -- the receiver keeps it pending (no crash).
+        replica = cluster.replica(EU_WEST)
+        assert replica.get_object("s").value() == set()
+
+
+class TestStability:
+    def test_stable_vector_is_pointwise_min(self):
+        sim, cluster = make_cluster()
+        cluster.submit(US_EAST, add_op("s", "x"), lambda _op: None)
+        sim.run(until=5.0)  # before replication lands
+        stable = cluster.stable_vector()
+        assert stable.get(US_EAST) == 0
+        sim.run(until=500.0)
+        stable = cluster.stable_vector()
+        assert stable.get(US_EAST) == 1
+
+    def test_compact_all_runs(self):
+        sim, cluster = make_cluster()
+        cluster.submit(US_EAST, add_op("s", "x"), lambda _op: None)
+        sim.run(until=500.0)
+        cluster.compact_all()  # smoke: no exception, state preserved
+        assert cluster.replica(EU_WEST).get_object("s").value() == {"x"}

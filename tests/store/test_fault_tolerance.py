@@ -1,0 +1,82 @@
+"""Fault-tolerance tests for the §5.2.5 claim.
+
+"Our approach is fault-tolerant as a client can execute operations as
+long as it can access a single server.  In Indigo, if a server that
+holds the necessary reservation to execute some operation becomes
+unavailable, the operation cannot be executed."
+"""
+
+import pytest
+
+from repro.apps.common import Variant
+from repro.apps.tournament import TournamentApp, tournament_registry
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster, ConsistencyMode
+
+
+def make(mode, variant):
+    sim = Simulator()
+    cluster = Cluster(sim, tournament_registry(variant), mode=mode)
+    app = TournamentApp(cluster, variant)
+    app.setup(["p1", "p2"], ["t1"], US_EAST)
+    cluster.reservations.register("tourn:t1", US_EAST)
+    return sim, cluster, app
+
+
+class TestIpaSurvivesPartitions:
+    def test_operations_complete_with_remote_regions_down(self):
+        sim, cluster, app = make(ConsistencyMode.CAUSAL, Variant.IPA)
+        cluster.fail_region(US_EAST)
+        cluster.fail_region(EU_WEST)
+        done = []
+        app.enroll(US_WEST, "p1", "t1", done.append)
+        sim.run(until=sim.now + 2_000.0)
+        assert done == ["enroll"]
+        assert ("p1", "t1") in cluster.replica(US_WEST).get_object(
+            "enrolled"
+        ).value()
+
+    def test_partitioned_work_preserves_invariants_after_heal(self):
+        sim, cluster, app = make(ConsistencyMode.CAUSAL, Variant.IPA)
+        cluster.fail_region(EU_WEST)
+        app.enroll(US_WEST, "p1", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        cluster.heal_region(EU_WEST)
+        # EU-WEST, having missed the enrolment, removes the tournament.
+        app.rem_tourn(EU_WEST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        for region in (US_EAST, US_WEST):
+            assert app.count_violations(region) == 0
+
+
+class TestIndigoBlockedByHolderFailure:
+    def test_operation_stuck_while_holder_down(self):
+        sim, cluster, app = make(ConsistencyMode.INDIGO, Variant.CAUSAL)
+        cluster.fail_region(US_EAST)  # holds tourn:t1
+        done = []
+        app.enroll(US_WEST, "p1", "t1", done.append)
+        sim.run(until=sim.now + 10_000.0)
+        assert done == []  # cannot acquire the reservation
+
+    def test_operation_resumes_after_heal(self):
+        sim, cluster, app = make(ConsistencyMode.INDIGO, Variant.CAUSAL)
+        cluster.fail_region(US_EAST)
+        done = []
+        app.enroll(US_WEST, "p1", "t1", done.append)
+        sim.run(until=sim.now + 5_000.0)
+        assert done == []
+        cluster.heal_region(US_EAST)
+        # A new acquisition attempt pumps the queued transfer through.
+        app.status(US_WEST, "t1", lambda _op: None)
+        app.enroll(US_WEST, "p2", "t1", done.append)
+        sim.run(until=sim.now + 5_000.0)
+        assert "enroll" in done
+
+    def test_strong_blocked_when_primary_down(self):
+        from repro.errors import StoreError
+
+        sim, cluster, app = make(ConsistencyMode.STRONG, Variant.CAUSAL)
+        cluster.fail_region(US_EAST)  # the primary
+        with pytest.raises(StoreError, match="primary"):
+            app.enroll(US_WEST, "p1", "t1", lambda _op: None)

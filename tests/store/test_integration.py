@@ -1,0 +1,168 @@
+"""End-to-end integration: the paper's claim, executed.
+
+The unmodified (Causal) Tournament violates its invariants under
+concurrent conflicting operations; the IPA-modified version -- same
+store, same schedule -- preserves them.  These tests replay the
+Figure 2 race on the full stack (replicated store + CRDTs + app).
+"""
+
+import pytest
+
+from repro.apps.common import Variant
+from repro.apps.ticket import TicketApp, ticket_registry
+from repro.apps.tournament import TournamentApp, tournament_registry
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster, ConsistencyMode
+
+
+def tournament_setup(variant):
+    sim = Simulator()
+    cluster = Cluster(sim, tournament_registry(variant))
+    app = TournamentApp(cluster, variant)
+    app.setup(["p1", "p2"], ["t1"], US_EAST)
+    return sim, cluster, app
+
+
+def run_figure2_race(app, sim):
+    """enroll(p1, t1) at us-west concurrent with rem_tourn(t1) at eu-west."""
+    app.enroll(US_WEST, "p1", "t1", lambda _op: None)
+    app.rem_tourn(EU_WEST, "t1", lambda _op: None)
+    sim.run(until=sim.now + 2_000.0)
+
+
+class TestFigure2EndToEnd:
+    def test_causal_violates_invariant(self):
+        sim, cluster, app = tournament_setup(Variant.CAUSAL)
+        run_figure2_race(app, sim)
+        assert cluster.converged()
+        violations = [app.count_violations(r) for r in REGIONS]
+        assert all(v > 0 for v in violations)
+
+    def test_ipa_preserves_invariant(self):
+        sim, cluster, app = tournament_setup(Variant.IPA)
+        run_figure2_race(app, sim)
+        assert cluster.converged()
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+
+    def test_ipa_semantics_when_no_conflict(self):
+        """Without a concurrent remove, enroll behaves as originally."""
+        sim, cluster, app = tournament_setup(Variant.IPA)
+        app.enroll(US_WEST, "p1", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        for region in REGIONS:
+            replica = cluster.replica(region)
+            assert ("p1", "t1") in replica.get_object("enrolled").value()
+            assert "t1" in replica.get_object("tournaments").value()
+
+    def test_ipa_rem_tourn_clears_enrolments(self):
+        """Figure 2c semantics: after the race, either the enrolment
+        survives with the tournament (2b) or both are gone (2c) --
+        never a dangling enrolment."""
+        sim, cluster, app = tournament_setup(Variant.IPA)
+        run_figure2_race(app, sim)
+        for region in REGIONS:
+            replica = cluster.replica(region)
+            enrolled = replica.get_object("enrolled").value()
+            tournaments = replica.get_object("tournaments").value()
+            for _p, t in enrolled:
+                assert t in tournaments
+
+
+class TestDoMatchRace:
+    def test_ipa_match_restores_enrolments(self):
+        sim, cluster, app = tournament_setup(Variant.IPA)
+        app.enroll(US_EAST, "p1", "t1", lambda _op: None)
+        app.enroll(US_EAST, "p2", "t1", lambda _op: None)
+        app.begin_tourn(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        # Concurrent: disenroll p1 at eu-west, match at us-west.
+        app.disenroll(EU_WEST, "p1", "t1", lambda _op: None)
+        app.do_match(US_WEST, "p1", "p2", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert cluster.converged()
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+
+    def test_causal_match_race_violates(self):
+        sim, cluster, app = tournament_setup(Variant.CAUSAL)
+        app.enroll(US_EAST, "p1", "t1", lambda _op: None)
+        app.enroll(US_EAST, "p2", "t1", lambda _op: None)
+        app.begin_tourn(US_EAST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        app.disenroll(EU_WEST, "p1", "t1", lambda _op: None)
+        app.do_match(US_WEST, "p1", "p2", "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        violations = [app.count_violations(r) for r in REGIONS]
+        assert any(v > 0 for v in violations)
+
+
+class TestBeginFinishRace:
+    def test_ipa_never_active_and_finished(self):
+        sim, cluster, app = tournament_setup(Variant.IPA)
+        app.begin_tourn(US_WEST, "t1", lambda _op: None)
+        app.finish_tourn(EU_WEST, "t1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert cluster.converged()
+        for region in REGIONS:
+            replica = cluster.replica(region)
+            active = replica.get_object("active").value()
+            finished = replica.get_object("finished").value()
+            assert not (("t1" in active) and ("t1" in finished))
+
+
+class TestTicketOversell:
+    def make(self, variant, capacity=2):
+        sim = Simulator()
+        cluster = Cluster(
+            sim, ticket_registry(variant, capacity=capacity)
+        )
+        app = TicketApp(cluster, variant, capacity=capacity)
+        app.setup(["e1"], US_EAST)
+        return sim, cluster, app
+
+    def fill_concurrently(self, app, sim, count_per_region=2):
+        ticket = [0]
+        for region in REGIONS:
+            for _ in range(count_per_region):
+                ticket[0] += 1
+                app.buy_ticket(
+                    region, f"{region}-k{ticket[0]}", "e1",
+                    lambda _op: None,
+                )
+        sim.run(until=sim.now + 2_000.0)
+
+    def test_causal_oversells(self):
+        sim, cluster, app = self.make(Variant.CAUSAL)
+        self.fill_concurrently(app, sim)
+        assert any(app.count_violations(r) > 0 for r in REGIONS)
+
+    def test_ipa_compensates_on_read(self):
+        sim, cluster, app = self.make(Variant.IPA)
+        self.fill_concurrently(app, sim)
+        # Observed state within bounds even before any explicit read.
+        for region in REGIONS:
+            assert app.count_violations(region) == 0
+        # A read commits the repair: raw state shrinks to the bound and
+        # cancelled buyers are reimbursed.
+        app.view_event(US_EAST, "e1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        raw = [app.count_raw_oversells(r) for r in REGIONS]
+        assert raw == [0, 0, 0]
+        assert app.reimbursements(US_EAST) > 0
+
+    def test_compensations_converge_across_replicas(self):
+        sim, cluster, app = self.make(Variant.IPA)
+        self.fill_concurrently(app, sim)
+        # Two replicas detect and repair the same violation.
+        app.view_event(US_EAST, "e1", lambda _op: None)
+        app.view_event(EU_WEST, "e1", lambda _op: None)
+        sim.run(until=sim.now + 2_000.0)
+        assert cluster.converged()
+        values = [
+            cluster.replica(r).get_object("sold:e1").raw_value()
+            for r in REGIONS
+        ]
+        assert values[0] == values[1] == values[2]
+        assert len(values[0]) <= 2

@@ -1,0 +1,106 @@
+"""Type registry and transaction tests."""
+
+import pytest
+
+from repro.errors import StoreError, TransactionError
+from repro.crdts import AWSet, PNCounter
+from repro.store.registry import TypeRegistry
+from repro.store.replica import Replica
+
+
+def registry():
+    reg = TypeRegistry()
+    reg.register("players", AWSet)
+    reg.register_prefix("timeline:", AWSet)
+    reg.register_prefix("timeline:special:", PNCounter)
+    return reg
+
+
+class TestTypeRegistry:
+    def test_exact_match(self):
+        assert isinstance(registry().create("players"), AWSet)
+
+    def test_prefix_match(self):
+        assert isinstance(registry().create("timeline:alice"), AWSet)
+
+    def test_longest_prefix_wins(self):
+        assert isinstance(
+            registry().create("timeline:special:x"), PNCounter
+        )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(StoreError):
+            registry().create("ghost")
+
+    def test_copy_isolated(self):
+        original = registry()
+        clone = original.copy()
+        clone.register("extra", PNCounter)
+        with pytest.raises(StoreError):
+            original.create("extra")
+
+
+class TestTransaction:
+    def make_replica(self):
+        return Replica("A", registry())
+
+    def test_reads_counted(self):
+        txn = self.make_replica().begin()
+        txn.get("players")
+        txn.get("players")
+        assert txn.read_count == 2
+
+    def test_update_buffers_until_commit(self):
+        replica = self.make_replica()
+        txn = replica.begin()
+        txn.update("players", lambda s: s.prepare_add("p1"))
+        # Not yet applied: reads see the pre-state.
+        assert replica.get_object("players").value() == set()
+        record = txn.commit()
+        assert replica.get_object("players").value() == {"p1"}
+        assert record.update_count == 1
+
+    def test_read_only_commit_returns_none(self):
+        txn = self.make_replica().begin()
+        txn.get("players")
+        assert txn.commit() is None
+
+    def test_atomic_multi_object_commit(self):
+        replica = self.make_replica()
+        txn = replica.begin()
+        txn.update("players", lambda s: s.prepare_add("p1"))
+        txn.update("timeline:alice", lambda s: s.prepare_add("t1"))
+        record = txn.commit()
+        assert record.update_count == 2
+        assert record.dot.counter == 1  # one dot for the whole txn
+        assert txn.updated_object_count == 2
+
+    def test_use_after_commit_rejected(self):
+        txn = self.make_replica().begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.get("players")
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_abort_discards(self):
+        replica = self.make_replica()
+        txn = replica.begin()
+        txn.update("players", lambda s: s.prepare_add("p1"))
+        txn.abort()
+        assert replica.get_object("players").value() == set()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_add_prepared_payload(self):
+        replica = self.make_replica()
+        txn = replica.begin()
+        payload = replica.get_object("players").prepare_add("p1")
+        txn.add_prepared("players", payload)
+        txn.commit()
+        assert replica.get_object("players").value() == {"p1"}
+
+    def test_charge_reads(self):
+        txn = self.make_replica().begin()
+        txn.charge_reads(7)
+        assert txn.read_count == 7

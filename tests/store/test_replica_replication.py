@@ -1,0 +1,128 @@
+"""Replica and causal-delivery tests."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.crdts import AWSet, RWSet
+from repro.store.registry import TypeRegistry
+from repro.store.replica import Replica
+from repro.store.replication import CausalReceiver
+
+
+def registry():
+    reg = TypeRegistry()
+    reg.register("set", AWSet)
+    reg.register("rwset", RWSet)
+    return reg
+
+
+def make(replica_id="A"):
+    return Replica(replica_id, registry())
+
+
+def local_commit(replica, key, prepare):
+    txn = replica.begin()
+    txn.update(key, prepare)
+    return txn.commit()
+
+
+class TestReplica:
+    def test_commit_advances_vector(self):
+        replica = make()
+        local_commit(replica, "set", lambda s: s.prepare_add("x"))
+        assert replica.vv.get("A") == 1
+        local_commit(replica, "set", lambda s: s.prepare_add("y"))
+        assert replica.vv.get("A") == 2
+
+    def test_deps_snapshot_before_commit(self):
+        replica = make()
+        first = local_commit(replica, "set", lambda s: s.prepare_add("x"))
+        second = local_commit(replica, "set", lambda s: s.prepare_add("y"))
+        assert first.deps.get("A") == 0
+        assert second.deps.get("A") == 1
+
+    def test_apply_remote_in_order(self):
+        a, b = make("A"), make("B")
+        r1 = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        r2 = local_commit(a, "set", lambda s: s.prepare_add("y"))
+        b.apply_remote(r1)
+        b.apply_remote(r2)
+        assert b.get_object("set").value() == {"x", "y"}
+        assert b.vv == a.vv
+
+    def test_out_of_order_rejected(self):
+        a, b = make("A"), make("B")
+        local_commit(a, "set", lambda s: s.prepare_add("x"))
+        r2 = local_commit(a, "set", lambda s: s.prepare_add("y"))
+        assert not b.can_apply(r2)
+        with pytest.raises(StoreError):
+            b.apply_remote(r2)
+
+    def test_own_commit_not_remotely_applied(self):
+        a = make("A")
+        record = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        with pytest.raises(StoreError):
+            a.apply_remote(record)
+
+    def test_cross_origin_dependency_enforced(self):
+        a, b, c = make("A"), make("B"), make("C")
+        ra = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        b.apply_remote(ra)
+        rb = local_commit(b, "set", lambda s: s.prepare_add("y"))
+        # C receives B's commit (which depends on A's) first.
+        assert not c.can_apply(rb)
+        c.apply_remote(ra)
+        assert c.can_apply(rb)
+        c.apply_remote(rb)
+        assert c.get_object("set").value() == {"x", "y"}
+
+    def test_event_context_uses_origin_causality(self):
+        """Rem-wins decisions must be identical at every replica even
+        when the receiver knows more than the origin did."""
+        a, b, c = make("A"), make("B"), make("C")
+        # A removes x (concurrent with B's add).
+        rem = local_commit(a, "rwset", lambda s: s.prepare_remove("x"))
+        add = local_commit(b, "rwset", lambda s: s.prepare_add("x"))
+        # C sees the remove first, then the add.
+        c.apply_remote(rem)
+        c.apply_remote(add)
+        # A sees the add after its own remove.
+        a.apply_remote(add)
+        # B sees the remove after its own add.
+        b.apply_remote(rem)
+        values = [r.get_object("rwset").value() for r in (a, b, c)]
+        assert values[0] == values[1] == values[2] == set()
+
+
+class TestCausalReceiver:
+    def test_buffers_until_deliverable(self):
+        a, b = make("A"), make("B")
+        receiver = CausalReceiver(b)
+        r1 = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        r2 = local_commit(a, "set", lambda s: s.prepare_add("y"))
+        receiver.receive(r2)  # arrives out of order
+        assert receiver.pending_count == 1
+        assert b.get_object("set").value() == set()
+        receiver.receive(r1)
+        assert receiver.pending_count == 0
+        assert b.get_object("set").value() == {"x", "y"}
+
+    def test_on_apply_callback(self):
+        a, b = make("A"), make("B")
+        applied = []
+        receiver = CausalReceiver(b, on_apply=applied.append)
+        record = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        receiver.receive(record)
+        assert applied == [record]
+
+    def test_chained_cross_origin_buffering(self):
+        a, b, c = make("A"), make("B"), make("C")
+        ra = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        b.apply_remote(ra)
+        rb = local_commit(b, "set", lambda s: s.prepare_add("y"))
+        receiver = CausalReceiver(c)
+        receiver.receive(rb)
+        assert receiver.pending_count == 1
+        receiver.receive(ra)  # unlocks both
+        assert receiver.pending_count == 0
+        assert c.get_object("set").value() == {"x", "y"}

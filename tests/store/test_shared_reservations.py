@@ -1,0 +1,94 @@
+"""Shared-grant reservation tests."""
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.latency import EU_WEST, US_EAST, US_WEST, GeoLatencyModel
+from repro.sim.network import Network
+from repro.store.reservations import ReservationManager
+
+
+def manager():
+    sim = Simulator()
+    network = Network(sim, GeoLatencyModel(jitter=0.0))
+    mgr = ReservationManager(sim, network)
+    mgr.register("res", US_EAST)
+    return sim, mgr
+
+
+class TestSharedGrants:
+    def test_first_shared_acquire_pays_one_rtt(self):
+        sim, mgr = manager()
+        fired = []
+        mgr.acquire(US_WEST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=False)
+        sim.run()
+        assert fired == [pytest.approx(80.0)]
+        assert mgr.holders_of("res") == {US_EAST, US_WEST}
+        assert not mgr.is_exclusive("res")
+
+    def test_shared_holders_execute_locally(self):
+        sim, mgr = manager()
+        mgr.acquire(US_WEST, ("res",), lambda: None, exclusive=False)
+        sim.run()
+        fired = []
+        # Both holders now acquire with no delay.
+        mgr.acquire(US_WEST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=False)
+        mgr.acquire(US_EAST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=False)
+        assert len(fired) == 2
+
+    def test_exclusive_revokes_all_shared_holders(self):
+        sim, mgr = manager()
+        mgr.acquire(US_WEST, ("res",), lambda: None, exclusive=False)
+        mgr.acquire(EU_WEST, ("res",), lambda: None, exclusive=False)
+        sim.run()
+        assert len(mgr.holders_of("res")) == 3
+        fired = []
+        mgr.acquire(US_WEST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=True)
+        sim.run()
+        assert fired
+        assert mgr.holders_of("res") == {US_WEST}
+        assert mgr.is_exclusive("res")
+        # Parallel revocations: gated by the slowest peer round trip
+        # (US_WEST <-> EU_WEST is 160 ms).
+        assert fired[0] >= 160.0
+
+    def test_exclusive_upgrade_when_sole_holder_is_free(self):
+        sim, mgr = manager()
+        fired = []
+        mgr.acquire(US_EAST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=True)
+        assert fired == [0.0]
+
+    def test_shared_after_exclusive_requires_exchange(self):
+        sim, mgr = manager()
+        mgr.acquire(US_WEST, ("res",), lambda: None, exclusive=True)
+        sim.run()
+        fired = []
+        mgr.acquire(US_EAST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=False)
+        sim.run()
+        assert fired and fired[0] > 0.0
+        assert mgr.holders_of("res") == {US_EAST, US_WEST}
+
+    def test_revocation_counter(self):
+        sim, mgr = manager()
+        mgr.acquire(US_WEST, ("res",), lambda: None, exclusive=False)
+        sim.run()
+        mgr.acquire(EU_WEST, ("res",), lambda: None, exclusive=True)
+        sim.run()
+        assert mgr.revocations == 2  # revoked from us-east and us-west
+
+    def test_blocked_by_unavailable_shared_holder(self):
+        sim, mgr = manager()
+        mgr.acquire(US_WEST, ("res",), lambda: None, exclusive=False)
+        sim.run()
+        mgr.mark_unavailable(US_EAST)
+        fired = []
+        mgr.acquire(EU_WEST, ("res",), lambda: fired.append(sim.now),
+                    exclusive=True)
+        sim.run(until=sim.now + 10_000.0)
+        assert fired == []  # cannot revoke from the downed holder

@@ -1,0 +1,58 @@
+"""Error-hierarchy tests: one base class catches everything."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaf_classes = [
+            errors.SpecError,
+            errors.ParseError,
+            errors.SortError,
+            errors.ArityError,
+            errors.SolverError,
+            errors.GroundingError,
+            errors.AnalysisError,
+            errors.UnsolvableConflictError,
+            errors.CRDTError,
+            errors.StoreError,
+            errors.TransactionError,
+            errors.ReservationError,
+            errors.SimulationError,
+        ]
+        for cls in leaf_classes:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_subsystem_groupings(self):
+        assert issubclass(errors.ParseError, errors.SpecError)
+        assert issubclass(errors.GroundingError, errors.SolverError)
+        assert issubclass(errors.TransactionError, errors.StoreError)
+        assert issubclass(errors.ReservationError, errors.StoreError)
+        assert issubclass(
+            errors.UnsolvableConflictError, errors.AnalysisError
+        )
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("bad token", position=17)
+        assert error.position == 17
+        assert "offset 17" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad token")
+        assert error.position is None
+        assert str(error) == "bad token"
+
+    def test_library_raises_only_repro_errors(self):
+        """A representative sample of failure paths stays inside the
+        hierarchy (so callers can catch ReproError)."""
+        from repro.logic.parser import SymbolTable, parse_formula
+        from repro.spec import SpecBuilder
+
+        with pytest.raises(errors.ReproError):
+            parse_formula("forall(", SymbolTable(predicates={}))
+        with pytest.raises(errors.ReproError):
+            builder = SpecBuilder("x")
+            builder.predicate("p", "S")
+            builder.predicate("p", "S")

@@ -1,0 +1,45 @@
+"""Top-level public API tests."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow_via_top_level_names(self):
+        builder = repro.SpecBuilder("api-check")
+        builder.predicate("tournament", "Tournament")
+        builder.predicate("enrolled", "Player", "Tournament")
+        builder.invariant(
+            "forall(Player: p, Tournament: t) :- "
+            "enrolled(p, t) => tournament(t)"
+        )
+        builder.operation(
+            "enroll", "Player: p, Tournament: t", true=["enrolled(p, t)"]
+        )
+        builder.operation(
+            "rem_tourn", "Tournament: t", false=["tournament(t)"]
+        )
+        result = repro.run_ipa(builder.build())
+        assert result.is_invariant_preserving
+        assert isinstance(result.modified, repro.ApplicationSpec)
+
+    def test_specfile_roundtrip_via_top_level(self):
+        spec = repro.parse_specfile(
+            "application x\n"
+            "predicate p(S)\n"
+            "operation add(S: s)\n"
+            "    true p(s)\n"
+        )
+        assert spec.name == "x"
+
+    def test_everything_raises_repro_error(self):
+        import pytest
+
+        with pytest.raises(repro.ReproError):
+            repro.parse_specfile("nonsense")

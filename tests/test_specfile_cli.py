@@ -1,0 +1,156 @@
+"""Spec-file parser and CLI tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.specfile import parse_specfile
+from repro.__main__ import main
+
+MINI = """
+# a comment
+application mini
+
+sort Player
+sort Tournament
+
+predicate player(Player)
+predicate tournament(Tournament)
+predicate enrolled(Player, Tournament)
+numeric   budget(Tournament)
+
+param Capacity = 3
+
+invariant forall(Player: p, Tournament: t) :-
+    enrolled(p, t) => player(p) and tournament(t)
+invariant [unique-id] true
+
+rule enrolled = rem-wins
+
+operation add_player(Player: p)
+    true player(p)
+operation rem_tourn(Tournament: t)
+    false tournament(t)
+    false enrolled(*, t)
+operation enroll(Player: p, Tournament: t)
+    true enrolled(p, t)
+operation fund(Tournament: t)
+    incr budget(t) 10
+"""
+
+
+class TestSpecfileParser:
+    def test_parses_everything(self):
+        spec = parse_specfile(MINI)
+        assert spec.name == "mini"
+        assert set(spec.schema.sorts) == {"Player", "Tournament"}
+        assert spec.schema.params == {"Capacity": 3}
+        assert len(spec.invariants) == 2
+        assert set(spec.operations) == {
+            "add_player", "rem_tourn", "enroll", "fund",
+        }
+
+    def test_multiline_invariant_joined(self):
+        spec = parse_specfile(MINI)
+        assert "player(p)" in spec.invariants[0].describe()
+
+    def test_category_annotation(self):
+        spec = parse_specfile(MINI)
+        assert spec.invariants[1].category == "unique-id"
+
+    def test_rule_applied(self):
+        from repro.spec.effects import ConvergencePolicy
+
+        spec = parse_specfile(MINI)
+        assert spec.rules.policy("enrolled") is ConvergencePolicy.REM_WINS
+
+    def test_wildcard_effect(self):
+        spec = parse_specfile(MINI)
+        rem = spec.operation("rem_tourn")
+        assert any(
+            getattr(e, "has_wildcard", False) for e in rem.effects
+        )
+
+    def test_numeric_effect_amount(self):
+        spec = parse_specfile(MINI)
+        (effect,) = spec.operation("fund").effects
+        assert effect.delta == 10
+
+    def test_numeric_predicate_declared(self):
+        spec = parse_specfile(MINI)
+        assert spec.schema.pred("budget").numeric
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match="application"):
+            parse_specfile("sort Player")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ParseError, match="unknown keyword"):
+            parse_specfile("application x\nbogus line")
+
+    def test_effect_outside_operation(self):
+        with pytest.raises(ParseError, match="outside an operation"):
+            parse_specfile(
+                "application x\npredicate p(S)\ntrue p(s)"
+            )
+
+    def test_bad_param_value(self):
+        with pytest.raises(ParseError, match="bad parameter"):
+            parse_specfile("application x\nparam K = many")
+
+    def test_duplicate_header(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_specfile("application x\napplication y")
+
+    def test_empty_file(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_specfile("# nothing\n")
+
+
+class TestCli:
+    @pytest.fixture
+    def specfile(self, tmp_path):
+        path = tmp_path / "mini.ipa"
+        path.write_text(MINI)
+        return str(path)
+
+    def test_classify(self, specfile, capsys):
+        assert main(["classify", specfile]) == 0
+        out = capsys.readouterr().out
+        assert "Ref. integrity" in out
+        assert "Unique id." in out
+
+    def test_conflicts_on_repaired_spec_clean(self, specfile, capsys):
+        """MINI already ships the Figure 2c repair (wildcard clear +
+        rem-wins rule), so no conflicts remain."""
+        code = main(["conflicts", specfile])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "I-Confluent" in out
+
+    def test_conflicts_reports_pair(self, tmp_path, capsys):
+        unrepaired = MINI.replace("    false enrolled(*, t)\n", "")
+        unrepaired = unrepaired.replace("rule enrolled = rem-wins\n", "")
+        path = tmp_path / "unrepaired.ipa"
+        path.write_text(unrepaired)
+        code = main(["conflicts", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "rem_tourn" in out and "enroll" in out
+
+    def test_analyze_produces_patch(self, specfile, capsys):
+        code = main(["analyze", specfile])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "patch:" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.ipa"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.ipa"
+        path.write_text("application x\nbogus")
+        assert main(["analyze", str(path)]) == 2
+
+    def test_paper_specfile_parses(self, capsys):
+        assert main(["classify", "examples/tournament.ipa"]) == 0
