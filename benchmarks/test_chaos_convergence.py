@@ -1,0 +1,195 @@
+"""Chaos run: convergence and invariants under injected faults.
+
+The paper argues IPA-modified applications preserve their invariants on
+*any* causally consistent store; the figure-generating benchmarks all
+run on a perfect network, so this benchmark supplies the missing
+regime.  A seeded :class:`FaultPlan` subjects the Tournament
+application to
+
+- >=20% message drop, plus duplication and reordering,
+- one bidirectional partition (us-east isolated) that later heals,
+- one replica crash (eu-west) with log-replay recovery,
+
+while a scripted workload drives the Figure 1 conflicts (concurrent
+``enroll``/``do_match`` vs ``rem_tourn``, ``begin`` vs ``finish``)
+across the partition.  Expected shape:
+
+- with anti-entropy running, every replica converges to an identical
+  state digest despite the faults;
+- the IPA variant reports zero invariant violations at every replica,
+  while the unmodified Causal variant keeps violations after
+  convergence (dangling enrolments, a match in a removed tournament,
+  an active-and-finished tournament);
+- the whole run -- delivery decisions, retransmissions, final state --
+  is bit-for-bit reproducible given the same seed.
+"""
+
+from repro.apps.common import Variant
+from repro.apps.tournament import TournamentApp, tournament_registry
+from repro.errors import StoreError
+from repro.sim.events import Simulator
+from repro.sim.faults import CrashWindow, FaultPlan, PartitionWindow
+from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
+from repro.store.cluster import Cluster
+
+SEED = 101
+RUN_END_MS = 15_000.0
+CONVERGENCE_TIMEOUT_MS = 120_000.0
+
+
+def chaos_plan(seed: int = SEED) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        drop=0.25,
+        duplicate=0.15,
+        reorder=0.20,
+        reorder_delay_ms=120.0,
+        partitions=(
+            PartitionWindow(7_000.0, 10_000.0, (US_EAST,), (US_WEST, EU_WEST)),
+        ),
+        crashes=(CrashWindow(EU_WEST, 11_000.0, 13_000.0),),
+    )
+
+
+def run_chaos(variant: Variant, seed: int = SEED) -> dict:
+    sim = Simulator()
+    cluster = Cluster(
+        sim, tournament_registry(variant), faults=chaos_plan(seed)
+    )
+    cluster.start_antientropy(interval_ms=200.0, seed=seed + 1)
+    app = TournamentApp(cluster, variant)
+    app.setup(
+        [f"p{i}" for i in range(12)], ["t0", "t1", "t2"], US_EAST
+    )  # settles until t=5s
+
+    blocked: list[str] = []
+
+    def at(when: float, fn) -> None:
+        def call() -> None:
+            try:
+                fn()
+            except StoreError as exc:
+                blocked.append(str(exc))
+
+        sim.at(when, call)
+
+    nop = lambda _op: None  # noqa: E731
+    # -- phase 1: baseline activity everywhere --------------------------------
+    at(5_500.0, lambda: app.enroll(US_EAST, "p0", "t0", nop))
+    at(5_600.0, lambda: app.enroll(US_WEST, "p1", "t0", nop))
+    at(5_700.0, lambda: app.enroll(EU_WEST, "p2", "t1", nop))
+    at(5_800.0, lambda: app.enroll(US_EAST, "p3", "t1", nop))
+    at(6_000.0, lambda: app.begin_tourn(US_EAST, "t0", nop))
+    at(6_200.0, lambda: app.begin_tourn(US_WEST, "t1", nop))
+    # -- phase 2: conflicts across the partition (7s..10s) --------------------
+    # us-east (isolated) removes t0 and finishes t1 ...
+    at(7_500.0, lambda: app.rem_tourn(US_EAST, "t0", nop))
+    at(8_000.0, lambda: app.finish_tourn(US_EAST, "t1", nop))
+    # ... while the majority side keeps using both.
+    at(7_600.0, lambda: app.enroll(US_WEST, "p6", "t0", nop))
+    at(7_800.0, lambda: app.enroll(EU_WEST, "p7", "t0", nop))
+    at(8_200.0, lambda: app.do_match(US_WEST, "p0", "p1", "t0", nop))
+    at(8_500.0, lambda: app.begin_tourn(EU_WEST, "t1", nop))
+    at(9_000.0, lambda: app.enroll(EU_WEST, "p8", "t2", nop))
+    # -- phase 4: eu-west crashes (11s..13s); the others continue -------------
+    at(11_200.0, lambda: app.begin_tourn(US_EAST, "t2", nop))
+    at(11_500.0, lambda: app.enroll(US_EAST, "p9", "t2", nop))
+    at(12_000.0, lambda: app.do_match(US_WEST, "p8", "p9", "t2", nop))
+    # A client in the crashed region is refused and would retry.
+    at(12_200.0, lambda: app.enroll(EU_WEST, "p11", "t2", nop))
+    # -- phase 5: after recovery ----------------------------------------------
+    at(13_500.0, lambda: app.enroll(US_WEST, "p10", "t1", nop))
+
+    sim.run(until=RUN_END_MS)
+    elapsed = cluster.run_until_converged(
+        timeout_ms=CONVERGENCE_TIMEOUT_MS
+    )
+    return {
+        "elapsed_ms": elapsed,
+        "violations": {r: app.count_violations(r) for r in REGIONS},
+        "digests": cluster.state_digest(),
+        "vvs": {
+            r: tuple(sorted(cluster.replica(r).vv.entries.items()))
+            for r in REGIONS
+        },
+        "stats": cluster.fault_stats(),
+        "blocked_submits": len(blocked),
+    }
+
+
+def fingerprint(outcome: dict) -> tuple:
+    """Everything that must be identical across same-seed runs."""
+    return (
+        outcome["elapsed_ms"],
+        tuple(sorted(outcome["violations"].items())),
+        tuple(sorted(outcome["digests"].items())),
+        tuple(sorted(outcome["vvs"].items())),
+        tuple(sorted(outcome["stats"].items())),
+        outcome["blocked_submits"],
+    )
+
+
+def run_both() -> dict:
+    return {
+        "causal": run_chaos(Variant.CAUSAL),
+        "ipa": run_chaos(Variant.IPA),
+        "causal_repeat": run_chaos(Variant.CAUSAL),
+    }
+
+
+def test_chaos_convergence(benchmark):
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    causal, ipa = outcomes["causal"], outcomes["ipa"]
+
+    print()
+    print("Chaos convergence -- seeded fault plan (seed=%d)" % SEED)
+    for label, outcome in (("causal", causal), ("ipa", ipa)):
+        stats = outcome["stats"]
+        print(
+            "  %-6s converged in %.0f ms | violations %s | "
+            "dropped %d (partition %d) dup %d reorder %d | "
+            "retransmitted %d | stale max %.0f ms | pending hw %d"
+            % (
+                label,
+                outcome["elapsed_ms"],
+                outcome["violations"],
+                stats["messages_dropped"],
+                stats["partition_drops"],
+                stats["messages_duplicated"],
+                stats["messages_reordered"],
+                stats["records_retransmitted"],
+                stats["stale_max_ms"],
+                stats["pending_high_water"],
+            )
+        )
+
+    for outcome in (causal, ipa):
+        stats = outcome["stats"]
+        # The run converged: identical digests and vectors everywhere.
+        assert outcome["elapsed_ms"] is not None
+        assert len(set(outcome["digests"].values())) == 1
+        assert len(set(outcome["vvs"].values())) == 1
+        # The plan actually hurt: drops (incl. the partition), dups,
+        # reordering, a crash recovery, refused submits while down.
+        assert stats["messages_dropped"] > 0
+        assert stats["partition_drops"] > 0
+        assert stats["messages_duplicated"] > 0
+        assert stats["messages_reordered"] > 0
+        assert stats["recoveries"] == 1
+        assert outcome["blocked_submits"] >= 1
+        # ... and anti-entropy did real repair work.
+        assert stats["records_retransmitted"] > 0
+        assert stats["pending_high_water"] >= 1
+        assert stats["stale_max_ms"] > 0
+
+    # The IPA modifications preserve every invariant; the unmodified
+    # application does not.
+    assert all(v == 0 for v in ipa["violations"].values()), ipa[
+        "violations"
+    ]
+    assert all(v > 0 for v in causal["violations"].values()), causal[
+        "violations"
+    ]
+
+    # Bit-for-bit reproducibility under the same seed.
+    assert fingerprint(outcomes["causal_repeat"]) == fingerprint(causal)

@@ -11,22 +11,33 @@ generators (:mod:`repro.sim.workload`), latency/throughput metrics
 """
 
 from repro.sim.events import Simulator
+from repro.sim.faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    PartitionWindow,
+)
 from repro.sim.latency import GeoLatencyModel, REGIONS
-from repro.sim.metrics import LatencyStats, MetricsCollector
+from repro.sim.metrics import LatencyStats, MetricsCollector, StaleWindow
 from repro.sim.network import Network
 from repro.sim.runner import ClientPool, RunResult, run_closed_loop
 from repro.sim.workload import OperationMix, ZipfGenerator
 
 __all__ = [
     "ClientPool",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
     "GeoLatencyModel",
     "LatencyStats",
     "MetricsCollector",
     "Network",
     "OperationMix",
+    "PartitionWindow",
     "REGIONS",
     "RunResult",
     "Simulator",
+    "StaleWindow",
     "ZipfGenerator",
     "run_closed_loop",
 ]

@@ -52,6 +52,30 @@ def _percentile(ordered: list[float], q: float) -> float:
     return ordered[index]
 
 
+@dataclass
+class StaleWindow:
+    """Running stats over remote-visibility lag (commit -> apply, ms).
+
+    On a lossy network a record can spend seconds in drops, backoff and
+    retransmission before a remote replica applies it; this is the
+    "staleness window" the chaos experiments report.  Kept as running
+    aggregates (not samples) because every remote apply contributes.
+    """
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def record(self, lag_ms: float) -> None:
+        self.count += 1
+        self.total_ms += lag_ms
+        self.max_ms = max(self.max_ms, lag_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
 class MetricsCollector:
     """Accumulates samples and counters during a run."""
 
@@ -63,6 +87,7 @@ class MetricsCollector:
         self._samples: dict[str, list[float]] = {}
         self._counters: dict[str, int] = {}
         self._count_points: dict[str, list[float]] = {}
+        self._values: dict[str, list[float]] = {}
 
     def _in_window(self, now: float) -> bool:
         if now < self._warmup:
@@ -82,6 +107,15 @@ class MetricsCollector:
         self._counters[counter] = self._counters.get(counter, 0) + by
         self._count_points.setdefault(counter, []).append(now)
 
+    def observe(self, now: float, gauge: str, value: float) -> None:
+        """Record one sample of a sampled quantity (e.g. buffer depth).
+
+        Unlike :meth:`increment`, observations ignore the measurement
+        window: chaos metrics (pending depth, convergence lag) are
+        meaningful during warm-up and drain too.
+        """
+        self._values.setdefault(gauge, []).append(value)
+
     # -- summaries --------------------------------------------------------------
 
     def operations(self) -> list[str]:
@@ -98,6 +132,13 @@ class MetricsCollector:
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
+
+    def values(self, gauge: str) -> list[float]:
+        return list(self._values.get(gauge, ()))
+
+    def max_value(self, gauge: str) -> float:
+        samples = self._values.get(gauge)
+        return max(samples) if samples else 0.0
 
     def total_operations(self) -> int:
         return sum(len(samples) for samples in self._samples.values())

@@ -10,6 +10,13 @@ The application under test is an *issuer* callable: it receives the
 client descriptor and a completion callback and performs one operation
 against the simulated cluster, invoking the callback (with the
 operation name) when the response reaches the client.
+
+Clients are resilient to server faults: when a region is unavailable
+(crashed or failed over) the submit raises and the client retries
+after a short backoff, and an optional per-operation timeout re-issues
+operations whose response never arrives (dropped request or reply,
+server crash mid-flight).  Retries and timeouts surface as the
+``client_retries`` / ``client_timeouts`` counters.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.errors import StoreError
 from repro.sim.events import Simulator
 from repro.sim.metrics import LatencyStats, MetricsCollector
 
@@ -58,13 +66,21 @@ class ClientPool:
         issue: Issuer,
         metrics: MetricsCollector,
         think_ms: float = 0.0,
+        retry_ms: float = 50.0,
+        timeout_ms: float | None = None,
     ) -> None:
         self._sim = sim
         self._issue = issue
         self._metrics = metrics
         self._think = think_ms
+        self._retry = retry_ms
+        self._timeout = timeout_ms
         self._stopped = False
         self._next_id = 0
+        # Per-client attempt tokens: a completion or timeout is only
+        # honoured if it belongs to the client's *current* attempt, so
+        # a response that straggles in after a timeout is ignored.
+        self._attempt: dict[int, int] = {}
 
     def spawn(self, region: str, count: int) -> None:
         for _ in range(count):
@@ -85,8 +101,15 @@ class ClientPool:
         if self._stopped:
             return
         started = self._sim.now
+        attempt = self._attempt.get(client.client_id, 0) + 1
+        self._attempt[client.client_id] = attempt
+
+        def current() -> bool:
+            return self._attempt.get(client.client_id) == attempt
 
         def complete(op_name: str) -> None:
+            if not current():
+                return  # timed out earlier; a retry owns the loop now
             self._metrics.record_latency(
                 self._sim.now, op_name, self._sim.now - started
             )
@@ -96,7 +119,22 @@ class ClientPool:
             else:
                 self._sim.schedule(0.0, lambda: self._loop(client))
 
-        self._issue(client, complete)
+        def timed_out() -> None:
+            if not current() or self._stopped:
+                return
+            self._metrics.increment(self._sim.now, "client_timeouts")
+            self._loop(client)
+
+        try:
+            self._issue(client, complete)
+        except StoreError:
+            # The client's region is unavailable (crash/partition):
+            # back off and retry until it comes back.
+            self._metrics.increment(self._sim.now, "client_retries")
+            self._sim.schedule(self._retry, lambda: self._loop(client))
+            return
+        if self._timeout is not None:
+            self._sim.schedule(self._timeout, timed_out)
 
 
 def run_closed_loop(
@@ -107,18 +145,29 @@ def run_closed_loop(
     warmup_ms: float = 1_000.0,
     think_ms: float = 0.0,
     metrics: MetricsCollector | None = None,
+    retry_ms: float = 50.0,
+    timeout_ms: float | None = None,
 ) -> RunResult:
     """Run a closed-loop experiment and return its metrics.
 
     ``duration_ms`` is the measurement window; the run lasts
-    ``warmup_ms + duration_ms`` of simulated time.
+    ``warmup_ms + duration_ms`` of simulated time.  ``timeout_ms``
+    (off by default) re-issues operations whose response never arrives
+    -- required when running over a fault plan that drops messages.
     """
     # The collector windows are absolute sim times; anchor them at the
     # current clock so experiments can run after a setup phase.
     metrics = metrics or MetricsCollector(
         warmup_ms=sim.now + warmup_ms, window_ms=duration_ms
     )
-    pool = ClientPool(sim, issue, metrics, think_ms=think_ms)
+    pool = ClientPool(
+        sim,
+        issue,
+        metrics,
+        think_ms=think_ms,
+        retry_ms=retry_ms,
+        timeout_ms=timeout_ms,
+    )
     for region, count in clients_per_region.items():
         pool.spawn(region, count)
     end = sim.now + warmup_ms + duration_ms

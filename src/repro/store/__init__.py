@@ -22,14 +22,18 @@ fully-replicated object store per region with
 simulator.
 """
 
+from repro.store.antientropy import AntiEntropyEngine
 from repro.store.cluster import Cluster, ConsistencyMode
 from repro.store.registry import TypeRegistry
 from repro.store.replica import Replica
+from repro.store.replication import CausalReceiver
 from repro.store.reservations import ReservationManager
 from repro.store.server import ProcessingQueue, ServiceModel
 from repro.store.transaction import CommitRecord, Transaction
 
 __all__ = [
+    "AntiEntropyEngine",
+    "CausalReceiver",
     "Cluster",
     "CommitRecord",
     "ConsistencyMode",

@@ -1,0 +1,231 @@
+"""Anti-entropy: version-vector digest exchange with retransmission.
+
+Broadcast replication (:meth:`Cluster._replicate`) is fire-and-forget;
+on a faulty network a commit record can be lost to a drop, a
+partition, or a crashed receiver, and causal delivery at that replica
+stalls forever -- every later record from the same origin waits in the
+pending buffer.  This module restores liveness the way Dynamo-style
+stores do: periodic pairwise digest exchange.
+
+For every ordered pair of regions ``(R, P)`` the engine runs an
+independent sync loop on the simulated clock:
+
+1. ``R`` sends ``P`` a :class:`SyncRequest` carrying ``R``'s version
+   vector (the digest).
+2. ``P`` answers with every applied record the digest is missing
+   (served from the durable commit log via
+   :meth:`~repro.store.replica.Replica.records_since`) plus ``P``'s
+   own vector.
+3. ``R`` feeds the records to its causal receiver, and *reverse
+   pushes* anything ``P``'s vector shows it lacks -- one round heals
+   both directions.
+
+Requests and responses travel over the same faulty network as
+replication traffic, so the loop self-paces with **exponential backoff
+plus seeded jitter**: a round whose response has not arrived by the
+next tick doubles the pair's interval (up to a cap); a served response
+resets it.  During a partition the pairs that cross it back off
+instead of flooding; after the heal the next successful round
+re-fetches everything missed, and time-to-convergence is bounded by
+the backoff cap.
+
+Crashed replicas neither request nor respond; recovery
+(:meth:`Cluster.recover_region`) replays the local log and calls
+:meth:`AntiEntropyEngine.sync_now` to fetch what was missed while
+down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crdts.clock import VersionVector
+from repro.store.transaction import CommitRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Digest ``requester`` sends to ``responder``: "what am I missing?"."""
+
+    requester: str
+    responder: str
+    request_id: int
+    vv: VersionVector
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """The records the digest was missing, plus the responder's vector."""
+
+    responder: str
+    requester: str
+    request_id: int
+    records: tuple[CommitRecord, ...]
+    vv: VersionVector
+
+
+@dataclass
+class _PairState:
+    delay_ms: float
+    outstanding: int | None = None
+
+
+class AntiEntropyEngine:
+    """Periodic digest exchange between every pair of live replicas."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        interval_ms: float = 250.0,
+        max_backoff_ms: float = 4_000.0,
+        jitter: float = 0.25,
+        seed: int = 29,
+    ) -> None:
+        self._cluster = cluster
+        self._sim = cluster.sim
+        self._network = cluster.network
+        self._interval = interval_ms
+        self._max_backoff = max_backoff_ms
+        self._jitter = jitter
+        self._rng = random.Random(seed)
+        self._running = False
+        self._next_request_id = 0
+        self._pairs: dict[tuple[str, str], _PairState] = {}
+        for requester in cluster.regions:
+            for responder in cluster.regions:
+                if requester != responder:
+                    self._pairs[(requester, responder)] = _PairState(
+                        delay_ms=interval_ms
+                    )
+        # Metrics surfaced by the chaos benchmark.
+        self.digests_sent = 0
+        self.responses_received = 0
+        self.records_retransmitted = 0
+        self.records_pushed = 0
+        self.sync_timeouts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin every pair's sync loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        for index, pair in enumerate(sorted(self._pairs)):
+            # Stagger first ticks deterministically so pairs do not
+            # digest-exchange in lock-step.
+            offset = self._interval * (1.0 + index / len(self._pairs))
+            self._sim.schedule(offset, lambda p=pair: self._tick(p))
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sync_now(self, region: str) -> None:
+        """Fire one immediate digest from ``region`` to every peer.
+
+        Used right after crash recovery: the replayed log restores the
+        pre-crash state, and this round fetches everything committed
+        elsewhere while the replica was down.
+        """
+        for (requester, responder), state in self._pairs.items():
+            if requester == region:
+                state.delay_ms = self._interval
+                self._send_request(requester, responder, state)
+
+    @property
+    def backoff_ms(self) -> dict[tuple[str, str], float]:
+        """Current per-pair delay (observability for tests/benchmarks)."""
+        return {pair: state.delay_ms for pair, state in self._pairs.items()}
+
+    # -- the sync loop -------------------------------------------------------
+
+    def _tick(self, pair: tuple[str, str]) -> None:
+        if not self._running:
+            return
+        requester, responder = pair
+        state = self._pairs[pair]
+        if self._cluster.is_crashed(requester):
+            # A crashed replica does not sync; poll again at base rate.
+            state.delay_ms = self._interval
+            state.outstanding = None
+        else:
+            if state.outstanding is not None:
+                # The previous round never answered: drop, partition,
+                # or crashed peer.  Back off exponentially.
+                self.sync_timeouts += 1
+                state.delay_ms = min(
+                    state.delay_ms * 2.0, self._max_backoff
+                )
+            else:
+                state.delay_ms = self._interval
+            self._send_request(requester, responder, state)
+        delay = state.delay_ms * (1.0 + self._rng.uniform(0.0, self._jitter))
+        self._sim.schedule(delay, lambda p=pair: self._tick(p))
+
+    def _send_request(
+        self, requester: str, responder: str, state: _PairState
+    ) -> None:
+        self._next_request_id += 1
+        request = SyncRequest(
+            requester=requester,
+            responder=responder,
+            request_id=self._next_request_id,
+            vv=self._cluster.replica(requester).vv.copy(),
+        )
+        state.outstanding = request.request_id
+        self.digests_sent += 1
+        self._network.send(
+            requester, responder, request, self._on_request
+        )
+
+    def _on_request(self, request: SyncRequest) -> None:
+        responder = request.responder
+        if self._cluster.is_crashed(responder):
+            return
+        replica = self._cluster.replica(responder)
+        missing = tuple(replica.records_since(request.vv))
+        response = SyncResponse(
+            responder=responder,
+            requester=request.requester,
+            request_id=request.request_id,
+            records=missing,
+            vv=replica.vv.copy(),
+        )
+        self._network.send(
+            responder, request.requester, response, self._on_response
+        )
+
+    def _on_response(self, response: SyncResponse) -> None:
+        requester = response.requester
+        state = self._pairs[(requester, response.responder)]
+        if state.outstanding == response.request_id:
+            state.outstanding = None
+        self.responses_received += 1
+        if self._cluster.is_crashed(requester):
+            return
+        self.records_retransmitted += len(response.records)
+        for record in response.records:
+            self._cluster.deliver(requester, record)
+        # Reverse push: heal the other direction in the same round.
+        push = self._cluster.replica(requester).records_since(response.vv)
+        if push:
+            self.records_pushed += len(push)
+            self._network.send(
+                requester,
+                response.responder,
+                tuple(push),
+                lambda records, target=response.responder: (
+                    self._deliver_batch(target, records)
+                ),
+            )
+
+    def _deliver_batch(
+        self, target: str, records: tuple[CommitRecord, ...]
+    ) -> None:
+        for record in records:
+            self._cluster.deliver(target, record)

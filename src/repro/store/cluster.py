@@ -17,18 +17,30 @@ Consistency modes (§5.2.1):
   for serialisation; clients pay the round trip.
 - ``INDIGO``: like causal, but a transaction declaring reservations
   waits until its region holds them (pairwise asynchronous exchange).
+
+Fault tolerance: constructed with a
+:class:`~repro.sim.faults.FaultPlan`, the cluster runs over a lossy,
+partitionable network and schedules the plan's replica crash windows.
+A crashed replica drops incoming traffic and loses volatile state;
+:meth:`recover_region` replays its durable commit log and triggers an
+anti-entropy round (:meth:`start_antientropy`) to fetch what it missed
+-- see :mod:`repro.store.antientropy`.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 from typing import Any, Callable
 
 from repro.errors import StoreError
 from repro.crdts.clock import VersionVector
 from repro.sim.events import Simulator
-from repro.sim.latency import LOCAL_RTT, GeoLatencyModel, REGIONS
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.latency import GeoLatencyModel, REGIONS
+from repro.sim.metrics import StaleWindow
 from repro.sim.network import Network
+from repro.store.antientropy import AntiEntropyEngine
 from repro.store.registry import TypeRegistry
 from repro.store.replica import Replica
 from repro.store.replication import CausalReceiver
@@ -61,25 +73,40 @@ class Cluster:
         latency: GeoLatencyModel | None = None,
         service: ServiceModel | None = None,
         workers_per_replica: int = 1,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.sim = sim
         self.mode = mode
         self.regions = regions
         self.primary = primary or regions[0]
-        self.network = Network(sim, latency or GeoLatencyModel())
+        self.injector = FaultInjector(faults) if faults is not None else None
+        self.network = Network(
+            sim, latency or GeoLatencyModel(), injector=self.injector
+        )
         self.service = service or ServiceModel()
         self._replicas: dict[str, Replica] = {}
         self._receivers: dict[str, CausalReceiver] = {}
         self._queues: dict[str, ProcessingQueue] = {}
         for region in regions:
-            replica = Replica(region, registry)
+            replica = Replica(region, registry, now=lambda: sim.now)
             self._replicas[region] = replica
-            self._receivers[region] = CausalReceiver(replica)
+            self._receivers[region] = CausalReceiver(
+                replica,
+                on_apply=lambda record, r=region: self._note_apply(
+                    r, record
+                ),
+            )
             self._queues[region] = ProcessingQueue(
                 sim, workers=workers_per_replica
             )
         self.reservations = ReservationManager(sim, self.network)
         self._down: set[str] = set()
+        self._crashed: set[str] = set()
+        self.antientropy: AntiEntropyEngine | None = None
+        self.stale_window = StaleWindow()
+        self.dropped_at_crashed = 0
+        if faults is not None:
+            self._install_crash_windows(faults)
 
     # -- topology ------------------------------------------------------------
 
@@ -88,6 +115,9 @@ class Cluster:
             return self._replicas[region]
         except KeyError:
             raise StoreError(f"unknown region {region!r}") from None
+
+    def receiver(self, region: str) -> CausalReceiver:
+        return self._receivers[region]
 
     def queue(self, region: str) -> ProcessingQueue:
         return self._queues[region]
@@ -100,6 +130,63 @@ class Cluster:
     def heal_region(self, region: str) -> None:
         self._down.discard(region)
         self.reservations.mark_available(region)
+
+    # -- crash / recovery ----------------------------------------------------
+
+    def is_crashed(self, region: str) -> bool:
+        return region in self._crashed
+
+    def crash_region(self, region: str) -> None:
+        """The replica process dies: volatile state is gone.
+
+        The durable commit log survives; the pending causal buffer and
+        any in-flight messages addressed to the region do not.
+        """
+        self._crashed.add(region)
+        self._down.add(region)
+        self._receivers[region].clear()
+        self.reservations.mark_unavailable(region)
+
+    def recover_region(self, region: str) -> None:
+        """Restart: replay the commit log, then sync from the peers."""
+        self._crashed.discard(region)
+        self._down.discard(region)
+        self._replicas[region].rebuild_from_log()
+        self.reservations.mark_available(region)
+        if self.antientropy is not None:
+            self.antientropy.sync_now(region)
+
+    def _install_crash_windows(self, plan: FaultPlan) -> None:
+        for window in plan.crashes:
+            if window.region not in self._replicas:
+                raise StoreError(
+                    f"crash window for unknown region {window.region!r}"
+                )
+            self.sim.at(
+                window.start_ms,
+                lambda r=window.region: self.crash_region(r),
+            )
+            self.sim.at(
+                window.end_ms,
+                lambda r=window.region: self.recover_region(r),
+            )
+
+    def start_antientropy(
+        self,
+        interval_ms: float = 250.0,
+        max_backoff_ms: float = 4_000.0,
+        seed: int = 29,
+    ) -> AntiEntropyEngine:
+        """Start periodic digest exchange (idempotent)."""
+        if self.antientropy is None:
+            self.antientropy = AntiEntropyEngine(
+                self,
+                interval_ms=interval_ms,
+                max_backoff_ms=max_backoff_ms,
+                seed=seed,
+            )
+        self.antientropy.start()
+        return self.antientropy
 
     # -- the application entry point ----------------------------------------------
 
@@ -133,6 +220,8 @@ class Cluster:
             execute_at = self.primary
 
         def at_server() -> None:
+            if execute_at in self._crashed:
+                return  # the request dies with the server
             if self.mode is ConsistencyMode.INDIGO and reservations:
                 # Acquiring (even locally) touches durable reservation
                 # state: the rights record plus the usage ledger that
@@ -190,15 +279,31 @@ class Cluster:
         queue.submit(run, respond)
 
     def _replicate(self, origin: str, record: CommitRecord) -> None:
-        for region, receiver in self._receivers.items():
+        for region in self._receivers:
             if region == origin or region in self._down:
                 continue
             self.network.send(
                 origin,
                 region,
                 record,
-                receiver.receive,
+                lambda rec, target=region: self.deliver(target, rec),
             )
+
+    def deliver(self, region: str, record: CommitRecord) -> None:
+        """Hand one commit record to a region's causal receiver.
+
+        The single sink for broadcast replication *and* anti-entropy
+        retransmission: a crashed region drops the message (its process
+        is not listening), duplicates are discarded by the receiver.
+        """
+        if region in self._crashed:
+            self.dropped_at_crashed += 1
+            return
+        self._receivers[region].receive(record)
+
+    def _note_apply(self, region: str, record: CommitRecord) -> None:
+        if record.committed_at > 0.0:
+            self.stale_window.record(self.sim.now - record.committed_at)
 
     # -- stability ------------------------------------------------------------------
 
@@ -245,10 +350,110 @@ class Cluster:
     # -- convergence helpers (used heavily by tests) --------------------------------
 
     def converged(self) -> bool:
-        """Have all replicas applied all commits?"""
+        """Have all replicas applied all commits?
+
+        Vector equality implies empty pending buffers: a buffered
+        record's counter exceeds the holder's vector entry for its
+        origin, while the origin's own vector already covers it.
+        """
         vectors = [replica.vv for replica in self._replicas.values()]
         return all(v == vectors[0] for v in vectors[1:])
 
     def settle(self, slack_ms: float = 5_000.0) -> None:
         """Run the simulator until in-flight replication drains."""
         self.sim.run(until=self.sim.now + slack_ms)
+
+    def run_until_converged(
+        self, timeout_ms: float = 60_000.0, poll_ms: float = 100.0
+    ) -> float | None:
+        """Advance the clock until every replica converges.
+
+        Returns the elapsed simulated milliseconds, or None if the
+        deadline passes first (e.g. anti-entropy disabled on a lossy
+        network).  The clock always advances at least one ``poll_ms``
+        step so work scheduled "now" (in-flight submits) runs before
+        the first convergence check; the result has ``poll_ms``
+        granularity.
+        """
+        start = self.sim.now
+        deadline = start + timeout_ms
+        while True:
+            self.sim.run(until=min(self.sim.now + poll_ms, deadline))
+            if self.converged():
+                return self.sim.now - start
+            if self.sim.now >= deadline:
+                return None
+
+    def state_digest(self) -> dict[str, str]:
+        """A canonical fingerprint of each replica's observable state.
+
+        Object values are canonicalised (sets ordered, empties skipped
+        -- an unwritten object and an empty one are observably equal)
+        so two replicas digest identically iff every read would agree.
+        Used by convergence assertions and reproducibility checks.
+        """
+        digests: dict[str, str] = {}
+        for region, replica in self._replicas.items():
+            parts = []
+            for key in replica.keys():
+                value = _canonical(replica.get_object(key).value())
+                if value == "":
+                    continue
+                parts.append((key, value))
+            payload = repr(sorted(parts))
+            digests[region] = hashlib.sha256(payload.encode()).hexdigest()
+        return digests
+
+    def fault_stats(self) -> dict[str, int | float]:
+        """One flat view of every chaos counter (benchmark reporting)."""
+        stats: dict[str, int | float] = {
+            "messages_sent": self.network.messages_sent,
+            "messages_delivered": self.network.messages_delivered,
+            "messages_dropped": self.network.messages_dropped,
+            "messages_duplicated": self.network.messages_duplicated,
+            "messages_reordered": self.network.messages_reordered,
+            "dropped_at_crashed": self.dropped_at_crashed,
+            "pending_high_water": max(
+                r.buffered_high_water for r in self._receivers.values()
+            ),
+            "duplicates_ignored": sum(
+                r.duplicates_ignored for r in self._receivers.values()
+            ),
+            "recoveries": sum(
+                r.recoveries for r in self._replicas.values()
+            ),
+            "stale_mean_ms": self.stale_window.mean_ms,
+            "stale_max_ms": self.stale_window.max_ms,
+        }
+        if self.injector is not None:
+            stats["partition_drops"] = self.injector.partition_drops
+        if self.antientropy is not None:
+            stats["digests_sent"] = self.antientropy.digests_sent
+            stats["records_retransmitted"] = (
+                self.antientropy.records_retransmitted
+            )
+            stats["records_pushed"] = self.antientropy.records_pushed
+            stats["sync_timeouts"] = self.antientropy.sync_timeouts
+        return stats
+
+
+def _canonical(value: Any) -> str:
+    """Order-insensitive repr for digesting CRDT read values."""
+    if isinstance(value, (set, frozenset)):
+        if not value:
+            return ""
+        return "{" + ",".join(sorted(repr(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        if not value:
+            return ""
+        inner = ",".join(
+            f"{k!r}:{_canonical(v)}" for k, v in sorted(value.items())
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return ""
+        return "[" + ",".join(_canonical(v) for v in value) + "]"
+    if value is None or value == 0:
+        return ""
+    return repr(value)

@@ -18,15 +18,37 @@ class Replica:
     causal order) lives in :mod:`repro.store.replication`; this class
     exposes the local mechanics it needs: :meth:`commit` for local
     transactions and :meth:`apply_remote` for remote records.
+
+    Every applied record is also appended to a *durable commit log*
+    (``self.log``, kept in application order -- a valid causal order by
+    construction).  The log serves two fault-tolerance duties:
+
+    - :meth:`records_since` answers anti-entropy digests -- "send me
+      everything beyond this version vector" -- in O(missing) via a
+      per-origin index (per-origin counters are contiguous, so the
+      index is a plain list slice);
+    - :meth:`rebuild_from_log` models crash recovery: volatile state
+      (objects, version vector) is discarded and reconstructed by
+      replaying the log, after which anti-entropy fetches whatever the
+      replica missed while down.
     """
 
-    def __init__(self, replica_id: str, registry: TypeRegistry) -> None:
+    def __init__(
+        self,
+        replica_id: str,
+        registry: TypeRegistry,
+        now: Callable[[], float] | None = None,
+    ) -> None:
         self.replica_id = replica_id
         self._registry = registry
+        self._now = now
         self._objects: dict[str, CRDT] = {}
         self.vv = VersionVector()
         self._clock = 0
         self.commits_applied = 0
+        self.log: list[CommitRecord] = []
+        self._log_by_origin: dict[str, list[CommitRecord]] = {}
+        self.recoveries = 0
 
     # -- objects ------------------------------------------------------------
 
@@ -54,7 +76,11 @@ class Replica:
         self._clock += 1
         dot = Dot(self.replica_id, self._clock)
         record = CommitRecord(
-            origin=self.replica_id, dot=dot, deps=deps, updates=updates
+            origin=self.replica_id,
+            dot=dot,
+            deps=deps,
+            updates=updates,
+            committed_at=self._now() if self._now is not None else 0.0,
         )
         self._apply(record)
         return record
@@ -89,6 +115,47 @@ class Replica:
             self.get_object(key).effect(payload, ctx)
         self.vv.entries[record.origin] = record.dot.counter
         self.commits_applied += 1
+        self.log.append(record)
+        self._log_by_origin.setdefault(record.origin, []).append(record)
+
+    # -- fault tolerance -----------------------------------------------------------
+
+    def records_since(self, vv: VersionVector) -> list[CommitRecord]:
+        """Applied records the holder of ``vv`` is missing.
+
+        Per-origin counters are contiguous and applied in order, so the
+        missing suffix of each origin's sub-log is a direct slice.  The
+        result concatenates per-origin suffixes: in counter order within
+        an origin, unordered across origins -- the receiving
+        :class:`~repro.store.replication.CausalReceiver` buffers and
+        re-sequences as needed.
+        """
+        missing: list[CommitRecord] = []
+        for origin, records in self._log_by_origin.items():
+            seen = vv.get(origin)
+            if len(records) > seen:
+                missing.extend(records[seen:])
+        return missing
+
+    def rebuild_from_log(self) -> None:
+        """Crash recovery: rebuild volatile state by replaying the log.
+
+        The log is the durable part of a replica; objects and the
+        version vector are volatile and reconstructed from it.  The
+        log is in application order, a valid causal order, so a plain
+        replay converges to exactly the pre-crash state.
+        """
+        log = self.log
+        self._objects = {}
+        self.vv = VersionVector()
+        self.commits_applied = 0
+        self.log = []
+        self._log_by_origin = {}
+        for record in log:
+            self._apply(record)
+        # The commit clock is derived state: own commits are all logged.
+        self._clock = self.vv.get(self.replica_id)
+        self.recoveries += 1
 
     # -- maintenance ---------------------------------------------------------------
 

@@ -3,13 +3,28 @@
 Commit records broadcast asynchronously after local commit.  A receiver
 applies a record only when its dependencies are satisfied (per-origin
 FIFO plus cross-origin version-vector domination); undeliverable
-records wait in a pending buffer that is retried after every
-application.  This is the causal-consistency contract the modified
-applications (and the CRDTs) assume.
+records wait in a pending buffer until later arrivals unblock them.
+This is the causal-consistency contract the modified applications (and
+the CRDTs) assume.
+
+The pending buffer is indexed by origin replica and kept sorted by
+per-origin counter, so draining is incremental: applying a record can
+only unblock the *head* of each origin's queue (per-origin delivery is
+in counter order, and cross-origin dependencies are checked against
+the replica's version vector, which only ever grows).  A drain
+therefore re-checks at most one record per origin per applied record,
+instead of rescanning the whole buffer -- the old quadratic behaviour
+under heavy buffering.
+
+Duplicates -- inevitable once the network may duplicate messages or
+anti-entropy retransmits a record the original broadcast also
+delivered -- are detected by dot and ignored, both against already
+applied state and against the pending buffer.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable
 
 from repro.store.replica import Replica
@@ -25,14 +40,29 @@ class CausalReceiver:
         on_apply: Callable[[CommitRecord], None] | None = None,
     ) -> None:
         self._replica = replica
-        self._pending: list[CommitRecord] = []
+        self._pending: dict[str, list[CommitRecord]] = {}
+        self._pending_dots: set[tuple[str, int]] = set()
         self._on_apply = on_apply
         self.buffered_high_water = 0
+        self.duplicates_ignored = 0
 
     def receive(self, record: CommitRecord) -> None:
-        self._pending.append(record)
+        origin = record.origin
+        counter = record.dot.counter
+        if (
+            counter <= self._replica.vv.get(origin)
+            or (origin, counter) in self._pending_dots
+        ):
+            self.duplicates_ignored += 1
+            return
+        insort(
+            self._pending.setdefault(origin, []),
+            record,
+            key=lambda r: r.dot.counter,
+        )
+        self._pending_dots.add((origin, counter))
         self.buffered_high_water = max(
-            self.buffered_high_water, len(self._pending)
+            self.buffered_high_water, self.pending_count
         )
         self._drain()
 
@@ -40,17 +70,36 @@ class CausalReceiver:
         progressed = True
         while progressed:
             progressed = False
-            still_pending: list[CommitRecord] = []
-            for record in self._pending:
-                if self._replica.can_apply(record):
+            for origin in list(self._pending):
+                queue = self._pending[origin]
+                # Only the head can be deliverable: per-origin delivery
+                # is in counter order.
+                while queue and self._replica.can_apply(queue[0]):
+                    record = queue.pop(0)
+                    self._pending_dots.discard(
+                        (record.origin, record.dot.counter)
+                    )
                     self._replica.apply_remote(record)
                     if self._on_apply is not None:
                         self._on_apply(record)
                     progressed = True
-                else:
-                    still_pending.append(record)
-            self._pending = still_pending
+                if not queue:
+                    del self._pending[origin]
+
+    def clear(self) -> None:
+        """Discard the buffer (a crash loses volatile state)."""
+        self._pending.clear()
+        self._pending_dots.clear()
 
     @property
     def pending_count(self) -> int:
-        return len(self._pending)
+        return sum(len(queue) for queue in self._pending.values())
+
+    def pending_count_for(self, origin: str) -> int:
+        """Buffered records from one origin replica."""
+        return len(self._pending.get(origin, ()))
+
+    def pending_by_origin(self) -> dict[str, int]:
+        return {
+            origin: len(queue) for origin, queue in self._pending.items()
+        }

@@ -22,12 +22,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class CommitRecord:
-    """The replicated unit: one transaction's effects plus metadata."""
+    """The replicated unit: one transaction's effects plus metadata.
+
+    ``committed_at`` is the simulated commit time at the origin (0.0
+    when the replica has no clock, e.g. in unit tests); receivers use
+    it for the stale-window metric -- how long a record took to become
+    visible remotely.
+    """
 
     origin: str
     dot: Dot
     deps: VersionVector
     updates: tuple[tuple[str, Any], ...]
+    committed_at: float = 0.0
 
     @property
     def update_count(self) -> int:

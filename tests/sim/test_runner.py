@@ -1,5 +1,6 @@
 """Closed-loop client driver tests."""
 
+from repro.errors import StoreError
 from repro.sim.events import Simulator
 from repro.sim.runner import Client, run_closed_loop
 
@@ -75,3 +76,65 @@ class TestClosedLoop:
         )
         assert result.stats("a").count > 0
         assert result.stats("b").count > 0
+
+
+class TestFaultyIssuers:
+    def test_retry_when_region_unavailable(self):
+        """Submit raising StoreError (region down) backs off and
+        retries until the region returns."""
+        sim = Simulator()
+        down_until = 300.0
+
+        def issue(client: Client, done):
+            if sim.now < down_until:
+                raise StoreError("region down")
+            sim.schedule(5.0, lambda: done("op"))
+
+        result = run_closed_loop(
+            sim, issue, {"r": 1},
+            duration_ms=1_000.0, warmup_ms=0.0, retry_ms=50.0,
+        )
+        assert result.metrics.counter("client_retries") >= 5
+        assert result.stats("op").count > 0
+
+    def test_timeout_reissues_lost_operation(self):
+        """A swallowed response triggers the timeout path, and the
+        client keeps going instead of wedging forever."""
+        sim = Simulator()
+        calls = [0]
+
+        def issue(client: Client, done):
+            calls[0] += 1
+            if calls[0] == 1:
+                return  # the reply is lost: done() never fires
+            sim.schedule(5.0, lambda: done("op"))
+
+        result = run_closed_loop(
+            sim, issue, {"r": 1},
+            duration_ms=1_000.0, warmup_ms=0.0, timeout_ms=100.0,
+        )
+        assert result.metrics.counter("client_timeouts") == 1
+        assert result.stats("op").count > 0
+
+    def test_straggler_response_after_timeout_ignored(self):
+        """A response arriving after its attempt timed out is dropped:
+        no double-completion, no duplicate latency sample."""
+        sim = Simulator()
+        calls = [0]
+
+        def issue(client: Client, done):
+            calls[0] += 1
+            if calls[0] == 1:
+                # Responds long after the 100 ms timeout.
+                sim.schedule(400.0, lambda: done("op"))
+            else:
+                sim.schedule(5.0, lambda: done("op"))
+
+        result = run_closed_loop(
+            sim, issue, {"r": 1},
+            duration_ms=1_000.0, warmup_ms=0.0, timeout_ms=100.0,
+        )
+        assert result.metrics.counter("client_timeouts") == 1
+        # Every recorded latency comes from the fast path: the 400 ms
+        # straggler was not recorded.
+        assert result.stats("op").maximum < 400.0

@@ -1,0 +1,125 @@
+"""Convergence under adversarial delivery.
+
+Property-style check of the convergence contract the whole system
+leans on: for a fixed set of commit records, *any* delivery
+permutation, with arbitrary duplication, yields the same final CRDT
+state and version vector at every replica -- the causal receiver
+buffers out-of-order records, discards duplicates, and the CRDT merge
+functions are order-insensitive for concurrent events.
+
+The record set mixes per-origin chains, cross-origin dependencies and
+genuinely concurrent add/remove pairs (the rem-wins battleground), and
+the schedule space is swept exhaustively for small sets plus a seeded
+random sweep for larger ones.
+"""
+
+import itertools
+import random
+
+from repro.crdts import AWSet, RWSet
+from repro.crdts.counter import PNCounter
+from repro.store.registry import TypeRegistry
+from repro.store.replica import Replica
+from repro.store.replication import CausalReceiver
+
+
+def registry():
+    reg = TypeRegistry()
+    reg.register("aw", AWSet)
+    reg.register("rw", RWSet)
+    reg.register("ctr", PNCounter)
+    return reg
+
+
+def commit(replica, key, prepare):
+    txn = replica.begin()
+    txn.update(key, prepare)
+    return txn.commit()
+
+
+def build_history():
+    """Three origins, seven records, chains + concurrency.
+
+    Returns the records plus the state fingerprint of an origin that
+    saw everything (the expected convergence point).
+    """
+    a = Replica("A", registry())
+    b = Replica("B", registry())
+    c = Replica("C", registry())
+    records = []
+    r1 = commit(a, "aw", lambda s: s.prepare_add("x"))
+    records.append(r1)
+    # B observes A's first commit: a cross-origin dependency.
+    b.apply_remote(r1)
+    records.append(commit(b, "aw", lambda s: s.prepare_add("y")))
+    # Concurrent add/remove on the rem-wins set (C never saw A or B).
+    records.append(commit(c, "rw", lambda s: s.prepare_add("z")))
+    records.append(commit(a, "rw", lambda s: s.prepare_remove("z")))
+    # Per-origin chains and a counter.
+    records.append(commit(a, "ctr", lambda s: s.prepare_add(3)))
+    records.append(commit(b, "ctr", lambda s: s.prepare_add(-1)))
+    records.append(commit(c, "aw", lambda s: s.prepare_add("w")))
+    return records
+
+
+def fingerprint(replica):
+    return (
+        sorted(replica.get_object("aw").value()),
+        sorted(replica.get_object("rw").value()),
+        replica.get_object("ctr").value(),
+        tuple(sorted(replica.vv.entries.items())),
+    )
+
+
+def deliver_all(schedule):
+    fresh = Replica("D", registry())
+    receiver = CausalReceiver(fresh)
+    for record in schedule:
+        receiver.receive(record)
+    assert receiver.pending_count == 0, "schedule did not fully drain"
+    return fingerprint(fresh)
+
+
+class TestAdversarialDelivery:
+    def test_all_permutations_of_core_records_converge(self):
+        records = build_history()
+        core = records[:5]
+        expected = deliver_all(core)
+        seen = set()
+        for schedule in itertools.permutations(core):
+            fp = deliver_all(schedule)
+            seen.add(repr(fp))
+            assert fp == expected
+        assert len(seen) == 1
+
+    def test_random_permutations_with_duplication_converge(self):
+        records = build_history()
+        expected = deliver_all(records)
+        rng = random.Random(97)
+        for _ in range(200):
+            schedule = list(records)
+            rng.shuffle(schedule)
+            # Duplicate a random sample, injected at random positions:
+            # once as an immediate re-send, once as a stale straggler.
+            for dup in rng.sample(records, k=rng.randint(1, len(records))):
+                schedule.insert(rng.randrange(len(schedule) + 1), dup)
+            assert deliver_all(schedule) == expected
+
+    def test_every_replica_converges_pairwise(self):
+        """Two receivers fed opposite-order schedules agree."""
+        records = build_history()
+        forward = deliver_all(records)
+        backward = deliver_all(list(reversed(records)))
+        assert forward == backward
+
+    def test_duplicates_counted_not_applied(self):
+        records = build_history()
+        fresh = Replica("D", registry())
+        receiver = CausalReceiver(fresh)
+        for record in records:
+            receiver.receive(record)
+        applied = fresh.commits_applied
+        for record in records:
+            receiver.receive(record)
+        assert fresh.commits_applied == applied
+        assert receiver.duplicates_ignored == len(records)

@@ -126,3 +126,54 @@ class TestCausalReceiver:
         receiver.receive(ra)  # unlocks both
         assert receiver.pending_count == 0
         assert c.get_object("set").value() == {"x", "y"}
+
+    def test_pending_counts_indexed_by_origin(self):
+        a, b, c = make("A"), make("B"), make("C")
+        local_commit(a, "set", lambda s: s.prepare_add("a1"))
+        ra2 = local_commit(a, "set", lambda s: s.prepare_add("a2"))
+        ra3 = local_commit(a, "set", lambda s: s.prepare_add("a3"))
+        local_commit(b, "set", lambda s: s.prepare_add("b1"))
+        rb2 = local_commit(b, "set", lambda s: s.prepare_add("b2"))
+        receiver = CausalReceiver(c)
+        # Only the out-of-order tails arrive: each origin's chain is
+        # missing its head.
+        receiver.receive(ra2)
+        receiver.receive(ra3)
+        receiver.receive(rb2)
+        assert receiver.pending_count == 3
+        assert receiver.pending_count_for("A") == 2
+        assert receiver.pending_count_for("B") == 1
+        assert receiver.pending_count_for("C") == 0
+        assert receiver.pending_by_origin() == {"A": 2, "B": 1}
+
+    def test_duplicate_records_ignored(self):
+        a, b = make("A"), make("B")
+        receiver = CausalReceiver(b)
+        record = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        receiver.receive(record)
+        receiver.receive(record)  # already applied
+        r2 = local_commit(a, "set", lambda s: s.prepare_add("y"))
+        r3 = local_commit(a, "set", lambda s: s.prepare_add("z"))
+        receiver.receive(r3)  # buffered (r2 missing)
+        receiver.receive(r3)  # duplicate of a buffered record
+        assert receiver.duplicates_ignored == 2
+        assert receiver.pending_count == 1
+        receiver.receive(r2)
+        assert b.get_object("set").value() == {"x", "y", "z"}
+        assert b.commits_applied == 3
+
+    def test_out_of_order_chain_drains_incrementally(self):
+        """A long reversed chain drains fully once its head arrives."""
+        a, b = make("A"), make("B")
+        records = [
+            local_commit(a, "set", lambda s, i=i: s.prepare_add(i))
+            for i in range(20)
+        ]
+        receiver = CausalReceiver(b)
+        for record in reversed(records[1:]):
+            receiver.receive(record)
+        assert receiver.pending_count == 19
+        assert receiver.buffered_high_water == 19
+        receiver.receive(records[0])
+        assert receiver.pending_count == 0
+        assert b.get_object("set").value() == set(range(20))
