@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares a ``--bench-json`` summary produced by the current run against
+the committed baseline (``benchmarks/BENCH_baseline.json``) and exits
+non-zero when any benchmark's wall-time regressed by more than the
+threshold (default 25%).
+
+Two guards keep the gate honest on noisy CI runners:
+
+- benchmarks faster than ``--min-ms`` in the baseline are only checked
+  against ``threshold * min_ms`` (sub-100ms timings are mostly noise);
+- a benchmark present in the baseline but missing from the current run
+  fails the gate (silently dropping a benchmark is how regressions
+  hide).
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_analysis.json \
+        [--baseline benchmarks/BENCH_baseline.json] \
+        [--threshold 1.25] [--min-ms 500]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EXPECTED_SCHEMA = 1
+
+
+def load_summary(path: Path) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != EXPECTED_SCHEMA:
+        raise SystemExit(
+            f"{path}: unsupported bench-json schema "
+            f"{document.get('schema')!r} (expected {EXPECTED_SCHEMA})"
+        )
+    return {entry["name"]: entry for entry in document["benchmarks"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="summary of this run")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_baseline.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="max allowed wall-time ratio current/baseline (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=500.0,
+        help="baselines below this are compared against the floor itself",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_summary(args.baseline)
+    current = load_summary(args.current)
+
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        reference = max(base["wall_ms"], args.min_ms)
+        limit = args.threshold * reference
+        ratio = entry["wall_ms"] / reference
+        verdict = "FAIL" if entry["wall_ms"] > limit else "ok"
+        print(
+            f"{verdict:4} {name}: {entry['wall_ms']:.0f} ms "
+            f"vs baseline {base['wall_ms']:.0f} ms "
+            f"(x{ratio:.2f}, limit x{args.threshold:.2f})"
+        )
+        if entry["wall_ms"] > limit:
+            failures.append(
+                f"{name}: {entry['wall_ms']:.0f} ms exceeds "
+                f"{limit:.0f} ms ({args.threshold:.2f}x of "
+                f"max(baseline, {args.min_ms:.0f} ms))"
+            )
+    extra = sorted(set(current) - set(baseline))
+    for name in extra:
+        print(f"new  {name}: {current[name]['wall_ms']:.0f} ms (no baseline)")
+
+    if failures:
+        print()
+        print("benchmark regressions detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print()
+    print(f"all {len(baseline)} baselined benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,24 @@ differ from the paper's EC2 testbed by design (see EXPERIMENTS.md).
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+``--bench-json PATH`` additionally writes one machine-readable summary
+for the whole run.  Benchmarks opt in through the ``record_bench``
+fixture; every record follows one stable schema so CI can diff runs
+against the committed baseline (``benchmarks/check_regression.py``)::
+
+    {"schema": 1,
+     "benchmarks": [{"name": ..., "params": {...}, "wall_ms": ...,
+                     "solver_calls": ..., "cache_hits": ...}, ...]}
 """
 
+import json
+
 import pytest
+
+#: Bump when the summary layout changes; the regression gate refuses to
+#: compare documents with mismatched schemas.
+BENCH_JSON_SCHEMA = 1
 
 
 def pytest_addoption(parser):
@@ -20,8 +35,70 @@ def pytest_addoption(parser):
         default=False,
         help="run the full-size experiment sweeps (slower)",
     )
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write a JSON summary of recorded benchmarks to PATH",
+    )
+
+
+def pytest_configure(config):
+    config._bench_records = []
 
 
 @pytest.fixture
 def full_sweeps(request):
     return request.config.getoption("--full-sweeps")
+
+
+@pytest.fixture
+def record_bench(request):
+    """Record one benchmark measurement for the ``--bench-json`` summary.
+
+    Usage::
+
+        def test_something(benchmark, record_bench):
+            ...
+            record_bench(
+                "analysis_all_apps",
+                params={"apps": 4},
+                wall_ms=total_seconds * 1000.0,
+                solver_calls=n_solves,
+                cache_hits=n_hits,
+            )
+    """
+    records = request.config._bench_records
+
+    def record(
+        name: str,
+        wall_ms: float,
+        params: dict | None = None,
+        solver_calls: int = 0,
+        cache_hits: int = 0,
+    ) -> None:
+        records.append(
+            {
+                "name": str(name),
+                "params": dict(params or {}),
+                "wall_ms": round(float(wall_ms), 3),
+                "solver_calls": int(solver_calls),
+                "cache_hits": int(cache_hits),
+            }
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    records = getattr(session.config, "_bench_records", [])
+    document = {
+        "schema": BENCH_JSON_SCHEMA,
+        "benchmarks": sorted(records, key=lambda r: r["name"]),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

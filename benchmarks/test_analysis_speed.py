@@ -5,17 +5,24 @@ fast enough to not hinder interactivity" on a laptop.  This bench runs
 the full IPA loop on each application spec and reports wall-clock,
 round and solver-query counts; it also ablates the analysis domain
 bound (DESIGN.md decision 1).
+
+``test_warm_cache_parallel_speedup`` is the acceptance benchmark of the
+analysis-performance work: the 4-app suite with ``jobs=4`` and a warm
+solver cache must run >=2x faster than the cold sequential baseline,
+while producing byte-identical results (fingerprints).
 """
+
+import tempfile
 
 import pytest
 
-from repro.analysis import ConflictChecker, run_ipa
-from repro.apps import ticket_spec, tournament_spec, tpcw_spec, twitter_spec
+from repro.analysis import ConflictChecker
+from repro.apps import tournament_spec
 from repro.bench.figures import analysis_speed
 from repro.bench.tables import format_table
 
 
-def test_analysis_speed_all_apps(benchmark):
+def test_analysis_speed_all_apps(benchmark, record_bench):
     timings = benchmark.pedantic(analysis_speed, rounds=1, iterations=1)
     rows = [
         {
@@ -31,11 +38,60 @@ def test_analysis_speed_all_apps(benchmark):
     ]
     print()
     print(format_table(rows))
+    record_bench(
+        "analysis_all_apps",
+        wall_ms=sum(t.seconds for t in timings) * 1000.0,
+        params={"apps": len(timings), "jobs": 1},
+        solver_calls=sum(t.solver_solves for t in timings),
+        cache_hits=sum(t.cache_hits for t in timings),
+    )
     for timing in timings:
         # "Interactive": the whole app analyses within tens of seconds,
         # i.e. well under a second per solver query.
         assert timing.seconds < 120.0
         assert timing.fully_resolved, timing.application
+
+
+def test_warm_cache_parallel_speedup(benchmark, record_bench):
+    """4 apps, ``--jobs 4`` + warm cache: >=2x over cold sequential."""
+
+    def suite():
+        cold = analysis_speed(jobs=1, cache=False)
+        with tempfile.TemporaryDirectory() as cache_dir:
+            analysis_speed(jobs=1, cache_dir=cache_dir)  # fill the cache
+            warm = analysis_speed(jobs=4, cache_dir=cache_dir)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(suite, rounds=1, iterations=1)
+    cold_s = sum(t.seconds for t in cold)
+    warm_s = sum(t.seconds for t in warm)
+    speedup = cold_s / warm_s
+    print()
+    print(
+        f"analysis suite: cold sequential {cold_s:.2f}s, "
+        f"warm jobs=4 {warm_s:.2f}s -> {speedup:.2f}x"
+    )
+    record_bench(
+        "analysis_cold_sequential",
+        wall_ms=cold_s * 1000.0,
+        params={"apps": len(cold), "jobs": 1, "cache": "off"},
+        solver_calls=sum(t.solver_solves for t in cold),
+        cache_hits=sum(t.cache_hits for t in cold),
+    )
+    record_bench(
+        "analysis_warm_jobs4",
+        wall_ms=warm_s * 1000.0,
+        params={"apps": len(warm), "jobs": 4, "cache": "warm"},
+        solver_calls=sum(t.solver_solves for t in warm),
+        cache_hits=sum(t.cache_hits for t in warm),
+    )
+    # Identical outcomes: same fingerprint, same logical query count.
+    for t_cold, t_warm in zip(cold, warm):
+        assert t_cold.fingerprint == t_warm.fingerprint, t_cold.application
+        assert t_cold.queries == t_warm.queries, t_cold.application
+    # A warm cache answers everything without running the solver.
+    assert sum(t.solver_solves for t in warm) == 0
+    assert speedup >= 2.0, f"only {speedup:.2f}x"
 
 
 @pytest.mark.parametrize("extra", [1, 2])

@@ -24,6 +24,8 @@ across the partition.  Expected shape:
   is bit-for-bit reproducible given the same seed.
 """
 
+import time
+
 from repro.apps.common import Variant
 from repro.apps.tournament import TournamentApp, tournament_registry
 from repro.errors import StoreError
@@ -137,9 +139,16 @@ def run_both() -> dict:
     }
 
 
-def test_chaos_convergence(benchmark):
+def test_chaos_convergence(benchmark, record_bench):
+    started = time.perf_counter()
     outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    wall_ms = (time.perf_counter() - started) * 1000.0
     causal, ipa = outcomes["causal"], outcomes["ipa"]
+    record_bench(
+        "chaos_convergence",
+        wall_ms=wall_ms,
+        params={"seed": SEED, "variants": 3},
+    )
 
     print()
     print("Chaos convergence -- seeded fault plan (seed=%d)" % SEED)

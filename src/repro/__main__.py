@@ -28,6 +28,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         spec,
         max_effects=args.max_effects,
         allow_rule_changes=not args.no_rule_changes,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
     print(render_result(result))
     return 0 if result.is_invariant_preserving else 1
@@ -81,6 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--no-rule-changes", action="store_true",
         help="only repair under the declared convergence rules",
+    )
+    analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the conflict scan (default 1; "
+        "results are identical for any value)",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the solver-query cache",
+    )
+    analyze.add_argument(
+        "--cache-dir", default=".ipa-cache", metavar="DIR",
+        help="persistent solver-cache directory (default .ipa-cache)",
     )
     analyze.set_defaults(func=_cmd_analyze)
 

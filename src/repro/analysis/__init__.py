@@ -17,6 +17,7 @@ Given an :class:`~repro.spec.application.ApplicationSpec`, this package
 """
 
 from repro.analysis.bindings import PairBinding, enumerate_pair_bindings
+from repro.analysis.cache import SolverCache
 from repro.analysis.classification import (
     InvariantClass,
     classify_invariant,
@@ -29,11 +30,12 @@ from repro.analysis.conflicts import (
     opposing_effects,
 )
 from repro.analysis.generation import CandidateRepair, generate_candidates
-from repro.analysis.ipa import IpaResult, IpaTool, run_ipa
+from repro.analysis.ipa import AnalysisStats, IpaResult, IpaTool, run_ipa
 from repro.analysis.repair import Resolution, first_resolution, repair_conflict
 from repro.analysis.session import IpaSession
 
 __all__ = [
+    "AnalysisStats",
     "CandidateRepair",
     "Compensation",
     "ConflictChecker",
@@ -44,6 +46,7 @@ __all__ = [
     "IpaTool",
     "PairBinding",
     "Resolution",
+    "SolverCache",
     "classify_invariant",
     "classify_spec",
     "enumerate_pair_bindings",

@@ -15,17 +15,21 @@ alone, and the merge), which the report generator renders.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import pickle
 from dataclasses import dataclass
 
 from repro.logic.ast import Atom, NumPred
 from repro.logic.transform import substitute
 from repro.solver.models import Model, evaluate
-from repro.solver.smt import BoundedModelFinder
+from repro.solver.smt import BoundedModelFinder, IncrementalSession
 from repro.spec.application import ApplicationSpec
 from repro.spec.effects import ConvergenceRules
 from repro.spec.invariants import Invariant
 from repro.spec.operations import Operation
+
+from repro.analysis.cache import SolverCache
 
 from repro.analysis.bindings import (
     PairBinding,
@@ -104,9 +108,12 @@ class ConflictChecker:
         extra: int = 1,
         int_bound: int | None = None,
         params: dict[str, int] | None = None,
+        cache: SolverCache | None = None,
     ) -> None:
         self._spec = spec
         self._extra = extra
+        self._cache = cache
+        self._solves = 0
         if int_bound is None:
             # Numeric state must be able to represent: the analysis
             # parameter values, one violation past any bound, and the
@@ -173,24 +180,51 @@ class ConflictChecker:
 
     @property
     def queries_issued(self) -> int:
-        """Number of solver queries issued so far (for the speed bench)."""
+        """Number of solver queries issued so far (for the speed bench).
+
+        Queries are counted *logically*: a query answered from the cache
+        still counts, so the number is identical between cold, warm and
+        parallel runs of the same analysis.
+        """
         return self._queries
+
+    @property
+    def solver_solves(self) -> int:
+        """Queries that actually reached the CDCL solver (cache misses)."""
+        return self._solves
+
+    @property
+    def cache(self) -> SolverCache | None:
+        return self._cache
+
+    @property
+    def extra(self) -> int:
+        return self._extra
+
+    @property
+    def int_bound(self) -> int:
+        return self._int_bound
+
+    def add_external_queries(self, count: int) -> None:
+        """Account for logical queries issued on this checker's behalf
+        by a scan worker process (parallel mode)."""
+        self._queries += count
 
     # -- the core query -----------------------------------------------------
 
-    def is_conflicting(
+    def _pair_queries(
         self,
         op1: Operation,
         op2: Operation,
-        rules: ConvergenceRules | None = None,
-        try_first: PairBinding | None = None,
-    ) -> ConflictWitness | None:
-        """Check one pair under (possibly overridden) convergence rules.
+        rules: ConvergenceRules | None,
+        try_first: PairBinding | None,
+    ):
+        """Yield ``(binding, query)`` for every aliasing pattern.
 
-        ``try_first`` reorders the aliasing patterns so a previously
-        conflicting one is tested first -- the repair search uses the
-        witness's binding, which rejects failing candidates in one
-        query.
+        The query is the Figure 2 constraint list in a fixed order;
+        cache keys are computed over exactly this sequence, so the
+        one-shot scan path and the incremental repair path address the
+        same logical query identically.
         """
         rules = rules or self._spec.rules
         preds = list(self._spec.schema.predicates.values())
@@ -223,14 +257,138 @@ class ConflictChecker:
                 # The merged state must violate the invariant.
                 ~self._ground_invariant("m", domain),
             ]
+            yield binding, query
+
+    # Indices splitting a pair query into the candidate-independent base
+    # (invariants, preconditions, violation target) and the part that
+    # changes per repair candidate (state-transition constraints).
+    _BASE_SLOTS = (0, 1, 2, 5, 6, 8)
+    _CANDIDATE_SLOTS = (3, 4, 7)
+
+    def is_conflicting(
+        self,
+        op1: Operation,
+        op2: Operation,
+        rules: ConvergenceRules | None = None,
+        try_first: PairBinding | None = None,
+    ) -> ConflictWitness | None:
+        """Check one pair under (possibly overridden) convergence rules.
+
+        ``try_first`` reorders the aliasing patterns so a previously
+        conflicting one is tested first -- the repair search uses the
+        witness's binding, which rejects failing candidates in one
+        query.
+        """
+        for binding, query in self._pair_queries(op1, op2, rules, try_first):
             finder = BoundedModelFinder(
-                domain, params=self._params, int_bound=self._int_bound
+                binding.domain,
+                params=self._params,
+                int_bound=self._int_bound,
+                cache=self._cache,
             )
             self._queries += 1
             result = finder.check_ground(*query)
+            self._solves += finder.solves
             if result.sat:
                 return self._witness(op1, op2, binding, result.model)
         return None
+
+    def has_conflict(
+        self,
+        op1: Operation,
+        op2: Operation,
+        rules: ConvergenceRules | None = None,
+        try_first: PairBinding | None = None,
+        sessions: "PairSessions | None" = None,
+    ) -> bool:
+        """Verdict-only :meth:`is_conflicting` (no witness decoding).
+
+        With ``sessions``, all candidates probed through the same
+        :class:`PairSessions` share one incremental solver per aliasing
+        pattern: the invariants, preconditions and violation target are
+        encoded once, each candidate's state-transition constraints run
+        under a throwaway activation literal, and learned clauses carry
+        over.  The satisfiability verdict is identical to a fresh
+        solver's, which is all the repair search needs.
+        """
+        for binding, query in self._pair_queries(op1, op2, rules, try_first):
+            self._queries += 1
+            key = None
+            if self._cache is not None:
+                key = self._cache.key(
+                    binding.domain, self._params, self._int_bound, query
+                )
+                entry = self._cache.get(key, need_model=False)
+                if entry is not None:
+                    if entry.sat:
+                        return True
+                    continue
+            if sessions is not None:
+                session = sessions.get(binding)
+                if session is None:
+                    session = IncrementalSession(
+                        binding.domain, self._params, self._int_bound
+                    )
+                    session.assert_base(
+                        *(query[i] for i in self._BASE_SLOTS)
+                    )
+                    sessions.put(binding, session)
+                sat = session.check_under(
+                    *(query[i] for i in self._CANDIDATE_SLOTS)
+                )
+                self._solves += 1
+                if key is not None:
+                    # Incremental models are path-dependent; store the
+                    # verdict only.  A later query that needs the model
+                    # recomputes it deterministically and upgrades the
+                    # entry.
+                    self._cache.put(key, sat, model=None)
+            else:
+                finder = BoundedModelFinder(
+                    binding.domain,
+                    params=self._params,
+                    int_bound=self._int_bound,
+                    cache=self._cache,
+                )
+                sat = finder.check_ground_sat(*query)
+                self._solves += finder.solves
+            if sat:
+                return True
+        return False
+
+    def scan_from_cache(
+        self, op1: Operation, op2: Operation
+    ) -> tuple[bool, "ConflictWitness | None", int]:
+        """Resolve :meth:`is_conflicting` purely from the cache.
+
+        Returns ``(resolved, witness, bindings_consumed)``.  The query
+        counter is deliberately *not* committed -- the parallel scan
+        consumes results in deterministic pair order and must discard
+        resolutions past the first conflict, so the caller accounts the
+        consumed bindings itself (:meth:`add_external_queries`).  Any
+        cache miss aborts with ``resolved=False``; such pairs go to a
+        worker process.
+        """
+        if self._cache is None:
+            return False, None, 0
+        from repro.analysis.cache import deserialize_model
+
+        consumed = 0
+        for binding, query in self._pair_queries(op1, op2, None, None):
+            consumed += 1
+            key = self._cache.key(
+                binding.domain, self._params, self._int_bound, query
+            )
+            entry = self._cache.get(key, need_model=True, record=False)
+            if entry is None:
+                return False, None, 0
+            if entry.sat:
+                model = deserialize_model(
+                    entry.model_blob, binding.domain, self._params
+                )
+                witness = self._witness(op1, op2, binding, model)
+                return True, witness, consumed
+        return True, None, consumed
 
     def _ground_precondition(self, operation, binding, domain):
         from repro.logic.ast import TrueF
@@ -273,10 +431,15 @@ class ConflictChecker:
                 self._ground_invariant("1", single.domain),
             ]
             finder = BoundedModelFinder(
-                single.domain, params=self._params, int_bound=self._int_bound
+                single.domain,
+                params=self._params,
+                int_bound=self._int_bound,
+                cache=self._cache,
             )
             self._queries += 1
-            if finder.check_ground(*query).sat:
+            sat = finder.check_ground_sat(*query)
+            self._solves += finder.solves
+            if sat:
                 executable = True
                 break
         self._executable_cache[operation] = executable
@@ -336,10 +499,15 @@ class ConflictChecker:
                 disj(mismatches),
             ]
             finder = BoundedModelFinder(
-                single.domain, params=self._params, int_bound=self._int_bound
+                single.domain,
+                params=self._params,
+                int_bound=self._int_bound,
+                cache=self._cache,
             )
             self._queries += 1
-            if finder.check_ground(*query).sat:
+            sat = finder.check_ground_sat(*query)
+            self._solves += finder.solves
+            if sat:
                 preserving = False
                 break
         self._preserving_cache[key] = preserving
@@ -436,3 +604,92 @@ class ConflictChecker:
                         Atom(renamed, combo)
                     )
         return projected
+
+
+class PairSessions:
+    """Incremental solver sessions for one repair search.
+
+    One :class:`~repro.solver.smt.IncrementalSession` per aliasing
+    pattern of the conflicting pair; dropped wholesale when the search
+    for that pair finishes (candidate counts per pair are small, so the
+    clause databases stay bounded).
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[PairBinding, IncrementalSession] = {}
+
+    def get(self, binding: PairBinding) -> IncrementalSession | None:
+        return self._sessions.get(binding)
+
+    def put(self, binding: PairBinding, session: IncrementalSession) -> None:
+        self._sessions[binding] = session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+# ---------------------------------------------------------------------------
+# Parallel scan workers
+# ---------------------------------------------------------------------------
+#
+# ``run_ipa(jobs=N)`` fans the candidate pairs of each scan round out to a
+# process pool.  Every task ships the pickled working specification (a
+# few kilobytes) plus the checker configuration; workers memoise the
+# rebuilt checker on the spec digest so one round's tasks share grounding
+# caches, and keep a single SolverCache alive for the whole worker
+# lifetime so the memory tier persists across rounds.  Results for pairs
+# *after* the first conflicting one (in deterministic pair order) are
+# speculative and discarded by the caller -- except that their solver
+# work has already warmed the shared on-disk cache.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_cache(cache_dir: str | None) -> SolverCache | None:
+    if cache_dir is None:
+        return None
+    cache = _WORKER_STATE.get("cache")
+    if cache is None or _WORKER_STATE.get("cache_dir") != cache_dir:
+        cache = SolverCache(cache_dir)
+        _WORKER_STATE["cache"] = cache
+        _WORKER_STATE["cache_dir"] = cache_dir
+    return cache
+
+
+def scan_pair_task(
+    spec_blob: bytes,
+    spec_digest: str,
+    pair: tuple[str, str],
+    extra: int,
+    int_bound: int,
+    params: dict[str, int],
+    cache_dir: str | None,
+) -> tuple[tuple[str, str], "ConflictWitness | None", int]:
+    """Check one operation pair in a worker process.
+
+    Returns ``(pair, witness_or_None, logical_queries_issued)``; the
+    caller folds the query count into its own checker for pairs it
+    actually consumes, keeping counts identical to a sequential run.
+    """
+    checker = _WORKER_STATE.get("checker")
+    if checker is None or _WORKER_STATE.get("digest") != spec_digest:
+        spec = pickle.loads(spec_blob)
+        checker = ConflictChecker(
+            spec,
+            extra=extra,
+            int_bound=int_bound,
+            params=params,
+            cache=_worker_cache(cache_dir),
+        )
+        _WORKER_STATE["checker"] = checker
+        _WORKER_STATE["digest"] = spec_digest
+    op1 = checker.spec.operation(pair[0])
+    op2 = checker.spec.operation(pair[1])
+    before = checker.queries_issued
+    witness = checker.is_conflicting(op1, op2)
+    return pair, witness, checker.queries_issued - before
+
+
+def spec_digest(blob: bytes) -> str:
+    """Digest used to key worker-side checker memoisation."""
+    return hashlib.sha256(blob).hexdigest()

@@ -18,7 +18,11 @@ from repro.spec.application import ApplicationSpec
 from repro.spec.effects import BoolEffect, ConvergencePolicy
 from repro.spec.operations import Operation
 
-from repro.analysis.conflicts import ConflictChecker, ConflictWitness
+from repro.analysis.conflicts import (
+    ConflictChecker,
+    ConflictWitness,
+    PairSessions,
+)
 from repro.analysis.generation import CandidateRepair, generate_candidates
 
 
@@ -87,6 +91,11 @@ def repair_conflict(
     op1, op2 = witness.op1, witness.op2
     solutions: list[Resolution] = []
     found_candidates: list[CandidateRepair] = []
+    # Candidate verification only needs a yes/no answer, and the many
+    # candidates of one conflict share their invariants and witnesses'
+    # bindings: route them through incremental solver sessions keyed by
+    # binding so the CNF base and learned clauses are reused.
+    sessions = PairSessions()
     for candidate in generate_candidates(
         spec, op1, op2, max_effects=max_effects,
         allow_rule_changes=allow_rule_changes,
@@ -105,9 +114,10 @@ def repair_conflict(
         rules = spec.rules.copy()
         for name, policy in candidate.rule_requirements:
             rules.set(name, policy)
-        if checker.is_conflicting(
-            new_op1, new_op2, rules, try_first=witness.binding
-        ) is None:
+        if not checker.has_conflict(
+            new_op1, new_op2, rules,
+            try_first=witness.binding, sessions=sessions,
+        ):
             found_candidates.append(candidate)
             solutions.append(
                 Resolution(

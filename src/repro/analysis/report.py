@@ -68,4 +68,6 @@ def render_result(result: IpaResult) -> str:
                 sections.append(f"  -> {compensation.describe()}")
     sections.append("\npatch:")
     sections.append(render_patch(result.original, result.modified))
+    sections.append("")
+    sections.append(result.stats.describe())
     return "\n".join(sections)

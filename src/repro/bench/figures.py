@@ -389,10 +389,23 @@ class AnalysisTiming:
     repaired: int
     compensations: int
     fully_resolved: bool
+    solver_solves: int = 0
+    cache_hits: int = 0
+    fingerprint: str = ""
 
 
-def analysis_speed() -> list[AnalysisTiming]:
-    """Wall-clock of the full IPA analysis per application (§5.1.3)."""
+def analysis_speed(
+    jobs: int = 1,
+    cache: "object | None" = None,
+    cache_dir: "str | None" = None,
+) -> list[AnalysisTiming]:
+    """Wall-clock of the full IPA analysis per application (§5.1.3).
+
+    ``jobs``/``cache``/``cache_dir`` are forwarded to
+    :func:`~repro.analysis.run_ipa`; the returned timings carry each
+    result's :meth:`~repro.analysis.IpaResult.fingerprint` so callers
+    can assert that differently-configured runs agree.
+    """
     from repro.analysis import run_ipa
 
     timings = []
@@ -403,7 +416,7 @@ def analysis_speed() -> list[AnalysisTiming]:
         ("tpcw", tpcw_spec()),
     ):
         started = time.perf_counter()
-        result = run_ipa(spec)
+        result = run_ipa(spec, jobs=jobs, cache=cache, cache_dir=cache_dir)
         timings.append(
             AnalysisTiming(
                 application=name,
@@ -413,6 +426,9 @@ def analysis_speed() -> list[AnalysisTiming]:
                 repaired=len(result.applied),
                 compensations=len(result.compensations),
                 fully_resolved=result.is_invariant_preserving,
+                solver_solves=result.stats.solver_solves,
+                cache_hits=result.stats.cache_hits,
+                fingerprint=result.fingerprint(),
             )
         )
     return timings

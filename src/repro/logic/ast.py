@@ -243,6 +243,20 @@ class Formula:
         return Implies(self, other)
 
 
+def _memo_str(node: "Formula", text: str) -> str:
+    """Cache ``text`` as ``node``'s rendering and return it.
+
+    Composite nodes memoise their ``str`` form: nodes are immutable and
+    shared heavily (ground invariants are reused by thousands of solver
+    queries), and the solver cache addresses queries by this rendering,
+    so re-deriving it dominates warm-cache analysis time otherwise.
+    Frozen dataclasses still carry a ``__dict__``, which keeps the memo
+    out of field-based equality, hashing and ``repr``.
+    """
+    object.__setattr__(node, "_str", text)
+    return text
+
+
 @dataclass(frozen=True)
 class TrueF(Formula):
     """The constant ``true``."""
@@ -302,24 +316,30 @@ class Cmp(Formula):
 class Not(Formula):
     arg: Formula
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"not ({self.arg})"
+    def __str__(self) -> str:
+        return self.__dict__.get("_str") or _memo_str(
+            self, f"not ({self.arg})"
+        )
 
 
 @dataclass(frozen=True)
 class And(Formula):
     args: tuple[Formula, ...]
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return " and ".join(f"({a})" for a in self.args)
+    def __str__(self) -> str:
+        return self.__dict__.get("_str") or _memo_str(
+            self, " and ".join(f"({a})" for a in self.args)
+        )
 
 
 @dataclass(frozen=True)
 class Or(Formula):
     args: tuple[Formula, ...]
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return " or ".join(f"({a})" for a in self.args)
+    def __str__(self) -> str:
+        return self.__dict__.get("_str") or _memo_str(
+            self, " or ".join(f"({a})" for a in self.args)
+        )
 
 
 @dataclass(frozen=True)
@@ -327,8 +347,10 @@ class Implies(Formula):
     lhs: Formula
     rhs: Formula
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"({self.lhs}) => ({self.rhs})"
+    def __str__(self) -> str:
+        return self.__dict__.get("_str") or _memo_str(
+            self, f"({self.lhs}) => ({self.rhs})"
+        )
 
 
 @dataclass(frozen=True)
@@ -336,8 +358,10 @@ class Iff(Formula):
     lhs: Formula
     rhs: Formula
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"({self.lhs}) <=> ({self.rhs})"
+    def __str__(self) -> str:
+        return self.__dict__.get("_str") or _memo_str(
+            self, f"({self.lhs}) <=> ({self.rhs})"
+        )
 
 
 @dataclass(frozen=True)
@@ -345,9 +369,11 @@ class ForAll(Formula):
     vars: tuple[Var, ...]
     body: Formula
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
+    def __str__(self) -> str:
         binders = ", ".join(f"{v.sort.name}: {v.name}" for v in self.vars)
-        return f"forall({binders}) :- {self.body}"
+        return self.__dict__.get("_str") or _memo_str(
+            self, f"forall({binders}) :- {self.body}"
+        )
 
 
 @dataclass(frozen=True)
@@ -355,9 +381,11 @@ class Exists(Formula):
     vars: tuple[Var, ...]
     body: Formula
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
+    def __str__(self) -> str:
         binders = ", ".join(f"{v.sort.name}: {v.name}" for v in self.vars)
-        return f"exists({binders}) :- {self.body}"
+        return self.__dict__.get("_str") or _memo_str(
+            self, f"exists({binders}) :- {self.body}"
+        )
 
 
 def conj(formulas: Iterable[Formula]) -> Formula:

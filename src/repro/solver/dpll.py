@@ -15,6 +15,7 @@ may return them for trivially-valued sub-formulas.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.errors import SolverError
@@ -56,8 +57,12 @@ class SatSolver:
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._queue_head = 0
-        # Branching heuristic.
+        # Branching heuristic: VSIDS activities plus a lazy max-heap of
+        # ``(-activity, var)`` entries.  Stale entries (superseded by a
+        # bump, or referring to assigned variables) are skipped on pop;
+        # every unassigned variable always has a current entry.
         self._activity: dict[int, float] = {}
+        self._act_heap: list[tuple[float, int]] = []
         self._act_inc = 1.0
         self._act_decay = 0.95
         # Status after top-level conflict.
@@ -73,6 +78,7 @@ class SatSolver:
         self._watches[var] = []
         self._watches[-var] = []
         self._activity[var] = 0.0
+        heapq.heappush(self._act_heap, (0.0, var))
         return var
 
     @property
@@ -136,7 +142,15 @@ class SatSolver:
             if conflict is not None:
                 conflicts += 1
                 if self.decision_level == 0:
+                    # A conflict with no decisions means the clause
+                    # database itself is contradictory (learned clauses
+                    # are implied by it, and assumptions sit on decision
+                    # levels >= 1), so the verdict is permanent.  Latch
+                    # it: the conflicting clause stays falsified on the
+                    # trail, and a re-solve would otherwise skip the
+                    # already-propagated queue and report SAT.
                     self._cancel_until(0)
+                    self._unsat = True
                     return False
                 back_level, learned = self._analyze(conflict)
                 self._cancel_until(back_level)
@@ -318,23 +332,25 @@ class SatSolver:
             del self._assign[var]
             del self._level[var]
             self._reason.pop(var, None)
+            heapq.heappush(self._act_heap, (-self._activity[var], var))
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
 
     def _pick_branch(self) -> int | None:
-        best_var = None
-        best_act = -1.0
-        for var in range(1, self._num_vars + 1):
-            if var in self._assign:
+        # Pop until a live entry: unassigned variable whose recorded
+        # activity is current.  ``(-activity, var)`` ordering reproduces
+        # the previous linear scan exactly (highest activity first,
+        # lowest variable index on ties), so decision sequences -- and
+        # therefore models -- are unchanged.
+        heap = self._act_heap
+        while heap:
+            negact, var = heap[0]
+            if var in self._assign or -negact != self._activity[var]:
+                heapq.heappop(heap)
                 continue
-            act = self._activity[var]
-            if act > best_act:
-                best_act = act
-                best_var = var
-        if best_var is None:
-            return None
-        return -best_var  # negative-first polarity: good for sparse models
+            return -var  # negative-first polarity: good for sparse models
+        return None
 
     def _bump_activity(self, var: int) -> None:
         self._activity[var] += self._act_inc
@@ -342,6 +358,16 @@ class SatSolver:
             for v in self._activity:
                 self._activity[v] *= 1e-100
             self._act_inc *= 1e-100
+            # Every heap entry is stale after a rescale: rebuild.
+            self._act_heap = [
+                (-self._activity[v], v)
+                for v in self._activity
+                if v not in self._assign
+            ]
+            heapq.heapify(self._act_heap)
+            return
+        if var not in self._assign:
+            heapq.heappush(self._act_heap, (-self._activity[var], var))
 
     def _decay_activity(self) -> None:
         self._act_inc /= self._act_decay

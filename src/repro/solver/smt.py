@@ -9,11 +9,23 @@ to CNF (:mod:`repro.solver.cnf`) and runs the CDCL solver
 (:mod:`repro.solver.dpll`).  On SAT, the witness is decoded into a
 :class:`~repro.solver.models.Model` -- the concrete counterexample
 state shown in conflict reports.
+
+Two performance layers sit on top of the one-shot lifecycle:
+
+- passing a :class:`~repro.analysis.cache.SolverCache` memoises whole
+  queries by content address, so a repeated query never reaches the
+  solver at all;
+- :class:`IncrementalSession` keeps one solver alive across a family of
+  queries that share a common base (the repair loop probing many
+  candidate operations against the same invariants and preconditions),
+  asserting per-query constraints under activation literals and solving
+  with ``assumptions`` so the CNF and learned clauses are built once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.logic.ast import Formula
 from repro.logic.grounding import Domain, ground
@@ -21,6 +33,9 @@ from repro.solver.cnf import CnfBuilder
 from repro.solver.dpll import SatSolver
 from repro.solver.models import Model
 from repro.solver.theory import DEFAULT_INT_BOUND, TheoryEncoder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.cache import SolverCache
 
 
 @dataclass
@@ -44,9 +59,11 @@ class BoundedModelFinder:
         if result.sat:
             print(result.model.describe())
 
-    Each :meth:`check` call builds a fresh solver; the queries issued by
-    the pairwise analysis are small enough that incrementality would buy
-    nothing over this much simpler lifecycle.
+    Each :meth:`check` call builds a fresh solver, which keeps the
+    witness fully deterministic: the same query always decodes into the
+    same model, which is what lets cached and uncached analysis runs
+    produce byte-identical reports.  ``cache`` short-circuits repeated
+    queries by content address (see :mod:`repro.analysis.cache`).
     """
 
     def __init__(
@@ -54,10 +71,15 @@ class BoundedModelFinder:
         domain: Domain,
         params: dict[str, int] | None = None,
         int_bound: int = DEFAULT_INT_BOUND,
+        cache: "SolverCache | None" = None,
     ) -> None:
         self._domain = domain
         self._params = dict(params or {})
         self._int_bound = int_bound
+        self._cache = cache
+        #: Number of times :meth:`check_ground` actually ran the CDCL
+        #: solver (cache hits excluded); analysis stats read this.
+        self.solves = 0
 
     @property
     def domain(self) -> Domain:
@@ -81,6 +103,51 @@ class BoundedModelFinder:
         shape, and state-transition constraints are ground by
         construction -- use this entry point to skip re-grounding.
         """
+        key = None
+        if self._cache is not None:
+            key = self._cache.key(
+                self._domain, self._params, self._int_bound, formulas
+            )
+            entry = self._cache.get(key, need_model=True)
+            if entry is not None:
+                if not entry.sat:
+                    return SmtResult(sat=False)
+                from repro.analysis.cache import deserialize_model
+
+                return SmtResult(
+                    sat=True,
+                    model=deserialize_model(
+                        entry.model_blob, self._domain, self._params
+                    ),
+                )
+        result = self._solve(*formulas)
+        if key is not None:
+            self._cache.put(key, result.sat, result.model)
+        return result
+
+    def check_ground_sat(self, *formulas: Formula) -> bool:
+        """Verdict-only :meth:`check_ground`.
+
+        Side-condition checks (executability, semantics preservation)
+        and the repair search only consume the yes/no answer; this path
+        skips model deserialisation on cache hits, which dominates their
+        warm-cache cost otherwise.  Misses still store the full model so
+        a later witness-producing query hits.
+        """
+        if self._cache is not None:
+            key = self._cache.key(
+                self._domain, self._params, self._int_bound, formulas
+            )
+            entry = self._cache.get(key, need_model=False)
+            if entry is not None:
+                return entry.sat
+            result = self._solve(*formulas)
+            self._cache.put(key, result.sat, result.model)
+            return result.sat
+        return self._solve(*formulas).sat
+
+    def _solve(self, *formulas: Formula) -> SmtResult:
+        self.solves += 1
         solver = SatSolver()
         builder = CnfBuilder(solver)
         encoder = TheoryEncoder(
@@ -104,3 +171,66 @@ class BoundedModelFinder:
         from repro.logic.transform import negate
 
         return not self.check(*assumptions, negate(formula)).sat
+
+
+class IncrementalSession:
+    """One solver shared by a family of queries with a common base.
+
+    The repair loop verifies dozens of candidate operations against the
+    *same* invariants, preconditions and violation target; only the
+    state-transition constraints differ per candidate.  A session
+    encodes the shared base once (:meth:`assert_base`), then runs each
+    candidate's extra constraints under a fresh *activation literal*
+    (:meth:`check_under`): the top-level assertion of each extra formula
+    becomes ``act -> formula``, and the query solves with
+    ``assumptions=[act]``.  Tseitin definitional clauses and the theory
+    encoding's integer chains are equivalences over fresh variables, so
+    they are sound to add unguarded; learned clauses carry over between
+    candidates, which is where the speed-up comes from.
+
+    After each query the activation literal is permanently falsified, so
+    a candidate's constraints can never leak into later queries.
+
+    Satisfiability verdicts are exactly those of a fresh solver; the
+    *models* of SAT answers are path-dependent (they depend on learned
+    clauses from earlier queries), so callers that need deterministic
+    witnesses must use :class:`BoundedModelFinder` instead.
+    """
+
+    def __init__(
+        self,
+        domain: Domain,
+        params: dict[str, int] | None = None,
+        int_bound: int = DEFAULT_INT_BOUND,
+    ) -> None:
+        self._domain = domain
+        self._params = dict(params or {})
+        self._int_bound = int_bound
+        self._solver = SatSolver()
+        self._builder = CnfBuilder(self._solver)
+        self._encoder = TheoryEncoder(
+            self._builder, self._domain, self._params, self._int_bound
+        )
+        self.solves = 0
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    def assert_base(self, *formulas: Formula) -> None:
+        """Permanently assert the constraints shared by every query."""
+        for formula in formulas:
+            self._builder.assert_formula(self._encoder.encode(formula))
+
+    def check_under(self, *formulas: Formula) -> bool:
+        """Satisfiability of base + ``formulas`` (verdict only)."""
+        self.solves += 1
+        act = self._solver.new_var()
+        for formula in formulas:
+            root = self._builder.tseitin(self._encoder.encode(formula))
+            self._solver.add_clause([-act, root])
+        sat = self._solver.solve(assumptions=[act])
+        # Retire the activation literal: the candidate's constraints are
+        # disabled for good, and the solver may simplify around it.
+        self._solver.add_clause([-act])
+        return sat

@@ -1,0 +1,186 @@
+"""Determinism and safety of the analysis performance layers.
+
+The contract of ``run_ipa``'s ``jobs``/``cache`` knobs is that they are
+*pure* accelerations: sequential, cache-warmed and parallel runs of the
+same specification must produce identical results -- same repairs, same
+witnesses, same compensations, same logical query counts.  And the
+on-disk cache tier must never trust a corrupted, tampered or stale
+entry: anything that fails validation is recomputed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cache import (
+    CACHE_SCHEMA,
+    SolverCache,
+    deserialize_model,
+    serialize_model,
+)
+from repro.analysis.ipa import run_ipa
+from repro.apps.ticket import ticket_spec
+from repro.apps.tournament import tournament_spec
+from repro.apps.tpcw import tpcw_spec
+from repro.apps.twitter import twitter_spec
+from repro.logic.ast import Atom, Const, NumPred, PredicateDecl, Sort
+from repro.logic.grounding import Domain
+from repro.solver.models import Model
+
+ALL_APPS = [
+    pytest.param(ticket_spec, id="ticket"),
+    pytest.param(tpcw_spec, id="tpcw"),
+    pytest.param(twitter_spec, id="twitter"),
+    pytest.param(tournament_spec, id="tournament"),
+]
+
+
+@pytest.mark.parametrize("build", ALL_APPS)
+def test_sequential_cached_parallel_agree(build, tmp_path):
+    """Cold sequential, warm cached and ``jobs=4`` runs are identical."""
+    cache_dir = tmp_path / "cache"
+    sequential = run_ipa(build(), cache_dir=cache_dir)  # cold fill
+    cached = run_ipa(build(), cache_dir=cache_dir)  # warm, sequential
+    parallel = run_ipa(build(), jobs=4, cache_dir=cache_dir)
+
+    reference = sequential.fingerprint()
+    assert cached.fingerprint() == reference
+    assert parallel.fingerprint() == reference
+    # The logical query count is part of the determinism contract.
+    assert cached.solver_queries == sequential.solver_queries
+    assert parallel.solver_queries == sequential.solver_queries
+    # A warm cache answers everything without running the solver.
+    assert cached.stats.solver_solves == 0
+    assert parallel.stats.solver_solves == 0
+    # ... and the rendered artefacts agree too.
+    assert cached.modified.describe() == sequential.modified.describe()
+    assert parallel.modified.describe() == sequential.modified.describe()
+
+
+def _cache_files(cache_dir: Path) -> list[Path]:
+    return sorted(cache_dir.rglob("*.json"))
+
+
+def test_corrupted_disk_entries_are_recomputed(tmp_path):
+    cache_dir = tmp_path / "cache"
+    reference = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    files = _cache_files(cache_dir)
+    assert files, "cold run should have populated the disk tier"
+    for path in files:
+        path.write_text("{ not json", encoding="utf-8")
+
+    rerun = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    assert rerun.fingerprint() == reference.fingerprint()
+    assert rerun.stats.cache_rejected > 0
+    assert rerun.stats.solver_solves > 0  # recomputed, not trusted
+
+
+def test_tampered_payload_fails_checksum(tmp_path):
+    cache_dir = tmp_path / "cache"
+    reference = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    tampered = 0
+    for path in _cache_files(cache_dir):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        # Flip the verdict but keep the stale checksum: a lying entry.
+        document["result"]["sat"] = not document["result"]["sat"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        tampered += 1
+    assert tampered > 0
+
+    rerun = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    assert rerun.fingerprint() == reference.fingerprint()
+    assert rerun.stats.cache_rejected > 0
+
+
+def test_stale_schema_entries_are_recomputed(tmp_path):
+    cache_dir = tmp_path / "cache"
+    reference = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    for path in _cache_files(cache_dir):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["schema"] = CACHE_SCHEMA - 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+
+    rerun = run_ipa(ticket_spec(), cache_dir=cache_dir)
+    assert rerun.fingerprint() == reference.fingerprint()
+    assert rerun.stats.cache_rejected > 0
+
+
+def test_rejected_entries_are_dropped_from_disk(tmp_path):
+    cache = SolverCache(tmp_path / "cache")
+    cache.put("ab" * 32, True, model=None)
+    (path,) = _cache_files(tmp_path / "cache")
+    path.write_text("garbage", encoding="utf-8")
+
+    fresh = SolverCache(tmp_path / "cache")  # no memory tier for the key
+    assert fresh.get("ab" * 32) is None
+    assert fresh.stats.rejected == 1
+    assert not path.exists()
+
+
+def test_disk_tier_shares_between_instances(tmp_path):
+    writer = SolverCache(tmp_path / "cache")
+    writer.put("cd" * 32, False)
+    reader = SolverCache(tmp_path / "cache")
+    entry = reader.get("cd" * 32)
+    assert entry is not None and entry.sat is False
+    assert reader.stats.disk_hits == 1
+
+
+def test_need_model_rejects_model_less_sat_entries():
+    cache = SolverCache()
+    cache.put("ef" * 32, True, model=None)
+    assert cache.get("ef" * 32) is not None
+    assert cache.get("ef" * 32, need_model=True) is None
+    # UNSAT entries never need a model.
+    cache.put("01" * 32, False)
+    assert cache.get("01" * 32, need_model=True) is not None
+
+
+def test_unrecorded_lookups_leave_stats_alone():
+    cache = SolverCache()
+    cache.put("23" * 32, True, model=None)
+    before = cache.stats.as_dict()
+    cache.get("23" * 32, record=False)
+    cache.get("ff" * 32, record=False)  # miss
+    assert cache.stats.as_dict() == before
+
+
+# -- model serialisation round-trip -----------------------------------------
+
+_PLAYER = Sort("P")
+_TOURN = Sort("T")
+_ENROLLED = PredicateDecl("enrolled", (_PLAYER, _TOURN), numeric=False)
+_BUDGET = PredicateDecl("budget", (_PLAYER,), numeric=True)
+_PLAYERS = [Const(f"p{i}", _PLAYER) for i in range(3)]
+_TOURNS = [Const(f"t{i}", _TOURN) for i in range(2)]
+
+
+@st.composite
+def models(draw):
+    domain = Domain({_PLAYER: tuple(_PLAYERS), _TOURN: tuple(_TOURNS)})
+    model = Model(domain=domain, params={"K": draw(st.integers(0, 4))})
+    for player in _PLAYERS:
+        for tourn in _TOURNS:
+            if draw(st.booleans()):
+                model.atoms[Atom(_ENROLLED, (player, tourn))] = draw(
+                    st.booleans()
+                )
+        if draw(st.booleans()):
+            model.numerics[NumPred(_BUDGET, (player,))] = draw(
+                st.integers(0, 7)
+            )
+    return model
+
+
+@given(models())
+@settings(max_examples=50, deadline=None)
+def test_model_serialization_round_trip(model):
+    blob = serialize_model(model)
+    json.dumps(blob)  # must be JSON-safe
+    restored = deserialize_model(blob, model.domain, model.params)
+    assert restored.atoms == model.atoms
+    assert restored.numerics == model.numerics
+    assert restored.params == model.params
