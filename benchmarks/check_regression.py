@@ -17,8 +17,12 @@ Two guards keep the gate honest on noisy CI runners:
 Usage::
 
     python benchmarks/check_regression.py BENCH_analysis.json \
+        [BENCH_sim.json ...] \
         [--baseline benchmarks/BENCH_baseline.json] \
         [--threshold 1.25] [--min-ms 500]
+
+Several current summaries (one per benchmark shard) are unioned before
+comparison; a benchmark name appearing in two shards is an error.
 """
 
 from __future__ import annotations
@@ -44,7 +48,12 @@ def load_summary(path: Path) -> dict[str, dict]:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="summary of this run")
+    parser.add_argument(
+        "current",
+        type=Path,
+        nargs="+",
+        help="summaries of this run (unioned across shards)",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -65,7 +74,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     baseline = load_summary(args.baseline)
-    current = load_summary(args.current)
+    current: dict[str, dict] = {}
+    for path in args.current:
+        for name, entry in load_summary(path).items():
+            if name in current:
+                raise SystemExit(
+                    f"{path}: benchmark {name!r} appears in more than "
+                    f"one current summary"
+                )
+            current[name] = entry
 
     failures: list[str] = []
     for name, base in sorted(baseline.items()):

@@ -7,7 +7,10 @@ The executable counterpart of the paper's IPA tool:
 - ``conflicts SPECFILE`` -- only detect and print conflicting pairs
   with their Figure 2-style counterexamples;
 - ``classify SPECFILE`` -- print the Table 1 classification of the
-  specification's invariants.
+  specification's invariants;
+- ``simulate`` -- run one closed-loop Tournament experiment on the
+  simulated geo-replicated store and print throughput/latency (the
+  quickest way to see the effect of ``--batch-ms`` or client load).
 """
 
 from __future__ import annotations
@@ -65,6 +68,54 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    # Imported here: the simulator stack is not needed by the
+    # analysis-only commands.
+    from repro.bench.configs import CONFIGS, build_tournament
+    from repro.sim.runner import run_closed_loop
+
+    config = next((c for c in CONFIGS if c.name == args.config), None)
+    if config is None:
+        names = ", ".join(c.name for c in CONFIGS)
+        print(
+            f"error: unknown config {args.config!r} (one of: {names})",
+            file=sys.stderr,
+        )
+        return 2
+    sim, app, workload = build_tournament(
+        config,
+        seed=args.seed,
+        n_regions=args.regions,
+        batch_ms=args.batch_ms,
+    )
+    cluster = app.cluster
+    clients = {region: args.clients for region in cluster.regions}
+    result = run_closed_loop(
+        sim,
+        workload.issue,
+        clients,
+        duration_ms=args.duration_ms,
+        warmup_ms=args.warmup_ms,
+        think_ms=args.think_ms,
+    )
+    cluster.run_until_converged()
+    stats = result.stats()
+    print(
+        f"{config.name}: {args.regions} regions x {args.clients} "
+        f"clients, batch_ms={args.batch_ms:g}"
+    )
+    print(
+        f"  throughput {result.throughput:8.1f} op/s   "
+        f"latency mean {stats.mean:6.2f} ms  "
+        f"p95 {stats.p95:6.2f} ms  p99 {stats.p99:6.2f} ms"
+    )
+    print(
+        f"  {result.metrics.total_operations()} operations, "
+        f"{cluster.replication_messages} replication messages"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,6 +162,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("specfile")
     classify.set_defaults(func=_cmd_classify)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run one closed-loop Tournament simulation",
+    )
+    simulate.add_argument(
+        "--config", default="Causal",
+        help="system configuration: Strong, Indigo, IPA or Causal "
+        "(default Causal)",
+    )
+    simulate.add_argument(
+        "--regions", type=int, default=3,
+        help="number of geo-replicated regions (default 3)",
+    )
+    simulate.add_argument(
+        "--clients", type=int, default=32, metavar="N",
+        help="closed-loop clients per region (default 32)",
+    )
+    simulate.add_argument(
+        "--batch-ms", type=float, default=0.0, metavar="MS",
+        help="replication coalescing window in simulated ms; 0 ships "
+        "one message per commit record (default 0)",
+    )
+    simulate.add_argument(
+        "--duration-ms", type=float, default=10_000.0, metavar="MS",
+        help="measurement window in simulated ms (default 10000)",
+    )
+    simulate.add_argument(
+        "--warmup-ms", type=float, default=1_000.0, metavar="MS",
+        help="warm-up before the window (default 1000)",
+    )
+    simulate.add_argument(
+        "--think-ms", type=float, default=100.0, metavar="MS",
+        help="per-client think time between operations (default 100)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=23,
+        help="workload seed (default 23)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
     return parser
 
 

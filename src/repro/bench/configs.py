@@ -16,7 +16,7 @@ from repro.apps.ticket import TicketApp, ticket_registry
 from repro.apps.tournament import TournamentApp, tournament_registry
 from repro.apps.twitter import TwitterApp, twitter_registry
 from repro.sim.events import Simulator
-from repro.sim.latency import REGIONS
+from repro.sim.latency import REGIONS, GeoLatencyModel, synthetic_topology
 from repro.sim.runner import Client
 from repro.sim.workload import OperationMix, ZipfGenerator
 from repro.store.cluster import Cluster, ConsistencyMode
@@ -59,21 +59,62 @@ def build_tournament(
     n_tournaments: int = 12,
     capacity: int = 8,
     seed: int = 23,
+    n_regions: int | None = None,
+    jitter: float | None = None,
+    batch_ms: float = 0.0,
+    full_vv: bool = False,
+    stability_interval_ms: float | None = 1_000.0,
+    mix: dict[str, float] | None = None,
 ) -> tuple[Simulator, TournamentApp, "TournamentWorkload"]:
-    """A fresh simulated deployment of the Tournament application."""
+    """A fresh simulated deployment of the Tournament application.
+
+    ``n_regions`` beyond the paper's three uses
+    :func:`synthetic_topology` (seeded RTTs for the extra pairs).
+    ``jitter`` overrides the latency model's jitter (0 gives
+    deterministic latencies regardless of message counts -- required
+    for bit-for-bit digest comparisons across batching modes).
+    ``batch_ms``/``full_vv`` pass through to the :class:`Cluster`;
+    ``mix`` overrides the workload's operation mix (defaults to
+    :data:`TOURNAMENT_MIX`).
+    ``stability_interval_ms`` runs the causal-stability service, which
+    garbage-collects CRDT tombstones and compacts commit logs --
+    essential for long runs (rem-wins tombstone scans grow without
+    it); None disables.
+    """
     sim = Simulator()
     registry = tournament_registry(config.variant, capacity=capacity)
-    cluster = Cluster(sim, registry, mode=config.mode)
+    if n_regions is None or n_regions == len(REGIONS):
+        regions: tuple[str, ...] = REGIONS
+        rtt = None
+    else:
+        regions, rtt = synthetic_topology(n_regions)
+    latency_kwargs = {} if jitter is None else {"jitter": jitter}
+    latency = (
+        GeoLatencyModel(rtt=rtt, **latency_kwargs)
+        if rtt is not None or jitter is not None
+        else None
+    )
+    cluster = Cluster(
+        sim,
+        registry,
+        regions=regions,
+        mode=config.mode,
+        latency=latency,
+        batch_ms=batch_ms,
+        full_vv=full_vv,
+    )
     app = TournamentApp(cluster, config.variant, capacity=capacity)
     players = [f"p{i}" for i in range(n_players)]
     tournaments = [f"t{i}" for i in range(n_tournaments)]
-    app.setup(players, tournaments, REGIONS[0])
+    app.setup(players, tournaments, regions[0])
     for index, tournament in enumerate(tournaments):
         cluster.reservations.register(
-            f"tourn:{tournament}", REGIONS[index % len(REGIONS)]
+            f"tourn:{tournament}", regions[index % len(regions)]
         )
+    if stability_interval_ms is not None:
+        cluster.start_stability_service(interval_ms=stability_interval_ms)
     workload = TournamentWorkload(
-        app, players, tournaments, seed=seed
+        app, players, tournaments, seed=seed, mix=mix
     )
     return sim, app, workload
 
@@ -101,6 +142,9 @@ class TournamentWorkload:
         self._locality = locality
         self._mix = OperationMix(mix or TOURNAMENT_MIX, seed=seed)
         self._rng = random.Random(seed * 31 + 7)
+        # Bound-method aliases for the per-operation draws.
+        self._random = self._rng.random
+        self._choice = self._rng.choice
         regions = app.cluster.regions
         self._local: dict[str, list[str]] = {r: [] for r in regions}
         for index, tournament in enumerate(tournaments):
@@ -108,28 +152,31 @@ class TournamentWorkload:
 
     def _pick_tournament(self, region: str) -> str:
         pool = self._local[region]
-        if pool and self._rng.random() < self._locality:
-            return self._rng.choice(pool)
-        return self._rng.choice(self._tournaments)
+        if pool and self._random() < self._locality:
+            return self._choice(pool)
+        return self._choice(self._tournaments)
 
     def issue(self, client: Client, done) -> None:
         op = self._mix.sample()
         region = client.region
         t = self._pick_tournament(region)
-        p = self._rng.choice(self._players)
-        q = self._rng.choice(self._players)
         app = self._app
+        # Players are drawn lazily: the dominant status/begin ops only
+        # need a tournament, and the extra RNG draws show up in the
+        # simulator's hot path.
         if op == "status":
             app.status(region, t, done)
         elif op == "enroll":
-            app.enroll(region, p, t, done)
+            app.enroll(region, self._choice(self._players), t, done)
         elif op == "disenroll":
-            app.disenroll(region, p, t, done)
+            app.disenroll(region, self._choice(self._players), t, done)
         elif op == "begin":
             app.begin_tourn(region, t, done)
         elif op == "finish":
             app.finish_tourn(region, t, done)
         elif op == "do_match":
+            p = self._choice(self._players)
+            q = self._choice(self._players)
             app.do_match(region, p, q, t, done)
         elif op == "remove":
             app.rem_tourn(region, t, done)

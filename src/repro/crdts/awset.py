@@ -73,7 +73,10 @@ class AWSet(CRDT):
 
     def effect(self, payload: Any, ctx: EventContext) -> None:
         if isinstance(payload, AWAdd):
-            self._dots.setdefault(payload.element, set()).add(ctx.dot)
+            dots = self._dots.get(payload.element)
+            if dots is None:
+                dots = self._dots[payload.element] = set()
+            dots.add(ctx.dot)
             return
         if isinstance(payload, AWRemove):
             for element, dots in payload.dots:
@@ -103,3 +106,11 @@ class AWSet(CRDT):
     def dots_of(self, element: Hashable) -> frozenset[Dot]:
         """The alive add-dots of an element (used by ORMap and tests)."""
         return frozenset(self._dots.get(element, ()))
+
+    def clone(self) -> "AWSet":
+        copied = AWSet()
+        # Dots are immutable; only the per-element sets are mutable.
+        copied._dots = {
+            element: set(dots) for element, dots in self._dots.items()
+        }
+        return copied

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -9,7 +10,7 @@ from repro.errors import CRDTError
 from repro.crdts.clock import VersionVector
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Dot:
     """A globally unique event identifier: (origin replica, counter)."""
 
@@ -20,7 +21,7 @@ class Dot:
         return f"{self.replica}:{self.counter}"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EventContext:
     """Causal context of one update event.
 
@@ -28,6 +29,14 @@ class EventContext:
     vector *including* the dot, so ``a`` causally precedes ``b`` iff
     ``b.vv.contains_dot(a.dot.replica, a.dot.counter)`` (equivalently
     ``b.vv.dominates(a.vv)`` under causal delivery).
+
+    The ``vv`` attached to a context handed to ``effect`` belongs to the
+    context: CRDTs may retain it (remove-wins sets keep add contexts
+    alive indefinitely), so producers must hand each context its own
+    vector, never a shared mutable one.  Contexts are immutable by
+    contract once applied; the dataclass is deliberately not ``frozen``
+    because one is constructed per applied record on the hot path and
+    frozen-dataclass initialisation costs measurably more.
     """
 
     dot: Dot
@@ -66,6 +75,16 @@ class CRDT:
 
     def compact(self, stable: VersionVector) -> None:
         """Garbage-collect metadata covered by the stable vector."""
+
+    def clone(self) -> "CRDT":
+        """An independent copy of this object's current state.
+
+        Used by replica checkpointing (log compaction snapshots).  The
+        default is a full deep copy; types whose retained metadata is
+        immutable (dots, event contexts) override this to share it and
+        copy only the mutable containers.
+        """
+        return copy.deepcopy(self)
 
     # -- helpers -------------------------------------------------------------
 

@@ -1,12 +1,19 @@
-"""Version vectors: the causality metadata under every CRDT here."""
+"""Version vectors: the causality metadata under every CRDT here.
+
+This type sits on the replication hot path -- every commit, every
+causal-delivery check and every CRDT concurrency judgement goes through
+it -- so the comparison methods are written as early-exit loops over
+the raw entry dicts (no per-entry method calls) and instances carry
+``__slots__`` via ``dataclass(slots=True)``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 
-@dataclass
+@dataclass(slots=True)
 class VersionVector:
     """A mapping replica-id -> events-seen counter.
 
@@ -27,21 +34,52 @@ class VersionVector:
 
     def merge(self, other: "VersionVector") -> None:
         """Pointwise maximum, in place."""
+        mine = self.entries
         for replica, counter in other.entries.items():
-            if counter > self.entries.get(replica, 0):
-                self.entries[replica] = counter
+            if counter > mine.get(replica, 0):
+                mine[replica] = counter
 
     def merged(self, other: "VersionVector") -> "VersionVector":
         result = self.copy()
         result.merge(other)
         return result
 
+    def apply_delta(self, delta: Iterable[tuple[str, int]]) -> None:
+        """Pointwise maximum against ``(replica, counter)`` pairs.
+
+        The delta-dependency decoding path: commit records ship only
+        the vector entries that changed since the origin's previous
+        commit, and receivers fold them in with this method.
+        """
+        mine = self.entries
+        for replica, counter in delta:
+            if counter > mine.get(replica, 0):
+                mine[replica] = counter
+
     def dominates(self, other: "VersionVector") -> bool:
         """``self >= other`` pointwise."""
-        return all(
-            self.get(replica) >= counter
-            for replica, counter in other.entries.items()
-        )
+        mine = self.entries
+        theirs = other.entries
+        if mine is theirs:
+            return True
+        get = mine.get
+        for replica, counter in theirs.items():
+            if counter > get(replica, 0):
+                return False
+        return True
+
+    def dominates_items(self, items: Iterable[tuple[str, int]]) -> bool:
+        """``self >= {items}`` pointwise -- O(len(items)).
+
+        Used by the causal-delivery check on delta-encoded records: the
+        unchanged entries are covered by the per-origin FIFO condition,
+        so only the shipped (changed) entries need comparing.
+        """
+        get = self.entries.get
+        for replica, counter in items:
+            if counter > get(replica, 0):
+                return False
+        return True
 
     def strictly_dominates(self, other: "VersionVector") -> bool:
         return self.dominates(other) and self != other
@@ -51,7 +89,7 @@ class VersionVector:
 
     def contains_dot(self, replica: str, counter: int) -> bool:
         """Has the event ``(replica, counter)`` been seen?"""
-        return self.get(replica) >= counter
+        return self.entries.get(replica, 0) >= counter
 
     def copy(self) -> "VersionVector":
         return VersionVector(dict(self.entries))

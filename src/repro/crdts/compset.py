@@ -120,6 +120,15 @@ class CompensationSet(CRDT):
     def compact(self, stable: VersionVector) -> None:
         self._set.compact(stable)
 
+    def clone(self) -> "CompensationSet":
+        copied = CompensationSet(
+            constraint=self._constraint,
+            select_victims=self._select_victims,
+        )
+        copied._set = self._set.clone()
+        copied._violations_observed = self._violations_observed
+        return copied
+
     # -- the compensating read ------------------------------------------------------
 
     def read(self) -> CompensatedRead:

@@ -53,6 +53,11 @@ class PNCounter(CRDT):
     def value(self) -> int:
         return self._initial + sum(self._per_replica.values())
 
+    def clone(self) -> "PNCounter":
+        copied = PNCounter(self._initial)
+        copied._per_replica = dict(self._per_replica)
+        return copied
+
 
 @dataclass(frozen=True)
 class Correction:
@@ -111,6 +116,16 @@ class CompensatedCounter(CRDT):
     @property
     def corrections_applied(self) -> int:
         return len(self._corrections)
+
+    def clone(self) -> "CompensatedCounter":
+        copied = CompensatedCounter(
+            lower_bound=self._lower,
+            upper_bound=self._upper,
+            replenish_to=self._replenish_to,
+        )
+        copied._raw = self._raw.clone()
+        copied._corrections = dict(self._corrections)
+        return copied
 
     # -- compensation ------------------------------------------------------------
 

@@ -10,7 +10,6 @@ apply it to adds the origin never saw (§4.2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
 
 
 class _Wildcard:
@@ -41,6 +40,21 @@ class Pattern:
 
     fields: tuple
 
+    def __post_init__(self) -> None:
+        # Matching is the inner loop of remove-wins tombstone checks, so
+        # precompute the arity and the non-wildcard (index, value) pairs
+        # once per pattern instead of re-deriving them per candidate.
+        object.__setattr__(self, "_arity", len(self.fields))
+        object.__setattr__(
+            self,
+            "_checks",
+            tuple(
+                (index, field)
+                for index, field in enumerate(self.fields)
+                if field is not WILDCARD
+            ),
+        )
+
     @classmethod
     def of(cls, *fields) -> "Pattern":
         normalised = tuple(
@@ -57,12 +71,12 @@ class Pattern:
 
     def matches(self, element) -> bool:
         parts = element if isinstance(element, tuple) else (element,)
-        if len(parts) != len(self.fields):
+        if len(parts) != self._arity:
             return False
-        return all(
-            field is WILDCARD or field == part
-            for field, part in zip(self.fields, parts)
-        )
+        for index, expected in self._checks:
+            if parts[index] != expected:
+                return False
+        return True
 
     @property
     def is_exact(self) -> bool:

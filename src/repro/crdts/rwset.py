@@ -9,12 +9,15 @@ enrolled in a removed tournament even if an ``enroll`` raced with it
 (Figure 2c).
 
 State per element: the set of alive add contexts and a merged version
-vector of all removes covering the element (a single pointwise-max
+vector of all removes covering the element.  A single pointwise-max
 vector is equivalent to keeping every remove separately, because under
 causal delivery "add follows remove r" is ``add.vv >= r.vv``, and
-dominating the max dominates each).  Wildcard removes are kept as
-pattern tombstones so they also kill matching adds delivered later yet
-concurrent; causal stability folds them away (:meth:`RWSet.compact`).
+dominating the max dominates each.  The same argument lets wildcard
+removes be kept as a ``pattern -> merged vv`` dict rather than an
+append-only list: repeated removes with the same pattern fold into one
+pointwise-max tombstone, which bounds the tombstone scan that every add
+and visibility check performs.  Causal stability folds tombstones away
+entirely (:meth:`RWSet.compact`).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.crdts.base import CRDT, Dot, EventContext
+from repro.crdts.base import CRDT, EventContext
 from repro.crdts.clock import VersionVector
 from repro.crdts.pattern import Pattern
 
@@ -49,12 +52,12 @@ class RWSet(CRDT):
     type_name = "rw-set"
 
     def __init__(self) -> None:
-        # element -> list of (dot, vv) of alive adds.
+        # element -> list of alive add contexts.
         self._adds: dict[Hashable, list[EventContext]] = {}
         # element -> merged vv of targeted removes.
         self._removes: dict[Hashable, VersionVector] = {}
-        # pattern tombstones, each with the vv of its remove event.
-        self._pattern_tombstones: list[tuple[Pattern, VersionVector]] = []
+        # pattern -> merged vv of removes shipped with that pattern.
+        self._pattern_tombstones: dict[Pattern, VersionVector] = {}
 
     # -- prepare (origin side) -------------------------------------------------
 
@@ -74,7 +77,10 @@ class RWSet(CRDT):
 
     def effect(self, payload: Any, ctx: EventContext) -> None:
         if isinstance(payload, RWAdd):
-            self._adds.setdefault(payload.element, []).append(ctx)
+            adds = self._adds.get(payload.element)
+            if adds is None:
+                adds = self._adds[payload.element] = []
+            adds.append(ctx)
             self._prune(payload.element)
             return
         if isinstance(payload, RWRemove):
@@ -86,22 +92,41 @@ class RWSet(CRDT):
             self._prune(payload.element)
             return
         if isinstance(payload, RWRemoveWhere):
-            self._pattern_tombstones.append((payload.pattern, ctx.vv.copy()))
-            for element in list(self._adds):
-                if payload.pattern.matches(element):
-                    self._prune(element)
+            merged = self._pattern_tombstones.get(payload.pattern)
+            if merged is None:
+                self._pattern_tombstones[payload.pattern] = ctx.vv.copy()
+            else:
+                merged.merge(ctx.vv)
+            matches = payload.pattern.matches
+            for element in [e for e in self._adds if matches(e)]:
+                self._prune(element)
             return
         self._require(False, f"rw-set cannot apply {payload!r}")
 
+    def _cover(self, element: Hashable) -> VersionVector | None:
+        """Merged vv of every remove covering ``element``, or None.
+
+        Computed once per prune/visibility check so each add context is
+        compared against a single vector instead of re-scanning all
+        tombstones per add.
+        """
+        cover = self._removes.get(element)
+        owned = False  # whether `cover` is a private copy we may mutate
+        for pattern, vv in self._pattern_tombstones.items():
+            if pattern.matches(element):
+                if cover is None:
+                    cover = vv
+                elif owned:
+                    cover.merge(vv)
+                else:
+                    cover = cover.merged(vv)
+                    owned = True
+        return cover
+
     def _killed(self, element: Hashable, add: EventContext) -> bool:
         """Is this add covered by some remove (targeted or pattern)?"""
-        targeted = self._removes.get(element)
-        if targeted is not None and not add.vv.dominates(targeted):
-            return True
-        for pattern, vv in self._pattern_tombstones:
-            if pattern.matches(element) and not add.vv.dominates(vv):
-                return True
-        return False
+        cover = self._cover(element)
+        return cover is not None and not add.vv.dominates(cover)
 
     def _prune(self, element: Hashable) -> None:
         """Drop adds that can never become visible again.
@@ -112,7 +137,10 @@ class RWSet(CRDT):
         adds = self._adds.get(element)
         if not adds:
             return
-        alive = [add for add in adds if not self._killed(element, add)]
+        cover = self._cover(element)
+        if cover is None:
+            return
+        alive = [add for add in adds if add.vv.dominates(cover)]
         if alive:
             self._adds[element] = alive
         else:
@@ -121,10 +149,13 @@ class RWSet(CRDT):
     # -- queries -------------------------------------------------------------------
 
     def _visible(self, element: Hashable) -> bool:
-        return any(
-            not self._killed(element, add)
-            for add in self._adds.get(element, ())
-        )
+        adds = self._adds.get(element)
+        if not adds:
+            return False
+        cover = self._cover(element)
+        if cover is None:
+            return True
+        return any(add.vv.dominates(cover) for add in adds)
 
     def value(self) -> set:
         return {e for e in self._adds if self._visible(e)}
@@ -140,6 +171,23 @@ class RWSet(CRDT):
 
     # -- maintenance ---------------------------------------------------------------
 
+    def clone(self) -> "RWSet":
+        copied = RWSet()
+        # Event contexts (and their vectors) are immutable once applied;
+        # only the containers and the merged remove vectors are mutable.
+        copied._adds = {
+            element: list(contexts)
+            for element, contexts in self._adds.items()
+        }
+        copied._removes = {
+            element: vv.copy() for element, vv in self._removes.items()
+        }
+        copied._pattern_tombstones = {
+            pattern: vv.copy()
+            for pattern, vv in self._pattern_tombstones.items()
+        }
+        return copied
+
     def compact(self, stable: VersionVector) -> None:
         """Fold causally-stable pattern tombstones into element state.
 
@@ -148,12 +196,11 @@ class RWSet(CRDT):
         it, so its effect is fully captured by the per-element prune it
         already performed.
         """
-        kept = []
-        for pattern, vv in self._pattern_tombstones:
-            if stable.dominates(vv):
-                continue
-            kept.append((pattern, vv))
-        self._pattern_tombstones = kept
+        self._pattern_tombstones = {
+            pattern: vv
+            for pattern, vv in self._pattern_tombstones.items()
+            if not stable.dominates(vv)
+        }
         # Targeted remove vectors dominated by the stable vector can go
         # too: every future add will dominate them.
         for element in list(self._removes):

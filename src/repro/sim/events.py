@@ -3,23 +3,26 @@
 Time is measured in milliseconds (float) to match the latency numbers
 the paper reports.  Events are callbacks scheduled at absolute times;
 ties break by insertion order, keeping runs fully deterministic.
+
+Every simulated message, service completion and timer passes through
+this heap, so events are plain ``(time, seq, fn, args)`` tuples: heapq
+compares them in C (the unique ``seq`` breaks ties before the
+incomparable callback is ever reached), and callers pass
+``schedule(delay, fn, *args)`` instead of allocating a closure per
+message.  Cancellation is tracked in a side set of sequence numbers so
+the common no-cancellation run pays nothing for it.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Callable
+from heapq import heappop, heappush
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+# (time, seq, fn, args) -- `seq` is unique per simulator, so tuple
+# comparison never falls through to the callback.
+Event = tuple[float, int, Callable[..., None], tuple]
 
 
 class Simulator:
@@ -28,55 +31,80 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[_Event] = []
+        self._heap: list[Event] = []
+        self._cancelled: set[int] = set()
 
     @property
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> _Event:
-        """Run ``fn`` after ``delay`` ms; returns a cancellable handle."""
+    def schedule(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``fn(*args)`` after ``delay`` ms; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
-        event = _Event(self._now + delay, self._seq, fn)
-        heapq.heappush(self._heap, event)
+        self._seq = seq = self._seq + 1
+        event = (self._now + delay, seq, fn, args)
+        heappush(self._heap, event)
         return event
 
-    def at(self, time: float, fn: Callable[[], None]) -> _Event:
-        """Run ``fn`` at absolute simulated time ``time``."""
-        return self.schedule(max(0.0, time - self._now), fn)
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        now = self._now
+        self._seq = seq = self._seq + 1
+        event = (time if time > now else now, seq, fn, args)
+        heappush(self._heap, event)
+        return event
 
-    @staticmethod
-    def cancel(event: _Event) -> None:
-        event.cancelled = True
+    def cancel(self, event: Event) -> None:
+        self._cancelled.add(event[1])
 
     def step(self) -> bool:
         """Process one event; False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            time_, seq, fn, args = heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self._now = event.time
-            event.fn()
+            self._now = time_
+            fn(*args)
             return True
         return False
 
     def run(self, until: float | None = None) -> None:
         """Process events until the queue drains or ``until`` (ms)."""
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
+        heap = self._heap
+        pop = heappop
+        cancelled = self._cancelled
+        if until is None:
+            while heap:
+                time_, seq, fn, args = pop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                self._now = time_
+                fn(*args)
+            return
+        while heap:
+            if heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
-        if until is not None and until > self._now:
+            time_, seq, fn, args = pop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time_
+            fn(*args)
+        if until > self._now:
             self._now = until
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        cancelled = self._cancelled
+        if not cancelled:
+            return len(self._heap)
+        return sum(1 for event in self._heap if event[1] not in cancelled)

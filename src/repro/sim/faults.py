@@ -135,6 +135,12 @@ class FaultInjector:
         self.duplicated = 0
         self.reordered = 0
         self.partition_drops = 0
+        # Fast-path flags: a plan with no partitions / no message-level
+        # probabilities answers ``on_send`` without scanning windows or
+        # touching the RNG.  Both are plan constants, so skipping draws
+        # keeps the verdict stream deterministic for a given plan.
+        self._has_partitions = bool(plan.partitions)
+        self._passive = not (plan.drop or plan.duplicate or plan.reorder)
 
     # -- queries the cluster/network make ------------------------------------
 
@@ -152,10 +158,12 @@ class FaultInjector:
         """Decide the fate of one inter-region message at send time."""
         if source == target:
             return CLEAN
-        if self.partitioned(source, target, now):
+        if self._has_partitions and self.partitioned(source, target, now):
             self.partition_drops += 1
             self.dropped += 1
             return Delivery(copies=(), partitioned=True)
+        if self._passive:
+            return CLEAN
         rng = self._rng
         # Draw every fault in a fixed order so the RNG stream stays
         # aligned across runs regardless of which faults fire.

@@ -31,6 +31,40 @@ DEFAULT_RTT = {
 LOCAL_RTT = 0.6
 
 
+def synthetic_topology(
+    n_regions: int,
+    *,
+    base_rtt_ms: float = 110.0,
+    spread_ms: float = 80.0,
+    seed: int = 11,
+) -> tuple[tuple[str, ...], dict[frozenset, float]]:
+    """A deterministic ``n``-region topology extending the paper's three.
+
+    The first three regions keep their measured RTTs; additional
+    regions are named ``region-<i>`` and every new pair gets a seeded
+    RTT in ``base_rtt_ms +/- spread_ms/2``.  Used by the scale
+    benchmarks to run the tournament at 5 and 8 regions.
+    """
+    if n_regions < 1:
+        raise SimulationError(f"need at least one region, got {n_regions}")
+    names = list(REGIONS[:n_regions])
+    for index in range(len(names), n_regions):
+        names.append(f"region-{index}")
+    rng = random.Random(seed)
+    rtt: dict[frozenset, float] = {}
+    for i in range(n_regions):
+        for j in range(i + 1, n_regions):
+            key = frozenset((names[i], names[j]))
+            known = DEFAULT_RTT.get(key)
+            if known is not None:
+                rtt[key] = known
+            else:
+                rtt[key] = base_rtt_ms + rng.uniform(
+                    -spread_ms / 2.0, spread_ms / 2.0
+                )
+    return tuple(names), rtt
+
+
 @dataclass
 class GeoLatencyModel:
     """One-way latency samples over the 3-region topology."""
@@ -43,6 +77,10 @@ class GeoLatencyModel:
         if self.rtt is None:
             self.rtt = dict(DEFAULT_RTT)
         self._rng = random.Random(self.seed)
+        # (a, b) -> one-way mean, filled on first use.  ``one_way`` runs
+        # once per simulated message, so avoid rebuilding a frozenset
+        # key and halving the RTT every call.
+        self._one_way_mean: dict[tuple[str, str], float] = {}
 
     def rtt_between(self, a: str, b: str) -> float:
         """Mean round-trip time between two regions."""
@@ -56,7 +94,10 @@ class GeoLatencyModel:
 
     def one_way(self, a: str, b: str) -> float:
         """A jittered one-way latency sample."""
-        mean = self.rtt_between(a, b) / 2.0
+        mean = self._one_way_mean.get((a, b))
+        if mean is None:
+            mean = self.rtt_between(a, b) / 2.0
+            self._one_way_mean[(a, b)] = mean
         if self.jitter <= 0:
             return mean
         factor = max(0.0, self._rng.gauss(1.0, self.jitter))

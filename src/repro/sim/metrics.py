@@ -97,9 +97,16 @@ class MetricsCollector:
         return True
 
     def record_latency(self, now: float, op: str, latency_ms: float) -> None:
-        if not self._in_window(now):
+        # The window check is inlined: this runs once per completed
+        # operation.
+        if now < self._warmup:
             return
-        self._samples.setdefault(op, []).append(latency_ms)
+        if self._window is not None and now > self._warmup + self._window:
+            return
+        samples = self._samples.get(op)
+        if samples is None:
+            samples = self._samples[op] = []
+        samples.append(latency_ms)
 
     def increment(self, now: float, counter: str, by: int = 1) -> None:
         if not self._in_window(now):

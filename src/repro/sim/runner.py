@@ -88,7 +88,7 @@ class ClientPool:
             self._next_id += 1
             # Stagger starts so clients do not issue in lock-step.
             offset = (client.client_id % 17) * 0.37
-            self._sim.schedule(offset, lambda c=client: self._loop(c))
+            self._sim.schedule(offset, self._loop, client)
 
     def stop(self) -> None:
         self._stopped = True
@@ -99,6 +99,27 @@ class ClientPool:
 
     def _loop(self, client: Client) -> None:
         if self._stopped:
+            return
+        if self._timeout is None:
+            # Fast path: without operation timeouts there is no attempt
+            # token to race against, so one closure per operation is
+            # enough.
+            sim = self._sim
+            started = sim.now
+
+            def complete(op_name: str) -> None:
+                self._metrics.record_latency(
+                    sim.now, op_name, sim.now - started
+                )
+                sim.schedule(self._think, self._loop, client)
+
+            try:
+                self._issue(client, complete)
+            except StoreError:
+                # The client's region is unavailable (crash/partition):
+                # back off and retry until it comes back.
+                self._metrics.increment(sim.now, "client_retries")
+                sim.schedule(self._retry, self._loop, client)
             return
         started = self._sim.now
         attempt = self._attempt.get(client.client_id, 0) + 1
@@ -113,11 +134,7 @@ class ClientPool:
             self._metrics.record_latency(
                 self._sim.now, op_name, self._sim.now - started
             )
-            delay = self._think
-            if delay > 0:
-                self._sim.schedule(delay, lambda: self._loop(client))
-            else:
-                self._sim.schedule(0.0, lambda: self._loop(client))
+            self._sim.schedule(self._think, self._loop, client)
 
         def timed_out() -> None:
             if not current() or self._stopped:
@@ -131,10 +148,9 @@ class ClientPool:
             # The client's region is unavailable (crash/partition):
             # back off and retry until it comes back.
             self._metrics.increment(self._sim.now, "client_retries")
-            self._sim.schedule(self._retry, lambda: self._loop(client))
+            self._sim.schedule(self._retry, self._loop, client)
             return
-        if self._timeout is not None:
-            self._sim.schedule(self._timeout, timed_out)
+        self._sim.schedule(self._timeout, timed_out)
 
 
 def run_closed_loop(

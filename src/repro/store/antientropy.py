@@ -42,6 +42,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.crdts.clock import VersionVector
+from repro.store.replica import ReplicaSnapshot
+from repro.store.replication import ReplicationBatch
 from repro.store.transaction import CommitRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -60,13 +62,20 @@ class SyncRequest:
 
 @dataclass(frozen=True)
 class SyncResponse:
-    """The records the digest was missing, plus the responder's vector."""
+    """The records the digest was missing, plus the responder's vector.
+
+    ``snapshot`` is normally None; it is populated when the digest
+    predates the responder's log-truncation base, in which case
+    ``records`` holds only the tail beyond the snapshot's vector
+    (see :meth:`~repro.store.replica.Replica.sync_answer`).
+    """
 
     responder: str
     requester: str
     request_id: int
     records: tuple[CommitRecord, ...]
     vv: VersionVector
+    snapshot: ReplicaSnapshot | None = None
 
 
 @dataclass
@@ -108,6 +117,7 @@ class AntiEntropyEngine:
         self.records_retransmitted = 0
         self.records_pushed = 0
         self.sync_timeouts = 0
+        self.snapshots_installed = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -188,13 +198,14 @@ class AntiEntropyEngine:
         if self._cluster.is_crashed(responder):
             return
         replica = self._cluster.replica(responder)
-        missing = tuple(replica.records_since(request.vv))
+        missing, snapshot = replica.sync_answer(request.vv)
         response = SyncResponse(
             responder=responder,
             requester=request.requester,
             request_id=request.request_id,
-            records=missing,
+            records=tuple(missing),
             vv=replica.vv.copy(),
+            snapshot=snapshot,
         )
         self._network.send(
             responder, request.requester, response, self._on_response
@@ -208,24 +219,31 @@ class AntiEntropyEngine:
         self.responses_received += 1
         if self._cluster.is_crashed(requester):
             return
+        if response.snapshot is not None:
+            # The responder truncated past our digest: adopt its
+            # snapshot (refused if it does not dominate our state),
+            # then apply the tail like any retransmission.
+            if self._cluster.replica(requester).install_snapshot(
+                response.snapshot
+            ):
+                self.snapshots_installed += 1
         self.records_retransmitted += len(response.records)
-        for record in response.records:
-            self._cluster.deliver(requester, record)
+        self._cluster.deliver_batch(
+            requester,
+            ReplicationBatch(
+                source=response.responder, records=response.records
+            ),
+        )
         # Reverse push: heal the other direction in the same round.
         push = self._cluster.replica(requester).records_since(response.vv)
         if push:
             self.records_pushed += len(push)
+            batch = ReplicationBatch(source=requester, records=tuple(push))
             self._network.send(
                 requester,
                 response.responder,
-                tuple(push),
-                lambda records, target=response.responder: (
-                    self._deliver_batch(target, records)
+                batch,
+                lambda b, target=response.responder: (
+                    self._cluster.deliver_batch(target, b)
                 ),
             )
-
-    def _deliver_batch(
-        self, target: str, records: tuple[CommitRecord, ...]
-    ) -> None:
-        for record in records:
-            self._cluster.deliver(target, record)

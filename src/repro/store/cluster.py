@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+from functools import partial
 from typing import Any, Callable
 
 from repro.errors import StoreError
@@ -43,7 +44,7 @@ from repro.sim.network import Network
 from repro.store.antientropy import AntiEntropyEngine
 from repro.store.registry import TypeRegistry
 from repro.store.replica import Replica
-from repro.store.replication import CausalReceiver
+from repro.store.replication import CausalReceiver, ReplicationBatch
 from repro.store.reservations import ReservationManager
 from repro.store.server import ProcessingQueue, ServiceModel
 from repro.store.transaction import CommitRecord, Transaction
@@ -60,6 +61,12 @@ class ConsistencyMode(enum.Enum):
 TxnBody = Callable[[Transaction], str]
 
 
+def _deliver_response(payload: tuple[Callable[[str], None], str]) -> None:
+    """Hand a response to the waiting client callback (payload-borne)."""
+    done, op_name = payload
+    done(op_name)
+
+
 class Cluster:
     """All regions of one deployment, on one simulator."""
 
@@ -74,9 +81,13 @@ class Cluster:
         service: ServiceModel | None = None,
         workers_per_replica: int = 1,
         faults: FaultPlan | None = None,
+        batch_ms: float = 0.0,
+        full_vv: bool = False,
     ) -> None:
         self.sim = sim
         self.mode = mode
+        self._strong = mode is ConsistencyMode.STRONG
+        self._indigo = mode is ConsistencyMode.INDIGO
         self.regions = regions
         self.primary = primary or regions[0]
         self.injector = FaultInjector(faults) if faults is not None else None
@@ -84,21 +95,35 @@ class Cluster:
             sim, latency or GeoLatencyModel(), injector=self.injector
         )
         self.service = service or ServiceModel()
+        #: Replication coalescing window (ms).  0 ships every commit
+        #: record in its own network message (the historical default);
+        #: > 0 buffers records per (origin, target) edge and flushes
+        #: them as one :class:`ReplicationBatch` after the window.
+        self.batch_ms = batch_ms
+        self._batch_buffers: dict[tuple[str, str], list[CommitRecord]] = {}
+        #: Broadcast-replication network messages sent (individual
+        #: records when ``batch_ms == 0``, flushed batches otherwise).
+        #: What the batching gate benchmark compares across modes.
+        self.replication_messages = 0
         self._replicas: dict[str, Replica] = {}
         self._receivers: dict[str, CausalReceiver] = {}
         self._queues: dict[str, ProcessingQueue] = {}
+        self._deliver_record: dict[str, Callable[[CommitRecord], None]] = {}
+        self._deliver_batch: dict[str, Callable[[ReplicationBatch], None]] = {}
+        self._request_path: dict[tuple[str, str], Callable[[Any], None]] = {}
         for region in regions:
-            replica = Replica(region, registry, now=lambda: sim.now)
+            replica = Replica(
+                region, registry, now=lambda: sim.now, full_vv=full_vv
+            )
             self._replicas[region] = replica
             self._receivers[region] = CausalReceiver(
-                replica,
-                on_apply=lambda record, r=region: self._note_apply(
-                    r, record
-                ),
+                replica, on_apply=partial(self._note_apply, region)
             )
             self._queues[region] = ProcessingQueue(
                 sim, workers=workers_per_replica
             )
+            self._deliver_record[region] = partial(self.deliver, region)
+            self._deliver_batch[region] = partial(self.deliver_batch, region)
         self.reservations = ReservationManager(sim, self.network)
         self._down: set[str] = set()
         self._crashed: set[str] = set()
@@ -162,14 +187,8 @@ class Cluster:
                 raise StoreError(
                     f"crash window for unknown region {window.region!r}"
                 )
-            self.sim.at(
-                window.start_ms,
-                lambda r=window.region: self.crash_region(r),
-            )
-            self.sim.at(
-                window.end_ms,
-                lambda r=window.region: self.recover_region(r),
-            )
+            self.sim.at(window.start_ms, self.crash_region, window.region)
+            self.sim.at(window.end_ms, self.recover_region, window.region)
 
     def start_antientropy(
         self,
@@ -206,7 +225,7 @@ class Cluster:
         if region in self._down:
             raise StoreError(f"region {region!r} is unavailable")
         execute_at = region
-        if self.mode is ConsistencyMode.STRONG:
+        if self._strong:
             if self.primary in self._down:
                 # The whole system loses update availability with its
                 # primary -- the weakness weak consistency avoids.
@@ -219,27 +238,48 @@ class Cluster:
             # trip (§5.2.2).
             execute_at = self.primary
 
-        def at_server() -> None:
+        if not (reservations and self._indigo):
+            # Common path: the request itself is the payload, delivered
+            # to a handler prebound per (client, server) edge -- no
+            # closure per operation.
+            edge = (region, execute_at)
+            handler = self._request_path.get(edge)
+            if handler is None:
+                handler = self._request_path[edge] = partial(
+                    self._on_request, region, execute_at
+                )
+            self.network.send(region, execute_at, (body, done), handler)
+            return
+
+        def at_server(_payload: Any = None) -> None:
             if execute_at in self._crashed:
                 return  # the request dies with the server
-            if self.mode is ConsistencyMode.INDIGO and reservations:
-                # Acquiring (even locally) touches durable reservation
-                # state: the rights record plus the usage ledger that
-                # lets rights be exchanged asynchronously later.
-                self.reservations.acquire(
-                    execute_at,
-                    reservations,
-                    lambda: self._enqueue(
-                        execute_at, region, body, done,
-                        extra_objects=2 * len(reservations),
-                    ),
-                    exclusive=exclusive_reservations,
-                )
-            else:
-                self._enqueue(execute_at, region, body, done)
+            # Acquiring (even locally) touches durable reservation
+            # state: the rights record plus the usage ledger that
+            # lets rights be exchanged asynchronously later.
+            self.reservations.acquire(
+                execute_at,
+                reservations,
+                lambda: self._enqueue(
+                    execute_at, region, body, done,
+                    extra_objects=2 * len(reservations),
+                ),
+                exclusive=exclusive_reservations,
+            )
 
         # Client -> server hop.
-        self.network.send(region, execute_at, None, lambda _=None: at_server())
+        self.network.send(region, execute_at, None, at_server)
+
+    def _on_request(
+        self,
+        client_region: str,
+        server: str,
+        payload: tuple[TxnBody, Callable[[str], None]],
+    ) -> None:
+        if server in self._crashed:
+            return  # the request dies with the server
+        body, done = payload
+        self._enqueue(server, client_region, body, done)
 
     def _enqueue(
         self,
@@ -251,11 +291,12 @@ class Cluster:
     ) -> None:
         replica = self._replicas[server]
         queue = self._queues[server]
-        result: dict[str, Any] = {}
+        op_name: str | None = None
 
         def run() -> float:
+            nonlocal op_name
             txn = replica.begin()
-            result["op"] = body(txn)
+            op_name = body(txn)
             objects = txn.updated_object_count + extra_objects
             cost = self.service.cost(
                 reads=txn.read_count,
@@ -268,31 +309,65 @@ class Cluster:
             return cost
 
         def respond() -> None:
-            # Server -> client hop.
+            # Server -> client hop; the response payload carries the
+            # completion callback so delivery needs no per-op closure.
             self.network.send(
-                server,
-                client_region,
-                None,
-                lambda _=None: done(result["op"]),
+                server, client_region, (done, op_name), _deliver_response
             )
 
         queue.submit(run, respond)
 
     def _replicate(self, origin: str, record: CommitRecord) -> None:
+        batch_ms = self.batch_ms
+        if batch_ms <= 0:
+            # Historical behaviour: one network message per record.
+            send = self.network.send
+            for region in self._receivers:
+                if region == origin or region in self._down:
+                    continue
+                self.replication_messages += 1
+                send(origin, region, record, self._deliver_record[region])
+            return
+        buffers = self._batch_buffers
         for region in self._receivers:
             if region == origin or region in self._down:
                 continue
-            self.network.send(
-                origin,
-                region,
-                record,
-                lambda rec, target=region: self.deliver(target, rec),
-            )
+            edge = (origin, region)
+            buffer = buffers.get(edge)
+            if buffer is None:
+                # First record on this edge in the current window:
+                # open the buffer and schedule its flush.
+                buffers[edge] = [record]
+                self.sim.schedule(batch_ms, self._flush_batch, edge)
+            else:
+                buffer.append(record)
+
+    def _flush_batch(self, edge: tuple[str, str]) -> None:
+        records = self._batch_buffers.pop(edge, None)
+        if not records:
+            return
+        origin, target = edge
+        if target in self._down:
+            # The target went down inside the window; the batch is lost
+            # exactly as the individual sends would have been.
+            return
+        self.replication_messages += 1
+        self.network.send(
+            origin,
+            target,
+            ReplicationBatch(source=origin, records=tuple(records)),
+            self._deliver_batch[target],
+        )
+
+    def flush_replication(self) -> None:
+        """Flush every open batch window immediately (shutdown/tests)."""
+        for edge in list(self._batch_buffers):
+            self._flush_batch(edge)
 
     def deliver(self, region: str, record: CommitRecord) -> None:
         """Hand one commit record to a region's causal receiver.
 
-        The single sink for broadcast replication *and* anti-entropy
+        The single sink for record-at-a-time replication and
         retransmission: a crashed region drops the message (its process
         is not listening), duplicates are discarded by the receiver.
         """
@@ -300,6 +375,17 @@ class Cluster:
             self.dropped_at_crashed += 1
             return
         self._receivers[region].receive(record)
+
+    def deliver_batch(self, region: str, batch: ReplicationBatch) -> None:
+        """Hand one replication batch to a region's causal receiver.
+
+        The batched counterpart of :meth:`deliver`, shared by windowed
+        broadcast replication and anti-entropy responses.
+        """
+        if region in self._crashed:
+            self.dropped_at_crashed += len(batch.records)
+            return
+        self._receivers[region].receive_batch(batch.records)
 
     def _note_apply(self, region: str, record: CommitRecord) -> None:
         if record.committed_at > 0.0:
@@ -324,11 +410,18 @@ class Cluster:
             stable = VersionVector(merged)
         return stable
 
-    def compact_all(self) -> None:
-        """Run stability GC at every replica (§4.2.1)."""
+    def compact_all(self, min_log_records: int = 1024) -> None:
+        """Run stability GC at every replica (§4.2.1).
+
+        Compacts both CRDT metadata (tombstones covered by the stable
+        vector) and the commit log (entries every replica has applied,
+        once at least ``min_log_records`` are truncatable -- the
+        threshold amortises the pre-truncation state snapshot).
+        """
         stable = self.stable_vector()
         for replica in self._replicas.values():
             replica.compact(stable)
+            replica.compact_log(stable, min_records=min_log_records)
 
     def start_stability_service(self, interval_ms: float = 1_000.0) -> None:
         """Periodically compute the stable vector and compact.
@@ -400,7 +493,10 @@ class Cluster:
                 if value == "":
                     continue
                 parts.append((key, value))
-            payload = repr(sorted(parts))
+            # ``replica.keys()`` is sorted and keys are unique, so
+            # ``parts`` is already in its canonical order -- the former
+            # ``sorted(parts)`` re-sort produced the same bytes.
+            payload = repr(parts)
             digests[region] = hashlib.sha256(payload.encode()).hexdigest()
         return digests
 
@@ -421,6 +517,9 @@ class Cluster:
             ),
             "recoveries": sum(
                 r.recoveries for r in self._replicas.values()
+            ),
+            "log_truncated": sum(
+                r.log_truncated for r in self._replicas.values()
             ),
             "stale_mean_ms": self.stale_window.mean_ms,
             "stale_max_ms": self.stale_window.max_ms,

@@ -64,8 +64,21 @@ class ProcessingQueue:
     def submit(
         self, run: Callable[[], float], done: Callable[[], None]
     ) -> None:
+        if self._idle and not self._queue:
+            # Idle worker, empty queue: run immediately without the
+            # deque round-trip.  Depth accounting matches the queued
+            # path (the task transits at depth 1).
+            if self.max_depth == 0:
+                self.max_depth = 1
+            self._idle -= 1
+            cost = run()
+            self.processed += 1
+            self._sim.schedule(cost, self._finish, done)
+            return
         self._queue.append((run, done))
-        self.max_depth = max(self.max_depth, len(self._queue))
+        depth = len(self._queue)
+        if depth > self.max_depth:
+            self.max_depth = depth
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -74,13 +87,12 @@ class ProcessingQueue:
             self._idle -= 1
             cost = run()
             self.processed += 1
+            self._sim.schedule(cost, self._finish, done)
 
-            def finish(callback: Callable[[], None] = done) -> None:
-                self._idle += 1
-                callback()
-                self._dispatch()
-
-            self._sim.schedule(cost, finish)
+    def _finish(self, done: Callable[[], None]) -> None:
+        self._idle += 1
+        done()
+        self._dispatch()
 
     @property
     def depth(self) -> int:

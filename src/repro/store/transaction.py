@@ -20,9 +20,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.replica import Replica
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitRecord:
     """The replicated unit: one transaction's effects plus metadata.
+
+    Dependency metadata comes in two encodings:
+
+    - **full** (``deps`` is a :class:`VersionVector`): the origin's
+      entire vector at commit time, excluding the new dot.  Exact but
+      O(replicas) to copy and to check.
+    - **delta** (``deps is None``): ``deps_delta`` lists only the
+      vector entries that changed since the origin's *previous* commit.
+      Combined with per-origin FIFO delivery this is equivalent (see
+      :meth:`~repro.store.replica.Replica.can_apply`) and O(changed).
 
     ``committed_at`` is the simulated commit time at the origin (0.0
     when the replica has no clock, e.g. in unit tests); receivers use
@@ -32,9 +42,10 @@ class CommitRecord:
 
     origin: str
     dot: Dot
-    deps: VersionVector
+    deps: VersionVector | None
     updates: tuple[tuple[str, Any], ...]
     committed_at: float = 0.0
+    deps_delta: tuple[tuple[str, int], ...] = ()
 
     @property
     def update_count(self) -> int:
@@ -43,6 +54,8 @@ class CommitRecord:
 
 class Transaction:
     """One read/update transaction against a single replica."""
+
+    __slots__ = ("_replica", "_buffered", "_reads", "_done")
 
     def __init__(self, replica: "Replica") -> None:
         self._replica = replica

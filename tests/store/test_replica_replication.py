@@ -34,12 +34,25 @@ class TestReplica:
         local_commit(replica, "set", lambda s: s.prepare_add("y"))
         assert replica.vv.get("A") == 2
 
-    def test_deps_snapshot_before_commit(self):
-        replica = make()
+    def test_deps_snapshot_before_commit_full_vv(self):
+        replica = Replica("A", registry(), full_vv=True)
         first = local_commit(replica, "set", lambda s: s.prepare_add("x"))
         second = local_commit(replica, "set", lambda s: s.prepare_add("y"))
         assert first.deps.get("A") == 0
         assert second.deps.get("A") == 1
+        assert first.deps_delta == ()
+
+    def test_deps_delta_default_encoding(self):
+        """Delta records carry only entries changed since the last commit."""
+        a, b = make("A"), make("B")
+        rb = local_commit(b, "set", lambda s: s.prepare_add("z"))
+        a.apply_remote(rb)
+        first = local_commit(a, "set", lambda s: s.prepare_add("x"))
+        second = local_commit(a, "set", lambda s: s.prepare_add("y"))
+        assert first.deps is None
+        assert first.deps_delta == (("B", 1),)
+        # Nothing remote arrived between the two commits.
+        assert second.deps_delta == ()
 
     def test_apply_remote_in_order(self):
         a, b = make("A"), make("B")

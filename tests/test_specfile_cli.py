@@ -154,3 +154,23 @@ class TestCli:
 
     def test_paper_specfile_parses(self, capsys):
         assert main(["classify", "examples/tournament.ipa"]) == 0
+
+    def test_simulate_prints_throughput(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--clients", "4",
+                "--batch-ms", "25",
+                "--duration-ms", "1000",
+                "--warmup-ms", "200",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Causal: 3 regions x 4 clients, batch_ms=25" in out
+        assert "throughput" in out
+        assert "replication messages" in out
+
+    def test_simulate_unknown_config(self, capsys):
+        assert main(["simulate", "--config", "Eventual"]) == 2
+        assert "unknown config" in capsys.readouterr().err
