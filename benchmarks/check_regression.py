@@ -14,12 +14,17 @@ Two guards keep the gate honest on noisy CI runners:
   fails the gate (silently dropping a benchmark is how regressions
   hide).
 
+The gate also enforces the observability contract: any current entry
+carrying ``observability.tracing_overhead_pct`` (the tracing-overhead
+benchmark) must stay under ``--max-overhead-pct`` -- tracing that is
+*disabled* may not cost more than a few percent of throughput.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_analysis.json \
         [BENCH_sim.json ...] \
         [--baseline benchmarks/BENCH_baseline.json] \
-        [--threshold 1.25] [--min-ms 500]
+        [--threshold 1.25] [--min-ms 500] [--max-overhead-pct 5]
 
 Several current summaries (one per benchmark shard) are unioned before
 comparison; a benchmark name appearing in two shards is an error.
@@ -71,6 +76,14 @@ def main(argv: list[str] | None = None) -> int:
         default=500.0,
         help="baselines below this are compared against the floor itself",
     )
+    parser.add_argument(
+        "--max-overhead-pct",
+        type=float,
+        default=5.0,
+        help="max allowed disabled-tracing overhead percentage for "
+        "entries reporting observability.tracing_overhead_pct "
+        "(default 5; the design target is <3)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_summary(args.baseline)
@@ -108,6 +121,24 @@ def main(argv: list[str] | None = None) -> int:
     extra = sorted(set(current) - set(baseline))
     for name in extra:
         print(f"new  {name}: {current[name]['wall_ms']:.0f} ms (no baseline)")
+
+    # Observability contract: disabled tracing must stay ~free.
+    for name, entry in sorted(current.items()):
+        overhead = entry.get("observability", {}).get(
+            "tracing_overhead_pct"
+        )
+        if overhead is None:
+            continue
+        verdict = "FAIL" if overhead > args.max_overhead_pct else "ok"
+        print(
+            f"{verdict:4} {name}: disabled-tracing overhead "
+            f"{overhead:+.2f}% (limit {args.max_overhead_pct:.1f}%)"
+        )
+        if overhead > args.max_overhead_pct:
+            failures.append(
+                f"{name}: disabled-tracing overhead {overhead:.2f}% "
+                f"exceeds {args.max_overhead_pct:.1f}%"
+            )
 
     if failures:
         print()

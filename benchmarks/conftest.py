@@ -16,12 +16,25 @@ against the committed baseline (``benchmarks/check_regression.py``)::
 
     {"schema": 1,
      "benchmarks": [{"name": ..., "params": {...}, "wall_ms": ...,
-                     "solver_calls": ..., "cache_hits": ...}, ...]}
+                     "solver_calls": ..., "cache_hits": ...,
+                     "observability": {...}?}, ...],
+     "observability": {"counters": {...}, "gauges": {...},
+                       "histograms": {...}}}
+
+The per-record ``observability`` key is optional (additive to schema 1):
+benchmarks that measure tracing/metrics behaviour attach structured
+evidence there (e.g. the tracing-overhead benchmark records both wall
+times and the resulting overhead percentage).  The top-level
+``observability`` block is the process-wide metrics registry's snapshot
+(``repro.obs.REGISTRY``) taken at session end, so every summary
+documents the dotted counters and gauges the run accumulated.
 """
 
 import json
 
 import pytest
+
+from repro.obs import REGISTRY
 
 #: Bump when the summary layout changes; the regression gate refuses to
 #: compare documents with mismatched schemas.
@@ -76,16 +89,18 @@ def record_bench(request):
         params: dict | None = None,
         solver_calls: int = 0,
         cache_hits: int = 0,
+        observability: dict | None = None,
     ) -> None:
-        records.append(
-            {
-                "name": str(name),
-                "params": dict(params or {}),
-                "wall_ms": round(float(wall_ms), 3),
-                "solver_calls": int(solver_calls),
-                "cache_hits": int(cache_hits),
-            }
-        )
+        entry = {
+            "name": str(name),
+            "params": dict(params or {}),
+            "wall_ms": round(float(wall_ms), 3),
+            "solver_calls": int(solver_calls),
+            "cache_hits": int(cache_hits),
+        }
+        if observability is not None:
+            entry["observability"] = dict(observability)
+        records.append(entry)
 
     return record
 
@@ -98,6 +113,7 @@ def pytest_sessionfinish(session, exitstatus):
     document = {
         "schema": BENCH_JSON_SCHEMA,
         "benchmarks": sorted(records, key=lambda r: r["name"]),
+        "observability": REGISTRY.snapshot(),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -24,7 +24,6 @@ across the partition.  Expected shape:
   is bit-for-bit reproducible given the same seed.
 """
 
-import time
 
 from repro.apps.common import Variant
 from repro.apps.tournament import TournamentApp, tournament_registry
@@ -33,6 +32,7 @@ from repro.sim.events import Simulator
 from repro.sim.faults import CrashWindow, FaultPlan, PartitionWindow
 from repro.sim.latency import EU_WEST, REGIONS, US_EAST, US_WEST
 from repro.store.cluster import Cluster
+from repro.obs import monotonic
 
 SEED = 101
 RUN_END_MS = 15_000.0
@@ -140,9 +140,9 @@ def run_both() -> dict:
 
 
 def test_chaos_convergence(benchmark, record_bench):
-    started = time.perf_counter()
+    started = monotonic()
     outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
-    wall_ms = (time.perf_counter() - started) * 1000.0
+    wall_ms = (monotonic() - started) * 1000.0
     causal, ipa = outcomes["causal"], outcomes["ipa"]
     record_bench(
         "chaos_convergence",
@@ -162,13 +162,13 @@ def test_chaos_convergence(benchmark, record_bench):
                 label,
                 outcome["elapsed_ms"],
                 outcome["violations"],
-                stats["messages_dropped"],
-                stats["partition_drops"],
-                stats["messages_duplicated"],
-                stats["messages_reordered"],
-                stats["records_retransmitted"],
-                stats["stale_max_ms"],
-                stats["pending_high_water"],
+                stats["net.messages_dropped"],
+                stats["net.partition_drops"],
+                stats["net.messages_duplicated"],
+                stats["net.messages_reordered"],
+                stats["store.antientropy.records_retransmitted"],
+                stats["store.stale_max_ms"],
+                stats["store.pending_high_water"],
             )
         )
 
@@ -180,16 +180,16 @@ def test_chaos_convergence(benchmark, record_bench):
         assert len(set(outcome["vvs"].values())) == 1
         # The plan actually hurt: drops (incl. the partition), dups,
         # reordering, a crash recovery, refused submits while down.
-        assert stats["messages_dropped"] > 0
-        assert stats["partition_drops"] > 0
-        assert stats["messages_duplicated"] > 0
-        assert stats["messages_reordered"] > 0
-        assert stats["recoveries"] == 1
+        assert stats["net.messages_dropped"] > 0
+        assert stats["net.partition_drops"] > 0
+        assert stats["net.messages_duplicated"] > 0
+        assert stats["net.messages_reordered"] > 0
+        assert stats["store.recoveries"] == 1
         assert outcome["blocked_submits"] >= 1
         # ... and anti-entropy did real repair work.
-        assert stats["records_retransmitted"] > 0
-        assert stats["pending_high_water"] >= 1
-        assert stats["stale_max_ms"] > 0
+        assert stats["store.antientropy.records_retransmitted"] > 0
+        assert stats["store.pending_high_water"] >= 1
+        assert stats["store.stale_max_ms"] > 0
 
     # The IPA modifications preserve every invariant; the unmodified
     # application does not.

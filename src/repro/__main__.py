@@ -10,7 +10,15 @@ The executable counterpart of the paper's IPA tool:
   specification's invariants;
 - ``simulate`` -- run one closed-loop Tournament experiment on the
   simulated geo-replicated store and print throughput/latency (the
-  quickest way to see the effect of ``--batch-ms`` or client load).
+  quickest way to see the effect of ``--batch-ms`` or client load);
+- ``trace SPECFILE`` -- run the IPA analysis plus a short simulation
+  with tracing on and write one Chrome-trace JSON covering all three
+  layers (open it at https://ui.perfetto.dev).
+
+``analyze`` and ``simulate`` accept ``--trace`` (print a span summary
+table) and ``--trace-out FILE`` (write the Chrome trace); ``simulate``
+then also runs the IPA analysis of the application first, so the trace
+carries analysis, solver and store spans end to end.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis import ConflictChecker, run_ipa
 from repro.analysis.classification import classify_spec
 from repro.analysis.report import render_result, render_witness
@@ -25,8 +34,55 @@ from repro.errors import ReproError
 from repro.specfile import load_specfile
 
 
+def _tracing_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    )
+
+
+def _start_tracing(args: argparse.Namespace) -> None:
+    if _tracing_requested(args):
+        obs.configure(enabled=True)
+
+
+def _finish_tracing(args: argparse.Namespace) -> None:
+    """Export and/or summarise the collected trace, then stop tracing."""
+    if not _tracing_requested(args):
+        return
+    spans = obs.TRACER.spans()
+    out = getattr(args, "trace_out", None)
+    if out:
+        obs.write_chrome_trace(spans, out)
+        print(
+            f"trace: {len(spans)} span(s) -> {out} "
+            f"(load in https://ui.perfetto.dev)"
+        )
+    if getattr(args, "trace", False):
+        print()
+        print(obs.summarize(spans))
+    obs.TRACER.disable()
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect spans and print a per-span summary table",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the collected spans as Chrome trace-event JSON "
+        "(Perfetto-loadable)",
+    )
+
+
+def _ms(value: float | None) -> str:
+    """None-safe fixed-width millisecond figure."""
+    return f"{value:6.2f}" if value is not None else "   n/a"
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     spec = load_specfile(args.specfile)
+    _start_tracing(args)
     result = run_ipa(
         spec,
         max_effects=args.max_effects,
@@ -36,6 +92,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
     )
     print(render_result(result))
+    _finish_tracing(args)
     return 0 if result.is_invariant_preserving else 1
 
 
@@ -82,6 +139,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    _start_tracing(args)
+    if _tracing_requested(args):
+        # Analysis provenance: a traced run documents the whole IPA
+        # pipeline, so derive the application's repairs/compensations
+        # first -- the trace then carries analysis, solver and store
+        # spans end to end.
+        from repro.apps.tournament import tournament_spec
+
+        run_ipa(tournament_spec(), cache=False)
     sim, app, workload = build_tournament(
         config,
         seed=args.seed,
@@ -90,15 +156,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     cluster = app.cluster
     clients = {region: args.clients for region in cluster.regions}
-    result = run_closed_loop(
-        sim,
-        workload.issue,
-        clients,
-        duration_ms=args.duration_ms,
-        warmup_ms=args.warmup_ms,
-        think_ms=args.think_ms,
-    )
-    cluster.run_until_converged()
+    with obs.TRACER.span(
+        "sim.run", config=config.name, clients=args.clients
+    ):
+        result = run_closed_loop(
+            sim,
+            workload.issue,
+            clients,
+            duration_ms=args.duration_ms,
+            warmup_ms=args.warmup_ms,
+            think_ms=args.think_ms,
+        )
+        cluster.run_until_converged()
     stats = result.stats()
     print(
         f"{config.name}: {args.regions} regions x {args.clients} "
@@ -106,13 +175,57 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     print(
         f"  throughput {result.throughput:8.1f} op/s   "
-        f"latency mean {stats.mean:6.2f} ms  "
-        f"p95 {stats.p95:6.2f} ms  p99 {stats.p99:6.2f} ms"
+        f"latency mean {_ms(stats.mean)} ms  "
+        f"p95 {_ms(stats.p95)} ms  p99 {_ms(stats.p99)} ms"
     )
     print(
         f"  {result.metrics.total_operations()} operations, "
         f"{cluster.replication_messages} replication messages"
     )
+    _finish_tracing(args)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One traced end-to-end run: IPA analysis + a short simulation."""
+    from repro.bench.configs import CONFIGS, build_tournament
+    from repro.sim.runner import run_closed_loop
+
+    spec = load_specfile(args.specfile)
+    obs.configure(enabled=True)
+    result = run_ipa(spec, jobs=args.jobs, cache=False)
+    print(
+        f"analysis: {result.rounds} round(s), "
+        f"{result.solver_queries} solver queries, "
+        f"{len(result.applied)} repair(s), "
+        f"{len(result.flagged)} flagged conflict(s)"
+    )
+    config = next(c for c in CONFIGS if c.name == "Causal")
+    sim, app, workload = build_tournament(config, seed=args.seed)
+    cluster = app.cluster
+    clients = {region: args.clients for region in cluster.regions}
+    with obs.TRACER.span("sim.run", config=config.name, clients=args.clients):
+        run = run_closed_loop(
+            sim,
+            workload.issue,
+            clients,
+            duration_ms=args.duration_ms,
+            warmup_ms=500.0,
+        )
+        cluster.run_until_converged()
+    print(
+        f"simulation: {run.metrics.total_operations()} operation(s) at "
+        f"{run.throughput:.1f} op/s over {args.duration_ms:g} ms"
+    )
+    spans = obs.TRACER.spans()
+    obs.write_chrome_trace(spans, args.trace_out)
+    print(
+        f"trace: {len(spans)} span(s) -> {args.trace_out} "
+        f"(load in https://ui.perfetto.dev)"
+    )
+    print()
+    print(obs.summarize(spans))
+    obs.TRACER.disable()
     return 0
 
 
@@ -149,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".ipa-cache", metavar="DIR",
         help="persistent solver-cache directory (default .ipa-cache)",
     )
+    _add_trace_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     conflicts = sub.add_parser(
@@ -201,7 +315,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=23,
         help="workload seed (default 23)",
     )
+    _add_trace_flags(simulate)
     simulate.set_defaults(func=_cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run analysis + a short simulation with tracing on and "
+        "export a Chrome trace",
+    )
+    trace.add_argument("specfile")
+    trace.add_argument(
+        "--trace-out", metavar="FILE", default="trace.json",
+        help="output Chrome trace-event JSON (default trace.json)",
+    )
+    trace.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the conflict scan (default 1); "
+        "worker spans stitch into the same trace",
+    )
+    trace.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="closed-loop clients per region (default 8)",
+    )
+    trace.add_argument(
+        "--duration-ms", type=float, default=2_000.0, metavar="MS",
+        help="simulation measurement window (default 2000)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=23,
+        help="workload seed (default 23)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -40,6 +40,7 @@ from typing import Iterable, Mapping
 
 from repro.logic.ast import Atom, Const, Formula, NumPred, PredicateDecl, Sort
 from repro.logic.grounding import Domain
+from repro.obs import REGISTRY
 from repro.solver.models import Model
 
 #: Bump when the serialised entry layout (or anything that affects the
@@ -198,6 +199,14 @@ class SolverCache:
         self._dir = Path(directory) if directory is not None else None
         self._memory: dict[str, CacheEntry] = {}
         self.stats = CacheStats()
+        # Process-wide counterparts of ``stats`` under the dotted metric
+        # namespace; instruments are held directly so the hot lookup
+        # path pays one attribute increment, not a registry lookup.
+        self._hits_memory = REGISTRY.counter("analysis.cache.memory_hits")
+        self._hits_disk = REGISTRY.counter("analysis.cache.disk_hits")
+        self._misses = REGISTRY.counter("analysis.cache.misses")
+        self._writes = REGISTRY.counter("analysis.cache.writes")
+        self._rejects = REGISTRY.counter("analysis.cache.rejected")
 
     @property
     def directory(self) -> Path | None:
@@ -229,6 +238,7 @@ class SolverCache:
         if entry is not None and self._usable(entry, need_model):
             if record:
                 self.stats.memory_hits += 1
+                self._hits_memory.value += 1
             return entry
         if self._dir is not None:
             disk = self._load_disk(key)
@@ -240,9 +250,11 @@ class SolverCache:
                 if self._usable(disk, need_model):
                     if record:
                         self.stats.disk_hits += 1
+                        self._hits_disk.value += 1
                     return disk
         if record:
             self.stats.misses += 1
+            self._misses.value += 1
         return None
 
     @staticmethod
@@ -269,6 +281,7 @@ class SolverCache:
                 return
             self._write_disk(key, entry)
         self.stats.writes += 1
+        self._writes.value += 1
 
     # -- disk tier ----------------------------------------------------------
 
@@ -308,6 +321,7 @@ class SolverCache:
             # Corrupted, tampered or stale: never trust it.  Drop the
             # file so the recomputed result replaces it cleanly.
             self.stats.rejected += 1
+            self._rejects.value += 1
             try:
                 path.unlink()
             except OSError:

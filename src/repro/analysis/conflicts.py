@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 from repro.logic.ast import Atom, NumPred
 from repro.logic.transform import substitute
+from repro.obs import TRACER
+from repro.solver.dpll import SolverCounters
 from repro.solver.models import Model, evaluate
 from repro.solver.smt import BoundedModelFinder, IncrementalSession
 from repro.spec.application import ApplicationSpec
@@ -114,6 +116,9 @@ class ConflictChecker:
         self._extra = extra
         self._cache = cache
         self._solves = 0
+        #: CDCL search effort issued through this checker (all query
+        #: kinds); :class:`~repro.analysis.ipa.AnalysisStats` reads it.
+        self.solver_counters = SolverCounters()
         if int_bound is None:
             # Numeric state must be able to represent: the analysis
             # parameter values, one violation past any bound, and the
@@ -210,6 +215,10 @@ class ConflictChecker:
         by a scan worker process (parallel mode)."""
         self._queries += count
 
+    def add_external_counters(self, counts: dict[str, int]) -> None:
+        """Fold a worker process's solver-effort counters in."""
+        self.solver_counters.add(SolverCounters(**counts))
+
     # -- the core query -----------------------------------------------------
 
     def _pair_queries(
@@ -279,18 +288,28 @@ class ConflictChecker:
         witness's binding, which rejects failing candidates in one
         query.
         """
-        for binding, query in self._pair_queries(op1, op2, rules, try_first):
-            finder = BoundedModelFinder(
-                binding.domain,
-                params=self._params,
-                int_bound=self._int_bound,
-                cache=self._cache,
-            )
-            self._queries += 1
-            result = finder.check_ground(*query)
-            self._solves += finder.solves
-            if result.sat:
-                return self._witness(op1, op2, binding, result.model)
+        with TRACER.span(
+            "analysis.pair", op1=op1.name, op2=op2.name
+        ) as span:
+            bindings = 0
+            for binding, query in self._pair_queries(
+                op1, op2, rules, try_first
+            ):
+                bindings += 1
+                finder = BoundedModelFinder(
+                    binding.domain,
+                    params=self._params,
+                    int_bound=self._int_bound,
+                    cache=self._cache,
+                )
+                self._queries += 1
+                result = finder.check_ground(*query)
+                self._solves += finder.solves
+                self.solver_counters.add(finder.counters)
+                if result.sat:
+                    span.set(bindings=bindings, conflict=True)
+                    return self._witness(op1, op2, binding, result.model)
+            span.set(bindings=bindings, conflict=False)
         return None
 
     def has_conflict(
@@ -337,6 +356,7 @@ class ConflictChecker:
                     *(query[i] for i in self._CANDIDATE_SLOTS)
                 )
                 self._solves += 1
+                self.solver_counters.add(session.last_delta)
                 if key is not None:
                     # Incremental models are path-dependent; store the
                     # verdict only.  A later query that needs the model
@@ -352,6 +372,7 @@ class ConflictChecker:
                 )
                 sat = finder.check_ground_sat(*query)
                 self._solves += finder.solves
+                self.solver_counters.add(finder.counters)
             if sat:
                 return True
         return False
@@ -439,6 +460,7 @@ class ConflictChecker:
             self._queries += 1
             sat = finder.check_ground_sat(*query)
             self._solves += finder.solves
+            self.solver_counters.add(finder.counters)
             if sat:
                 executable = True
                 break
@@ -507,6 +529,7 @@ class ConflictChecker:
             self._queries += 1
             sat = finder.check_ground_sat(*query)
             self._solves += finder.solves
+            self.solver_counters.add(finder.counters)
             if sat:
                 preserving = False
                 break
@@ -664,12 +687,15 @@ def scan_pair_task(
     int_bound: int,
     params: dict[str, int],
     cache_dir: str | None,
-) -> tuple[tuple[str, str], "ConflictWitness | None", int]:
+) -> tuple[tuple[str, str], "ConflictWitness | None", int, dict[str, int]]:
     """Check one operation pair in a worker process.
 
-    Returns ``(pair, witness_or_None, logical_queries_issued)``; the
-    caller folds the query count into its own checker for pairs it
-    actually consumes, keeping counts identical to a sequential run.
+    Returns ``(pair, witness_or_None, logical_queries_issued,
+    solver_counters)``; the caller folds the query count and solver
+    effort into its own checker for pairs it actually consumes, keeping
+    counts identical to a sequential run.  Spans recorded here land in
+    the worker tracer's spool file and are stitched back by the parent
+    (see :meth:`repro.obs.Tracer.drain_workers`).
     """
     checker = _WORKER_STATE.get("checker")
     if checker is None or _WORKER_STATE.get("digest") != spec_digest:
@@ -686,8 +712,13 @@ def scan_pair_task(
     op1 = checker.spec.operation(pair[0])
     op2 = checker.spec.operation(pair[1])
     before = checker.queries_issued
+    counters_before = checker.solver_counters.as_dict()
     witness = checker.is_conflicting(op1, op2)
-    return pair, witness, checker.queries_issued - before
+    delta = {
+        name: value - counters_before[name]
+        for name, value in checker.solver_counters.as_dict().items()
+    }
+    return pair, witness, checker.queries_issued - before, delta
 
 
 def spec_digest(blob: bytes) -> str:

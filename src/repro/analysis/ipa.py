@@ -15,10 +15,11 @@ import dataclasses
 import hashlib
 import os
 import pickle
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import AnalysisError, UnsolvableConflictError
+from repro.obs import TRACER, monotonic
+from repro.solver.dpll import SolverCounters
 from repro.spec.application import ApplicationSpec
 
 from repro.analysis.cache import SolverCache
@@ -59,6 +60,10 @@ class AnalysisStats:
     cache_disk_hits: int = 0
     cache_misses: int = 0
     cache_rejected: int = 0
+    #: CDCL search effort (decisions, propagations, conflicts, restarts,
+    #: learned clauses) summed over every solver the analysis ran,
+    #: including parallel scan workers for consumed pairs.
+    solver: SolverCounters = field(default_factory=SolverCounters)
 
     @property
     def cache_hits(self) -> int:
@@ -87,6 +92,7 @@ class AnalysisStats:
             "cache_disk_hits": self.cache_disk_hits,
             "cache_misses": self.cache_misses,
             "cache_rejected": self.cache_rejected,
+            "solver": self.solver.as_dict(),
         }
 
     def describe(self) -> str:
@@ -101,6 +107,11 @@ class AnalysisStats:
             f"cache {self.cache_hits} hit(s) "
             f"({self.cache_memory_hits} memory / {self.cache_disk_hits} disk), "
             f"{self.cache_misses} miss(es)",
+            f"solver effort: {self.solver.decisions} decision(s), "
+            f"{self.solver.propagations} propagation(s), "
+            f"{self.solver.conflicts} conflict(s), "
+            f"{self.solver.restarts} restart(s), "
+            f"{self.solver.learned_clauses} learned clause(s)",
         ]
         if self.jobs > 1:
             lines.append(
@@ -284,7 +295,8 @@ def run_ipa(
     - ``cache_dir``: directory for the on-disk cache tier; required for
       parallel workers to share results with the main process.
     """
-    started = time.perf_counter()
+    started = monotonic()
+    run_span = TRACER.start("analysis.run", spec=spec.name, jobs=max(1, jobs))
     work = spec.copy()
     if cache is False:
         cache = None
@@ -309,7 +321,8 @@ def run_ipa(
     try:
         while rounds < max_rounds:
             rounds += 1
-            scan_started = time.perf_counter()
+            scan_started = monotonic()
+            scan_span = TRACER.start("analysis.scan", round=rounds)
             queries_before = checker.queries_issued
             if executor is not None:
                 witness = _find_first_parallel(
@@ -317,11 +330,22 @@ def run_ipa(
                 )
             else:
                 witness = _find_first(checker, skip, clean)
-            stats.scan_seconds += time.perf_counter() - scan_started
+            stats.scan_seconds += monotonic() - scan_started
             stats.scan_queries += checker.queries_issued - queries_before
+            TRACER.end(
+                scan_span,
+                queries=checker.queries_issued - queries_before,
+                conflict=witness is not None,
+            )
             if witness is None:
                 break
-            repair_started = time.perf_counter()
+            repair_started = monotonic()
+            repair_span = TRACER.start(
+                "analysis.repair",
+                round=rounds,
+                op1=witness.op1.name,
+                op2=witness.op2.name,
+            )
             queries_before = checker.queries_issued
             solutions = repair_conflict(
                 work,
@@ -331,15 +355,20 @@ def run_ipa(
                 allow_rule_changes=allow_rule_changes,
                 require_semantics_preserving=require_semantics_preserving,
             )
-            stats.repair_seconds += time.perf_counter() - repair_started
+            stats.repair_seconds += monotonic() - repair_started
             stats.repair_queries += checker.queries_issued - queries_before
+            TRACER.end(repair_span, candidates=len(solutions))
             chosen = pick(witness, solutions)
             if chosen is None:
-                comp_started = time.perf_counter()
-                compensations = generate_compensations(work, witness)
-                stats.compensation_seconds += (
-                    time.perf_counter() - comp_started
+                comp_started = monotonic()
+                comp_span = TRACER.start(
+                    "analysis.compensation",
+                    op1=witness.op1.name,
+                    op2=witness.op2.name,
                 )
+                compensations = generate_compensations(work, witness)
+                stats.compensation_seconds += monotonic() - comp_started
+                TRACER.end(comp_span, compensations=len(compensations))
                 entry = FlaggedConflict(witness, compensations)
                 if strict and entry.needs_coordination:
                     raise UnsolvableConflictError(
@@ -378,14 +407,24 @@ def run_ipa(
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
     stats.solver_solves = checker.solver_solves
+    stats.solver.add(checker.solver_counters)
     stats.snapshot_cache(checker.cache)
+    TRACER.end(
+        run_span,
+        rounds=rounds,
+        queries=checker.queries_issued,
+        applied=len(applied),
+        flagged=len(flagged),
+    )
+    # Stitch spans that scan workers spooled to disk into this trace.
+    TRACER.drain_workers()
     return IpaResult(
         original=spec,
         modified=work,
         applied=applied,
         flagged=flagged,
         rounds=rounds,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=monotonic() - started,
         solver_queries=checker.queries_issued,
         stats=stats,
     )
@@ -510,8 +549,9 @@ def _find_first_parallel(
             witness, queries = resolved[key]
             checker.add_external_queries(queries)
         else:
-            _, witness, queries = future.result()
+            _, witness, queries, counters = future.result()
             checker.add_external_queries(queries)
+            checker.add_external_counters(counters)
             if witness is not None:
                 # Re-anchor the unpickled witness on the working spec's
                 # own operation objects so downstream identity checks

@@ -8,7 +8,6 @@ crossovers fall).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.analysis.classification import table1_rows
@@ -30,6 +29,7 @@ from repro.sim.latency import REGIONS
 from repro.sim.runner import run_closed_loop
 from repro.store.cluster import Cluster, ConsistencyMode
 from repro.store.registry import TypeRegistry
+from repro.obs import monotonic
 
 # ---------------------------------------------------------------------------
 # Table 1
@@ -415,12 +415,12 @@ def analysis_speed(
         ("twitter", twitter_spec()),
         ("tpcw", tpcw_spec()),
     ):
-        started = time.perf_counter()
+        started = monotonic()
         result = run_ipa(spec, jobs=jobs, cache=cache, cache_dir=cache_dir)
         timings.append(
             AnalysisTiming(
                 application=name,
-                seconds=time.perf_counter() - started,
+                seconds=monotonic() - started,
                 rounds=result.rounds,
                 queries=result.solver_queries,
                 repaired=len(result.applied),

@@ -1,0 +1,75 @@
+"""Unified observability: tracing spans + typed metrics + exporters.
+
+The one place wall-clock time and metric naming live.  Three pieces:
+
+- :mod:`repro.obs.tracer` -- nested spans with monotonic timestamps,
+  attributes and process/thread identity; zero overhead while disabled;
+  worker-process spans spool to disk and stitch into the parent trace;
+- :mod:`repro.obs.registry` -- typed counters / gauges / histograms
+  under ``dotted.namespace`` names, plus the single shared
+  :func:`quantile` implementation;
+- :mod:`repro.obs.export` -- JSONL span logs, Chrome trace-event JSON
+  (Perfetto-loadable) and human summary tables.
+
+Quick start::
+
+    from repro import obs
+
+    obs.configure(enabled=True)
+    ...  # run an analysis or simulation
+    obs.write_chrome_trace(obs.TRACER.spans(), "trace.json")
+    print(obs.summarize(obs.TRACER.spans()))
+
+or from the command line: ``python -m repro trace <specfile>`` and the
+``--trace`` / ``--trace-out`` flags on ``analyze`` and ``simulate``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile,
+    quantile_sorted,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    TRACER,
+    Span,
+    SpanRecord,
+    Tracer,
+    configure,
+    get_tracer,
+    monotonic,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "REGISTRY",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "configure",
+    "get_tracer",
+    "monotonic",
+    "quantile",
+    "quantile_sorted",
+    "read_jsonl",
+    "summarize",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,115 @@
+"""Trace exporters: JSONL, Chrome trace-event JSON, summary table.
+
+Three views of the same span list:
+
+- :func:`write_jsonl` -- one :class:`~repro.obs.tracer.SpanRecord` per
+  line, the stable machine-readable archive format (workers spool the
+  same layout);
+- :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  trace-event format (``{"traceEvents": [...]}`` with complete ``"X"``
+  events), loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``; each process/worker renders as its own track;
+- :func:`summarize` -- an aligned per-span-name table (count, total,
+  mean, max wall time) for terminal output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.obs.tracer import SpanRecord
+
+
+def write_jsonl(spans: Iterable[SpanRecord], path: str) -> None:
+    """One span per line; round-trips through ``SpanRecord.from_dict``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> list[SpanRecord]:
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def chrome_trace(spans: Sequence[SpanRecord]) -> dict:
+    """Spans -> Chrome trace-event document (Perfetto-loadable).
+
+    The category of each event is the first segment of the dotted span
+    name (``analysis``, ``solver``, ``store``, ...), so Perfetto's
+    category filter separates the layers.
+    """
+    events: list[dict] = []
+    seen_pids: set[int] = set()
+    for span in spans:
+        if span.pid not in seen_pids:
+            seen_pids.add(span.pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": {"name": f"repro[{span.pid}]"},
+                }
+            )
+        args = dict(span.attrs)
+        if span.status != "ok":
+            args["status"] = span.status
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.dur_us,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[SpanRecord], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def summarize(spans: Sequence[SpanRecord]) -> str:
+    """Aligned per-name table: count, total/mean/max wall milliseconds."""
+    if not spans:
+        return "(no spans recorded)"
+    rows: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        rows.setdefault(span.name, []).append(span.dur_us / 1000.0)
+        if span.status != "ok":
+            errors[span.name] = errors.get(span.name, 0) + 1
+    header = (
+        f"{'span':<32} {'count':>7} {'total ms':>10} "
+        f"{'mean ms':>9} {'max ms':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for name in sorted(rows, key=lambda n: -sum(rows[n])):
+        durations = rows[name]
+        total = sum(durations)
+        suffix = f"  ({errors[name]} error(s))" if name in errors else ""
+        lines.append(
+            f"{name:<32} {len(durations):>7} {total:>10.2f} "
+            f"{total / len(durations):>9.3f} {max(durations):>9.2f}"
+            f"{suffix}"
+        )
+    lines.append(
+        f"{len(spans)} span(s), "
+        f"{len({(s.pid, s.tid) for s in spans})} track(s), "
+        f"{len({s.pid for s in spans})} process(es)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Zero-overhead-when-disabled tracing core.
+
+One process-global :class:`Tracer` (module singleton :data:`TRACER`)
+collects *spans*: named intervals on the wall clock with nested
+parent/child structure, free-form attributes, and the process/thread
+that produced them.  Disabled -- the default -- every entry point
+reduces to one attribute load and a branch, so instrumentation can sit
+permanently on hot paths (the simulator's commit loop, the solver's
+check calls) without measurable cost; the regression-gated
+microbenchmark in ``tests/obs/test_overhead.py`` keeps that true.
+
+Two usage forms::
+
+    with TRACER.span("analysis.scan", round=3) as sp:
+        ...                      # exceptions mark the span status=error
+        sp.set(pairs=n)          # attach attributes mid-flight
+
+    handle = TRACER.start("store.txn", replica=region)   # None if disabled
+    ...
+    TRACER.end(handle, op=op_name)
+
+Span names use the repo-wide ``dotted.namespace`` convention; the first
+segment (``analysis``, ``solver``, ``store``, ``sim``, ``client``)
+becomes the Chrome-trace category.
+
+**Worker processes.**  The parallel conflict scan forks worker
+processes after tracing is configured; the forked tracer detects that
+its pid differs from the configuring process and appends every finished
+span to a JSONL *spool file* (one per worker pid) instead of the
+in-memory list.  The parent stitches the spool back in with
+:meth:`Tracer.drain_workers`, producing one trace whose spans carry
+their true pid/tid -- Perfetto renders each worker as its own track.
+``time.perf_counter`` is CLOCK_MONOTONIC-based on the platforms the
+fork path exists on, so parent and worker timestamps share one
+timeline.
+
+This module is the single sanctioned home of wall-clock timing:
+everything else imports :func:`monotonic` from here (enforced by
+``tests/obs/test_no_bare_timing.py`` and the CI grep lint).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: The one blessed wall-clock source (seconds, monotonic).  Instrumented
+#: code imports this instead of touching ``time.perf_counter`` directly.
+monotonic = time.perf_counter
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, ready for export."""
+
+    name: str
+    start_us: int
+    dur_us: int
+    pid: int
+    tid: int
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "SpanRecord":
+        return cls(
+            name=blob["name"],
+            start_us=int(blob["start_us"]),
+            dur_us=int(blob["dur_us"]),
+            pid=int(blob["pid"]),
+            tid=int(blob["tid"]),
+            attrs=dict(blob.get("attrs", {})),
+            status=blob.get("status", "ok"),
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live (entered, not yet closed) span."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "status")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.status = "ok"
+        self._start = monotonic()
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("exception", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Collects spans; cheap no-op while ``enabled`` is False."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._pid = os.getpid()
+        self._epoch = 0.0
+        self._spool_dir: str | None = None
+        self._spool_handle = None
+        self._spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    # -- configuration -------------------------------------------------------
+
+    def configure(
+        self, enabled: bool = True, spool_dir: str | None = None
+    ) -> None:
+        """Switch tracing on (or off) and reset the collected trace.
+
+        ``spool_dir`` receives worker-process span files; by default a
+        fresh temporary directory is created per configuration, so two
+        traced runs never see each other's worker spans.
+        """
+        self._drop_spool_handle()
+        self.enabled = enabled
+        self._pid = os.getpid()
+        self._spans = []
+        if enabled:
+            self._epoch = monotonic()
+            self._spool_dir = spool_dir or tempfile.mkdtemp(
+                prefix="repro-obs-"
+            )
+        else:
+            self._spool_dir = None
+
+    def disable(self) -> None:
+        """Stop tracing; already-collected spans stay readable."""
+        self._drop_spool_handle()
+        self.enabled = False
+
+    # -- span API ------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Context-manager span; the null singleton when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def start(self, name: str, **attrs) -> Span | None:
+        """Explicit begin/end form for callback-shaped code paths.
+
+        Returns ``None`` when disabled so hot paths pay one branch.
+        """
+        if not self.enabled:
+            return None
+        return Span(self, name, attrs)
+
+    def end(self, span: Span | None, **attrs) -> None:
+        if span is None:
+            return
+        if attrs:
+            span.attrs.update(attrs)
+        self._close(span)
+
+    def instant(self, name: str, **attrs) -> None:
+        """A zero-duration marker event."""
+        if not self.enabled:
+            return
+        now_us = int((monotonic() - self._epoch) * 1e6)
+        self._record(
+            SpanRecord(
+                name=name,
+                start_us=now_us,
+                dur_us=0,
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFFFFFF,
+                attrs=attrs,
+            )
+        )
+
+    # -- collection ----------------------------------------------------------
+
+    def _close(self, span: Span) -> None:
+        end = monotonic()
+        self._record(
+            SpanRecord(
+                name=span.name,
+                start_us=int((span._start - self._epoch) * 1e6),
+                dur_us=int((end - span._start) * 1e6),
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFFFFFF,
+                attrs=span.attrs,
+                status=span.status,
+            )
+        )
+
+    def _record(self, record: SpanRecord) -> None:
+        if os.getpid() != self._pid:
+            # Forked worker: spool to disk for the parent to stitch.
+            self._spool(record)
+            return
+        with self._lock:
+            self._spans.append(record)
+
+    def _spool(self, record: SpanRecord) -> None:
+        if self._spool_dir is None:  # pragma: no cover - defensive
+            return
+        handle = self._spool_handle
+        if handle is None:
+            path = os.path.join(
+                self._spool_dir, f"spans-{os.getpid()}.jsonl"
+            )
+            handle = self._spool_handle = open(path, "a", encoding="utf-8")
+        handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+        # Workers can be torn down without notice (executor shutdown
+        # with cancel_futures); flush per span so nothing is lost.
+        handle.flush()
+
+    def _drop_spool_handle(self) -> None:
+        if self._spool_handle is not None:
+            try:
+                self._spool_handle.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._spool_handle = None
+
+    # -- reading the trace ---------------------------------------------------
+
+    def drain_workers(self) -> int:
+        """Merge spooled worker spans into the in-process trace.
+
+        Idempotent per worker file (consumed files are deleted);
+        returns the number of spans merged.  Merged spans are re-sorted
+        with the parent's by ``(start_us, pid, tid, name)``, so the
+        stitched trace is deterministic regardless of which worker
+        finished writing first.
+        """
+        if self._spool_dir is None or not os.path.isdir(self._spool_dir):
+            return 0
+        merged = 0
+        for entry in sorted(os.listdir(self._spool_dir)):
+            if not entry.endswith(".jsonl"):
+                continue
+            path = os.path.join(self._spool_dir, entry)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        record = SpanRecord.from_dict(json.loads(line))
+                        with self._lock:
+                            self._spans.append(record)
+                        merged += 1
+                os.unlink(path)
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                continue
+        if merged:
+            with self._lock:
+                self._spans.sort(
+                    key=lambda s: (s.start_us, s.pid, s.tid, s.name)
+                )
+        return merged
+
+    def spans(self) -> list[SpanRecord]:
+        """A snapshot of the collected spans (worker spool included)."""
+        self.drain_workers()
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans = []
+
+
+#: The process-global tracer every instrumented module shares.  Import
+#: the object (not a copy of ``enabled``) so ``configure`` is seen
+#: everywhere immediately.
+TRACER = Tracer(enabled=False)
+
+
+def configure(enabled: bool = True, spool_dir: str | None = None) -> Tracer:
+    """Configure the global tracer and return it."""
+    TRACER.configure(enabled=enabled, spool_dir=spool_dir)
+    return TRACER
+
+
+def get_tracer() -> Tracer:
+    return TRACER

@@ -4,31 +4,41 @@ Collects per-operation latency samples inside a measurement window
 (excluding warm-up), plus named counters (e.g. invariant violations for
 Figure 7).  Summaries expose the statistics the paper plots: mean,
 percentiles, standard deviation, and throughput over the window.
+
+Percentiles come from the repo-wide shared quantile implementation
+(:func:`repro.obs.quantile`); an empty sample set yields ``None``
+statistics rather than fabricated zeros -- a short or faulty run with
+no completed operations is a normal outcome, not an error.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs import quantile_sorted
 
 
 @dataclass
 class LatencyStats:
-    """Summary statistics over a set of latency samples (ms)."""
+    """Summary statistics over a set of latency samples (ms).
+
+    All fields except ``count`` are ``None`` when there are no samples.
+    """
 
     count: int
-    mean: float
-    stddev: float
-    p50: float
-    p95: float
-    p99: float
-    minimum: float
-    maximum: float
+    mean: float | None
+    stddev: float | None
+    p50: float | None
+    p95: float | None
+    p99: float | None
+    minimum: float | None
+    maximum: float | None
 
     @classmethod
     def of(cls, samples: list[float]) -> "LatencyStats":
         if not samples:
-            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0, None, None, None, None, None, None, None)
         ordered = sorted(samples)
         count = len(ordered)
         mean = sum(ordered) / count
@@ -37,19 +47,24 @@ class LatencyStats:
             count=count,
             mean=mean,
             stddev=math.sqrt(variance),
-            p50=_percentile(ordered, 0.50),
-            p95=_percentile(ordered, 0.95),
-            p99=_percentile(ordered, 0.99),
+            p50=quantile_sorted(ordered, 0.50),
+            p95=quantile_sorted(ordered, 0.95),
+            p99=quantile_sorted(ordered, 0.99),
             minimum=ordered[0],
             maximum=ordered[-1],
         )
 
-
-def _percentile(ordered: list[float], q: float) -> float:
-    if not ordered:
-        return 0.0
-    index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[index]
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
 
 
 @dataclass
@@ -84,24 +99,23 @@ class MetricsCollector:
     ) -> None:
         self._warmup = warmup_ms
         self._window = window_ms
+        # Precomputed window end: the per-event check is two float
+        # comparisons against constants -- one shared, branch-predictable
+        # helper instead of hand-inlined None checks at every call site.
+        self._window_end = (
+            warmup_ms + window_ms if window_ms is not None else math.inf
+        )
         self._samples: dict[str, list[float]] = {}
         self._counters: dict[str, int] = {}
         self._count_points: dict[str, list[float]] = {}
         self._values: dict[str, list[float]] = {}
 
     def _in_window(self, now: float) -> bool:
-        if now < self._warmup:
-            return False
-        if self._window is not None and now > self._warmup + self._window:
-            return False
-        return True
+        return self._warmup <= now <= self._window_end
 
     def record_latency(self, now: float, op: str, latency_ms: float) -> None:
-        # The window check is inlined: this runs once per completed
-        # operation.
-        if now < self._warmup:
-            return
-        if self._window is not None and now > self._warmup + self._window:
+        # Runs once per completed operation (the collector's hot path).
+        if not (self._warmup <= now <= self._window_end):
             return
         samples = self._samples.get(op)
         if samples is None:
@@ -140,6 +154,9 @@ class MetricsCollector:
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
 
+    def counters(self) -> dict[str, int]:
+        return dict(sorted(self._counters.items()))
+
     def values(self, gauge: str) -> list[float]:
         return list(self._values.get(gauge, ()))
 
@@ -155,3 +172,30 @@ class MetricsCollector:
         if window_ms <= 0:
             return 0.0
         return self.total_operations() / (window_ms / 1000.0)
+
+    def snapshot(self) -> dict:
+        """One nested, JSON-safe view of everything collected.
+
+        Mirrors :meth:`repro.obs.MetricsRegistry.snapshot`: counters,
+        observed-value summaries, and per-operation latency statistics
+        (plus the cross-operation aggregate under ``"*"``).
+        """
+        latencies = {
+            op: self.stats(op).as_dict() for op in self.operations()
+        }
+        latencies["*"] = self.stats().as_dict()
+        return {
+            "window": {
+                "warmup_ms": self._warmup,
+                "window_ms": self._window,
+            },
+            "counters": self.counters(),
+            "observations": {
+                name: {
+                    "count": len(values),
+                    "max": max(values) if values else None,
+                }
+                for name, values in sorted(self._values.items())
+            },
+            "latency_ms": latencies,
+        }

@@ -16,7 +16,7 @@ Clients are resilient to server faults: when a region is unavailable
 after a short backoff, and an optional per-operation timeout re-issues
 operations whose response never arrives (dropped request or reply,
 server crash mid-flight).  Retries and timeouts surface as the
-``client_retries`` / ``client_timeouts`` counters.
+``client.retries`` / ``client.timeouts`` counters.
 """
 
 from __future__ import annotations
@@ -118,7 +118,7 @@ class ClientPool:
             except StoreError:
                 # The client's region is unavailable (crash/partition):
                 # back off and retry until it comes back.
-                self._metrics.increment(sim.now, "client_retries")
+                self._metrics.increment(sim.now, "client.retries")
                 sim.schedule(self._retry, self._loop, client)
             return
         started = self._sim.now
@@ -139,7 +139,7 @@ class ClientPool:
         def timed_out() -> None:
             if not current() or self._stopped:
                 return
-            self._metrics.increment(self._sim.now, "client_timeouts")
+            self._metrics.increment(self._sim.now, "client.timeouts")
             self._loop(client)
 
         try:
@@ -147,7 +147,7 @@ class ClientPool:
         except StoreError:
             # The client's region is unavailable (crash/partition):
             # back off and retry until it comes back.
-            self._metrics.increment(self._sim.now, "client_retries")
+            self._metrics.increment(self._sim.now, "client.retries")
             self._sim.schedule(self._retry, self._loop, client)
             return
         self._sim.schedule(self._timeout, timed_out)

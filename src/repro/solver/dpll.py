@@ -32,6 +32,47 @@ class _Clause:
     learned: bool = False
 
 
+@dataclass
+class SolverCounters:
+    """Aggregated CDCL search counters (observability).
+
+    Every :class:`SatSolver` keeps its own live attributes; callers that
+    run many solvers (the bounded model finder, incremental sessions)
+    fold them into one of these so analysis reports can attribute
+    solver work -- decisions, propagations, conflicts, restarts,
+    learned clauses -- to pipeline stages.
+    """
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+
+    def add_solver(self, solver: "SatSolver") -> None:
+        self.decisions += solver.decisions
+        self.propagations += solver.propagations
+        self.conflicts += solver.conflicts
+        self.restarts += solver.restarts
+        self.learned_clauses += solver.learned_clauses
+
+    def add(self, other: "SolverCounters") -> None:
+        self.decisions += other.decisions
+        self.propagations += other.propagations
+        self.conflicts += other.conflicts
+        self.restarts += other.restarts
+        self.learned_clauses += other.learned_clauses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+        }
+
+
 class SatSolver:
     """Incremental CDCL SAT solver.
 
@@ -68,6 +109,13 @@ class SatSolver:
         # Status after top-level conflict.
         self._unsat = False
         self._model: dict[int, bool] | None = None
+        # Search counters (observability; see SolverCounters).  Plain
+        # attributes bumped inline -- no indirection on the hot loops.
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned_clauses = 0
 
     # -- public API --------------------------------------------------------
 
@@ -141,6 +189,7 @@ class SatSolver:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts += 1
+                self.conflicts += 1
                 if self.decision_level == 0:
                     # A conflict with no decisions means the clause
                     # database itself is contradictory (learned clauses
@@ -159,6 +208,7 @@ class SatSolver:
                 if conflicts >= restart_limit:
                     conflicts = 0
                     restart_limit = int(restart_limit * 1.5)
+                    self.restarts += 1
                     self._cancel_until(len(assumptions))
                 continue
             # Place any pending assumptions as decisions.
@@ -225,6 +275,7 @@ class SatSolver:
         return True
 
     def _decide(self, lit: int) -> None:
+        self.decisions += 1
         self._trail_lim.append(len(self._trail))
         self._enqueue(lit, None)
 
@@ -233,6 +284,7 @@ class SatSolver:
         while self._queue_head < len(self._trail):
             lit = self._trail[self._queue_head]
             self._queue_head += 1
+            self.propagations += 1
             falsified = -lit
             watching = self._watches[falsified]
             index = 0
@@ -315,6 +367,7 @@ class SatSolver:
         return back_level, learned
 
     def _learn(self, literals: list[int]) -> None:
+        self.learned_clauses += 1
         if len(literals) == 1:
             self._enqueue(literals[0], None)
             return

@@ -29,8 +29,9 @@ from typing import TYPE_CHECKING
 
 from repro.logic.ast import Formula
 from repro.logic.grounding import Domain, ground
+from repro.obs import TRACER
 from repro.solver.cnf import CnfBuilder
-from repro.solver.dpll import SatSolver
+from repro.solver.dpll import SatSolver, SolverCounters
 from repro.solver.models import Model
 from repro.solver.theory import DEFAULT_INT_BOUND, TheoryEncoder
 
@@ -80,6 +81,10 @@ class BoundedModelFinder:
         #: Number of times :meth:`check_ground` actually ran the CDCL
         #: solver (cache hits excluded); analysis stats read this.
         self.solves = 0
+        #: Search-effort totals over every solver this finder ran
+        #: (decisions, propagations, conflicts, ...); cache hits add
+        #: nothing, which is exactly the effort they saved.
+        self.counters = SolverCounters()
 
     @property
     def domain(self) -> Domain:
@@ -148,6 +153,7 @@ class BoundedModelFinder:
 
     def _solve(self, *formulas: Formula) -> SmtResult:
         self.solves += 1
+        span = TRACER.start("solver.check", formulas=len(formulas))
         solver = SatSolver()
         builder = CnfBuilder(solver)
         encoder = TheoryEncoder(
@@ -155,7 +161,19 @@ class BoundedModelFinder:
         )
         for formula in formulas:
             builder.assert_formula(encoder.encode(formula))
-        if not solver.solve():
+        sat = solver.solve()
+        self.counters.add_solver(solver)
+        if span is not None:
+            TRACER.end(
+                span,
+                sat=sat,
+                decisions=solver.decisions,
+                propagations=solver.propagations,
+                conflicts=solver.conflicts,
+                restarts=solver.restarts,
+                learned_clauses=solver.learned_clauses,
+            )
+        if not sat:
             return SmtResult(sat=False)
         model = Model(domain=self._domain, params=dict(self._params))
         for atom, var in builder.atom_vars.items():
@@ -212,6 +230,14 @@ class IncrementalSession:
             self._builder, self._domain, self._params, self._int_bound
         )
         self.solves = 0
+        #: Per-session search-effort totals; updated after every
+        #: :meth:`check_under` (the underlying solver persists, so its
+        #: own attrs are already cumulative -- this mirrors them into
+        #: the shared :class:`SolverCounters` shape).
+        self.counters = SolverCounters()
+        #: Effort of the most recent :meth:`check_under` alone; callers
+        #: aggregating across many sessions fold this per call.
+        self.last_delta = SolverCounters()
 
     @property
     def domain(self) -> Domain:
@@ -225,12 +251,36 @@ class IncrementalSession:
     def check_under(self, *formulas: Formula) -> bool:
         """Satisfiability of base + ``formulas`` (verdict only)."""
         self.solves += 1
+        span = TRACER.start(
+            "solver.check", formulas=len(formulas), incremental=True
+        )
         act = self._solver.new_var()
         for formula in formulas:
             root = self._builder.tseitin(self._encoder.encode(formula))
             self._solver.add_clause([-act, root])
+        before = SolverCounters()
+        before.add_solver(self._solver)
         sat = self._solver.solve(assumptions=[act])
         # Retire the activation literal: the candidate's constraints are
         # disabled for good, and the solver may simplify around it.
         self._solver.add_clause([-act])
+        self.counters = SolverCounters()
+        self.counters.add_solver(self._solver)
+        self.last_delta = SolverCounters(
+            decisions=self._solver.decisions - before.decisions,
+            propagations=self._solver.propagations - before.propagations,
+            conflicts=self._solver.conflicts - before.conflicts,
+            restarts=self._solver.restarts - before.restarts,
+            learned_clauses=(
+                self._solver.learned_clauses - before.learned_clauses
+            ),
+        )
+        if span is not None:
+            TRACER.end(
+                span,
+                sat=sat,
+                decisions=self.last_delta.decisions,
+                propagations=self.last_delta.propagations,
+                conflicts=self.last_delta.conflicts,
+            )
         return sat

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.crdts.clock import VersionVector
+from repro.obs import TRACER
 from repro.store.replica import ReplicaSnapshot
 from repro.store.replication import ReplicationBatch
 from repro.store.transaction import CommitRecord
@@ -197,6 +198,11 @@ class AntiEntropyEngine:
         responder = request.responder
         if self._cluster.is_crashed(responder):
             return
+        span = TRACER.start(
+            "store.antientropy.respond",
+            responder=responder,
+            requester=request.requester,
+        )
         replica = self._cluster.replica(responder)
         missing, snapshot = replica.sync_answer(request.vv)
         response = SyncResponse(
@@ -210,6 +216,7 @@ class AntiEntropyEngine:
         self._network.send(
             responder, request.requester, response, self._on_response
         )
+        TRACER.end(span, records=len(missing), snapshot=snapshot is not None)
 
     def _on_response(self, response: SyncResponse) -> None:
         requester = response.requester
@@ -219,6 +226,11 @@ class AntiEntropyEngine:
         self.responses_received += 1
         if self._cluster.is_crashed(requester):
             return
+        span = TRACER.start(
+            "store.antientropy.apply",
+            requester=requester,
+            responder=response.responder,
+        )
         if response.snapshot is not None:
             # The responder truncated past our digest: adopt its
             # snapshot (refused if it does not dominate our state),
@@ -247,3 +259,6 @@ class AntiEntropyEngine:
                     self._cluster.deliver_batch(target, b)
                 ),
             )
+        TRACER.end(
+            span, retransmitted=len(response.records), pushed=len(push)
+        )

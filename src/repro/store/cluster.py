@@ -36,6 +36,7 @@ from typing import Any, Callable
 
 from repro.errors import StoreError
 from repro.crdts.clock import VersionVector
+from repro.obs import REGISTRY, TRACER
 from repro.sim.events import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.latency import GeoLatencyModel, REGIONS
@@ -105,6 +106,9 @@ class Cluster:
         #: records when ``batch_ms == 0``, flushed batches otherwise).
         #: What the batching gate benchmark compares across modes.
         self.replication_messages = 0
+        #: Commit records shipped through broadcast replication; with
+        #: ``replication_messages`` this gives the coalescing ratio.
+        self.replication_records = 0
         self._replicas: dict[str, Replica] = {}
         self._receivers: dict[str, CausalReceiver] = {}
         self._queues: dict[str, ProcessingQueue] = {}
@@ -130,6 +134,9 @@ class Cluster:
         self.antientropy: AntiEntropyEngine | None = None
         self.stale_window = StaleWindow()
         self.dropped_at_crashed = 0
+        # Convergence lag of the most recent remote apply (held as a
+        # direct instrument reference: ``_note_apply`` is hot).
+        self._lag_gauge = REGISTRY.gauge("store.convergence.lag_ms")
         if faults is not None:
             self._install_crash_windows(faults)
 
@@ -295,6 +302,7 @@ class Cluster:
 
         def run() -> float:
             nonlocal op_name
+            span = TRACER.start("store.txn", replica=server)
             txn = replica.begin()
             op_name = body(txn)
             objects = txn.updated_object_count + extra_objects
@@ -306,6 +314,12 @@ class Cluster:
             record = txn.commit()
             if record is not None:
                 self._replicate(server, record)
+            TRACER.end(
+                span,
+                op=op_name,
+                client=client_region,
+                replicated=record is not None,
+            )
             return cost
 
         def respond() -> None:
@@ -326,6 +340,7 @@ class Cluster:
                 if region == origin or region in self._down:
                     continue
                 self.replication_messages += 1
+                self.replication_records += 1
                 send(origin, region, record, self._deliver_record[region])
             return
         buffers = self._batch_buffers
@@ -352,12 +367,17 @@ class Cluster:
             # exactly as the individual sends would have been.
             return
         self.replication_messages += 1
+        self.replication_records += len(records)
+        span = TRACER.start(
+            "store.replication.flush", origin=origin, target=target
+        )
         self.network.send(
             origin,
             target,
             ReplicationBatch(source=origin, records=tuple(records)),
             self._deliver_batch[target],
         )
+        TRACER.end(span, records=len(records))
 
     def flush_replication(self) -> None:
         """Flush every open batch window immediately (shutdown/tests)."""
@@ -389,7 +409,9 @@ class Cluster:
 
     def _note_apply(self, region: str, record: CommitRecord) -> None:
         if record.committed_at > 0.0:
-            self.stale_window.record(self.sim.now - record.committed_at)
+            lag = self.sim.now - record.committed_at
+            self.stale_window.record(lag)
+            self._lag_gauge.value = lag
 
     # -- stability ------------------------------------------------------------------
 
@@ -500,39 +522,53 @@ class Cluster:
             digests[region] = hashlib.sha256(payload.encode()).hexdigest()
         return digests
 
-    def fault_stats(self) -> dict[str, int | float]:
-        """One flat view of every chaos counter (benchmark reporting)."""
+    def fault_stats(self) -> dict[str, int | float | None]:
+        """One flat view of every chaos counter (benchmark reporting).
+
+        Keys follow the repo-wide ``dotted.namespace`` metric-name
+        convention: ``net.*`` for the simulated network, ``store.*``
+        for replica/replication state, ``store.antientropy.*`` for the
+        digest-exchange engine.
+        """
         stats: dict[str, int | float] = {
-            "messages_sent": self.network.messages_sent,
-            "messages_delivered": self.network.messages_delivered,
-            "messages_dropped": self.network.messages_dropped,
-            "messages_duplicated": self.network.messages_duplicated,
-            "messages_reordered": self.network.messages_reordered,
-            "dropped_at_crashed": self.dropped_at_crashed,
-            "pending_high_water": max(
+            "net.messages_sent": self.network.messages_sent,
+            "net.messages_delivered": self.network.messages_delivered,
+            "net.messages_dropped": self.network.messages_dropped,
+            "net.messages_duplicated": self.network.messages_duplicated,
+            "net.messages_reordered": self.network.messages_reordered,
+            "store.dropped_at_crashed": self.dropped_at_crashed,
+            "store.replication.messages": self.replication_messages,
+            "store.replication.records": self.replication_records,
+            "store.replication.coalescing_ratio": (
+                self.replication_records / self.replication_messages
+                if self.replication_messages
+                else None
+            ),
+            "store.pending_high_water": max(
                 r.buffered_high_water for r in self._receivers.values()
             ),
-            "duplicates_ignored": sum(
+            "store.duplicates_ignored": sum(
                 r.duplicates_ignored for r in self._receivers.values()
             ),
-            "recoveries": sum(
+            "store.recoveries": sum(
                 r.recoveries for r in self._replicas.values()
             ),
-            "log_truncated": sum(
+            "store.log_truncated": sum(
                 r.log_truncated for r in self._replicas.values()
             ),
-            "stale_mean_ms": self.stale_window.mean_ms,
-            "stale_max_ms": self.stale_window.max_ms,
+            "store.stale_mean_ms": self.stale_window.mean_ms,
+            "store.stale_max_ms": self.stale_window.max_ms,
         }
         if self.injector is not None:
-            stats["partition_drops"] = self.injector.partition_drops
+            stats["net.partition_drops"] = self.injector.partition_drops
         if self.antientropy is not None:
-            stats["digests_sent"] = self.antientropy.digests_sent
-            stats["records_retransmitted"] = (
-                self.antientropy.records_retransmitted
+            engine = self.antientropy
+            stats["store.antientropy.digests_sent"] = engine.digests_sent
+            stats["store.antientropy.records_retransmitted"] = (
+                engine.records_retransmitted
             )
-            stats["records_pushed"] = self.antientropy.records_pushed
-            stats["sync_timeouts"] = self.antientropy.sync_timeouts
+            stats["store.antientropy.records_pushed"] = engine.records_pushed
+            stats["store.antientropy.sync_timeouts"] = engine.sync_timeouts
         return stats
 
 

@@ -1,0 +1,42 @@
+"""Lint: ``repro.obs`` is the single sanctioned wall-clock source.
+
+Every module that measures wall time imports ``monotonic`` from
+``repro.obs`` (an alias of ``time.perf_counter``); directly calling
+``time.perf_counter`` anywhere else splits the codebase across clock
+sources and bypasses the tracer's timeline.  This test (and the
+matching grep step in CI) fails on any new bare use outside
+``src/repro/obs/``.
+"""
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCANNED = ("src", "benchmarks", "tests")
+ALLOWED = (Path("src") / "repro" / "obs",)
+FORBIDDEN = "time.perf_counter"
+
+
+def offending_files() -> list[str]:
+    offenders = []
+    for top in SCANNED:
+        for path in sorted((REPO_ROOT / top).rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT)
+            if any(
+                allowed in relative.parents for allowed in ALLOWED
+            ):
+                continue
+            if FORBIDDEN in path.read_text(encoding="utf-8"):
+                offenders.append(str(relative))
+    return offenders
+
+
+def test_no_bare_perf_counter_outside_obs():
+    offenders = offending_files()
+    # This file mentions the forbidden name by necessity; nothing else
+    # may.
+    this_file = str(Path(__file__).resolve().relative_to(REPO_ROOT))
+    offenders = [name for name in offenders if name != this_file]
+    assert offenders == [], (
+        "bare time.perf_counter outside repro.obs (import `monotonic` "
+        f"from repro.obs instead): {offenders}"
+    )

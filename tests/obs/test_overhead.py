@@ -1,0 +1,76 @@
+"""Regression gate: the disabled tracer stays (near-)free.
+
+The design contract (see ``src/repro/obs/tracer.py``) is that
+instrumentation can live permanently on hot paths because a disabled
+``span()`` is one attribute load, one branch, and the shared null
+singleton.  This microbenchmark pins that: the disabled path must be
+several times cheaper than the enabled path on the same machine (a
+machine-relative gate, robust to slow CI runners) and cheap in absolute
+terms by a deliberately loose bound.  If someone replaces the
+null-object fast path with real work -- allocating a span, reading the
+clock -- the ratio collapses and this test fails.
+"""
+
+from repro.obs import Tracer, monotonic
+
+CALLS = 50_000
+REPEATS = 5
+
+
+def best_cost_per_call(fn) -> float:
+    """Seconds per call, best of ``REPEATS`` (min defeats CI noise)."""
+    best = None
+    for _ in range(REPEATS):
+        started = monotonic()
+        for _ in range(CALLS):
+            fn()
+        elapsed = (monotonic() - started) / CALLS
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_span_overhead_vs_enabled():
+    disabled = Tracer()
+
+    def disabled_span():
+        with disabled.span("bench.noop"):
+            pass
+
+    enabled = Tracer()
+    enabled.configure(enabled=True)
+
+    def enabled_span():
+        with enabled.span("bench.noop"):
+            pass
+
+    disabled_cost = best_cost_per_call(disabled_span)
+    enabled_cost = best_cost_per_call(enabled_span)
+    enabled.disable()
+
+    print(
+        "\ndisabled span: %.0f ns/call, enabled span: %.0f ns/call "
+        "(x%.1f)"
+        % (
+            disabled_cost * 1e9,
+            enabled_cost * 1e9,
+            enabled_cost / disabled_cost,
+        )
+    )
+    # Machine-relative: disabled must be at least 2x cheaper than
+    # enabled (in practice 5-10x -- the threshold is deliberately slack).
+    assert disabled_cost * 2.0 <= enabled_cost
+    # Absolute sanity: well under the cost of any simulated operation.
+    assert disabled_cost < 5e-6
+
+
+def test_disabled_start_end_overhead():
+    tracer = Tracer()
+
+    def start_end():
+        handle = tracer.start("bench.noop")
+        tracer.end(handle)
+
+    cost = best_cost_per_call(start_end)
+    print("\ndisabled start/end: %.0f ns/call" % (cost * 1e9))
+    assert cost < 5e-6

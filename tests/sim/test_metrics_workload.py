@@ -10,7 +10,14 @@ class TestLatencyStats:
     def test_empty(self):
         stats = LatencyStats.of([])
         assert stats.count == 0
-        assert stats.mean == 0.0
+        # No samples -> None statistics, never fabricated zeros (and
+        # never an exception).
+        assert stats.mean is None
+        assert stats.p50 is None
+        assert stats.p95 is None
+        assert stats.p99 is None
+        assert stats.minimum is None
+        assert stats.maximum is None
 
     def test_basic_statistics(self):
         stats = LatencyStats.of([1.0, 2.0, 3.0, 4.0])

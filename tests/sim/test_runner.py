@@ -94,7 +94,7 @@ class TestFaultyIssuers:
             sim, issue, {"r": 1},
             duration_ms=1_000.0, warmup_ms=0.0, retry_ms=50.0,
         )
-        assert result.metrics.counter("client_retries") >= 5
+        assert result.metrics.counter("client.retries") >= 5
         assert result.stats("op").count > 0
 
     def test_timeout_reissues_lost_operation(self):
@@ -113,7 +113,7 @@ class TestFaultyIssuers:
             sim, issue, {"r": 1},
             duration_ms=1_000.0, warmup_ms=0.0, timeout_ms=100.0,
         )
-        assert result.metrics.counter("client_timeouts") == 1
+        assert result.metrics.counter("client.timeouts") == 1
         assert result.stats("op").count > 0
 
     def test_straggler_response_after_timeout_ignored(self):
@@ -134,7 +134,7 @@ class TestFaultyIssuers:
             sim, issue, {"r": 1},
             duration_ms=1_000.0, warmup_ms=0.0, timeout_ms=100.0,
         )
-        assert result.metrics.counter("client_timeouts") == 1
+        assert result.metrics.counter("client.timeouts") == 1
         # Every recorded latency comes from the fast path: the 400 ms
         # straggler was not recorded.
         assert result.stats("op").maximum < 400.0
