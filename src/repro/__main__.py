@@ -11,6 +11,12 @@ The executable counterpart of the paper's IPA tool:
 - ``simulate`` -- run one closed-loop Tournament experiment on the
   simulated geo-replicated store and print throughput/latency (the
   quickest way to see the effect of ``--batch-ms`` or client load);
+  with ``--fail-on-violation`` the run is judged by the runtime
+  oracles and the exit status is nonzero when one fires;
+- ``check APP`` -- explore deterministic fault schedules against APP
+  with the runtime oracles, shrink the first counterexample found,
+  and optionally write a replayable repro file; ``check --replay
+  FILE`` re-executes a repro file and verifies the same verdict;
 - ``trace SPECFILE`` -- run the IPA analysis plus a short simulation
   with tracing on and write one Chrome-trace JSON covering all three
   layers (open it at https://ui.perfetto.dev).
@@ -24,6 +30,8 @@ carries analysis, solver and store spans end to end.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro import obs
@@ -125,11 +133,35 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_violations(cluster, config, sessions, caps: dict) -> list:
+    """Judge a finished ``simulate`` run with the runtime oracles."""
+    from repro.check.apps import TournamentAdapter
+    from repro.check.oracles import ConvergenceOracle, InvariantOracle
+
+    adapter = TournamentAdapter()
+    violations = list(ConvergenceOracle().check(cluster))
+    digests = cluster.state_digest()
+    # Converged replicas share digests: ground the invariants once per
+    # distinct digest.
+    representatives: dict[str, str] = {}
+    for region in sorted(cluster.regions):
+        representatives.setdefault(digests[region], region)
+    oracle = InvariantOracle(adapter.spec(caps))
+    for region in sorted(representatives.values()):
+        interp = adapter.extract(
+            cluster.replica(region), config.variant, caps
+        )
+        violations.extend(oracle.check(interp, region))
+    violations.extend(sessions.check())
+    return violations
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     # Imported here: the simulator stack is not needed by the
     # analysis-only commands.
     from repro.bench.configs import CONFIGS, build_tournament
     from repro.sim.runner import run_closed_loop
+    from repro.store.cluster import ConsistencyMode
 
     config = next((c for c in CONFIGS if c.name == args.config), None)
     if config is None:
@@ -148,13 +180,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from repro.apps.tournament import tournament_spec
 
         run_ipa(tournament_spec(), cache=False)
+    caps = {"capacity": 8, "n_players": 60, "n_tournaments": 12}
     sim, app, workload = build_tournament(
         config,
+        n_players=caps["n_players"],
+        n_tournaments=caps["n_tournaments"],
+        capacity=caps["capacity"],
         seed=args.seed,
         n_regions=args.regions,
         batch_ms=args.batch_ms,
     )
     cluster = app.cluster
+    observer = None
+    sessions = None
+    if args.fail_on_violation:
+        from repro.check.oracles import SessionTracker
+
+        sessions = SessionTracker()
+        strong = config.mode is ConsistencyMode.STRONG
+
+        def observer(client, op_name):
+            serving = cluster.primary if strong else client.region
+            sessions.observe(
+                f"{client.region}#{client.client_id}",
+                serving,
+                dict(cluster.replica(serving).vv.entries),
+            )
+
     clients = {region: args.clients for region in cluster.regions}
     with obs.TRACER.span(
         "sim.run", config=config.name, clients=args.clients
@@ -166,6 +218,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             duration_ms=args.duration_ms,
             warmup_ms=args.warmup_ms,
             think_ms=args.think_ms,
+            observer=observer,
         )
         cluster.run_until_converged()
     stats = result.stats()
@@ -182,8 +235,173 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"  {result.metrics.total_operations()} operations, "
         f"{cluster.replication_messages} replication messages"
     )
+    exit_code = 0
+    if args.fail_on_violation:
+        violations = _simulate_violations(cluster, config, sessions, caps)
+        if violations:
+            print(f"  ORACLE VIOLATIONS ({len(violations)}):")
+            for violation in violations[:10]:
+                print(f"    - {violation.describe()}")
+            if len(violations) > 10:
+                print(f"    ... and {len(violations) - 10} more")
+            exit_code = 1
+        else:
+            print("  oracles: clean (convergence, invariants, sessions)")
     _finish_tracing(args)
-    return 0
+    return exit_code
+
+
+def _check_replay(args: argparse.Namespace) -> int:
+    """Re-execute a repro file and verify its recorded verdict."""
+    from repro.check import load_repro, run_trial
+
+    spec, expected = load_repro(args.replay)
+    result = run_trial(spec)
+    reproduced = result.verdict_keys == expected
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mode": "replay",
+                    "app": spec.app,
+                    "config": spec.config,
+                    "seed": spec.seed,
+                    "fingerprint": result.fingerprint,
+                    "verdict": [list(k) for k in sorted(result.verdict_keys)],
+                    "expected": [list(k) for k in sorted(expected)],
+                    "reproduced": reproduced,
+                    "violations": [v.to_dict() for v in result.violations],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if reproduced else 1
+    print(result.summary())
+    for violation in result.violations:
+        print(f"  - {violation.describe()}")
+    if reproduced:
+        print("verdict reproduced")
+        return 0
+    print(
+        "VERDICT MISMATCH: expected "
+        f"{sorted(expected)}, got {sorted(result.verdict_keys)}"
+    )
+    return 1
+
+
+def _format_ops(ops) -> list[str]:
+    return [
+        f"t={op.at_ms:7.1f} ms  {op.session:>12s}  "
+        f"{op.op}({', '.join(op.args)})"
+        for op in ops
+    ]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.replay:
+        return _check_replay(args)
+    if not args.app:
+        print(
+            "error: APP is required unless --replay is given",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.check import explore, shrink, write_repro
+
+    result = explore(
+        args.app,
+        args.config,
+        trials=args.trials,
+        budget_s=args.budget_s,
+        seed=args.seed,
+        n_ops=args.n_ops,
+    )
+    report: dict = {
+        "mode": "explore",
+        "app": result.app,
+        "config": result.config,
+        "seed": result.root_seed,
+        "explored": result.explored,
+        "violating": result.violating,
+        "budget_exhausted": result.budget_exhausted,
+        "trials": [
+            {
+                "index": t.index,
+                "seed": t.seed,
+                "plan_kind": t.plan_kind,
+                "n_ops": t.n_ops,
+                "n_violations": t.n_violations,
+                "converged": t.converged,
+            }
+            for t in result.trials
+        ],
+    }
+    if not args.json:
+        for t in result.trials:
+            status = (
+                f"{t.n_violations} violation(s)" if t.n_violations else "ok"
+            )
+            print(
+                f"  trial {t.index:2d} [{t.plan_kind:>15s}] "
+                f"seed={t.seed} ops={t.n_ops} {status}"
+            )
+        print(result.summary())
+    if result.failures:
+        first = result.failures[0]
+        report["failure"] = {
+            "seed": first.spec.seed,
+            "verdict": [list(k) for k in sorted(first.verdict_keys)],
+            "fingerprint": first.fingerprint,
+            "violations": [v.to_dict() for v in first.violations],
+        }
+        final_spec, final_result = first.spec, first
+        if not args.no_shrink:
+            shrunk = shrink(first.spec)
+            final_spec, final_result = shrunk.shrunk, shrunk.result
+            report["shrink"] = {
+                "original_ops": shrunk.original_ops,
+                "shrunk_ops": shrunk.shrunk_ops,
+                "op_reduction": round(shrunk.op_reduction, 4),
+                "regions": list(shrunk.shrunk.regions),
+                "runs": shrunk.runs,
+                "ops": _format_ops(shrunk.shrunk.ops),
+            }
+            if not args.json:
+                print()
+                print(f"shrink: {shrunk.summary()}")
+                print("minimal counterexample:")
+                for line in _format_ops(shrunk.shrunk.ops):
+                    print(f"    {line}")
+                for violation in final_result.violations:
+                    print(f"  - {violation.describe()}")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(
+                args.out,
+                f"{args.app}-{args.config}-seed{args.seed}.json",
+            )
+            write_repro(
+                path,
+                final_spec,
+                final_result,
+                meta={
+                    "root_seed": args.seed,
+                    "explored": result.explored,
+                    "shrunk": not args.no_shrink,
+                },
+            )
+            report["repro_file"] = path
+            if not args.json:
+                print(f"repro written to {path}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    violating = result.violating > 0
+    if args.expect == "violation":
+        return 0 if violating else 1
+    if args.expect == "clean":
+        return 0 if not violating else 1
+    return 1 if violating else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -315,8 +533,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=23,
         help="workload seed (default 23)",
     )
+    simulate.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="judge the run with the runtime oracles (convergence, "
+        "invariants, session monotonicity) and exit nonzero if any "
+        "fires",
+    )
     _add_trace_flags(simulate)
     simulate.set_defaults(func=_cmd_simulate)
+
+    check = sub.add_parser(
+        "check",
+        help="explore fault schedules against an application with "
+        "runtime oracles; shrink and save counterexamples",
+    )
+    check.add_argument(
+        "app", nargs="?", default=None, metavar="APP",
+        help="application to check: tournament, ticket, tpcw or "
+        "twitter (omit with --replay)",
+    )
+    check.add_argument(
+        "--config", default="Causal",
+        help="checker configuration: Causal, IPA or Strong "
+        "(default Causal)",
+    )
+    check.add_argument(
+        "--trials", type=int, default=15, metavar="N",
+        help="maximum trials to explore (default 15)",
+    )
+    check.add_argument(
+        "--budget-s", type=float, default=60.0, metavar="S",
+        help="wall-clock budget in seconds (default 60)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=11,
+        help="root exploration seed (default 11)",
+    )
+    check.add_argument(
+        "--n-ops", type=int, default=40, metavar="N",
+        help="client operations per generated trace (default 40)",
+    )
+    check.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write a replayable repro file for the first "
+        "counterexample into DIR",
+    )
+    check.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimisation of the first "
+        "counterexample",
+    )
+    check.add_argument(
+        "--expect", choices=("violation", "clean"), default=None,
+        help="CI mode: exit 0 iff the sweep found a violation "
+        "('violation') or none ('clean')",
+    )
+    check.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-execute a repro file and verify the recorded verdict",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable JSON report",
+    )
+    check.set_defaults(func=_cmd_check)
 
     trace = sub.add_parser(
         "trace",

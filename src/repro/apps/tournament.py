@@ -16,6 +16,15 @@ Figure 1; the IPA variant applies the repairs the analysis proposes
 State layout (one CRDT per predicate, as §4.1 describes):
 ``players``/``tournaments`` entity sets, ``enrolled`` pair set,
 ``active``/``finished`` status sets, ``inMatch`` triple set.
+
+Every operation checks its *sequential precondition* against the local
+replica state and refuses when it fails (the paper's baseline: the
+application is correct under serialisability).  The IPA variant skips
+the guards its extra effects make redundant -- ``rem_tourn``'s rem-wins
+cascade, for example, is the sequential cleanup and the concurrent
+repair at once.  Under causal consistency the guards only see the local
+replica, so concurrent gaps remain -- which is exactly what the
+``repro check`` explorer hunts.
 """
 
 from __future__ import annotations
@@ -160,8 +169,35 @@ class TournamentApp(AppHarness):
 
     # -- operations ------------------------------------------------------------
 
+    def add_player(self, region, p, done) -> None:
+        def body(txn: Transaction) -> str:
+            txn.update("players", lambda s: s.prepare_add(p))
+            return "add_player"
+
+        self.cluster.submit(region, body, done)
+
+    def add_tourn(self, region, t, done) -> None:
+        def body(txn: Transaction) -> str:
+            txn.update("tournaments", lambda s: s.prepare_add(t))
+            return "add_tourn"
+
+        self.cluster.submit(region, body, done)
+
+    def _capacity_used(self, txn: Transaction, t) -> int:
+        """Locally visible enrolment count of ``t`` (compensated view)."""
+        obj = txn.get(f"capacity:{t}")
+        if isinstance(obj, CompensationSet):
+            return len(obj.read().visible)
+        return len(obj.value())
+
     def enroll(self, region, p, t, done) -> None:
         def body(txn: Transaction) -> str:
+            if (
+                t not in txn.get("tournaments").value()
+                or p not in txn.get("players").value()
+                or self._capacity_used(txn, t) >= self.capacity
+            ):
+                return "enroll"
             txn.update("enrolled", lambda s: s.prepare_add((p, t)))
             txn.update(f"capacity:{t}", lambda s: s.prepare_add(p))
             if self.variant is Variant.IPA:
@@ -177,6 +213,14 @@ class TournamentApp(AppHarness):
 
     def disenroll(self, region, p, t, done) -> None:
         def body(txn: Transaction) -> str:
+            if self.variant is not Variant.IPA and any(
+                t == mt and p in (a, b)
+                for a, b, mt in txn.get("inMatch").value()
+            ):
+                # Sequentially, dropping an enrolment under a standing
+                # match breaks invariant 2; the IPA variant clears the
+                # matches itself below.
+                return "disenroll"
             txn.update("enrolled", lambda s: s.prepare_remove((p, t)))
             txn.update(f"capacity:{t}", lambda s: s.prepare_remove(p))
             if self.variant is Variant.IPA:
@@ -197,6 +241,14 @@ class TournamentApp(AppHarness):
 
     def rem_tourn(self, region, t, done) -> None:
         def body(txn: Transaction) -> str:
+            if self.variant is not Variant.IPA and (
+                any(t == mt for _p, mt in txn.get("enrolled").value())
+                or t in txn.get("active").value()
+                or t in txn.get("finished").value()
+            ):
+                # A referenced tournament cannot be removed without the
+                # IPA cascade that clears the references with it.
+                return "remove"
             txn.update("tournaments", lambda s: s.prepare_remove(t))
             if self.variant is Variant.IPA:
                 # Figure 2c: nothing may keep referencing t.
@@ -220,6 +272,14 @@ class TournamentApp(AppHarness):
 
     def begin_tourn(self, region, t, done) -> None:
         def body(txn: Transaction) -> str:
+            if self.variant is not Variant.IPA and (
+                t not in txn.get("tournaments").value()
+                or t in txn.get("finished").value()
+            ):
+                # The IPA variant restores the tournament and retracts
+                # ``finished`` itself; without those effects, beginning
+                # a missing or finished tournament is a sequential bug.
+                return "begin"
             txn.update("active", lambda s: s.prepare_add(t))
             if self.variant is Variant.IPA:
                 # Figure 3 ensureBegin: restore the tournament.
@@ -233,6 +293,11 @@ class TournamentApp(AppHarness):
 
     def finish_tourn(self, region, t, done) -> None:
         def body(txn: Transaction) -> str:
+            if (
+                self.variant is not Variant.IPA
+                and t not in txn.get("active").value()
+            ):
+                return "finish"
             txn.update("finished", lambda s: s.prepare_add(t))
             txn.update("active", lambda s: s.prepare_remove(t))
             if self.variant is Variant.IPA:
@@ -246,6 +311,17 @@ class TournamentApp(AppHarness):
 
     def do_match(self, region, p, q, t, done) -> None:
         def body(txn: Transaction) -> str:
+            enrolled = txn.get("enrolled").value()
+            if (
+                p == q
+                or (p, t) not in enrolled
+                or (q, t) not in enrolled
+                or t not in txn.get("active").value()
+            ):
+                # Guarded in every variant: the IPA touches restore the
+                # enrolments but nothing restores ``active(t)``, so a
+                # match in a never-begun tournament stays a bug.
+                return "do_match"
             txn.update("inMatch", lambda s: s.prepare_add((p, q, t)))
             if self.variant is Variant.IPA:
                 # Figure 3 ensureDoMatch: restore both enrolments (and
@@ -291,6 +367,20 @@ class TournamentApp(AppHarness):
                     txn.update(
                         "enrolled",
                         lambda s, v=victim: s.prepare_remove((v, t)),
+                    )
+                    # The trim cascades like a disenrolment: matches of
+                    # a trimmed player would dangle otherwise.
+                    txn.update(
+                        "inMatch",
+                        lambda s, v=victim: s.prepare_remove_where(
+                            Pattern.of(v, "*", t)
+                        ),
+                    )
+                    txn.update(
+                        "inMatch",
+                        lambda s, v=victim: s.prepare_remove_where(
+                            Pattern.of("*", v, t)
+                        ),
                     )
 
     # -- invariant audit ----------------------------------------------------------

@@ -51,7 +51,10 @@ def tpcw_spec() -> ApplicationSpec:
     return b.build()
 
 
-def tpcw_registry(variant: Variant) -> TypeRegistry:
+def tpcw_registry(
+    variant: Variant, level: int = DEFAULT_RESTOCK_LEVEL
+) -> TypeRegistry:
+    """CRDT choices per predicate; ``level`` is the initial stock."""
     registry = TypeRegistry()
     registry.register("orders", AWSet)
     registry.register("orderOf", AWSet if variant is Variant.CAUSAL else RWSet)
@@ -60,14 +63,14 @@ def tpcw_registry(variant: Variant) -> TypeRegistry:
         registry.register_prefix(
             "stock:",
             lambda: CompensatedCounter(
-                initial=DEFAULT_RESTOCK_LEVEL,
+                initial=level,
                 lower_bound=0,
-                replenish_to=DEFAULT_RESTOCK_LEVEL,
+                replenish_to=level,
             ),
         )
     else:
         registry.register_prefix(
-            "stock:", lambda: PNCounter(initial=DEFAULT_RESTOCK_LEVEL)
+            "stock:", lambda: PNCounter(initial=level)
         )
     return registry
 
@@ -98,6 +101,15 @@ class TpcwApp(AppHarness):
 
     def rem_product(self, region, product, done) -> None:
         def body(txn: Transaction) -> str:
+            if self.variant is not Variant.IPA and any(
+                p == product
+                for _o, p in txn.get("orderOf").value()
+            ):
+                # Sequential precondition: a listed product with
+                # standing orders cannot be delisted.  The IPA variant
+                # needs no guard -- its rem-wins cascade below clears
+                # the references, sequentially and concurrently alike.
+                return "rem_product"
             txn.update("products", lambda s: s.prepare_remove(product))
             if self.variant is Variant.IPA:
                 # Clear order references (rem-wins), the Figure 2c shape.
@@ -117,6 +129,11 @@ class TpcwApp(AppHarness):
 
     def new_order(self, region, order_id, product, done) -> None:
         def body(txn: Transaction) -> str:
+            if product not in txn.get("products").value():
+                # Sequential precondition: no order for an unlisted
+                # product.  (The IPA touch below only defends against
+                # *concurrent* removals.)
+                return "order_rejected"
             stock = txn.get(f"stock:{product}")
             if stock.value() <= 0:
                 return "order_rejected"

@@ -80,12 +80,17 @@ def twitter_registry(variant: Variant) -> TypeRegistry:
         registry.register_prefix("timeline:", RWSet)
         registry.register_prefix("followers:", RWSet)
         registry.register_prefix("authored:", RWSet)
+        registry.register_prefix("copies:", RWSet)
     else:
         registry.register("users", AWSet)
         registry.register("tweets", AWSet)
         registry.register_prefix("timeline:", AWSet)
         registry.register_prefix("followers:", AWSet)
         registry.register_prefix("authored:", AWSet)
+        # Reverse index tweet -> timeline owners, maintained by the
+        # fan-out writes: the eager ``del_tweet`` cleanup reads it to
+        # chase every materialised copy.
+        registry.register_prefix("copies:", AWSet)
     return registry
 
 
@@ -115,30 +120,67 @@ class TwitterApp(AppHarness):
 
     def rem_user(self, region, u, done) -> None:
         def body(txn: Transaction) -> str:
-            txn.update("users", lambda s: s.prepare_remove(u))
-            if self.variant is Variant.REM_WINS:
-                # Purge the user's whole history: rem-wins tombstones
-                # also kill concurrent tweets/follows of u (§5.1.2).
-                followers = txn.get(f"followers:{u}").value()
-                txn.update(
-                    f"followers:{u}",
-                    lambda s: s.prepare_remove_where(Pattern.of("*")),
-                )
-                for follower in sorted(followers):
-                    txn.update(
-                        f"timeline:{follower}",
-                        lambda s: s.prepare_remove_where(Pattern.of("*", u)),
+            if self.variant is not Variant.REM_WINS:
+                # Sequential precondition: only an unreferenced user may
+                # go.  The rem-wins variant needs no guard -- its purge
+                # below is the sequential cleanup and the concurrent
+                # repair at once.
+                if (
+                    txn.get(f"followers:{u}").value()
+                    or txn.get(f"authored:{u}").value()
+                    or txn.get(f"timeline:{u}").value()
+                    or any(
+                        u in txn.get(key).value()
+                        for key in txn.replica.keys()
+                        if key.startswith("followers:")
+                        and key != f"followers:{u}"
                     )
+                ):
+                    return "rem_user"
+                txn.update("users", lambda s: s.prepare_remove(u))
+                return "rem_user"
+            txn.update("users", lambda s: s.prepare_remove(u))
+            # Purge the user's whole history: rem-wins tombstones
+            # also kill concurrent tweets/follows of u (§5.1.2).
+            followers = txn.get(f"followers:{u}").value()
+            txn.update(
+                f"followers:{u}",
+                lambda s: s.prepare_remove_where(Pattern.of("*")),
+            )
+            for follower in sorted(followers):
                 txn.update(
-                    f"timeline:{u}",
-                    lambda s: s.prepare_remove_where(Pattern.of("*", "*")),
+                    f"timeline:{follower}",
+                    lambda s: s.prepare_remove_where(Pattern.of("*", u)),
                 )
+            txn.update(
+                f"timeline:{u}",
+                lambda s: s.prepare_remove_where(Pattern.of("*", "*")),
+            )
+            # ... including the tweets u authored and u's own follow
+            # edges: the wildcard tombstone on ``authored:u`` kills a
+            # concurrent tweet's authorship record, and the per-set
+            # removals kill concurrent follows into sets this replica
+            # knows about.
+            for tweet_id in sorted(txn.get(f"authored:{u}").value()):
+                txn.update(
+                    "tweets", lambda s, w=tweet_id: s.prepare_remove(w)
+                )
+            txn.update(
+                f"authored:{u}",
+                lambda s: s.prepare_remove_where(Pattern.of("*")),
+            )
+            for key in txn.replica.keys():
+                if key.startswith("followers:") and key != f"followers:{u}":
+                    txn.update(key, lambda s: s.prepare_remove(u))
             return "rem_user"
 
         self.cluster.submit(region, body, done)
 
     def follow(self, region, u, v, done) -> None:
         def body(txn: Transaction) -> str:
+            users = txn.get("users").value()
+            if u == v or u not in users or v not in users:
+                return "follow"
             txn.update(f"followers:{v}", lambda s: s.prepare_add(u))
             if self.variant is Variant.ADD_WINS:
                 txn.update("users", lambda s: s.prepare_touch(u))
@@ -158,6 +200,8 @@ class TwitterApp(AppHarness):
 
     def tweet(self, region, u, tweet_id, done) -> None:
         def body(txn: Transaction) -> str:
+            if u not in txn.get("users").value():
+                return "tweet"
             txn.update("tweets", lambda s: s.prepare_add(tweet_id))
             txn.update(f"authored:{u}", lambda s: s.prepare_add(tweet_id))
             # Write-time fan-out to follower timelines.
@@ -167,9 +211,14 @@ class TwitterApp(AppHarness):
                     f"timeline:{follower}",
                     lambda s, f=follower: s.prepare_add((tweet_id, u)),
                 )
+                txn.update(
+                    f"copies:{tweet_id}",
+                    lambda s, f=follower: s.prepare_add(f),
+                )
             txn.update(
                 f"timeline:{u}", lambda s: s.prepare_add((tweet_id, u))
             )
+            txn.update(f"copies:{tweet_id}", lambda s: s.prepare_add(u))
             if self.variant is Variant.ADD_WINS:
                 # The author must survive a concurrent rem_user.
                 txn.update("users", lambda s: s.prepare_touch(u))
@@ -179,11 +228,20 @@ class TwitterApp(AppHarness):
 
     def retweet(self, region, u, tweet_id, author, done) -> None:
         def body(txn: Transaction) -> str:
+            if (
+                u not in txn.get("users").value()
+                or tweet_id not in txn.get("tweets").value()
+            ):
+                return "retweet"
             followers = sorted(txn.get(f"followers:{u}").value())
             for follower in followers[: self.fanout_cap]:
                 txn.update(
                     f"timeline:{follower}",
                     lambda s, f=follower: s.prepare_add((tweet_id, author)),
+                )
+                txn.update(
+                    f"copies:{tweet_id}",
+                    lambda s, f=follower: s.prepare_add(f),
                 )
             if self.variant is Variant.ADD_WINS:
                 # Restore the retweeted tweet and both users involved.
@@ -196,13 +254,26 @@ class TwitterApp(AppHarness):
 
     def del_tweet(self, region, u, tweet_id, done) -> None:
         def body(txn: Transaction) -> str:
+            if tweet_id not in txn.get("tweets").value():
+                return "del_tweet"
             txn.update("tweets", lambda s: s.prepare_remove(tweet_id))
             txn.update(
                 f"authored:{u}", lambda s: s.prepare_remove(tweet_id)
             )
             # Under rem-wins, timelines are cleaned lazily on read; the
-            # add-wins variant would have to chase every copy eagerly,
-            # which is exactly the trade-off Figure 6 shows.
+            # other variants chase every materialised copy through the
+            # reverse index eagerly, which is exactly the trade-off
+            # Figure 6 shows.
+            if self.variant is not Variant.REM_WINS:
+                for owner in sorted(txn.get(f"copies:{tweet_id}").value()):
+                    txn.update(
+                        f"timeline:{owner}",
+                        lambda s, o=owner: s.prepare_remove((tweet_id, u)),
+                    )
+                txn.update(
+                    f"copies:{tweet_id}",
+                    lambda s: s.prepare_remove_where(Pattern.of("*")),
+                )
             return "del_tweet"
 
         self.cluster.submit(region, body, done)

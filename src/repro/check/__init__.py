@@ -1,0 +1,64 @@
+"""Jepsen-style in-process checking for the simulated store.
+
+The package turns the fault layer into a falsification engine:
+
+- :mod:`repro.check.oracles` -- runtime correctness oracles (grounded
+  first-order invariants, convergence digests, session monotonicity,
+  compensation debt);
+- :mod:`repro.check.apps` -- per-application adapters: build, drive,
+  observe, and generate contention-heavy traces;
+- :mod:`repro.check.harness` -- one deterministic, replayable trial
+  (:class:`TrialSpec` -> :class:`TrialResult`);
+- :mod:`repro.check.explorer` -- seeded trial sweeps over fault plans
+  within a budget;
+- :mod:`repro.check.shrink` -- delta-debugging minimisation of failing
+  trials into human-readable counterexamples.
+
+CLI: ``python -m repro check APP [--config ... --trials N]`` and
+``python -m repro check --replay FILE``.
+"""
+
+from repro.check.apps import ADAPTERS, CONFIG_NAMES, resolve_config
+from repro.check.explorer import ExploreResult, build_trial, explore
+from repro.check.harness import (
+    OpCall,
+    TrialResult,
+    TrialSpec,
+    load_repro,
+    run_trial,
+    write_repro,
+)
+from repro.check.oracles import (
+    BoundProbe,
+    CompensationDebtOracle,
+    ConvergenceOracle,
+    Interpretation,
+    InvariantOracle,
+    SessionTracker,
+    Violation,
+)
+from repro.check.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "ADAPTERS",
+    "BoundProbe",
+    "CONFIG_NAMES",
+    "CompensationDebtOracle",
+    "ConvergenceOracle",
+    "ExploreResult",
+    "Interpretation",
+    "InvariantOracle",
+    "OpCall",
+    "SessionTracker",
+    "ShrinkResult",
+    "TrialResult",
+    "TrialSpec",
+    "Violation",
+    "build_trial",
+    "explore",
+    "load_repro",
+    "resolve_config",
+    "run_trial",
+    "shrink",
+    "write_repro",
+]

@@ -1,0 +1,416 @@
+"""Runtime correctness oracles (the checker's judgement layer).
+
+Four oracles, in the spirit of Jepsen's checkers, evaluated against a
+finished (or paused) simulated run:
+
+- :class:`InvariantOracle` -- grounds the application's first-order
+  invariants (the same :mod:`repro.logic` formulas the static analysis
+  reasons about) against the *observed* state of each replica and
+  reports every falsifying assignment as a witness.  "Observed" means
+  the compensated view: a Compensation Set contributes its visible
+  members, a Compensated Counter its value net of pending corrections
+  -- the paper's claim is about what clients can read, not about raw
+  CRDT internals.
+- :class:`ConvergenceOracle` -- after quiescence, every replica must
+  report an identical canonical state digest (and version vector).
+- :class:`SessionTracker` -- per client session, the serving replica's
+  version vector sampled at each completion must grow monotonically
+  (read-your-writes / monotonic-reads for a session pinned to one
+  replica; a recovery that lost durable state would show up here as a
+  vector regression).
+- :class:`CompensationDebtOracle` -- for numeric-bound invariants, the
+  raw overdraft beyond the bound must be covered by the compensation
+  machinery (executed plus pending corrections); an uncovered debt
+  means a violation a client could observe.
+
+All oracles return plain :class:`Violation` records so the explorer,
+shrinker and CLI can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    Sort,
+    TrueF,
+    Var,
+    Wildcard,
+)
+from repro.logic.grounding import Domain
+from repro.logic.transform import substitute
+from repro.spec.application import ApplicationSpec
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle finding, uniform across oracle kinds."""
+
+    oracle: str  # invariant | convergence | session | compensation-debt
+    region: str
+    name: str  # invariant name/text, session id, or bound key
+    witness: tuple[tuple[str, str], ...] = ()  # sorted (var, value) pairs
+    detail: str = ""
+
+    def describe(self) -> str:
+        binding = ", ".join(f"{var}={val}" for var, val in self.witness)
+        head = f"[{self.oracle}] {self.region}: {self.name}"
+        if binding:
+            head += f" with {binding}"
+        if self.detail:
+            head += f" ({self.detail})"
+        return head
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "region": self.region,
+            "name": self.name,
+            "witness": [list(pair) for pair in self.witness],
+            "detail": self.detail,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Interpretation: a finite model extracted from one replica
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Interpretation:
+    """A finite first-order model of one replica's observed state.
+
+    ``relations`` maps boolean predicate names to sets of constant-name
+    tuples; ``numerics`` maps numeric predicate names to dictionaries
+    from argument tuples to integers (absent arguments read as 0, the
+    registry default for untouched counters); ``params`` binds the
+    schema's symbolic parameters.
+    """
+
+    relations: dict[str, set[tuple[str, ...]]] = field(default_factory=dict)
+    numerics: dict[str, dict[tuple[str, ...], int]] = field(
+        default_factory=dict
+    )
+    params: dict[str, int] = field(default_factory=dict)
+
+    def domain(self, spec: ApplicationSpec) -> Domain:
+        """The finite universe: every constant the state mentions."""
+        # Seed with every schema sort so quantifiers over a sort with
+        # no observed entities range over the empty tuple (vacuously
+        # true) instead of raising.
+        per_sort: dict[Sort, list[Const]] = {
+            sort: [] for sort in spec.schema.sorts.values()
+        }
+
+        def note(sort: Sort, name: str) -> None:
+            consts = per_sort.setdefault(sort, [])
+            const = Const(name, sort)
+            if const not in consts:
+                consts.append(const)
+
+        for pred_name, tuples in self.relations.items():
+            decl = spec.schema.predicates.get(pred_name)
+            if decl is None:
+                continue
+            for row in tuples:
+                for sort, value in zip(decl.arg_sorts, row):
+                    note(sort, str(value))
+        for pred_name, cells in self.numerics.items():
+            decl = spec.schema.predicates.get(pred_name)
+            if decl is None:
+                continue
+            for row in cells:
+                for sort, value in zip(decl.arg_sorts, row):
+                    note(sort, str(value))
+        # Deterministic order regardless of extraction order.
+        return Domain(
+            {
+                sort: tuple(sorted(consts, key=lambda c: c.name))
+                for sort, consts in per_sort.items()
+            }
+        )
+
+
+_CMP = {
+    "<=": operator.le,
+    "<": operator.lt,
+    ">=": operator.ge,
+    ">": operator.gt,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def _term_name(term) -> str:
+    if isinstance(term, Const):
+        return term.name
+    raise TypeError(f"non-constant term {term!r} in ground evaluation")
+
+
+def _matches(pattern: tuple, row: tuple[str, ...]) -> bool:
+    return all(
+        isinstance(p, Wildcard) or _term_name(p) == v
+        for p, v in zip(pattern, row)
+    )
+
+
+def eval_num(term: NumTerm, interp: Interpretation) -> int:
+    if isinstance(term, IntConst):
+        return term.value
+    if isinstance(term, Param):
+        return interp.params[term.name]
+    if isinstance(term, Card):
+        rows = interp.relations.get(term.pred.name, ())
+        return sum(1 for row in rows if _matches(term.args, row))
+    if isinstance(term, NumPred):
+        key = tuple(_term_name(a) for a in term.args)
+        return interp.numerics.get(term.pred.name, {}).get(key, 0)
+    if isinstance(term, Add):
+        return sum(eval_num(t, interp) for t in term.terms)
+    raise TypeError(f"unknown numeric term {term!r}")
+
+
+def eval_formula(
+    formula: Formula, interp: Interpretation, domain: Domain
+) -> bool:
+    """Evaluate a (possibly quantified) formula in the finite model."""
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Atom):
+        row = tuple(_term_name(a) for a in formula.args)
+        return row in interp.relations.get(formula.pred.name, ())
+    if isinstance(formula, Cmp):
+        return _CMP[formula.op](
+            eval_num(formula.lhs, interp), eval_num(formula.rhs, interp)
+        )
+    if isinstance(formula, Not):
+        return not eval_formula(formula.arg, interp, domain)
+    if isinstance(formula, And):
+        return all(eval_formula(a, interp, domain) for a in formula.args)
+    if isinstance(formula, Or):
+        return any(eval_formula(a, interp, domain) for a in formula.args)
+    if isinstance(formula, Implies):
+        return not eval_formula(
+            formula.lhs, interp, domain
+        ) or eval_formula(formula.rhs, interp, domain)
+    if isinstance(formula, Iff):
+        return eval_formula(formula.lhs, interp, domain) == eval_formula(
+            formula.rhs, interp, domain
+        )
+    if isinstance(formula, ForAll):
+        return all(
+            eval_formula(substitute(formula.body, assignment), interp, domain)
+            for assignment in domain.assignments(formula.vars)
+        )
+    if isinstance(formula, Exists):
+        return any(
+            eval_formula(substitute(formula.body, assignment), interp, domain)
+            for assignment in domain.assignments(formula.vars)
+        )
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# The invariant oracle
+# ---------------------------------------------------------------------------
+
+
+class InvariantOracle:
+    """Grounds the spec's invariants against an interpretation."""
+
+    def __init__(self, spec: ApplicationSpec, max_witnesses: int = 5):
+        self.spec = spec
+        self.max_witnesses = max_witnesses
+
+    def check(self, interp: Interpretation, region: str) -> list[Violation]:
+        if not interp.params:
+            interp.params = dict(self.spec.schema.params)
+        domain = interp.domain(self.spec)
+        found: list[Violation] = []
+        for invariant in self.spec.invariants:
+            formula = invariant.formula
+            if isinstance(formula, TrueF):
+                continue  # declared-category invariants (unique ids)
+            name = invariant.name or invariant.describe()
+            if isinstance(formula, ForAll):
+                # Enumerate bindings so each failure carries a witness.
+                count = 0
+                for assignment in domain.assignments(formula.vars):
+                    if eval_formula(
+                        substitute(formula.body, assignment), interp, domain
+                    ):
+                        continue
+                    witness = tuple(
+                        sorted(
+                            (var.name, const.name)
+                            for var, const in assignment.items()
+                        )
+                    )
+                    found.append(
+                        Violation("invariant", region, name, witness)
+                    )
+                    count += 1
+                    if count >= self.max_witnesses:
+                        break
+            elif not eval_formula(formula, interp, domain):
+                found.append(Violation("invariant", region, name))
+        return found
+
+
+# ---------------------------------------------------------------------------
+# Convergence, sessions, compensation debt
+# ---------------------------------------------------------------------------
+
+
+class ConvergenceOracle:
+    """Digest and vector equality across replicas after quiescence."""
+
+    def check(self, cluster) -> list[Violation]:
+        digests = cluster.state_digest()
+        found: list[Violation] = []
+        reference_region = min(digests)
+        reference = digests[reference_region]
+        for region in sorted(digests):
+            if digests[region] != reference:
+                found.append(
+                    Violation(
+                        "convergence",
+                        region,
+                        "state-digest",
+                        detail=f"{digests[region][:12]} != "
+                        f"{reference[:12]} ({reference_region})",
+                    )
+                )
+        if not cluster.converged():
+            found.append(
+                Violation(
+                    "convergence",
+                    "*",
+                    "version-vectors",
+                    detail="replicas disagree on applied commits",
+                )
+            )
+        return found
+
+
+class SessionTracker:
+    """Monotonic session guarantees, one chain per client session.
+
+    ``observe`` is called at each operation completion with the serving
+    replica's version vector; a later observation that fails to
+    dominate an earlier one breaks monotonic reads for that session.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[str, dict[str, int]] = {}
+        self.violations: list[Violation] = []
+
+    def observe(
+        self, session: str, region: str, vv_entries: dict[str, int]
+    ) -> None:
+        previous = self._last.get(session)
+        if previous is not None:
+            regressed = sorted(
+                origin
+                for origin, counter in previous.items()
+                if vv_entries.get(origin, 0) < counter
+            )
+            if regressed:
+                self.violations.append(
+                    Violation(
+                        "session",
+                        region,
+                        session,
+                        detail="vector regressed for origin(s) "
+                        + ", ".join(regressed),
+                    )
+                )
+        self._last[session] = dict(vv_entries)
+
+    def check(self) -> list[Violation]:
+        return list(self.violations)
+
+
+@dataclass(frozen=True)
+class BoundProbe:
+    """One numeric-bound data point reported by an application adapter.
+
+    ``raw`` is the uncompensated quantity, ``observed`` the compensated
+    view a client reads, ``bound``/``op`` the invariant's limit (e.g.
+    ``observed <= bound`` for a capacity, ``observed >= bound`` for a
+    stock floor), and ``covered`` how much the compensation machinery
+    has absorbed (executed plus pending corrections/trims).
+    """
+
+    key: str
+    raw: int
+    observed: int
+    bound: int
+    op: str  # "<=" or ">="
+    covered: int = 0
+
+
+class CompensationDebtOracle:
+    """Raw overdraft must be paid for by compensations (IPA configs).
+
+    On an unrepaired (Causal) run the oracle instead degenerates to the
+    plain bound check on the observed state, which is what a client
+    sees.
+    """
+
+    def check(
+        self, probes: list[BoundProbe], region: str, compensated: bool
+    ) -> list[Violation]:
+        found: list[Violation] = []
+        for probe in probes:
+            ok = _CMP[probe.op](probe.observed, probe.bound)
+            if not ok:
+                found.append(
+                    Violation(
+                        "compensation-debt",
+                        region,
+                        probe.key,
+                        detail=f"observed {probe.observed} violates "
+                        f"{probe.op} {probe.bound}",
+                    )
+                )
+                continue
+            if not compensated:
+                continue
+            overdraft = (
+                probe.raw - probe.bound
+                if probe.op == "<="
+                else probe.bound - probe.raw
+            )
+            if overdraft > 0 and probe.covered < overdraft:
+                found.append(
+                    Violation(
+                        "compensation-debt",
+                        region,
+                        probe.key,
+                        detail=f"raw overdraft {overdraft} but only "
+                        f"{probe.covered} compensated",
+                    )
+                )
+        return found

@@ -1,0 +1,260 @@
+"""Counterexample shrinking: minimise a failing trial, keep the bug.
+
+A raw failure from the explorer carries dozens of operations, a fault
+plan, and three regions -- most of it irrelevant to the violation.
+This module applies delta debugging (Zeller's ddmin) plus
+domain-specific simplification passes, re-running the trial after
+every candidate reduction and keeping it only if the *target verdict*
+-- the (oracle, name) pairs being minimised -- still fires:
+
+1. ddmin over the client operations (drop whole chunks, then smaller
+   and smaller ones);
+2. fault-plan simplification (drop crashes, drop partitions, zero the
+   message-level probabilities, finally the all-clean plan);
+3. region pruning (remove regions no remaining operation issues from,
+   rewriting the plan's windows to match);
+4. a final ddmin pass over the operations, which often shrinks further
+   once the faults are gone.
+
+Every candidate execution is deterministic, so the minimisation result
+is a pure function of the input spec; the whole search is bounded by
+``max_runs`` trial executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.check.harness import (
+    TrialResult,
+    TrialSpec,
+    run_trial,
+    session_region,
+)
+from repro.errors import CheckError
+from repro.sim.faults import FaultPlan
+
+Verdict = frozenset[tuple[str, str]]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised counterexample, with bookkeeping."""
+
+    original: TrialSpec
+    shrunk: TrialSpec
+    target: Verdict
+    runs: int
+    result: TrialResult  # verdict of the shrunk spec
+
+    @property
+    def original_ops(self) -> int:
+        return len(self.original.ops)
+
+    @property
+    def shrunk_ops(self) -> int:
+        return len(self.shrunk.ops)
+
+    @property
+    def op_reduction(self) -> float:
+        """Fraction of client operations eliminated."""
+        if not self.original_ops:
+            return 0.0
+        return 1.0 - self.shrunk_ops / self.original_ops
+
+    def summary(self) -> str:
+        plan = self.shrunk.plan
+        faults = (
+            "clean"
+            if plan == FaultPlan(seed=plan.seed)
+            else f"{len(plan.partitions)} partition(s), "
+            f"{len(plan.crashes)} crash(es), drop={plan.drop:g}"
+        )
+        return (
+            f"shrunk {self.original_ops} -> {self.shrunk_ops} op(s) "
+            f"({self.op_reduction:.0%} reduction), "
+            f"{len(self.original.regions)} -> {len(self.shrunk.regions)} "
+            f"region(s), faults: {faults}, {self.runs} trial run(s)"
+        )
+
+
+class _Budget:
+    def __init__(self, max_runs: int) -> None:
+        self.max_runs = max_runs
+        self.runs = 0
+
+    def spent(self) -> bool:
+        return self.runs >= self.max_runs
+
+
+def _still_fails(
+    spec: TrialSpec, target: Verdict, budget: _Budget
+) -> TrialResult | None:
+    """Run a candidate; non-None iff the target verdict persists."""
+    if budget.spent():
+        return None
+    budget.runs += 1
+    result = run_trial(spec)
+    if target <= result.verdict_keys:
+        return result
+    return None
+
+
+def _ddmin_ops(
+    spec: TrialSpec, target: Verdict, budget: _Budget
+) -> TrialSpec:
+    """Classic ddmin over the operation list, verdict-preserving."""
+    ops = list(spec.ops)
+    granularity = 2
+    while len(ops) >= 2 and not budget.spent():
+        chunk = max(1, len(ops) // granularity)
+        reduced = False
+        start = 0
+        while start < len(ops):
+            candidate_ops = ops[:start] + ops[start + chunk:]
+            if not candidate_ops:
+                start += chunk
+                continue
+            candidate = replace(spec, ops=tuple(candidate_ops))
+            if _still_fails(candidate, target, budget) is not None:
+                ops = candidate_ops
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(granularity * 2, len(ops))
+    return replace(spec, ops=tuple(ops))
+
+
+def _plan_candidates(plan: FaultPlan) -> list[FaultPlan]:
+    """Simpler plans to try, most aggressive first."""
+    candidates = [FaultPlan(seed=plan.seed)]  # all-clean
+    if plan.crashes:
+        candidates.append(replace(plan, crashes=()))
+    if plan.partitions:
+        candidates.append(replace(plan, partitions=()))
+    if plan.drop or plan.duplicate or plan.reorder:
+        candidates.append(
+            replace(plan, drop=0.0, duplicate=0.0, reorder=0.0)
+        )
+    if plan.partitions:
+        candidates.append(
+            replace(
+                plan,
+                partitions=tuple(
+                    replace(
+                        w,
+                        end_ms=w.start_ms + (w.end_ms - w.start_ms) / 2,
+                    )
+                    for w in plan.partitions
+                ),
+            )
+        )
+    return candidates
+
+
+def _simplify_plan(
+    spec: TrialSpec, target: Verdict, budget: _Budget
+) -> TrialSpec:
+    for plan in _plan_candidates(spec.plan):
+        if plan == spec.plan:
+            continue
+        candidate = replace(spec, plan=plan)
+        if _still_fails(candidate, target, budget) is not None:
+            return candidate
+    return spec
+
+
+def _prune_regions(
+    spec: TrialSpec, target: Verdict, budget: _Budget
+) -> TrialSpec:
+    """Drop regions no remaining operation issues from.
+
+    The setup region (``regions[0]``) always stays, a trial needs at
+    least two replicas to replicate anywhere, and the fault plan is
+    rewritten so its windows only name surviving regions.
+    """
+    referenced = {session_region(op.session) for op in spec.ops}
+    keeps = []
+    if len(referenced) >= 2:
+        # Setup moves to the first surviving region.
+        keeps.append(tuple(r for r in spec.regions if r in referenced))
+    with_setup = referenced | {spec.regions[0]}
+    if len(with_setup) >= 2:
+        keeps.append(tuple(r for r in spec.regions if r in with_setup))
+    for kept in keeps:
+        if kept == spec.regions:
+            continue
+        kept_set = set(kept)
+        plan = replace(
+            spec.plan,
+            partitions=tuple(
+                replace(
+                    w,
+                    side_a=tuple(r for r in w.side_a if r in kept_set),
+                    side_b=tuple(r for r in w.side_b if r in kept_set),
+                )
+                for w in spec.plan.partitions
+                if any(r in kept_set for r in w.side_a)
+                and any(r in kept_set for r in w.side_b)
+            ),
+            crashes=tuple(
+                w for w in spec.plan.crashes if w.region in kept_set
+            ),
+        )
+        candidate = replace(spec, regions=kept, plan=plan)
+        if _still_fails(candidate, target, budget) is not None:
+            return candidate
+    return spec
+
+
+def shrink(
+    spec: TrialSpec,
+    target: Verdict | None = None,
+    max_runs: int = 250,
+) -> ShrinkResult:
+    """Minimise ``spec`` while its oracle verdict persists.
+
+    ``target`` selects which (oracle, name) pairs must keep firing; by
+    default the first invariant-oracle finding of the original run (or
+    the first finding of any kind, if no invariant fired) -- one kind
+    of bug shrinks to one minimal schedule.  Raises
+    :class:`CheckError` if the original spec does not fail at all.
+    """
+    budget = _Budget(max_runs)
+    budget.runs += 1
+    original = run_trial(spec)
+    if not original.violations:
+        raise CheckError("nothing to shrink: the trial has no violations")
+    if target is None:
+        invariant_keys = [
+            k for k in sorted(original.verdict_keys) if k[0] == "invariant"
+        ]
+        target = frozenset(
+            invariant_keys[:1] or sorted(original.verdict_keys)[:1]
+        )
+    if not target <= original.verdict_keys:
+        raise CheckError(
+            f"target verdict {sorted(target)} does not fire on the "
+            "original trial"
+        )
+
+    current = _ddmin_ops(spec, target, budget)
+    current = _simplify_plan(current, target, budget)
+    current = _prune_regions(current, target, budget)
+    current = _ddmin_ops(current, target, budget)
+
+    final = run_trial(current)
+    budget.runs += 1
+    if not target <= final.verdict_keys:  # pragma: no cover - invariant
+        raise CheckError("shrinker lost the verdict it was preserving")
+    return ShrinkResult(
+        original=spec,
+        shrunk=current,
+        target=target,
+        runs=budget.runs,
+        result=final,
+    )

@@ -113,9 +113,18 @@ class CompensatedCounter(CRDT):
     def value(self) -> int:
         return self._raw.value() + sum(self._corrections.values())
 
+    def raw_value(self) -> int:
+        """The uncompensated count (cf. ``CompensationSet.raw_value``)."""
+        return self._raw.value()
+
     @property
     def corrections_applied(self) -> int:
         return len(self._corrections)
+
+    @property
+    def corrections_total(self) -> int:
+        """Net amount contributed by committed corrections."""
+        return sum(self._corrections.values())
 
     def clone(self) -> "CompensatedCounter":
         copied = CompensatedCounter(

@@ -73,3 +73,7 @@ class ReservationError(StoreError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class CheckError(ReproError):
+    """The schedule explorer / checker was misused or misconfigured."""

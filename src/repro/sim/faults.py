@@ -97,6 +97,59 @@ class FaultPlan:
             if not 0.0 <= p <= 1.0:
                 raise SimulationError(f"{name} probability {p} not in [0, 1]")
 
+    # -- JSON round-trip (repro files, ``repro check --replay``) -------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "reorder": self.reorder,
+            "reorder_delay_ms": self.reorder_delay_ms,
+            "duplicate_delay_ms": self.duplicate_delay_ms,
+            "partitions": [
+                {
+                    "start_ms": w.start_ms,
+                    "end_ms": w.end_ms,
+                    "side_a": list(w.side_a),
+                    "side_b": list(w.side_b),
+                }
+                for w in self.partitions
+            ],
+            "crashes": [
+                {
+                    "region": w.region,
+                    "start_ms": w.start_ms,
+                    "end_ms": w.end_ms,
+                }
+                for w in self.crashes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPlan:
+        return cls(
+            seed=data.get("seed", 0),
+            drop=data.get("drop", 0.0),
+            duplicate=data.get("duplicate", 0.0),
+            reorder=data.get("reorder", 0.0),
+            reorder_delay_ms=data.get("reorder_delay_ms", 80.0),
+            duplicate_delay_ms=data.get("duplicate_delay_ms", 40.0),
+            partitions=tuple(
+                PartitionWindow(
+                    w["start_ms"],
+                    w["end_ms"],
+                    tuple(w["side_a"]),
+                    tuple(w["side_b"]),
+                )
+                for w in data.get("partitions", ())
+            ),
+            crashes=tuple(
+                CrashWindow(w["region"], w["start_ms"], w["end_ms"])
+                for w in data.get("crashes", ())
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Delivery:

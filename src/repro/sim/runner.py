@@ -39,6 +39,11 @@ class Client:
 
 Issuer = Callable[[Client, Callable[[str], None]], None]
 
+#: Optional per-completion hook: ``observer(client, op_name)`` runs at
+#: each operation completion (after metrics are recorded).  The
+#: checker wires its session oracle through this.
+Observer = Callable[[Client, str], None]
+
 
 @dataclass
 class RunResult:
@@ -68,6 +73,7 @@ class ClientPool:
         think_ms: float = 0.0,
         retry_ms: float = 50.0,
         timeout_ms: float | None = None,
+        observer: Observer | None = None,
     ) -> None:
         self._sim = sim
         self._issue = issue
@@ -75,6 +81,7 @@ class ClientPool:
         self._think = think_ms
         self._retry = retry_ms
         self._timeout = timeout_ms
+        self._observer = observer
         self._stopped = False
         self._next_id = 0
         # Per-client attempt tokens: a completion or timeout is only
@@ -111,6 +118,8 @@ class ClientPool:
                 self._metrics.record_latency(
                     sim.now, op_name, sim.now - started
                 )
+                if self._observer is not None:
+                    self._observer(client, op_name)
                 sim.schedule(self._think, self._loop, client)
 
             try:
@@ -134,6 +143,8 @@ class ClientPool:
             self._metrics.record_latency(
                 self._sim.now, op_name, self._sim.now - started
             )
+            if self._observer is not None:
+                self._observer(client, op_name)
             self._sim.schedule(self._think, self._loop, client)
 
         def timed_out() -> None:
@@ -163,6 +174,7 @@ def run_closed_loop(
     metrics: MetricsCollector | None = None,
     retry_ms: float = 50.0,
     timeout_ms: float | None = None,
+    observer: Observer | None = None,
 ) -> RunResult:
     """Run a closed-loop experiment and return its metrics.
 
@@ -183,6 +195,7 @@ def run_closed_loop(
         think_ms=think_ms,
         retry_ms=retry_ms,
         timeout_ms=timeout_ms,
+        observer=observer,
     )
     for region, count in clients_per_region.items():
         pool.spawn(region, count)

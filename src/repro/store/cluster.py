@@ -505,14 +505,27 @@ class Cluster:
         Object values are canonicalised (sets ordered, empties skipped
         -- an unwritten object and an empty one are observably equal)
         so two replicas digest identically iff every read would agree.
-        Used by convergence assertions and reproducibility checks.
+        Objects still reading their registry default are skipped for
+        the same reason: a read-only transaction materialises its keys
+        locally without replicating anything, and a counter sitting at
+        its configured initial level is indistinguishable from one that
+        was never constructed.  Used by convergence assertions and
+        reproducibility checks.
         """
         digests: dict[str, str] = {}
+        default_cache: dict[str, str] = {}
         for region, replica in self._replicas.items():
             parts = []
             for key in replica.keys():
                 value = _canonical(replica.get_object(key).value())
                 if value == "":
+                    continue
+                default = default_cache.get(key)
+                if default is None:
+                    default = default_cache[key] = _canonical(
+                        replica.default_value(key)
+                    )
+                if value == default:
                     continue
                 parts.append((key, value))
             # ``replica.keys()`` is sorted and keys are unique, so
@@ -569,6 +582,9 @@ class Cluster:
             )
             stats["store.antientropy.records_pushed"] = engine.records_pushed
             stats["store.antientropy.sync_timeouts"] = engine.sync_timeouts
+            stats["store.antientropy.snapshots_installed"] = (
+                engine.snapshots_installed
+            )
         return stats
 
 

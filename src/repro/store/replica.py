@@ -112,6 +112,15 @@ class Replica:
     def has_object(self, key: str) -> bool:
         return key in self._objects
 
+    def default_value(self, key: str):
+        """What a fresh, never-written ``key`` would read here.
+
+        Lazily materialised objects start from the registry factory, so
+        this is the baseline an observer cannot distinguish from the
+        key being absent (e.g. a counter's configured initial level).
+        """
+        return self._registry.create(key).value()
+
     def keys(self) -> list[str]:
         """Sorted object keys; cached until the key set changes.
 

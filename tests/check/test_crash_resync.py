@@ -1,0 +1,57 @@
+"""Satellite: crash mid-digest-sync, then snapshot-fallback resync.
+
+A replica crashes while anti-entropy rounds are in flight; while it is
+down the survivors commit and truncate their logs past the crashed
+replica's digest, so plain retransmission cannot close the gap.  On
+recovery the sync answer falls back to a full snapshot; the cluster
+must still converge and satisfy the convergence oracle.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import Variant
+from repro.check.apps import TournamentAdapter
+from repro.check.oracles import ConvergenceOracle
+from repro.sim.events import Simulator
+from repro.sim.latency import REGIONS
+from repro.store.cluster import Cluster, ConsistencyMode
+
+
+def test_snapshot_fallback_resync_passes_convergence_oracle() -> None:
+    adapter = TournamentAdapter()
+    params = adapter.defaults()
+    sim = Simulator()
+    cluster = Cluster(
+        sim,
+        adapter.registry(Variant.CAUSAL, params),
+        regions=REGIONS,
+        mode=ConsistencyMode.CAUSAL,
+    )
+    engine = cluster.start_antientropy(interval_ms=100.0, seed=5)
+    app = adapter.make_app(cluster, Variant.CAUSAL, params)
+    adapter.setup(app, params, REGIONS[0])
+    assert cluster.run_until_converged() is not None
+
+    # Crash between anti-entropy ticks: rounds addressed to (and
+    # outstanding from) eu-west die mid-exchange and back off.
+    cluster.crash_region("eu-west")
+    done = lambda _label: None
+    adapter.dispatch(app, "us-east", "enroll", ("p0", "t0"), done)
+    adapter.dispatch(app, "us-west", "enroll", ("p1", "t1"), done)
+    sim.run(until=sim.now + 1_000.0)
+    adapter.dispatch(app, "us-east", "begin", ("t0",), done)
+    sim.run(until=sim.now + 1_000.0)
+    assert engine.sync_timeouts >= 1  # the crash interrupted live rounds
+
+    # The survivors checkpoint and truncate everything they have
+    # applied: the crashed replica's vector now predates every log
+    # base, so records alone cannot resynchronise it.
+    for region in ("us-east", "us-west"):
+        replica = cluster.replica(region)
+        replica.compact_log(replica.vv, min_records=1)
+
+    cluster.recover_region("eu-west")
+    assert cluster.run_until_converged(timeout_ms=30_000.0) is not None
+    assert engine.snapshots_installed >= 1
+    assert cluster.fault_stats()["store.antientropy.snapshots_installed"] >= 1
+    assert ConvergenceOracle().check(cluster) == []

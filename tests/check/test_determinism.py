@@ -1,0 +1,77 @@
+"""Satellite: the determinism audit.
+
+Identical specs must produce byte-identical outcomes -- replica
+digests, per-operation completion counts, fault statistics, and the
+fingerprint that hashes them all -- run-to-run and process-to-process
+(the subprocess test varies PYTHONHASHSEED to catch hash-order
+dependence).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.check import build_trial, explore, run_trial, write_repro
+
+#: One trial per fault-plan family (index selects the family).
+FAMILY_INDICES = range(5)
+
+
+@pytest.mark.parametrize("index", FAMILY_INDICES)
+def test_identical_specs_produce_identical_outcomes(index: int) -> None:
+    spec = build_trial("tournament", "Causal", 11, index)
+    first = run_trial(spec)
+    second = run_trial(spec)
+    assert first.digests == second.digests
+    assert first.completions == second.completions
+    assert first.fault_stats == second.fault_stats
+    assert first.converged_ms == second.converged_ms
+    assert [v.to_dict() for v in first.violations] == [
+        v.to_dict() for v in second.violations
+    ]
+    assert first.fingerprint == second.fingerprint
+
+
+def test_exploration_sequence_is_deterministic() -> None:
+    first = explore("twitter", "Causal", trials=4, seed=17)
+    second = explore("twitter", "Causal", trials=4, seed=17)
+    strip = lambda t: (t.index, t.seed, t.plan_kind, t.n_ops,
+                       t.n_violations, t.converged)
+    assert [strip(t) for t in first.trials] == [
+        strip(t) for t in second.trials
+    ]
+    assert [f.fingerprint for f in first.failures] == [
+        f.fingerprint for f in second.failures
+    ]
+
+
+def test_replay_is_deterministic_across_processes(tmp_path) -> None:
+    """`check --replay --json` prints identical bytes under different
+    hash seeds: no dict-order or salted-hash dependence anywhere."""
+    spec = build_trial("tpcw", "Causal", 11, 0)
+    result = run_trial(spec)
+    assert result.violations
+    path = tmp_path / "repro.json"
+    write_repro(str(path), spec, result)
+
+    outputs = []
+    for hash_seed in ("0", "4242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check",
+             "--replay", str(path), "--json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]

@@ -1,0 +1,62 @@
+"""Counterexample shrinking (repro.check.shrink).
+
+The acceptance bar: delta debugging reduces a real explorer failure by
+at least half its client operations while preserving the oracle
+verdict, and the whole minimisation is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import build_trial, run_trial, shrink
+from repro.errors import CheckError
+
+
+@pytest.fixture(scope="module")
+def failing_spec():
+    spec = build_trial("tournament", "Causal", 11, 0)
+    assert run_trial(spec).violations
+    return spec
+
+
+def test_shrink_halves_the_trace_and_keeps_the_verdict(failing_spec) -> None:
+    result = shrink(failing_spec)
+    assert result.op_reduction >= 0.5, result.summary()
+    assert result.target <= result.result.verdict_keys
+    # The shrunk spec replays stand-alone to the same verdict.
+    replay = run_trial(result.shrunk)
+    assert result.target <= replay.verdict_keys
+
+
+def test_shrink_is_deterministic(failing_spec) -> None:
+    first = shrink(failing_spec)
+    second = shrink(failing_spec)
+    assert first.shrunk == second.shrunk
+    assert first.runs == second.runs
+
+
+def test_shrink_prunes_faults_and_regions() -> None:
+    # Index 3 is the partition-crash family: the minimal tournament
+    # counterexample needs neither the faults nor the third region.
+    spec = build_trial("tournament", "Causal", 11, 3)
+    assert run_trial(spec).violations
+    result = shrink(spec)
+    plan = result.shrunk.plan
+    assert not plan.crashes
+    assert not plan.partitions
+    assert plan.drop == plan.duplicate == 0.0
+    assert len(result.shrunk.regions) == 2
+
+
+def test_shrink_refuses_a_clean_trial() -> None:
+    spec = build_trial("tournament", "IPA", 11, 0)
+    assert not run_trial(spec).violations
+    with pytest.raises(CheckError):
+        shrink(spec)
+
+
+def test_explicit_target_must_fire() -> None:
+    spec = build_trial("tournament", "Causal", 11, 0)
+    with pytest.raises(CheckError):
+        shrink(spec, target=frozenset({("invariant", "nonesuch")}))
