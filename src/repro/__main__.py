@@ -19,7 +19,15 @@ The executable counterpart of the paper's IPA tool:
   FILE`` re-executes a repro file and verifies the same verdict;
 - ``trace SPECFILE`` -- run the IPA analysis plus a short simulation
   with tracing on and write one Chrome-trace JSON covering all three
-  layers (open it at https://ui.perfetto.dev).
+  layers (open it at https://ui.perfetto.dev);
+- ``serve`` -- run one region's live replica server (TCP listeners,
+  durable commit log, schedule-gated execution) against a recorded
+  deployment; normally launched per region by ``load --subprocess``
+  or the quickstart recipe in the README;
+- ``load`` -- record a simulated trial, then execute it against a
+  *live* 3-region cluster over real sockets with a chaos proxy on
+  every link, and compare the final state digests byte-for-byte
+  against the simulator's.
 
 ``analyze`` and ``simulate`` accept ``--trace`` (print a span summary
 table) and ``--trace-out FILE`` (write the Chrome trace); ``simulate``
@@ -447,6 +455,110 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """One region's live replica server, until SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.net.oracle import load_deployment
+    from repro.net.server import ReplicaServer
+
+    deployment = load_deployment(args.deployment)
+    with open(args.topology, encoding="utf-8") as handle:
+        topology = json.load(handle)
+
+    async def serve() -> int:
+        server = ReplicaServer(
+            deployment,
+            topology,
+            args.region,
+            args.data_dir,
+            fsync=args.fsync,
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        print(
+            f"serving {args.region}: client port "
+            f"{topology['regions'][args.region]['client_port']}, peer port "
+            f"{topology['regions'][args.region]['peer_port']}, "
+            f"{len(server.engine.schedule)} schedule step(s), resuming at "
+            f"{server.engine.position}",
+            flush=True,
+        )
+        await stop.wait()
+        await server.stop()
+        return 0
+
+    return asyncio.run(serve())
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Record a trial, run it live under chaos, judge the digests."""
+    import asyncio
+    import tempfile
+
+    from repro.check.explorer import build_trial
+    from repro.net.harness import run_live
+    from repro.net.oracle import record_trial
+
+    spec = build_trial(
+        args.app,
+        args.config,
+        args.seed,
+        args.index,
+        n_ops=args.n_ops,
+    )
+    _, deployment = record_trial(spec)
+    plan = deployment["trial"].get("plan", {})
+    print(
+        f"recorded {args.app}/{args.config} seed={spec.seed} "
+        f"({len(deployment['ops'])} ops, "
+        f"{len(plan.get('partitions', []))} partition window(s), "
+        f"{len(plan.get('crashes', []))} crash window(s))"
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-live-")
+    report = asyncio.run(
+        run_live(
+            deployment,
+            workdir,
+            time_scale=args.time_scale,
+            deadline_s=args.deadline_s,
+            subprocess_servers=args.subprocess,
+            fsync=args.fsync,
+        )
+    )
+    payload = report.bench(deployment, args.time_scale)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        mode = "subprocess" if args.subprocess else "in-process"
+        print(
+            f"live run ({mode} servers): {report.client.get('client.ops_acked', 0):.0f} "
+            f"ops acked in {report.wall_s:.2f}s "
+            f"({report.client.get('client.ops_per_s', 0.0):.1f} op/s), "
+            f"{report.client.get('client.retries', 0):.0f} retries, "
+            f"{report.crashes} crash window(s)"
+        )
+        for region in sorted(report.digests_sim):
+            live = report.digests_live.get(region, "<missing>")
+            verdict = "==" if live == report.digests_sim[region] else "!="
+            print(f"  {region}: live {live[:16]} {verdict} sim "
+                  f"{report.digests_sim[region][:16]}")
+    if report.ok:
+        print("digests byte-identical to the simulation")
+        return 0
+    print(f"LIVE RUN FAILED: {report.reason}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -626,6 +738,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload seed (default 23)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one region's live replica server against a recorded "
+        "deployment (see 'load' and the README quickstart)",
+    )
+    serve.add_argument(
+        "--deployment", required=True, metavar="FILE",
+        help="deployment JSON recorded from a simulated trial",
+    )
+    serve.add_argument(
+        "--topology", required=True, metavar="FILE",
+        help="topology JSON: ports per region, proxy link ports, epoch",
+    )
+    serve.add_argument(
+        "--region", required=True,
+        help="which region this server is (must be in the deployment)",
+    )
+    serve.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="directory for the durable commit log (survives crashes)",
+    )
+    serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the commit log on every append",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="record a simulated trial, run it against a live cluster "
+        "under chaos, and compare state digests byte-for-byte",
+    )
+    load.add_argument(
+        "app", nargs="?", default="tournament", metavar="APP",
+        help="application to run: tournament, ticket, tpcw or twitter "
+        "(default tournament)",
+    )
+    load.add_argument(
+        "--config", default="Causal",
+        help="configuration: Causal or IPA (default Causal; live "
+        "serving is causal-mode only)",
+    )
+    load.add_argument(
+        "--seed", type=int, default=11,
+        help="trial seed (default 11)",
+    )
+    load.add_argument(
+        "--index", type=int, default=3, metavar="N",
+        help="trial index; selects the fault-plan kind "
+        "(index %% 5: clean, lossy, partition, partition-crash, "
+        "heavy; default 3 = partition-crash)",
+    )
+    load.add_argument(
+        "--n-ops", type=int, default=40, metavar="N",
+        help="client operations in the trace (default 40)",
+    )
+    load.add_argument(
+        "--time-scale", type=float, default=0.05, metavar="X",
+        help="live seconds per simulated second (default 0.05: a "
+        "20x-compressed replay)",
+    )
+    load.add_argument(
+        "--deadline-s", type=float, default=120.0, metavar="S",
+        help="overall wall-clock deadline (default 120)",
+    )
+    load.add_argument(
+        "--subprocess", action="store_true",
+        help="run each region as a real OS process ('python -m repro "
+        "serve'); crash windows then SIGKILL the process",
+    )
+    load.add_argument(
+        "--fsync", action="store_true",
+        help="fsync commit logs on every append",
+    )
+    load.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="working directory for logs and spec files (default: a "
+        "fresh temp dir)",
+    )
+    load.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the live-run report JSON (BENCH_serve.json shape)",
+    )
+    load.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON",
+    )
+    load.set_defaults(func=_cmd_load)
     return parser
 
 

@@ -203,8 +203,15 @@ class TrialResult:
         )
 
 
-def run_trial(spec: TrialSpec) -> TrialResult:
-    """Execute one spec deterministically and judge it."""
+def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
+    """Execute one spec deterministically and judge it.
+
+    ``recorder`` (a :class:`repro.net.oracle.TrialRecorder`) observes
+    the run without perturbing it: it wraps ``cluster.submit`` to note
+    where in each replica's event order every operation executed, which
+    the live deployment replays as its gating schedule.  The simulation
+    itself is identical with or without one.
+    """
     adapter = ADAPTERS.get(spec.app)
     if adapter is None:
         raise CheckError(
@@ -228,8 +235,13 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     cluster.start_antientropy(
         interval_ms=spec.antientropy_ms, seed=spec.seed + 1
     )
+    if recorder is not None:
+        recorder.attach(cluster)
+        recorder.begin_setup()
     app = adapter.make_app(cluster, variant, params)
     adapter.setup(app, params, spec.regions[0])
+    if recorder is not None:
+        recorder.end_setup()
     if sim.now > SETUP_MS:
         raise CheckError(
             f"setup overran its window ({sim.now:.0f} > {SETUP_MS:.0f} ms)"
@@ -240,7 +252,7 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     counts = {"issued": 0, "refused": 0}
     strong = mode is ConsistencyMode.STRONG
 
-    def issue(call: OpCall) -> None:
+    def issue(call: OpCall, index: int) -> None:
         region = session_region(call.session)
 
         def done(label: str) -> None:
@@ -253,6 +265,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             )
 
         counts["issued"] += 1
+        if recorder is not None:
+            recorder.note_issue(index)
         try:
             adapter.dispatch(app, region, call.op, tuple(call.args), done)
         except StoreError:
@@ -260,8 +274,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
             # simply loses this request.
             counts["refused"] += 1
 
-    for call in spec.ops:
-        sim.at(SETUP_MS + call.at_ms, issue, call)
+    for index, call in enumerate(spec.ops):
+        sim.at(SETUP_MS + call.at_ms, issue, call, index)
 
     sim.run(until=SETUP_MS + spec.horizon_ms() + TRAIL_MS)
     cluster.flush_replication()

@@ -1,0 +1,37 @@
+"""Live deployment: real sockets, real processes, real failures.
+
+Everything under :mod:`repro.net` escapes the discrete-event simulator:
+a length-prefixed JSON wire protocol (:mod:`repro.net.wire`), a durable
+on-disk commit log (:mod:`repro.net.commitlog`), an asyncio replica
+server per region (:mod:`repro.net.server`), a closed-loop async client
+fleet (:mod:`repro.net.client`), and a chaos proxy that interprets the
+simulator's :class:`~repro.sim.faults.FaultPlan` against live TCP
+traffic (:mod:`repro.net.proxy`).
+
+The correctness oracle is the simulator itself: :mod:`repro.net.oracle`
+runs a trial in the simulator while recording each replica's exact
+event order (operation executions interleaved with remote-record
+applications), and the live servers *gate* execution on that recorded
+schedule.  Gating buys byte-identical state digests -- any record the
+live stack loses, duplicates, corrupts or mis-orders either stalls a
+gate (caught by the run deadline) or diverges the digest (caught by the
+equality check) -- while the sockets, framing, retries, chaos faults
+and crash/restart recovery underneath stay fully real and fully
+concurrent.
+
+This module deliberately imports nothing at package level:
+:mod:`repro.store.antientropy` imports :mod:`repro.net.retry`, and the
+server/oracle modules import the store, so an eager package ``__init__``
+would create an import cycle.
+"""
+
+__all__ = [
+    "client",
+    "commitlog",
+    "harness",
+    "oracle",
+    "proxy",
+    "retry",
+    "server",
+    "wire",
+]

@@ -1,0 +1,208 @@
+"""The closed-loop client fleet driving a live cluster.
+
+One asyncio task per session (``{region}#{k}``), sending that
+session's operations in trace order over a persistent connection to
+the region's client port.  Closed-loop means an operation is not sent
+before its predecessor is acknowledged; pacing additionally respects
+the trace's issue times scaled by the deployment time scale, so chaos
+windows overlap the load the way they did in the simulation.
+
+Failure handling is the tentpole's client story: every send carries a
+deadline; a timeout or connection error (a crashed server refuses
+connections outright) closes the connection, backs off with the shared
+decorrelated-jitter :class:`~repro.net.retry.RetryPolicy`, reconnects
+and resends.  Servers deduplicate by operation index, so a retry of an
+executed-but-unacknowledged operation gets a ``dup`` acknowledgement
+rather than a double execution.  Timeout/retry counters feed
+``BENCH_serve.json``.
+
+Only operations that committed in the recorded run are sent at all:
+non-committing operations are the server's to self-execute (see
+:mod:`repro.net.server`), and operations the simulation refused or
+lost are nobody's -- the fleet counts them as skipped, mirroring the
+simulator's refused/lost accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from collections import defaultdict
+
+from repro.errors import ReproError
+from repro.net import wire
+from repro.net.retry import RetryPolicy
+from repro.obs import REGISTRY, TRACER
+
+
+class ClientError(ReproError):
+    """A client op that exhausted its retry budget."""
+
+
+def session_region(session: str) -> str:
+    return session.split("#", 1)[0]
+
+
+async def fetch_status(host: str, port: int, timeout_s: float = 2.0) -> dict:
+    """One status round-trip to a live server."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await wire.write_frame(writer, {"type": "status"})
+        frame = await asyncio.wait_for(
+            wire.read_frame(reader), timeout=timeout_s
+        )
+        if frame is None or frame.get("type") != "status_ack":
+            raise ClientError(f"bad status reply from {host}:{port}")
+        return frame
+    finally:
+        writer.close()
+
+
+class ClientFleet:
+    """All sessions of one deployment's trace."""
+
+    def __init__(
+        self,
+        deployment: dict,
+        topology: dict,
+        time_scale: float = 1.0,
+        ack_timeout_ms: float = 1_000.0,
+        retry_base_ms: float = 40.0,
+        retry_cap_ms: float = 2_000.0,
+        op_deadline_s: float = 60.0,
+    ) -> None:
+        self._topology = topology
+        self._time_scale = time_scale
+        self._ack_timeout_ms = ack_timeout_ms
+        self._retry_base_ms = retry_base_ms
+        self._retry_cap_ms = retry_cap_ms
+        self._op_deadline_s = op_deadline_s
+        self._sessions: dict[str, list[dict]] = defaultdict(list)
+        for op in deployment["ops"]:
+            self._sessions[op["session"]].append(op)
+        for ops in self._sessions.values():
+            ops.sort(key=lambda o: (o["at_ms"], o["index"]))
+        self.stats: dict[str, float] = {
+            "client.ops_acked": 0,
+            "client.ops_skipped": 0,
+            "client.frames_sent": 0,
+            "client.retries": 0,
+            "client.timeouts": 0,
+            "client.reconnects": 0,
+        }
+        self._retries_counter = REGISTRY.counter("client.retries")
+        self._timeouts_counter = REGISTRY.counter("client.timeouts")
+
+    async def run(self) -> dict:
+        """Drive every session to completion; returns the stats dict.
+
+        Raises :class:`ClientError` if any operation exhausts its
+        per-op deadline -- a stuck gate upstream (diagnosed by the
+        orchestrator via server status).
+        """
+        start = time.time()
+        await asyncio.gather(
+            *(
+                self._session_main(session, ops, start)
+                for session, ops in sorted(self._sessions.items())
+            )
+        )
+        wall_s = time.time() - start
+        self.stats["client.wall_s"] = wall_s
+        self.stats["client.ops_per_s"] = (
+            self.stats["client.ops_acked"] / wall_s if wall_s > 0 else 0.0
+        )
+        return self.stats
+
+    async def _session_main(
+        self, session: str, ops: list[dict], epoch_s: float
+    ) -> None:
+        region = session_region(session)
+        entry = self._topology["regions"][region]
+        addr = (entry.get("host", "127.0.0.1"), entry["client_port"])
+        policy = RetryPolicy(
+            base_ms=self._retry_base_ms,
+            cap_ms=self._retry_cap_ms,
+            seed=zlib.crc32(f"client:{session}".encode()),
+        )
+        reader = writer = None
+        try:
+            for op in ops:
+                if not op["send"]:
+                    self.stats["client.ops_skipped"] += 1
+                    continue
+                target_s = epoch_s + op["at_ms"] * self._time_scale / 1000.0
+                delay = target_s - time.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                reader, writer = await self._send_op(
+                    op, addr, policy, reader, writer
+                )
+                self.stats["client.ops_acked"] += 1
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def _send_op(self, op, addr, policy, reader, writer):
+        deadline = time.time() + self._op_deadline_s
+        span = TRACER.start(
+            "net.client.op", session=op["session"], index=op["index"]
+        )
+        attempts = 0
+        while True:
+            if time.time() > deadline:
+                TRACER.end(span, gave_up=True, attempts=attempts)
+                raise ClientError(
+                    f"op {op['index']} ({op['op']}) for {op['session']} "
+                    f"got no ack in {self._op_deadline_s:.0f}s "
+                    f"({attempts} attempts)"
+                )
+            attempts += 1
+            try:
+                if writer is None or writer.is_closing():
+                    reader, writer = await asyncio.wait_for(
+                        asyncio.open_connection(*addr),
+                        timeout=self._ack_timeout_ms / 1000.0,
+                    )
+                await wire.write_frame(
+                    writer,
+                    {
+                        "type": "op",
+                        "index": op["index"],
+                        "op": op["op"],
+                        "session": op["session"],
+                    },
+                )
+                self.stats["client.frames_sent"] += 1
+                ack = await asyncio.wait_for(
+                    self._read_ack(reader, op["index"]),
+                    timeout=self._ack_timeout_ms / 1000.0,
+                )
+                policy.reset()
+                TRACER.end(span, status=ack["status"], attempts=attempts)
+                return reader, writer
+            except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+                # Deadline or dead server: drop the connection (a
+                # cancelled mid-frame read may have consumed bytes, so
+                # the stream is unusable), back off, resend.
+                if isinstance(exc, asyncio.TimeoutError):
+                    self.stats["client.timeouts"] += 1
+                    self._timeouts_counter.inc()
+                else:
+                    self.stats["client.reconnects"] += 1
+                self.stats["client.retries"] += 1
+                self._retries_counter.inc()
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                await asyncio.sleep(policy.next_delay_ms() / 1000.0)
+
+    async def _read_ack(self, reader, index: int) -> dict:
+        """Next acknowledgement for ``index``, skipping stale re-acks."""
+        while True:
+            frame = await wire.read_frame(reader)
+            if frame is None:
+                raise ConnectionError("server closed the connection")
+            if frame.get("type") == "op_ack" and frame.get("index") == index:
+                return frame

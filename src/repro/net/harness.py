@@ -1,0 +1,405 @@
+"""The live-run orchestrator: boot, chaos, load, verdict.
+
+:func:`run_live` takes a recorded deployment (:mod:`repro.net.oracle`)
+and drives the whole live experiment:
+
+1. allocate ports and build the topology;
+2. start a :class:`~repro.net.proxy.ChaosProxy` on every directed
+   inter-replica link;
+3. boot one replica server per region -- as asyncio tasks in this
+   process (fast, used by most tests) or as real subprocesses
+   (``python -m repro serve``, used by the CLI and the CI smoke job,
+   where a crash window is a literal SIGKILL);
+4. set the shared epoch, schedule the fault plan's crash windows
+   against it, and release the closed-loop client fleet;
+5. wait for every server to finish its schedule, collect digests and
+   counters, and compare the digests byte-for-byte against the
+   simulator's.
+
+The deadline is part of the oracle: a gate that never opens (a record
+the live stack failed to deliver) stalls a schedule, and the stuck
+positions are reported region by region instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.net.client import ClientError, ClientFleet, fetch_status
+from repro.net.proxy import ChaosProxy
+from repro.net.server import ReplicaServer
+from repro.sim.faults import FaultPlan
+
+
+class HarnessError(ReproError):
+    """A live run that could not be orchestrated to a verdict."""
+
+
+def free_ports(count: int, host: str = "127.0.0.1") -> list[int]:
+    """Ask the kernel for distinct free TCP ports.
+
+    The listeners are opened shortly after, so the usual
+    close-then-rebind race is tolerable for a local harness.
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def build_topology(
+    regions: tuple[str, ...],
+    antientropy_ms: float = 50.0,
+    host: str = "127.0.0.1",
+) -> dict:
+    ports = free_ports(2 * len(regions), host)
+    topology: dict = {
+        "epoch_unix_ms": time.time() * 1000.0,
+        "antientropy_ms": antientropy_ms,
+        "regions": {},
+        "links": {},
+    }
+    for index, region in enumerate(regions):
+        topology["regions"][region] = {
+            "host": host,
+            "client_port": ports[2 * index],
+            "peer_port": ports[2 * index + 1],
+        }
+    return topology
+
+
+@dataclass
+class LiveReport:
+    """Everything one live run produced, plus the digest verdict."""
+
+    ok: bool
+    reason: str
+    digests_live: dict[str, str]
+    digests_sim: dict[str, str]
+    wall_s: float
+    client: dict = field(default_factory=dict)
+    servers: dict = field(default_factory=dict)
+    proxy: dict = field(default_factory=dict)
+    crashes: int = 0
+    mode: str = "inprocess"
+
+    @property
+    def digest_match(self) -> bool:
+        return bool(self.digests_live) and self.digests_live == {
+            region: self.digests_sim.get(region)
+            for region in self.digests_live
+        }
+
+    def bench(self, deployment: dict, time_scale: float) -> dict:
+        trial = deployment["trial"]
+        return {
+            "benchmark": "serve",
+            "app": trial["app"],
+            "config": trial["config"],
+            "seed": trial["seed"],
+            "regions": trial["regions"],
+            "n_ops": len(deployment["ops"]),
+            "mode": self.mode,
+            "time_scale": time_scale,
+            "ok": self.ok,
+            "digest_match": self.digest_match,
+            "reason": self.reason,
+            "wall_s": self.wall_s,
+            "throughput_ops_per_s": self.client.get("client.ops_per_s", 0.0),
+            "client": dict(self.client),
+            "servers": self.servers,
+            "proxy": self.proxy,
+            "crashes": self.crashes,
+        }
+
+
+class _InprocessNode:
+    """One region's server lifecycle, in this process."""
+
+    def __init__(self, deployment, topology, region, data_dir, fsync):
+        self._args = (deployment, topology, region, data_dir, fsync)
+        self.server: ReplicaServer | None = None
+
+    async def start(self) -> None:
+        self.server = ReplicaServer(*self._args)
+        await self.server.start()
+
+    async def crash(self) -> None:
+        if self.server is not None:
+            self.server.kill()
+            self.server = None
+
+    async def restart(self) -> None:
+        await self.start()
+
+    async def stop(self) -> None:
+        if self.server is not None:
+            await self.server.stop()
+            self.server = None
+
+
+class _SubprocessNode:
+    """One region's server lifecycle, as a real OS process."""
+
+    def __init__(self, deployment_path, topology_path, region, data_dir):
+        self._argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--deployment",
+            deployment_path,
+            "--topology",
+            topology_path,
+            "--region",
+            region,
+            "--data-dir",
+            data_dir,
+        ]
+        self._env = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        existing = self._env.get("PYTHONPATH")
+        self._env["PYTHONPATH"] = (
+            f"{package_root}{os.pathsep}{existing}"
+            if existing
+            else package_root
+        )
+        self.proc: asyncio.subprocess.Process | None = None
+
+    async def start(self) -> None:
+        self.proc = await asyncio.create_subprocess_exec(
+            *self._argv, env=self._env
+        )
+
+    async def crash(self) -> None:
+        """A crash window opens: SIGKILL, no warning."""
+        if self.proc is not None and self.proc.returncode is None:
+            self.proc.send_signal(signal.SIGKILL)
+            await self.proc.wait()
+        self.proc = None
+
+    async def restart(self) -> None:
+        await self.start()
+
+    async def stop(self) -> None:
+        if self.proc is not None and self.proc.returncode is None:
+            self.proc.terminate()
+            try:
+                await asyncio.wait_for(self.proc.wait(), timeout=5.0)
+            except asyncio.TimeoutError:
+                self.proc.kill()
+                await self.proc.wait()
+        self.proc = None
+
+
+async def run_live(
+    deployment: dict,
+    workdir: str,
+    time_scale: float = 0.05,
+    antientropy_ms: float = 50.0,
+    deadline_s: float = 60.0,
+    subprocess_servers: bool = False,
+    fsync: bool = False,
+) -> LiveReport:
+    """Execute one recorded deployment live and judge the digests."""
+    trial = deployment["trial"]
+    regions = tuple(trial["regions"])
+    plan = FaultPlan.from_dict(trial.get("plan", {}))
+    os.makedirs(workdir, exist_ok=True)
+    topology = build_topology(regions, antientropy_ms=antientropy_ms)
+
+    proxy = ChaosProxy(regions, plan, topology, time_scale=time_scale)
+    await proxy.start()
+
+    deployment_path = os.path.join(workdir, "deployment.json")
+    topology_path = os.path.join(workdir, "topology.json")
+    with open(deployment_path, "w", encoding="utf-8") as handle:
+        json.dump(deployment, handle)
+    with open(topology_path, "w", encoding="utf-8") as handle:
+        json.dump(topology, handle)
+
+    nodes: dict[str, object] = {}
+    data_dir = os.path.join(workdir, "data")
+    for region in regions:
+        if subprocess_servers:
+            nodes[region] = _SubprocessNode(
+                deployment_path, topology_path, region, data_dir
+            )
+        else:
+            nodes[region] = _InprocessNode(
+                deployment, topology, region, data_dir, fsync
+            )
+    mode = "subprocess" if subprocess_servers else "inprocess"
+
+    crash_tasks: list[asyncio.Task] = []
+    started = time.time()
+    try:
+        for node in nodes.values():
+            await node.start()
+        await _await_ready(topology, regions, deadline_s)
+
+        epoch_unix_ms = time.time() * 1000.0
+        proxy.set_epoch(epoch_unix_ms)
+        for window in plan.crashes:
+            crash_tasks.append(
+                asyncio.ensure_future(
+                    _crash_window(
+                        nodes[window.region], window, epoch_unix_ms,
+                        time_scale,
+                    )
+                )
+            )
+
+        fleet = ClientFleet(deployment, topology, time_scale=time_scale)
+        remaining = deadline_s - (time.time() - started)
+        try:
+            client_stats = await asyncio.wait_for(
+                fleet.run(), timeout=max(remaining, 1.0)
+            )
+        except (asyncio.TimeoutError, ClientError) as exc:
+            detail = (
+                "client fleet deadline"
+                if isinstance(exc, asyncio.TimeoutError)
+                else str(exc)
+            )
+            stuck = await _positions(topology, regions)
+            return LiveReport(
+                ok=False,
+                reason=f"{detail}; server positions: {stuck}",
+                digests_live={},
+                digests_sim=dict(deployment["digests"]),
+                wall_s=time.time() - started,
+                client=dict(fleet.stats),
+                proxy=proxy.stats(),
+                crashes=len(plan.crashes),
+                mode=mode,
+            )
+
+        # The fleet is done; let every crash window play out (a restart
+        # may still be pending) and every schedule drain.
+        if crash_tasks:
+            await asyncio.gather(*crash_tasks, return_exceptions=True)
+        statuses = await _await_schedules(
+            topology,
+            regions,
+            deadline=started + deadline_s,
+        )
+        wall_s = time.time() - started
+        digests_live = {
+            region: status["digest"] for region, status in statuses.items()
+        }
+        digests_sim = dict(deployment["digests"])
+        ok = all(
+            digests_live.get(region) == digests_sim.get(region)
+            for region in regions
+        )
+        return LiveReport(
+            ok=ok,
+            reason="" if ok else "digest mismatch",
+            digests_live=digests_live,
+            digests_sim=digests_sim,
+            wall_s=wall_s,
+            client=client_stats,
+            servers={
+                region: status["stats"]
+                for region, status in statuses.items()
+            },
+            proxy=proxy.stats(),
+            crashes=len(plan.crashes),
+            mode=mode,
+        )
+    finally:
+        for task in crash_tasks:
+            task.cancel()
+        for node in nodes.values():
+            try:
+                await node.stop()
+            except Exception:
+                pass
+        await proxy.stop()
+
+
+async def _crash_window(node, window, epoch_unix_ms, time_scale) -> None:
+    """Kill at the window's open, restart at its close."""
+    now_ms = time.time() * 1000.0 - epoch_unix_ms
+    await asyncio.sleep(
+        max(0.0, (window.start_ms * time_scale - now_ms) / 1000.0)
+    )
+    await node.crash()
+    now_ms = time.time() * 1000.0 - epoch_unix_ms
+    await asyncio.sleep(
+        max(0.0, (window.end_ms * time_scale - now_ms) / 1000.0)
+    )
+    await node.restart()
+
+
+async def _await_ready(topology, regions, deadline_s: float) -> None:
+    deadline = time.time() + deadline_s
+    for region in regions:
+        entry = topology["regions"][region]
+        while True:
+            try:
+                await fetch_status(entry["host"], entry["client_port"])
+                break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if time.time() > deadline:
+                    raise HarnessError(
+                        f"server for {region} never became ready"
+                    ) from None
+                await asyncio.sleep(0.05)
+
+
+async def _positions(topology, regions) -> dict:
+    positions = {}
+    for region in regions:
+        entry = topology["regions"][region]
+        try:
+            status = await fetch_status(entry["host"], entry["client_port"])
+            positions[region] = f"{status['position']}/{status['steps']}"
+            if status.get("error"):
+                positions[region] += f" (engine error: {status['error']})"
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            positions[region] = "unreachable"
+    return positions
+
+
+async def _await_schedules(topology, regions, deadline: float) -> dict:
+    """Every server's final status, or a diagnostic HarnessError."""
+    statuses: dict[str, dict] = {}
+    for region in regions:
+        entry = topology["regions"][region]
+        while True:
+            try:
+                status = await fetch_status(
+                    entry["host"], entry["client_port"]
+                )
+                if status["done"]:
+                    statuses[region] = status
+                    break
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                status = None
+            if time.time() > deadline:
+                stuck = await _positions(topology, regions)
+                raise HarnessError(
+                    f"schedules did not drain by the deadline; "
+                    f"positions: {stuck}"
+                )
+            await asyncio.sleep(0.05)
+    return statuses

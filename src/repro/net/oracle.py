@@ -1,0 +1,283 @@
+"""The digest-equivalence oracle: record a simulated trial, gate a live one.
+
+Byte-identical digests between a live cluster and the simulator are
+impossible under free-running concurrency: CRDT prepares capture
+observed state (an ``AWRemove`` captures the dots it saw, an IPA guard
+reads the local balance), so any timing difference changes the payloads
+themselves, not just their arrival order.  Instead of weakening the
+oracle to "eventually equivalent", the live deployment *replays the
+simulator's event order*: a :class:`TrialRecorder` observes a
+:func:`~repro.check.harness.run_trial` run and writes down, per
+replica, the exact interleaving of operation executions and
+remote-record applications.  Live servers then gate on that schedule
+-- an operation executes only when every earlier step of its replica's
+schedule has happened -- while everything *underneath* the gates
+(sockets, framing, chaos faults, retries, crash recovery) runs fully
+live and fully concurrent.
+
+What this proves: the live transport delivered every record the
+schedule demands, exactly once, in a causal order, across drops,
+duplicates, reorders, partitions and a replica SIGKILL -- because any
+lost or mangled record either stalls a gate (run deadline) or changes
+a payload (digest mismatch).  What it does not prove: live timing
+equals simulated timing; nobody claims that.
+
+The recorder rides along via ``run_trial(spec, recorder=...)``,
+wrapping ``cluster.submit`` so each transaction body notes where in
+its replica's commit log it executed.  The simulation itself is
+byte-identical with or without the recorder.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+
+ORACLE_SCHEMA = 1
+
+#: ``op_ref`` value for transactions submitted during adapter setup.
+SETUP_REF = "setup"
+
+
+class OracleError(ReproError):
+    """A recorded trial that cannot be turned into a live schedule."""
+
+
+@dataclass(frozen=True)
+class ExecNote:
+    """One transaction body's execution, located in replica order.
+
+    ``log_pos`` is ``len(replica.log)`` at the moment the body ran:
+    everything the replica had applied before this operation.  ``seq``
+    is a per-replica monotone counter ordering operations that share a
+    ``log_pos``.  For committing operations ``counter`` is the dot
+    counter the commit produced (the replica's own vector entry after
+    it).
+    """
+
+    op_ref: Any  # int index into spec.ops, or SETUP_REF
+    region: str
+    log_pos: int
+    seq: int
+    committed: bool
+    counter: int | None
+
+
+class TrialRecorder:
+    """Observes one simulated trial and emits per-replica schedules."""
+
+    def __init__(self) -> None:
+        self.execs: list[ExecNote] = []
+        self._current: Any = None
+        self._seq: dict[str, int] = {}
+        self._cluster: Any = None
+
+    # -- hooks called by check.harness.run_trial -----------------------------
+
+    def attach(self, cluster: Any) -> None:
+        if self._cluster is not None:
+            raise OracleError("recorder already attached to a cluster")
+        self._cluster = cluster
+        original = cluster.submit
+        recorder = self
+
+        def submit(region, body, done, *args, **kwargs):
+            op_ref = recorder._current
+
+            def wrapped(txn):
+                label = body(txn)
+                recorder._note_exec(op_ref, txn)
+                return label
+
+            return original(region, wrapped, done, *args, **kwargs)
+
+        cluster.submit = submit
+
+    def begin_setup(self) -> None:
+        self._current = SETUP_REF
+
+    def end_setup(self) -> None:
+        self._current = None
+
+    def note_issue(self, index: int) -> None:
+        self._current = index
+
+    def _note_exec(self, op_ref: Any, txn: Any) -> None:
+        if op_ref is None:
+            raise OracleError(
+                "transaction executed outside setup and outside any "
+                "recorded operation -- live replay cannot schedule it"
+            )
+        replica = txn.replica
+        region = replica.replica_id
+        seq = self._seq.get(region, 0)
+        self._seq[region] = seq + 1
+        committed = txn.update_count > 0
+        if op_ref == SETUP_REF and not committed:
+            # Live setup replay after a crash skips the first N setup
+            # submits (N = durable commits); that alignment needs every
+            # setup submit to commit.  All current apps comply.
+            raise OracleError(
+                f"{region}: non-committing setup transaction -- live "
+                "setup replay cannot align skips with durable commits"
+            )
+        self.execs.append(
+            ExecNote(
+                op_ref=op_ref,
+                region=region,
+                log_pos=len(replica.log),
+                seq=seq,
+                committed=committed,
+                counter=replica.vv.get(region) + 1 if committed else None,
+            )
+        )
+
+    # -- schedule construction ------------------------------------------------
+
+    def build(self, spec: Any, result: Any) -> dict:
+        """The deployment spec: trial + per-replica schedules + digests."""
+        if self._cluster is None:
+            raise OracleError("recorder was never attached (pass it "
+                              "to run_trial)")
+        schedules = {
+            region: self._schedule_for(
+                region, self._cluster.replica(region).log
+            )
+            for region in spec.regions
+        }
+        committed = {
+            note.op_ref: note.committed
+            for note in self.execs
+            if isinstance(note.op_ref, int)
+        }
+        ops = [
+            {
+                "index": index,
+                "at_ms": call.at_ms,
+                "session": call.session,
+                "op": call.op,
+                "args": list(call.args),
+                # The client fleet sends only operations that committed
+                # in the simulation; non-committing and lost operations
+                # are the server's (resp. nobody's) to perform.
+                "send": bool(committed.get(index, False)),
+            }
+            for index, call in enumerate(spec.ops)
+        ]
+        return {
+            "schema": ORACLE_SCHEMA,
+            "trial": spec.to_dict(),
+            "digests": dict(result.digests),
+            "schedules": schedules,
+            "ops": ops,
+        }
+
+    def _schedule_for(self, region: str, log: list) -> list[dict]:
+        execs = [note for note in self.execs if note.region == region]
+        steps: list[dict] = []
+        j = 0
+
+        def emit_apply(entry: Any) -> None:
+            if entry.origin == region:
+                raise OracleError(
+                    f"{region}: local log entry {entry.dot} has no "
+                    "recorded execution (unsupported submit path -- "
+                    "live replay handles causal/IPA trials only)"
+                )
+            steps.append(
+                {
+                    "kind": "apply",
+                    "origin": entry.origin,
+                    "counter": entry.dot.counter,
+                }
+            )
+
+        for note in execs:
+            while j < note.log_pos:
+                emit_apply(log[j])
+                j += 1
+            if note.op_ref == SETUP_REF:
+                if steps and steps[-1]["kind"] == "setup":
+                    step = steps[-1]
+                else:
+                    step = {"kind": "setup", "commits": 0}
+                    steps.append(step)
+                if note.committed:
+                    step["commits"] += 1
+            else:
+                steps.append(
+                    {
+                        "kind": "op",
+                        "index": note.op_ref,
+                        "commits": note.committed,
+                        "counter": note.counter,
+                    }
+                )
+            if note.committed:
+                if j >= len(log):
+                    raise OracleError(
+                        f"{region}: committed execution {note} has no "
+                        "log entry"
+                    )
+                entry = log[j]
+                if entry.origin != region or (
+                    entry.dot.counter != note.counter
+                ):
+                    raise OracleError(
+                        f"{region}: log entry {entry.dot} does not match "
+                        f"recorded commit counter {note.counter}"
+                    )
+                j += 1
+        while j < len(log):
+            emit_apply(log[j])
+            j += 1
+
+        setup_steps = [s for s in steps if s["kind"] == "setup"]
+        if len(setup_steps) > 1 or (setup_steps and steps[0] is not setup_steps[0]):
+            raise OracleError(
+                f"{region}: setup commits interleaved with other events"
+            )
+        return steps
+
+
+def record_trial(spec: Any) -> tuple[Any, dict]:
+    """Run ``spec`` in the simulator and return (result, deployment).
+
+    The deployment dict is what ``repro serve`` and the live harness
+    consume: the trial, the per-replica gating schedules, and the
+    digests the live cluster must reproduce byte for byte.
+    """
+    from repro.check.apps import resolve_config
+    from repro.check.harness import run_trial
+    from repro.store.cluster import ConsistencyMode
+
+    mode, _ = resolve_config(spec.app, spec.config)
+    if mode is not ConsistencyMode.CAUSAL:
+        raise OracleError(
+            f"live replay supports causal-mode trials only, not "
+            f"{mode.value} (config {spec.config!r})"
+        )
+    recorder = TrialRecorder()
+    result = run_trial(spec, recorder=recorder)
+    return result, recorder.build(spec, result)
+
+
+def write_deployment(path: str, deployment: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(deployment, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_deployment(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        deployment = json.load(handle)
+    schema = deployment.get("schema")
+    if schema != ORACLE_SCHEMA:
+        raise OracleError(
+            f"unsupported deployment schema {schema!r} "
+            f"(this build reads schema {ORACLE_SCHEMA})"
+        )
+    return deployment

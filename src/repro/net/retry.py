@@ -1,0 +1,85 @@
+"""The one retry/backoff policy shared by every unreliable path.
+
+Before this module, backoff math was scattered: the anti-entropy engine
+doubled its own delay with multiplicative jitter, and each new
+network-facing component would have grown another ad-hoc variant.
+:class:`RetryPolicy` centralises the scheme as *decorrelated jitter*
+(the AWS architecture-blog variant): each delay is drawn uniformly from
+``[base, prev * 3]`` and clamped to ``[base, cap]``.  Compared with
+plain exponential-plus-jitter it spreads concurrent retriers across the
+whole window instead of clustering them at the top of each doubling,
+while keeping the same worst-case growth rate.
+
+Two invariants every consumer may rely on (property-tested in
+``tests/net/test_retry.py``):
+
+- every delay lies in ``[base, cap]``;
+- the sequence is deterministic given the seed (or supplied RNG), so
+  simulated users keep bit-for-bit reproducible runs.
+
+The policy is clock-free: callers own *when* to sleep (simulator
+schedule, ``asyncio.sleep``, ...); the policy only answers "how long".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReproError
+
+
+class RetryPolicy:
+    """Decorrelated-jitter backoff with attempt and deadline caps.
+
+    ``base_ms`` is both the floor of every delay and the reset value;
+    ``cap_ms`` bounds growth.  ``max_attempts`` (None = unbounded) is a
+    budget consumers check via :meth:`exhausted`; the policy itself
+    never raises on exhaustion -- a caller that keeps asking keeps
+    getting capped delays.
+    """
+
+    def __init__(
+        self,
+        base_ms: float,
+        cap_ms: float,
+        max_attempts: int | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if base_ms <= 0:
+            raise ReproError(f"retry base {base_ms} must be positive")
+        if cap_ms < base_ms:
+            raise ReproError(
+                f"retry cap {cap_ms} below base {base_ms}"
+            )
+        self.base_ms = base_ms
+        self.cap_ms = cap_ms
+        self.max_attempts = max_attempts
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._prev = base_ms
+        self.attempts = 0
+
+    def next_delay_ms(self) -> float:
+        """The next backoff delay; grows until :meth:`reset` is called."""
+        self.attempts += 1
+        delay = self._rng.uniform(self.base_ms, self._prev * 3.0)
+        if delay > self.cap_ms:
+            delay = self.cap_ms
+        self._prev = delay
+        return delay
+
+    def reset(self) -> None:
+        """A success: the next failure starts back at the base delay."""
+        self._prev = self.base_ms
+        self.attempts = 0
+
+    def exhausted(self) -> bool:
+        return (
+            self.max_attempts is not None
+            and self.attempts >= self.max_attempts
+        )
+
+    @property
+    def current_ms(self) -> float:
+        """The most recently issued delay (observability)."""
+        return self._prev

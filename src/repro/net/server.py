@@ -1,0 +1,676 @@
+"""The asyncio replica server: one live process per region.
+
+A :class:`ReplicaServer` wraps the simulator's
+:class:`~repro.store.replica.Replica` behind real TCP listeners: a
+*peer* port receiving replication broadcasts and anti-entropy frames
+from the other regions (normally through a chaos proxy,
+:mod:`repro.net.proxy`), and a *client* port receiving operations from
+the closed-loop fleet (:mod:`repro.net.client`).  Every record the
+replica applies -- its own commits and remote records alike -- is
+appended to a durable :mod:`commit log <repro.net.commitlog>` before
+anything is acknowledged, so a SIGKILL'd server restarts into exactly
+the state durability promised.
+
+Execution is gated on the simulator-recorded schedule
+(:mod:`repro.net.oracle`): the :class:`ScheduleEngine` walks its
+replica's recorded event order and *waits*, at each step, for the live
+world to produce what the simulation produced -- the next remote
+record (delivered by sockets under chaos, retransmitted by
+anti-entropy) or the next client operation (delivered by the fleet
+with retries).  The simulator's :class:`~repro.store.replication.CausalReceiver`
+applies records *eagerly* as they become causally ready; the live
+engine deliberately replaces that policy with the gate, because an
+eager apply squeezed between two operations would change what the
+operations' prepares observe and break byte-equivalence with the
+recorded run.  Causality still holds -- the recorded order is a causal
+order, asserted by :meth:`~repro.store.replica.Replica.apply_remote`
+on every application.
+
+Operations the simulation executed without committing are nil-effect
+by construction; the engine re-executes them from the deployment spec
+itself rather than waiting for a client send, so a crash between
+"executed" and "acknowledged" can never deadlock a restart (the repeat
+execution is deterministic and changes nothing).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+import zlib
+from typing import Any
+
+from repro.check.apps import ADAPTERS, resolve_config
+from repro.check.harness import TrialSpec
+from repro.errors import ReproError, StoreError
+from repro.net import commitlog, wire
+from repro.net.retry import RetryPolicy
+from repro.obs import REGISTRY, TRACER
+from repro.store.cluster import replica_state_digest
+from repro.store.replica import Replica
+from repro.store.transaction import CommitRecord
+
+
+class ServeError(ReproError):
+    """A live server cannot follow its recorded schedule."""
+
+
+#: Cap on records per anti-entropy response frame (bounds frame size;
+#: the requester's next round fetches the rest).
+SYNC_BATCH_LIMIT = 512
+
+
+class LiveNode:
+    """The cluster-shaped surface one live replica offers its app.
+
+    Applications are written against :class:`~repro.store.cluster.Cluster`
+    (``submit`` / ``replica`` / ``settle``); a live region serves the
+    same surface from a single local replica.  ``submit`` runs the
+    transaction synchronously -- the schedule engine already did the
+    waiting -- then hands the commit record to the server for durable
+    append + broadcast before the ``done`` callback fires.
+
+    ``setup_skip`` supports crash-during-setup recovery: the first N
+    setup submits are skipped (their commits are already durable and
+    were replayed from the log), and the remainder re-execute exactly
+    as first time -- setup submits are deterministic and strictly
+    ordered.
+    """
+
+    sim = None  # apps never touch it; the attribute mirrors Cluster
+
+    def __init__(self, region, registry, now_ms, on_commit) -> None:
+        self.region_id = region
+        self.store = Replica(region, registry, now=now_ms)
+        self._on_commit = on_commit
+        self.setup_skip = 0
+
+    def submit(
+        self,
+        region,
+        body,
+        done,
+        is_update: bool = True,
+        reservations: tuple[str, ...] = (),
+        exclusive_reservations: bool = True,
+    ) -> None:
+        if region != self.region_id:
+            raise StoreError(
+                f"live node {self.region_id!r} cannot execute for "
+                f"{region!r}"
+            )
+        # ``reservations`` mirrors Cluster.submit's signature; under
+        # causal mode the cluster ignores them (they only matter to
+        # Indigo, which live replay rejects at record time), so the
+        # live node ignores them too.
+        if self.setup_skip > 0:
+            self.setup_skip -= 1
+            done("setup")
+            return
+        txn = self.store.begin()
+        label = body(txn)
+        record = txn.commit()
+        if record is not None:
+            self._on_commit(record)
+        done(label)
+
+    def replica(self, region) -> Replica:
+        if region != self.region_id:
+            raise StoreError(
+                f"live node {self.region_id!r} has no replica for "
+                f"{region!r}"
+            )
+        return self.store
+
+    def settle(self, slack_ms: float = 0.0) -> None:
+        """No-op: live replication is push-based and gated downstream."""
+
+
+def resume_position(schedule: list[dict], replica: Replica) -> int:
+    """First schedule step not provably durable after log replay.
+
+    Applies, commits and setup are provable from the version vector;
+    non-committing operations are not, but re-executing one is a
+    deterministic nil-effect, so resuming after the *last* provable
+    step is always safe.
+    """
+    vv = replica.vv
+    own = replica.replica_id
+    last_done = -1
+    for index, step in enumerate(schedule):
+        kind = step["kind"]
+        if kind == "apply":
+            if vv.get(step["origin"]) >= step["counter"]:
+                last_done = index
+        elif kind == "setup":
+            if vv.get(own) >= step["commits"]:
+                last_done = index
+        elif step["commits"]:
+            if vv.get(own) >= step["counter"]:
+                last_done = index
+    return last_done + 1
+
+
+class ScheduleEngine:
+    """Walks one replica's recorded schedule, gating on live inputs."""
+
+    def __init__(
+        self,
+        server: "ReplicaServer",
+        schedule: list[dict],
+        ops: list[dict],
+    ) -> None:
+        self._server = server
+        self.schedule = schedule
+        self._ops = ops
+        self._cond = asyncio.Condition()
+        self._records: dict[tuple[str, int], CommitRecord] = {}
+        self._op_waiting: dict[int, Any] = {}  # index -> respond callable
+        self._op_results: dict[int, str | None] = {}
+        self.position = resume_position(schedule, server.node.store)
+        self.digest: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.schedule)
+
+    # -- live inputs ----------------------------------------------------------
+
+    async def offer_record(self, record: CommitRecord) -> None:
+        """A record arrived from a peer (broadcast or anti-entropy)."""
+        replica = self._server.node.store
+        if record.origin == replica.replica_id:
+            return
+        if replica.vv.get(record.origin) >= record.dot.counter:
+            self._server.stats["net.records.duplicates"] += 1
+            return
+        key = (record.origin, record.dot.counter)
+        async with self._cond:
+            if key in self._records:
+                self._server.stats["net.records.duplicates"] += 1
+                return
+            self._records[key] = record
+            self._server.stats["net.records.buffered"] += 1
+            self._cond.notify_all()
+
+    async def offer_op(self, index: int, respond) -> bool:
+        """A client (re)sent operation ``index``; True if acked here.
+
+        Already-executed operations are re-acknowledged immediately
+        (the retry path); otherwise the respond callable is parked for
+        the engine to call after execution.
+        """
+        if index in self._op_results:
+            await respond("dup", self._op_results[index])
+            return True
+        async with self._cond:
+            first = index not in self._op_waiting
+            self._op_waiting[index] = respond
+            if first:
+                self._cond.notify_all()
+        return False
+
+    # -- the gate loop --------------------------------------------------------
+
+    async def run(self) -> None:
+        server = self._server
+        while self.position < len(self.schedule):
+            step = self.schedule[self.position]
+            kind = step["kind"]
+            if kind == "setup":
+                self._run_setup(step)
+            elif kind == "apply":
+                await self._run_apply(step)
+            else:
+                await self._run_op(step)
+            self.position += 1
+        self.digest = replica_state_digest(server.node.store)
+        server.stats["net.schedule.completed"] = 1
+        async with self._cond:
+            self._cond.notify_all()
+
+    def _run_setup(self, step: dict) -> None:
+        server = self._server
+        replica = server.node.store
+        durable = replica.vv.get(replica.replica_id)
+        server.node.setup_skip = min(durable, step["commits"])
+        span = TRACER.start("net.setup", region=server.region)
+        server.adapter.setup(server.app, server.params, server.region)
+        TRACER.end(span, commits=step["commits"], replayed=durable)
+        if replica.vv.get(replica.replica_id) != step["commits"]:
+            raise ServeError(
+                f"{server.region}: setup produced "
+                f"{replica.vv.get(replica.replica_id)} commits, schedule "
+                f"recorded {step['commits']}"
+            )
+
+    async def _run_apply(self, step: dict) -> None:
+        server = self._server
+        key = (step["origin"], step["counter"])
+        async with self._cond:
+            while key not in self._records:
+                await self._cond.wait()
+            record = self._records.pop(key)
+        span = TRACER.start(
+            "net.apply", region=server.region, origin=record.origin
+        )
+        server.node.store.apply_remote(record)
+        server.log.append(record)
+        server.stats["net.records.applied"] += 1
+        lag = server.now_ms() - record.committed_at
+        server.lag_gauge.set(lag)
+        TRACER.end(span, counter=record.dot.counter, lag_ms=lag)
+
+    async def _run_op(self, step: dict) -> None:
+        server = self._server
+        index = step["index"]
+        call = self._ops[index]
+        respond = None
+        if step["commits"]:
+            async with self._cond:
+                while index not in self._op_waiting:
+                    await self._cond.wait()
+                respond = self._op_waiting.pop(index)
+        result: dict[str, Any] = {"label": None}
+
+        def done(label: str) -> None:
+            result["label"] = label
+
+        replica = server.node.store
+        before = replica.vv.get(replica.replica_id)
+        span = TRACER.start(
+            "net.op", region=server.region, op=call["op"], index=index
+        )
+        server.adapter.dispatch(
+            server.app,
+            server.region,
+            call["op"],
+            tuple(call["args"]),
+            done,
+        )
+        TRACER.end(span, committed=step["commits"])
+        own = replica.vv.get(replica.replica_id)
+        if step["commits"]:
+            if own != step["counter"]:
+                raise ServeError(
+                    f"{server.region}: op {index} ({call['op']}) produced "
+                    f"counter {own}, schedule recorded {step['counter']}"
+                )
+        elif own != before:
+            raise ServeError(
+                f"{server.region}: op {index} ({call['op']}) committed "
+                "live but not in the recorded run -- state diverged"
+            )
+        self._op_results[index] = result["label"]
+        server.stats["net.ops.executed"] += 1
+        if respond is not None:
+            await respond("done", result["label"])
+
+
+class ReplicaServer:
+    """One live region: listeners, schedule engine, anti-entropy."""
+
+    def __init__(
+        self,
+        deployment: dict,
+        topology: dict,
+        region: str,
+        data_dir: str,
+        fsync: bool = False,
+    ) -> None:
+        if region not in deployment["schedules"]:
+            raise ServeError(f"deployment has no schedule for {region!r}")
+        self.deployment = deployment
+        self.topology = topology
+        self.region = region
+        self.spec = TrialSpec.from_dict(deployment["trial"])
+        adapter = ADAPTERS.get(self.spec.app)
+        if adapter is None:
+            raise ServeError(f"unknown application {self.spec.app!r}")
+        self.adapter = adapter
+        mode, self.variant = resolve_config(self.spec.app, self.spec.config)
+        if mode.value != "causal":
+            raise ServeError(
+                f"live serving supports causal-mode trials only, not "
+                f"{mode.value} (config {self.spec.config!r})"
+            )
+        self.params = {**adapter.defaults(), **self.spec.params}
+        self.peers = tuple(r for r in self.spec.regions if r != region)
+        self._epoch_unix_ms = float(
+            topology.get("epoch_unix_ms") or time.time() * 1000.0
+        )
+        self.stats: dict[str, float] = {
+            "net.records.applied": 0,
+            "net.records.buffered": 0,
+            "net.records.duplicates": 0,
+            "net.ops.executed": 0,
+            "net.sync.requests": 0,
+            "net.sync.responses": 0,
+            "net.sync.timeouts": 0,
+            "net.peer.reconnects": 0,
+            "net.frames.in": 0,
+            "net.frames.out": 0,
+            "net.schedule.completed": 0,
+        }
+        self.lag_gauge = REGISTRY.gauge("store.convergence.lag_ms")
+
+        os.makedirs(data_dir, exist_ok=True)
+        self._log_path = os.path.join(data_dir, f"{region}.commitlog")
+        recovered = commitlog.replay(self._log_path)
+        registry = adapter.registry(self.variant, self.params)
+        self.node = LiveNode(
+            region, registry, self.now_ms, self._commit_local
+        )
+        if recovered:
+            self.node.store.adopt_log(recovered)
+            self.stats["net.recovered_records"] = len(recovered)
+        self.log = commitlog.CommitLog(self._log_path, fsync=fsync)
+        self.app = adapter.make_app(self.node, self.variant, self.params)
+        self.engine = ScheduleEngine(
+            self,
+            deployment["schedules"][region],
+            deployment["ops"],
+        )
+
+        self._out: dict[str, asyncio.Queue] = {}
+        self._sync_events: dict[int, asyncio.Event] = {}
+        self._next_rid = 0
+        self._tasks: list[asyncio.Task] = []
+        self._servers: list[asyncio.base_events.Server] = []
+        self._conns: set[asyncio.StreamWriter] = set()
+        self._running = False
+        self.engine_error: str | None = None
+
+    # -- clocks ---------------------------------------------------------------
+
+    def now_ms(self) -> float:
+        """Milliseconds since the deployment's shared epoch.
+
+        Cross-process comparable (all servers share the epoch via the
+        topology file), which is what the convergence-lag gauge needs.
+        """
+        return time.time() * 1000.0 - self._epoch_unix_ms
+
+    # -- commit path ----------------------------------------------------------
+
+    def _commit_local(self, record: CommitRecord) -> None:
+        """Durable-then-broadcast, before any acknowledgement."""
+        self.log.append(record)
+        for peer in self.peers:
+            queue = self._out.get(peer)
+            if queue is not None:
+                queue.put_nowait(
+                    {"type": "records", "source": self.region,
+                     "records": (record,)}
+                )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        regions = self.topology["regions"]
+        me = regions[self.region]
+        self._running = True
+        for peer in self.peers:
+            self._out[peer] = asyncio.Queue()
+        peer_server = await asyncio.start_server(
+            self._serve_peer, me.get("host", "127.0.0.1"), me["peer_port"]
+        )
+        client_server = await asyncio.start_server(
+            self._serve_client, me.get("host", "127.0.0.1"),
+            me["client_port"],
+        )
+        self._servers = [peer_server, client_server]
+        self._tasks.append(asyncio.ensure_future(self._engine_main()))
+        for peer in self.peers:
+            self._tasks.append(
+                asyncio.ensure_future(self._outbound_main(peer))
+            )
+            self._tasks.append(
+                asyncio.ensure_future(self._antientropy_main(peer))
+            )
+
+    async def stop(self) -> None:
+        """Graceful shutdown (SIGTERM / end of run)."""
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for server in self._servers:
+            server.close()
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        for writer in list(self._conns):
+            writer.close()
+        self.log.close()
+
+    def kill(self) -> None:
+        """Abrupt in-process crash: no flushes, no goodbyes.
+
+        The durable commit log is already flushed per append, so this
+        models SIGKILL for the in-process harness and tests; the
+        subprocess harness uses a real SIGKILL instead.  Open
+        connections are aborted, not closed: a SIGKILL'd process's
+        sockets RST, and a lingering accepted connection would
+        otherwise keep swallowing peer frames meant for the restarted
+        server.
+        """
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        for server in self._servers:
+            server.close()
+        for writer in list(self._conns):
+            try:
+                writer.transport.abort()
+            except Exception:
+                pass
+        self.log.close()
+
+    async def wait_done(self) -> None:
+        while not self.engine.done:
+            await asyncio.sleep(0.005)
+
+    # -- engine wrapper -------------------------------------------------------
+
+    async def _engine_main(self) -> None:
+        """Run the gate loop, surfacing any failure via status frames.
+
+        A silently-dead engine would present as an indistinguishable
+        stall; recording the error lets the orchestrator and operators
+        see *why* a schedule stopped advancing.
+        """
+        try:
+            await self.engine.run()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.engine_error = f"{type(exc).__name__}: {exc}"
+            REGISTRY.counter("net.engine.errors").inc()
+
+    # -- peer plumbing --------------------------------------------------------
+
+    async def _serve_peer(self, reader, writer) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    break
+                self.stats["net.frames.in"] += 1
+                await self._on_peer_frame(frame)
+        except (wire.WireError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown while mid-read; exit the handler cleanly
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+
+    async def _on_peer_frame(self, frame: dict) -> None:
+        kind = frame.get("type")
+        if kind == "records":
+            for record in frame["records"]:
+                await self.engine.offer_record(record)
+        elif kind == "sync_req":
+            self.stats["net.sync.requests"] += 1
+            records = self.node.store.records_since(frame["vv"])
+            queue = self._out.get(frame["source"])
+            if queue is not None:
+                queue.put_nowait(
+                    {
+                        "type": "sync_resp",
+                        "source": self.region,
+                        "rid": frame["rid"],
+                        "records": tuple(records[:SYNC_BATCH_LIMIT]),
+                    }
+                )
+        elif kind == "sync_resp":
+            self.stats["net.sync.responses"] += 1
+            for record in frame["records"]:
+                await self.engine.offer_record(record)
+            event = self._sync_events.pop(frame["rid"], None)
+            if event is not None:
+                event.set()
+
+    async def _outbound_main(self, peer: str) -> None:
+        """Own the self->peer link: connect, pump, reconnect."""
+        link = self.topology["links"][f"{self.region}->{peer}"]
+        queue = self._out[peer]
+        policy = RetryPolicy(
+            base_ms=25.0,
+            cap_ms=1_000.0,
+            seed=zlib.crc32(f"out:{self.region}->{peer}".encode()),
+        )
+        while self._running:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    link.get("host", "127.0.0.1"), link["port"]
+                )
+            except (ConnectionError, OSError):
+                self.stats["net.peer.reconnects"] += 1
+                await asyncio.sleep(policy.next_delay_ms() / 1000.0)
+                continue
+            policy.reset()
+            self._conns.add(writer)
+            try:
+                while True:
+                    message = await queue.get()
+                    await wire.write_frame(writer, message)
+                    self.stats["net.frames.out"] += 1
+            except (ConnectionError, OSError):
+                self.stats["net.peer.reconnects"] += 1
+                writer.close()
+            finally:
+                self._conns.discard(writer)
+
+    async def _antientropy_main(self, peer: str) -> None:
+        """Periodic pull: "send me everything my vector is missing".
+
+        The live counterpart of the simulator's digest exchange, and
+        the retransmission path that makes chaos drops recoverable.
+        Unanswered rounds back off with the shared
+        :class:`~repro.net.retry.RetryPolicy`.
+        """
+        interval_ms = float(self.topology.get("antientropy_ms", 50.0))
+        policy = RetryPolicy(
+            base_ms=interval_ms,
+            cap_ms=max(interval_ms * 20.0, 1_000.0),
+            seed=zlib.crc32(f"sync:{self.region}->{peer}".encode()),
+        )
+        queue = self._out[peer]
+        while self._running:
+            self._next_rid += 1
+            rid = self._next_rid
+            event = asyncio.Event()
+            self._sync_events[rid] = event
+            span = TRACER.start(
+                "net.sync.round", region=self.region, peer=peer
+            )
+            queue.put_nowait(
+                {
+                    "type": "sync_req",
+                    "source": self.region,
+                    "rid": rid,
+                    "vv": self.node.store.vv.copy(),
+                }
+            )
+            try:
+                await asyncio.wait_for(
+                    event.wait(), timeout=interval_ms * 4.0 / 1000.0
+                )
+            except asyncio.TimeoutError:
+                self.stats["net.sync.timeouts"] += 1
+                self._sync_events.pop(rid, None)
+                TRACER.end(span, timeout=True)
+                await asyncio.sleep(policy.next_delay_ms() / 1000.0)
+                continue
+            policy.reset()
+            TRACER.end(span, timeout=False)
+            await asyncio.sleep(interval_ms / 1000.0)
+
+    # -- client plumbing ------------------------------------------------------
+
+    async def _serve_client(self, reader, writer) -> None:
+        self._conns.add(writer)
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    break
+                self.stats["net.frames.in"] += 1
+                kind = frame.get("type")
+                if kind == "op":
+                    await self._on_op_frame(frame, writer)
+                elif kind == "status":
+                    await wire.write_frame(writer, self._status_frame())
+                else:
+                    await wire.write_frame(
+                        writer,
+                        {"type": "error", "detail": f"bad frame {kind!r}"},
+                    )
+        except (wire.WireError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass  # shutdown while mid-read; exit the handler cleanly
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+
+    async def _on_op_frame(self, frame: dict, writer) -> None:
+        index = frame["index"]
+
+        async def respond(status: str, label: str | None) -> None:
+            try:
+                await wire.write_frame(
+                    writer,
+                    {
+                        "type": "op_ack",
+                        "index": index,
+                        "status": status,
+                        "label": label,
+                    },
+                )
+            except (ConnectionError, OSError):
+                pass  # the client went away; its retry re-acks
+
+        await self.engine.offer_op(index, respond)
+
+    def _status_frame(self) -> dict:
+        return {
+            "type": "status_ack",
+            "region": self.region,
+            "position": self.engine.position,
+            "steps": len(self.engine.schedule),
+            "done": self.engine.done,
+            "digest": self.engine.digest,
+            "error": self.engine_error,
+            "stats": dict(self.stats),
+            "vv": dict(self.node.store.vv.entries),
+        }

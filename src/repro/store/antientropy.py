@@ -21,13 +21,14 @@ independent sync loop on the simulated clock:
    both directions.
 
 Requests and responses travel over the same faulty network as
-replication traffic, so the loop self-paces with **exponential backoff
-plus seeded jitter**: a round whose response has not arrived by the
-next tick doubles the pair's interval (up to a cap); a served response
-resets it.  During a partition the pairs that cross it back off
-instead of flooding; after the heal the next successful round
-re-fetches everything missed, and time-to-convergence is bounded by
-the backoff cap.
+replication traffic, so the loop self-paces with the shared
+**decorrelated-jitter** :class:`~repro.net.retry.RetryPolicy` (the
+same policy the live client fleet and live servers use): a round whose
+response has not arrived by the next tick draws a longer delay (up to
+a cap); a served response resets it.  During a partition the pairs
+that cross it back off instead of flooding; after the heal the next
+successful round re-fetches everything missed, and
+time-to-convergence is bounded by the backoff cap.
 
 Crashed replicas neither request nor respond; recovery
 (:meth:`Cluster.recover_region`) replays the local log and calls
@@ -42,6 +43,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.crdts.clock import VersionVector
+from repro.net.retry import RetryPolicy
 from repro.obs import TRACER
 from repro.store.replica import ReplicaSnapshot
 from repro.store.replication import ReplicationBatch
@@ -81,6 +83,7 @@ class SyncResponse:
 
 @dataclass
 class _PairState:
+    policy: RetryPolicy
     delay_ms: float
     outstanding: int | None = None
 
@@ -109,8 +112,16 @@ class AntiEntropyEngine:
         for requester in cluster.regions:
             for responder in cluster.regions:
                 if requester != responder:
+                    # One policy per pair, all drawing from the engine's
+                    # seeded RNG: bit-for-bit deterministic, and pairs
+                    # decorrelate instead of backing off in lock-step.
                     self._pairs[(requester, responder)] = _PairState(
-                        delay_ms=interval_ms
+                        policy=RetryPolicy(
+                            base_ms=interval_ms,
+                            cap_ms=max_backoff_ms,
+                            rng=self._rng,
+                        ),
+                        delay_ms=interval_ms,
                     )
         # Metrics surfaced by the chaos benchmark.
         self.digests_sent = 0
@@ -145,6 +156,7 @@ class AntiEntropyEngine:
         """
         for (requester, responder), state in self._pairs.items():
             if requester == region:
+                state.policy.reset()
                 state.delay_ms = self._interval
                 self._send_request(requester, responder, state)
 
@@ -162,17 +174,17 @@ class AntiEntropyEngine:
         state = self._pairs[pair]
         if self._cluster.is_crashed(requester):
             # A crashed replica does not sync; poll again at base rate.
+            state.policy.reset()
             state.delay_ms = self._interval
             state.outstanding = None
         else:
             if state.outstanding is not None:
                 # The previous round never answered: drop, partition,
-                # or crashed peer.  Back off exponentially.
+                # or crashed peer.  Back off with decorrelated jitter.
                 self.sync_timeouts += 1
-                state.delay_ms = min(
-                    state.delay_ms * 2.0, self._max_backoff
-                )
+                state.delay_ms = state.policy.next_delay_ms()
             else:
+                state.policy.reset()
                 state.delay_ms = self._interval
             self._send_request(requester, responder, state)
         delay = state.delay_ms * (1.0 + self._rng.uniform(0.0, self._jitter))

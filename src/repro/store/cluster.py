@@ -515,24 +515,7 @@ class Cluster:
         digests: dict[str, str] = {}
         default_cache: dict[str, str] = {}
         for region, replica in self._replicas.items():
-            parts = []
-            for key in replica.keys():
-                value = _canonical(replica.get_object(key).value())
-                if value == "":
-                    continue
-                default = default_cache.get(key)
-                if default is None:
-                    default = default_cache[key] = _canonical(
-                        replica.default_value(key)
-                    )
-                if value == default:
-                    continue
-                parts.append((key, value))
-            # ``replica.keys()`` is sorted and keys are unique, so
-            # ``parts`` is already in its canonical order -- the former
-            # ``sorted(parts)`` re-sort produced the same bytes.
-            payload = repr(parts)
-            digests[region] = hashlib.sha256(payload.encode()).hexdigest()
+            digests[region] = replica_state_digest(replica, default_cache)
         return digests
 
     def fault_stats(self) -> dict[str, int | float | None]:
@@ -586,6 +569,40 @@ class Cluster:
                 engine.snapshots_installed
             )
         return stats
+
+
+def replica_state_digest(
+    replica: Replica, default_cache: dict[str, str] | None = None
+) -> str:
+    """One replica's canonical state fingerprint.
+
+    Shared by :meth:`Cluster.state_digest` and the live servers in
+    :mod:`repro.net` -- the digest-equivalence oracle compares live
+    replicas against simulated ones byte for byte, so both sides must
+    hash through this exact function.  ``default_cache`` memoises
+    registry-default canonical values across replicas of one
+    deployment (every replica shares the registry).
+    """
+    if default_cache is None:
+        default_cache = {}
+    parts = []
+    for key in replica.keys():
+        value = _canonical(replica.get_object(key).value())
+        if value == "":
+            continue
+        default = default_cache.get(key)
+        if default is None:
+            default = default_cache[key] = _canonical(
+                replica.default_value(key)
+            )
+        if value == default:
+            continue
+        parts.append((key, value))
+    # ``replica.keys()`` is sorted and keys are unique, so ``parts``
+    # is already in its canonical order -- a re-sort would produce the
+    # same bytes.
+    payload = repr(parts)
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _canonical(value: Any) -> str:

@@ -289,6 +289,22 @@ class Replica:
                 break
         return self.records_since(vv), None
 
+    def adopt_log(self, records: list[CommitRecord]) -> None:
+        """Restore from an externally persisted log (live recovery).
+
+        The live servers (:mod:`repro.net`) keep the commit log on
+        disk; after a process restart they hand the replayed records
+        here, and the replica rebuilds volatile state exactly as
+        :meth:`rebuild_from_log` does after a simulated crash.
+        """
+        self.log = list(records)
+        self._log_by_origin = {}
+        for record in self.log:
+            self._log_by_origin.setdefault(record.origin, []).append(record)
+        self._log_base = {}
+        self._snapshot = None
+        self.rebuild_from_log()
+
     def rebuild_from_log(self) -> None:
         """Crash recovery: rebuild volatile state by replaying the log.
 

@@ -1,0 +1,1 @@
+"""Tests for the live deployment stack (:mod:`repro.net`)."""

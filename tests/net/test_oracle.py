@@ -1,0 +1,97 @@
+"""The trial recorder and the deployment spec it produces."""
+
+import pytest
+
+from repro.check.explorer import build_trial
+from repro.net.oracle import (
+    ORACLE_SCHEMA,
+    OracleError,
+    load_deployment,
+    record_trial,
+    write_deployment,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    spec = build_trial("tournament", "Causal", 11, 0, n_ops=20)
+    result, deployment = record_trial(spec)
+    return spec, result, deployment
+
+
+class TestRecording:
+    def test_deployment_shape(self, recorded):
+        spec, result, deployment = recorded
+        assert deployment["schema"] == ORACLE_SCHEMA
+        assert set(deployment["schedules"]) == set(spec.regions)
+        assert deployment["digests"] == dict(result.digests)
+        assert len(deployment["ops"]) == len(spec.ops)
+
+    def test_recorder_does_not_perturb_the_simulation(self, recorded):
+        spec, result, _ = recorded
+        from repro.check.harness import run_trial
+
+        bare = run_trial(spec)
+        assert bare.digests == result.digests
+        assert bare.fingerprint == result.fingerprint
+
+    def test_recording_is_deterministic(self, recorded):
+        spec, _, deployment = recorded
+        _, again = record_trial(spec)
+        assert again == deployment
+
+    def test_schedule_steps_are_well_formed(self, recorded):
+        spec, _, deployment = recorded
+        for region, steps in deployment["schedules"].items():
+            for position, step in enumerate(steps):
+                if step["kind"] == "setup":
+                    assert position == 0  # setup runs before everything
+                elif step["kind"] == "apply":
+                    assert step["origin"] != region
+                    assert step["counter"] >= 1
+                else:
+                    assert step["kind"] == "op"
+                    assert (step["counter"] is not None) == step["commits"]
+
+    def test_commit_counters_are_monotone_per_replica(self, recorded):
+        _, _, deployment = recorded
+        for region, steps in deployment["schedules"].items():
+            own = 0
+            for step in steps:
+                if step["kind"] == "setup":
+                    own += step["commits"]
+                elif step["kind"] == "op" and step["commits"]:
+                    own += 1
+                    assert step["counter"] == own
+
+    def test_only_committed_ops_are_client_sent(self, recorded):
+        _, _, deployment = recorded
+        committed = {
+            step["index"]
+            for steps in deployment["schedules"].values()
+            for step in steps
+            if step["kind"] == "op" and step["commits"]
+        }
+        for op in deployment["ops"]:
+            assert op["send"] == (op["index"] in committed)
+
+    def test_rejects_strong_configs(self):
+        spec = build_trial("tournament", "Strong", 11, 0, n_ops=5)
+        with pytest.raises(OracleError, match="causal-mode"):
+            record_trial(spec)
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path, recorded):
+        _, _, deployment = recorded
+        path = tmp_path / "deployment.json"
+        write_deployment(path, deployment)
+        assert load_deployment(path) == deployment
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(OracleError, match="schema"):
+            load_deployment(path)

@@ -1,0 +1,77 @@
+"""Property tests for the shared decorrelated-jitter retry policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.net.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ReproError, match="positive"):
+            RetryPolicy(base_ms=0.0, cap_ms=100.0)
+
+    def test_rejects_cap_below_base(self):
+        with pytest.raises(ReproError, match="below base"):
+            RetryPolicy(base_ms=100.0, cap_ms=50.0)
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        base=st.floats(min_value=1.0, max_value=1_000.0),
+        factor=st.floats(min_value=1.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        draws=st.integers(min_value=1, max_value=40),
+    )
+    def test_every_delay_within_base_and_cap(self, base, factor, seed, draws):
+        cap = base * factor
+        policy = RetryPolicy(base_ms=base, cap_ms=cap, seed=seed)
+        for _ in range(draws):
+            delay = policy.next_delay_ms()
+            assert base <= delay <= cap
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        draws=st.integers(min_value=1, max_value=20),
+    )
+    def test_same_seed_same_sequence(self, seed, draws):
+        a = RetryPolicy(base_ms=10.0, cap_ms=5_000.0, seed=seed)
+        b = RetryPolicy(base_ms=10.0, cap_ms=5_000.0, seed=seed)
+        assert [a.next_delay_ms() for _ in range(draws)] == [
+            b.next_delay_ms() for _ in range(draws)
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_reset_returns_to_base_window(self, seed):
+        policy = RetryPolicy(base_ms=10.0, cap_ms=100_000.0, seed=seed)
+        for _ in range(10):
+            policy.next_delay_ms()
+        policy.reset()
+        assert policy.current_ms == 10.0
+        # The first post-reset draw is bounded by the base window again.
+        assert policy.next_delay_ms() <= 30.0
+
+
+class TestBudget:
+    def test_attempts_and_exhaustion(self):
+        policy = RetryPolicy(
+            base_ms=10.0, cap_ms=100.0, max_attempts=3, seed=1
+        )
+        assert not policy.exhausted()
+        for _ in range(3):
+            policy.next_delay_ms()
+        assert policy.attempts == 3
+        assert policy.exhausted()
+        policy.reset()
+        assert not policy.exhausted()
+
+    def test_unbounded_by_default(self):
+        policy = RetryPolicy(base_ms=10.0, cap_ms=100.0, seed=1)
+        for _ in range(50):
+            policy.next_delay_ms()
+        assert not policy.exhausted()

@@ -177,3 +177,64 @@ class TestDeterministicTieBreak:
             return got, network.messages_dropped, network.messages_reordered
 
         assert run() == run()
+
+
+class TestFaultPlanSerialization:
+    def full_plan(self):
+        return FaultPlan(
+            seed=42,
+            drop=0.1,
+            duplicate=0.05,
+            reorder=0.2,
+            reorder_delay_ms=120.0,
+            duplicate_delay_ms=60.0,
+            partitions=(
+                PartitionWindow(100.0, 500.0, (US_EAST,), (US_WEST, EU_WEST)),
+                PartitionWindow(600.0, 700.0, (US_WEST,), (EU_WEST,)),
+            ),
+            crashes=(CrashWindow(EU_WEST, 200.0, 400.0),),
+        )
+
+    def test_round_trip_preserves_every_field(self):
+        plan = self.full_plan()
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        # And the dict itself is stable across the round trip.
+        assert again.to_dict() == plan.to_dict()
+
+    def test_round_trip_is_json_safe(self):
+        import json
+
+        plan = self.full_plan()
+        rehydrated = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert rehydrated == plan
+
+    def test_defaults_round_trip_from_empty_dict(self):
+        assert FaultPlan.from_dict({}) == FaultPlan()
+
+    def test_from_dict_revalidates_zero_length_partition(self):
+        data = self.full_plan().to_dict()
+        window = data["partitions"][0]
+        window["end_ms"] = window["start_ms"]  # zero-length window
+        with pytest.raises(SimulationError, match="heals before"):
+            FaultPlan.from_dict(data)
+
+    def test_from_dict_revalidates_zero_length_crash(self):
+        data = self.full_plan().to_dict()
+        data["crashes"][0]["end_ms"] = data["crashes"][0]["start_ms"]
+        with pytest.raises(SimulationError):
+            FaultPlan.from_dict(data)
+
+    def test_from_dict_revalidates_overlapping_sides(self):
+        data = self.full_plan().to_dict()
+        data["partitions"][0]["side_b"].append(US_EAST)  # now on both sides
+        with pytest.raises(SimulationError):
+            FaultPlan.from_dict(data)
+
+    def test_from_dict_revalidates_probabilities(self):
+        data = self.full_plan().to_dict()
+        data["drop"] = 1.5
+        with pytest.raises(SimulationError):
+            FaultPlan.from_dict(data)
