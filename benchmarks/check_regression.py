@@ -19,6 +19,11 @@ carrying ``observability.tracing_overhead_pct`` (the tracing-overhead
 benchmark) must stay under ``--max-overhead-pct`` -- tracing that is
 *disabled* may not cost more than a few percent of throughput.
 
+Entries carrying ``observability.store.recovery_speedup`` (the crash
+recovery benchmark) must stay above ``--min-recovery-speedup``:
+snapshot + tail-replay recovery has to beat a full log replay by a
+clear factor, or checkpointing has silently stopped paying for itself.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_analysis.json \
@@ -84,6 +89,14 @@ def main(argv: list[str] | None = None) -> int:
         "entries reporting observability.tracing_overhead_pct "
         "(default 5; the design target is <3)",
     )
+    parser.add_argument(
+        "--min-recovery-speedup",
+        type=float,
+        default=1.5,
+        help="min allowed snapshot+tail vs full-replay speedup for "
+        "entries reporting observability.store.recovery_speedup "
+        "(default 1.5; measured figures are an order of magnitude up)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_summary(args.baseline)
@@ -138,6 +151,26 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{name}: disabled-tracing overhead {overhead:.2f}% "
                 f"exceeds {args.max_overhead_pct:.1f}%"
+            )
+
+    # Recovery contract: checkpoint + tail replay must stay sublinear.
+    for name, entry in sorted(current.items()):
+        store = entry.get("observability", {}).get("store", {})
+        speedup = store.get("recovery_speedup")
+        if speedup is None:
+            continue
+        verdict = "FAIL" if speedup < args.min_recovery_speedup else "ok"
+        print(
+            f"{verdict:4} {name}: recovery speedup x{speedup:.1f} "
+            f"(full {store.get('full_replay_ms', 0.0):.1f} ms vs tail "
+            f"{store.get('tail_replay_ms', 0.0):.1f} ms, "
+            f"floor x{args.min_recovery_speedup:.1f})"
+        )
+        if speedup < args.min_recovery_speedup:
+            failures.append(
+                f"{name}: recovery speedup x{speedup:.1f} below "
+                f"x{args.min_recovery_speedup:.1f} (snapshot+tail "
+                f"recovery is no longer sublinear)"
             )
 
     if failures:

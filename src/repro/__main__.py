@@ -91,6 +91,19 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=("memory", "file", "sqlite"), default=None,
+        help="per-replica storage engine (default: REPRO_ENGINE env "
+        "var, else memory)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="keyspace shards per replica (default: REPRO_SHARDS env "
+        "var, else 1)",
+    )
+
+
 def _ms(value: float | None) -> str:
     """None-safe fixed-width millisecond figure."""
     return f"{value:6.2f}" if value is not None else "   n/a"
@@ -197,6 +210,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_regions=args.regions,
         batch_ms=args.batch_ms,
+        engine=args.engine,
+        shards=args.shards,
     )
     cluster = app.cluster
     observer = None
@@ -474,6 +489,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.region,
             args.data_dir,
             fsync=args.fsync,
+            engine=args.engine,
+            shards=args.shards,
         )
         await server.start()
         stop = asyncio.Event()
@@ -511,6 +528,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
         args.index,
         n_ops=args.n_ops,
     )
+    if args.engine is not None or args.shards is not None:
+        # Pin the backend into the spec so the recorded deployment
+        # carries it to every live server (and to later replays).
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec,
+            engine=args.engine if args.engine is not None else spec.engine,
+            shards=args.shards if args.shards is not None else spec.shards,
+        )
     _, deployment = record_trial(spec)
     plan = deployment["trial"].get("plan", {})
     print(
@@ -651,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
         "invariants, session monotonicity) and exit nonzero if any "
         "fires",
     )
+    _add_engine_flags(simulate)
     _add_trace_flags(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
@@ -764,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", action="store_true",
         help="fsync the commit log on every append",
     )
+    _add_engine_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     load = sub.add_parser(
@@ -826,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full report as JSON",
     )
+    _add_engine_flags(load)
     load.set_defaults(func=_cmd_load)
     return parser
 

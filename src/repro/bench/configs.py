@@ -65,6 +65,8 @@ def build_tournament(
     full_vv: bool = False,
     stability_interval_ms: float | None = 1_000.0,
     mix: dict[str, float] | None = None,
+    engine: str | None = None,
+    shards: int | None = None,
 ) -> tuple[Simulator, TournamentApp, "TournamentWorkload"]:
     """A fresh simulated deployment of the Tournament application.
 
@@ -80,6 +82,9 @@ def build_tournament(
     garbage-collects CRDT tombstones and compacts commit logs --
     essential for long runs (rem-wins tombstone scans grow without
     it); None disables.
+    ``engine``/``shards`` select the per-replica storage backend and
+    keyspace shard count (None defers to the REPRO_ENGINE /
+    REPRO_SHARDS environment defaults).
     """
     sim = Simulator()
     registry = tournament_registry(config.variant, capacity=capacity)
@@ -102,6 +107,8 @@ def build_tournament(
         latency=latency,
         batch_ms=batch_ms,
         full_vv=full_vv,
+        engine=engine,
+        shards=shards,
     )
     app = TournamentApp(cluster, config.variant, capacity=capacity)
     players = [f"p{i}" for i in range(n_players)]

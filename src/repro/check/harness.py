@@ -88,9 +88,16 @@ class TrialSpec:
     params: dict = field(default_factory=dict)
     antientropy_ms: float = 200.0
     converge_timeout_ms: float = 60_000.0
+    #: Storage engine and shard count per replica.  None defers to the
+    #: REPRO_ENGINE / REPRO_SHARDS environment defaults (memory / 1),
+    #: which is how the CI engine matrix reruns recorded trials across
+    #: backends; an explicit value pins the run (and rides into live
+    #: deployments through the recorded spec).
+    engine: str | None = None
+    shards: int | None = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "schema": SPEC_SCHEMA,
             "app": self.app,
             "config": self.config,
@@ -102,6 +109,11 @@ class TrialSpec:
             "antientropy_ms": self.antientropy_ms,
             "converge_timeout_ms": self.converge_timeout_ms,
         }
+        if self.engine is not None:
+            data["engine"] = self.engine
+        if self.shards is not None:
+            data["shards"] = self.shards
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TrialSpec":
@@ -121,6 +133,8 @@ class TrialSpec:
             params=dict(data.get("params", {})),
             antientropy_ms=data.get("antientropy_ms", 200.0),
             converge_timeout_ms=data.get("converge_timeout_ms", 60_000.0),
+            engine=data.get("engine"),
+            shards=data.get("shards"),
         )
 
     def horizon_ms(self) -> float:
@@ -231,6 +245,8 @@ def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
         regions=spec.regions,
         mode=mode,
         faults=_shifted_plan(spec.plan, SETUP_MS),
+        engine=spec.engine,
+        shards=spec.shards,
     )
     cluster.start_antientropy(
         interval_ms=spec.antientropy_ms, seed=spec.seed + 1

@@ -23,6 +23,19 @@ or CRC-corrupt *final* record: it is skipped with a warning and the
 to the last good record so the next append cannot interleave with the
 debris.  Damage *before* the end of the file is not a crash signature
 -- it means the disk or the operator mangled history -- and raises.
+
+The framing layer (:func:`frame`, :func:`read_frames`,
+:func:`skip_tail`) is body-agnostic and shared with the append-only
+file storage engine (:mod:`repro.store.engine`), which stores pickled
+objects instead of wire-JSON records under the same crash contract.
+
+**Sharded logs.**  A :class:`ShardedCommitLog` splits one replica's
+log across N per-shard files, routing each record by the consistent
+hash of its first updated key; every record carries a monotonically
+increasing sequence number (``seq``) so recovery can replay the shard
+files in parallel and merge them back into the exact application
+order.  With one shard the on-disk format is byte-identical to the
+historical single-file log (no ``seq`` tag, legacy filename).
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ import logging
 import os
 import struct
 import zlib
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.errors import ReproError
@@ -48,17 +62,22 @@ class CommitLogError(ReproError):
     """Unrecoverable commit-log damage (not a tail crash artifact)."""
 
 
-def _encode_record(record: CommitRecord) -> bytes:
-    body = wire.dump_frame({"record": record})[4:]  # strip frame length
+# -- framing (shared with the file storage engine) --------------------------
+
+
+def frame(body: bytes) -> bytes:
+    """One framed record: 4-byte length | 4-byte CRC32(body) | body."""
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
-def replay(path: str | os.PathLike[str]) -> list[CommitRecord]:
-    """All intact records, tolerating a damaged final record.
+def read_frames(path: str | os.PathLike[str]) -> list[tuple[int, int, bytes]]:
+    """Every intact ``(offset, end, body)`` frame in ``path``.
 
-    Repairs the file in place when the tail is damaged (truncates back
-    to the last good record).  Raises :class:`CommitLogError` on damage
-    that is followed by more bytes -- that cannot be a crash-mid-append.
+    Framing-level tail damage (truncated header/body, CRC mismatch on
+    the final record) is repaired in place via :func:`skip_tail`;
+    damage with bytes following raises :class:`CommitLogError`.
+    Callers that decode bodies apply the same tail tolerance to a
+    decode failure on the *last* returned frame.
     """
     try:
         with open(path, "rb") as fh:
@@ -66,33 +85,77 @@ def replay(path: str | os.PathLike[str]) -> list[CommitRecord]:
     except FileNotFoundError:
         return []
 
-    records: list[CommitRecord] = []
+    frames: list[tuple[int, int, bytes]] = []
     offset = 0
     size = len(data)
     while offset < size:
         if offset + _HEADER.size > size:
-            _skip_tail(path, offset, "truncated header")
+            skip_tail(path, offset, "truncated header")
             break
         length, crc = _HEADER.unpack_from(data, offset)
         end = offset + _HEADER.size + length
         if end > size:
-            _skip_tail(path, offset, "truncated body")
+            skip_tail(path, offset, "truncated body")
             break
         body = data[offset + _HEADER.size : end]
         if zlib.crc32(body) != crc:
             if end == size:
-                _skip_tail(path, offset, "CRC mismatch")
+                skip_tail(path, offset, "CRC mismatch")
                 break
             raise CommitLogError(
                 f"{path}: CRC mismatch at offset {offset} with "
                 f"{size - end} bytes following -- not a tail artifact"
             )
+        frames.append((offset, end, body))
+        offset = end
+    return frames
+
+
+def skip_tail(path: str | os.PathLike[str], offset: int, why: str) -> None:
+    """Drop a damaged final record: warn, count, truncate in place."""
+    _tail_skipped.inc()
+    _LOG.warning(
+        "commit log %s: skipping damaged final record at offset %d (%s)",
+        path,
+        offset,
+        why,
+    )
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+
+
+# -- record encoding --------------------------------------------------------
+
+
+def _encode_record(record: CommitRecord, seq: int | None = None) -> bytes:
+    message: dict[str, Any] = {"record": record}
+    if seq is not None:
+        message["seq"] = seq
+    body = wire.dump_frame(message)[4:]  # strip frame length
+    return frame(body)
+
+
+def replay_indexed(
+    path: str | os.PathLike[str],
+) -> list[tuple[int | None, CommitRecord]]:
+    """All intact ``(seq, record)`` pairs, tolerating a damaged tail.
+
+    ``seq`` is None for records written without a sequence tag (the
+    single-shard format).  Repairs the file in place when the tail is
+    damaged (truncates back to the last good record).  Raises
+    :class:`CommitLogError` on damage that is followed by more bytes
+    -- that cannot be a crash-mid-append.
+    """
+    frames = read_frames(path)
+    records: list[tuple[int | None, CommitRecord]] = []
+    last = len(frames) - 1
+    for index, (offset, _end, body) in enumerate(frames):
         try:
             message = wire.load_frame(body)
             record = message["record"]
         except (wire.WireError, KeyError) as exc:
-            if end == size:
-                _skip_tail(path, offset, f"undecodable body ({exc})")
+            if index == last:
+                skip_tail(path, offset, f"undecodable body ({exc})")
                 break
             raise CommitLogError(
                 f"{path}: undecodable record at offset {offset} with "
@@ -103,21 +166,13 @@ def replay(path: str | os.PathLike[str]) -> list[CommitRecord]:
                 f"{path}: offset {offset} holds {type(record).__name__}, "
                 "not a CommitRecord"
             )
-        records.append(record)
-        offset = end
+        records.append((message.get("seq"), record))
     return records
 
 
-def _skip_tail(path: str | os.PathLike[str], offset: int, why: str) -> None:
-    _tail_skipped.inc()
-    _LOG.warning(
-        "commit log %s: skipping damaged final record at offset %d (%s)",
-        path,
-        offset,
-        why,
-    )
-    with open(path, "r+b") as fh:
-        fh.truncate(offset)
+def replay(path: str | os.PathLike[str]) -> list[CommitRecord]:
+    """All intact records, tolerating a damaged final record."""
+    return [record for _seq, record in replay_indexed(path)]
 
 
 class CommitLog:
@@ -133,8 +188,8 @@ class CommitLog:
         self._fsync = fsync
         self._fh: Any = open(self.path, "ab")
 
-    def append(self, record: CommitRecord) -> None:
-        self._fh.write(_encode_record(record))
+    def append(self, record: CommitRecord, seq: int | None = None) -> None:
+        self._fh.write(_encode_record(record, seq))
         self._fh.flush()
         if self._fsync:
             os.fsync(self._fh.fileno())
@@ -145,6 +200,114 @@ class CommitLog:
             self._fh = None
 
     def __enter__(self) -> "CommitLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def shard_log_paths(data_dir: str, region: str, shards: int) -> list[str]:
+    """On-disk log file per shard; one shard keeps the legacy name."""
+    if shards <= 1:
+        return [os.path.join(data_dir, f"{region}.commitlog")]
+    return [
+        os.path.join(data_dir, f"{region}-shard{index:02d}.commitlog")
+        for index in range(shards)
+    ]
+
+
+class ShardedCommitLog:
+    """One replica's durable log, split across per-shard files.
+
+    Appends route each record to the shard owning its first updated
+    key (commitless records route by origin), tagged with a global
+    monotonic sequence number.  :meth:`replay` reads every shard file
+    concurrently and merges by sequence, reproducing the exact
+    application order a single log would have preserved; the sequence
+    counter resumes past the highest replayed tag, so appends after a
+    crash stay totally ordered.
+
+    With ``shards == 1`` this degenerates to the classic single-file
+    log: legacy filename, no sequence tags, byte-identical format.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        region: str,
+        shards: int = 1,
+        fsync: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise CommitLogError(f"shards must be >= 1, got {shards}")
+        self.region = region
+        self.shards = shards
+        self._fsync = fsync
+        self._paths = shard_log_paths(data_dir, region, shards)
+        self._logs: list[CommitLog] | None = None
+        self._next_seq = 0
+        if shards > 1:
+            # Imported here: the engine module uses this module's
+            # framing, so a module-level import would be circular.
+            from repro.store.engine import HashRing
+
+            self._ring = HashRing(shards)
+        else:
+            self._ring = None
+
+    @property
+    def paths(self) -> tuple[str, ...]:
+        return tuple(self._paths)
+
+    def replay(self) -> list[CommitRecord]:
+        """Replay every shard file in parallel, merged by sequence."""
+        if self.shards == 1:
+            records = replay(self._paths[0])
+            self._next_seq = len(records)
+            return records
+        with ThreadPoolExecutor(
+            max_workers=min(self.shards, 8)
+        ) as pool:
+            per_shard = list(pool.map(replay_indexed, self._paths))
+        tagged: list[tuple[int, CommitRecord]] = []
+        for path, indexed in zip(self._paths, per_shard):
+            for seq, record in indexed:
+                if seq is None:
+                    raise CommitLogError(
+                        f"{path}: record without a sequence tag in a "
+                        "sharded log"
+                    )
+                tagged.append((seq, record))
+        tagged.sort(key=lambda item: item[0])
+        self._next_seq = tagged[-1][0] + 1 if tagged else 0
+        return [record for _seq, record in tagged]
+
+    def open(self) -> None:
+        """Open the per-shard append handles (idempotent)."""
+        if self._logs is None:
+            self._logs = [
+                CommitLog(path, fsync=self._fsync) for path in self._paths
+            ]
+
+    def append(self, record: CommitRecord) -> None:
+        if self._logs is None:
+            self.open()
+        assert self._logs is not None
+        if self._ring is None:
+            self._logs[0].append(record)
+            return
+        key = record.updates[0][0] if record.updates else record.origin
+        shard = self._ring.shard_of(key)
+        self._logs[shard].append(record, seq=self._next_seq)
+        self._next_seq += 1
+
+    def close(self) -> None:
+        if self._logs is not None:
+            for log in self._logs:
+                log.close()
+            self._logs = None
+
+    def __enter__(self) -> "ShardedCommitLog":
         return self
 
     def __exit__(self, *exc: Any) -> None:

@@ -48,6 +48,7 @@ from repro.net import commitlog, wire
 from repro.net.retry import RetryPolicy
 from repro.obs import REGISTRY, TRACER
 from repro.store.cluster import replica_state_digest
+from repro.store.engine import default_engine, default_shards
 from repro.store.replica import Replica
 from repro.store.transaction import CommitRecord
 
@@ -80,9 +81,25 @@ class LiveNode:
 
     sim = None  # apps never touch it; the attribute mirrors Cluster
 
-    def __init__(self, region, registry, now_ms, on_commit) -> None:
+    def __init__(
+        self,
+        region,
+        registry,
+        now_ms,
+        on_commit,
+        engine: str | None = None,
+        shards: int | None = None,
+        data_dir: str | None = None,
+    ) -> None:
         self.region_id = region
-        self.store = Replica(region, registry, now=now_ms)
+        self.store = Replica(
+            region,
+            registry,
+            now=now_ms,
+            engine=engine,
+            shards=shards,
+            data_dir=data_dir,
+        )
         self._on_commit = on_commit
         self.setup_skip = 0
 
@@ -318,6 +335,8 @@ class ReplicaServer:
         region: str,
         data_dir: str,
         fsync: bool = False,
+        engine: str | None = None,
+        shards: int | None = None,
     ) -> None:
         if region not in deployment["schedules"]:
             raise ServeError(f"deployment has no schedule for {region!r}")
@@ -355,17 +374,39 @@ class ReplicaServer:
         }
         self.lag_gauge = REGISTRY.gauge("store.convergence.lag_ms")
 
+        # Engine/shard resolution: explicit argument (the serve CLI's
+        # --engine/--shards overrides) > the recorded trial spec > the
+        # REPRO_ENGINE/REPRO_SHARDS environment defaults.  The commit
+        # log must shard exactly like the store, so both resolve here.
+        self.engine_name = (
+            engine if engine is not None else self.spec.engine
+        ) or default_engine()
+        if shards is not None:
+            self.shards = shards
+        elif self.spec.shards is not None:
+            self.shards = self.spec.shards
+        else:
+            self.shards = default_shards()
+
         os.makedirs(data_dir, exist_ok=True)
-        self._log_path = os.path.join(data_dir, f"{region}.commitlog")
-        recovered = commitlog.replay(self._log_path)
+        self.log = commitlog.ShardedCommitLog(
+            data_dir, region, shards=self.shards, fsync=fsync
+        )
+        recovered = self.log.replay()
         registry = adapter.registry(self.variant, self.params)
         self.node = LiveNode(
-            region, registry, self.now_ms, self._commit_local
+            region,
+            registry,
+            self.now_ms,
+            self._commit_local,
+            engine=self.engine_name,
+            shards=self.shards,
+            data_dir=os.path.join(data_dir, f"{region}-store"),
         )
         if recovered:
             self.node.store.adopt_log(recovered)
             self.stats["net.recovered_records"] = len(recovered)
-        self.log = commitlog.CommitLog(self._log_path, fsync=fsync)
+        self.log.open()
         self.app = adapter.make_app(self.node, self.variant, self.params)
         self.engine = ScheduleEngine(
             self,
@@ -448,6 +489,12 @@ class ReplicaServer:
                 pass
         for writer in list(self._conns):
             writer.close()
+        # Graceful shutdown is a durability point: flush dirty keys
+        # through the storage engines before releasing them.  kill()
+        # deliberately skips this -- a SIGKILL'd process flushes
+        # nothing, and recovery must come from the commit log alone.
+        self.node.store.storage.sync()
+        self.node.store.storage.close()
         self.log.close()
 
     def kill(self) -> None:
@@ -672,5 +719,9 @@ class ReplicaServer:
             "digest": self.engine.digest,
             "error": self.engine_error,
             "stats": dict(self.stats),
+            "store": {
+                "engine": self.engine_name,
+                **self.node.store.storage.stats(),
+            },
             "vv": dict(self.node.store.vv.entries),
         }

@@ -55,12 +55,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class SyncRequest:
-    """Digest ``requester`` sends to ``responder``: "what am I missing?"."""
+    """Digest ``requester`` sends to ``responder``: "what am I missing?".
+
+    ``shard_digests`` carries the requester's per-shard canonical state
+    digests when it runs a sharded store (empty for the single-shard
+    default, which keeps the common round free of state hashing).  A
+    responder forced onto the snapshot fallback uses them to prune
+    shards the requester already agrees on -- see
+    :meth:`~repro.store.replica.Replica.sync_answer`.
+    """
 
     requester: str
     responder: str
     request_id: int
     vv: VersionVector
+    shard_digests: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -86,6 +95,12 @@ class _PairState:
     policy: RetryPolicy
     delay_ms: float
     outstanding: int | None = None
+    #: Did the last answered round leave the requester dominating the
+    #: responder's vector?  The retry policy resets only when it did:
+    #: a round that was *served* but still left the pair diverged must
+    #: not snap the delay back to base, or a persistently-behind pair
+    #: floods its peer at full rate while never catching up.
+    converged: bool = True
 
 
 class AntiEntropyEngine:
@@ -158,6 +173,7 @@ class AntiEntropyEngine:
             if requester == region:
                 state.policy.reset()
                 state.delay_ms = self._interval
+                state.converged = True
                 self._send_request(requester, responder, state)
 
     @property
@@ -177,15 +193,20 @@ class AntiEntropyEngine:
             state.policy.reset()
             state.delay_ms = self._interval
             state.outstanding = None
+            state.converged = True
         else:
             if state.outstanding is not None:
                 # The previous round never answered: drop, partition,
                 # or crashed peer.  Back off with decorrelated jitter.
                 self.sync_timeouts += 1
                 state.delay_ms = state.policy.next_delay_ms()
-            else:
+            elif state.converged:
                 state.policy.reset()
                 state.delay_ms = self._interval
+            # else: the last round *was* answered but left the pair
+            # still diverged -- hold the current delay instead of
+            # resetting, so only actual convergence earns the base
+            # rate back.
             self._send_request(requester, responder, state)
         delay = state.delay_ms * (1.0 + self._rng.uniform(0.0, self._jitter))
         self._sim.schedule(delay, lambda p=pair: self._tick(p))
@@ -194,11 +215,18 @@ class AntiEntropyEngine:
         self, requester: str, responder: str, state: _PairState
     ) -> None:
         self._next_request_id += 1
+        replica = self._cluster.replica(requester)
+        # Per-shard digests ride along only for sharded stores: the
+        # single-shard default keeps rounds free of state hashing, and
+        # one shard's digest could prune nothing anyway.
         request = SyncRequest(
             requester=requester,
             responder=responder,
             request_id=self._next_request_id,
-            vv=self._cluster.replica(requester).vv.copy(),
+            vv=replica.vv.copy(),
+            shard_digests=(
+                replica.shard_digests() if replica.n_shards > 1 else ()
+            ),
         )
         state.outstanding = request.request_id
         self.digests_sent += 1
@@ -216,7 +244,9 @@ class AntiEntropyEngine:
             requester=request.requester,
         )
         replica = self._cluster.replica(responder)
-        missing, snapshot = replica.sync_answer(request.vv)
+        missing, snapshot = replica.sync_answer(
+            request.vv, request.shard_digests
+        )
         response = SyncResponse(
             responder=responder,
             requester=request.requester,
@@ -257,6 +287,12 @@ class AntiEntropyEngine:
             ReplicationBatch(
                 source=response.responder, records=response.records
             ),
+        )
+        # The pair converged iff the served records (applied eagerly by
+        # the causal receiver above) brought the requester up to the
+        # responder's vector; anything less keeps the backoff earned.
+        state.converged = self._cluster.replica(requester).vv.dominates(
+            response.vv
         )
         # Reverse push: heal the other direction in the same round.
         push = self._cluster.replica(requester).records_since(response.vv)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import os
 from functools import partial
 from typing import Any, Callable
 
@@ -43,6 +44,7 @@ from repro.sim.latency import GeoLatencyModel, REGIONS
 from repro.sim.metrics import StaleWindow
 from repro.sim.network import Network
 from repro.store.antientropy import AntiEntropyEngine
+from repro.store.engine import canonical_value
 from repro.store.registry import TypeRegistry
 from repro.store.replica import Replica
 from repro.store.replication import CausalReceiver, ReplicationBatch
@@ -84,6 +86,9 @@ class Cluster:
         faults: FaultPlan | None = None,
         batch_ms: float = 0.0,
         full_vv: bool = False,
+        engine: str | None = None,
+        shards: int | None = None,
+        data_dir: str | None = None,
     ) -> None:
         self.sim = sim
         self.mode = mode
@@ -117,7 +122,17 @@ class Cluster:
         self._request_path: dict[tuple[str, str], Callable[[Any], None]] = {}
         for region in regions:
             replica = Replica(
-                region, registry, now=lambda: sim.now, full_vv=full_vv
+                region,
+                registry,
+                now=lambda: sim.now,
+                full_vv=full_vv,
+                engine=engine,
+                shards=shards,
+                data_dir=(
+                    os.path.join(data_dir, region)
+                    if data_dir is not None
+                    else None
+                ),
             )
             self._replicas[region] = replica
             self._receivers[region] = CausalReceiver(
@@ -555,6 +570,21 @@ class Cluster:
             "store.stale_mean_ms": self.stale_window.mean_ms,
             "store.stale_max_ms": self.stale_window.max_ms,
         }
+        replicas = list(self._replicas.values())
+        stats["store.shard.count"] = replicas[0].storage.n_shards
+        stats["store.shard.keys_total"] = sum(
+            r.storage.key_count() for r in replicas
+        )
+        stats["store.shard.keys_max"] = max(
+            max((len(m) for m in r.storage.maps), default=0)
+            for r in replicas
+        )
+        stats["store.engine.syncs"] = sum(
+            r.storage.syncs for r in replicas
+        )
+        stats["store.shard.checkpoints"] = sum(
+            r.storage.checkpoints for r in replicas
+        )
         if self.injector is not None:
             stats["net.partition_drops"] = self.injector.partition_drops
         if self.antientropy is not None:
@@ -605,23 +635,7 @@ def replica_state_digest(
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _canonical(value: Any) -> str:
-    """Order-insensitive repr for digesting CRDT read values."""
-    if isinstance(value, (set, frozenset)):
-        if not value:
-            return ""
-        return "{" + ",".join(sorted(repr(v) for v in value)) + "}"
-    if isinstance(value, dict):
-        if not value:
-            return ""
-        inner = ",".join(
-            f"{k!r}:{_canonical(v)}" for k, v in sorted(value.items())
-        )
-        return "{" + inner + "}"
-    if isinstance(value, (list, tuple)):
-        if not value:
-            return ""
-        return "[" + ",".join(_canonical(v) for v in value) + "]"
-    if value is None or value == 0:
-        return ""
-    return repr(value)
+# The canonicalisation lives with the storage engines (per-shard
+# digests hash through the same function); the historical name stays
+# importable here.
+_canonical = canonical_value

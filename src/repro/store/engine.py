@@ -1,0 +1,605 @@
+"""Pluggable storage engines and keyspace sharding for one replica.
+
+The paper's runtime assumes each replica can hold and recover its full
+object set; a single in-memory dict caps that at what one heap and one
+log replay can absorb.  This module splits the concern in two:
+
+- A :class:`StorageEngine` is a *durability backend* for one shard of
+  the keyspace: it persists ``key -> CRDT`` mappings and can reload
+  them after a crash.  Three implementations share the contract --
+  :class:`MemoryEngine` (the historical volatile dict),
+  :class:`FileEngine` (append-only file reusing the commit log's
+  length+CRC framing), and :class:`SqliteEngine` (one ``kv`` table per
+  shard).
+- A :class:`ShardedStore` owns the *live* object maps -- one plain
+  dict per shard, routed by :class:`HashRing` consistent hashing -- so
+  the replica's hot path stays a dict lookup regardless of engine.
+  Engines only see writes at explicit durability points
+  (:meth:`ShardedStore.sync` for dirty keys,
+  :meth:`ShardedStore.checkpoint` for whole-shard snapshots), which is
+  exactly the PR-3 snapshot cadence.
+
+Engine and shard count default from the ``REPRO_ENGINE`` and
+``REPRO_SHARDS`` environment variables (``memory`` / ``1``), which is
+how the CI engine matrix runs the entire store/net equivalence suites
+across every backend without editing a single test: behavioural
+identity means the state digests are byte-identical whatever the
+engine or shard count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import pickle
+import sqlite3
+import tempfile
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import StoreError
+from repro.net import commitlog
+from repro.obs import REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crdts.base import CRDT
+    from repro.store.registry import TypeRegistry
+
+#: The recognised engine names, in documentation order.
+ENGINE_NAMES = ("memory", "file", "sqlite")
+
+_checkpoints = REGISTRY.counter("store.shard.checkpoints")
+_syncs = REGISTRY.counter("store.engine.syncs")
+_keys_synced = REGISTRY.counter("store.engine.keys_synced")
+
+
+def default_engine() -> str:
+    """Engine name from ``REPRO_ENGINE`` (default ``memory``)."""
+    name = os.environ.get("REPRO_ENGINE", "memory").strip().lower()
+    if name not in ENGINE_NAMES:
+        raise StoreError(
+            f"unknown storage engine {name!r} (one of: "
+            + ", ".join(ENGINE_NAMES)
+            + ")"
+        )
+    return name
+
+
+def default_shards() -> int:
+    """Shard count from ``REPRO_SHARDS`` (default 1)."""
+    raw = os.environ.get("REPRO_SHARDS", "1").strip()
+    try:
+        shards = int(raw)
+    except ValueError:
+        raise StoreError(f"REPRO_SHARDS must be an integer, got {raw!r}") from None
+    if shards < 1:
+        raise StoreError(f"REPRO_SHARDS must be >= 1, got {shards}")
+    return shards
+
+
+def canonical_value(value: Any) -> str:
+    """Order-insensitive repr for digesting CRDT read values.
+
+    The single canonicalisation every digest in the repo hashes
+    through (replica fingerprints, per-shard digests, engine digests):
+    sets ordered, empties and zeros collapsed to ``""`` -- an unwritten
+    object and an empty one are observably equal.
+    """
+    if isinstance(value, (set, frozenset)):
+        if not value:
+            return ""
+        return "{" + ",".join(sorted(repr(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        if not value:
+            return ""
+        inner = ",".join(f"{k!r}:{canonical_value(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return ""
+        return "[" + ",".join(canonical_value(v) for v in value) + "]"
+    if value is None or value == 0:
+        return ""
+    return repr(value)
+
+
+def shard_map_digest(
+    objects: dict[str, "CRDT"],
+    registry: "TypeRegistry",
+    default_cache: dict[str, str],
+) -> str:
+    """Canonical fingerprint of one shard's live object map.
+
+    Mirrors :func:`repro.store.cluster.replica_state_digest` exactly
+    (default-valued and empty objects skipped), restricted to one
+    shard: two replicas agree on a shard digest iff every read of a
+    key owned by that shard would agree.
+    """
+    parts = []
+    for key in sorted(objects):
+        value = canonical_value(objects[key].value())
+        if value == "":
+            continue
+        default = default_cache.get(key)
+        if default is None:
+            default = default_cache[key] = canonical_value(registry.create(key).value())
+        if value == default:
+            continue
+        parts.append((key, value))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+class HashRing:
+    """Deterministic consistent hashing of keys onto shard indices.
+
+    Hashes through :func:`hashlib.blake2b` -- never the builtin
+    ``hash`` -- so routing is identical across processes, restarts and
+    Python versions: the sharded commit log and the store must agree
+    on ownership after any recovery.  ``vnodes`` virtual points per
+    shard keep the keyspace split even for small shard counts.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise StoreError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                token = f"shard-{shard}-{vnode}".encode()
+                points.append((_ring_hash(token), shard))
+        points.sort()
+        self._hashes = [point for point, _owner in points]
+        self._owners = [owner for _point, owner in points]
+
+    def shard_of(self, key: str) -> int:
+        if self.shards == 1:
+            return 0
+        index = bisect.bisect_right(self._hashes, _ring_hash(key.encode()))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+def _ring_hash(token: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(token, digest_size=8).digest(), "big")
+
+
+# -- the engine contract ----------------------------------------------------
+
+
+class StorageEngine:
+    """Durability backend for one shard's ``key -> CRDT`` mapping.
+
+    The live object maps stay in :class:`ShardedStore`; an engine is
+    handed objects at durability points and must reproduce them after
+    a process death (``durable`` engines) or at least for the life of
+    the process (:class:`MemoryEngine`).  Objects are serialised with
+    :mod:`pickle` -- every CRDT in the repo is a plain slots dataclass
+    over builtins.
+    """
+
+    name = "abstract"
+    durable = False
+
+    def load(self) -> dict[str, "CRDT"]:
+        """The persisted mapping, as of the last :meth:`sync`."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> "CRDT | None":
+        raise NotImplementedError
+
+    def put(self, key: str, obj: "CRDT") -> None:
+        """Stage one object; durable after the next :meth:`sync`."""
+        raise NotImplementedError
+
+    def iterate(self) -> Iterator[tuple[str, "CRDT"]]:
+        yield from self.load().items()
+
+    def digest(self, registry: "TypeRegistry") -> str:
+        """Canonical fingerprint of the *persisted* state."""
+        return shard_map_digest(self.load(), registry, {})
+
+    def restore(self, objects: dict[str, "CRDT"]) -> None:
+        """Replace the persisted state wholesale (checkpoint)."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Make staged puts durable."""
+
+    def close(self) -> None:
+        """Release file handles / connections (idempotent)."""
+
+
+class MemoryEngine(StorageEngine):
+    """The historical backend: a volatile dict, no durability."""
+
+    name = "memory"
+    durable = False
+
+    def __init__(self) -> None:
+        self._objects: dict[str, "CRDT"] = {}
+
+    def load(self) -> dict[str, "CRDT"]:
+        return dict(self._objects)
+
+    def get(self, key: str) -> "CRDT | None":
+        return self._objects.get(key)
+
+    def put(self, key: str, obj: "CRDT") -> None:
+        self._objects[key] = obj
+
+    def restore(self, objects: dict[str, "CRDT"]) -> None:
+        self._objects = dict(objects)
+
+    def sync(self) -> None:
+        pass
+
+
+class FileEngine(StorageEngine):
+    """Append-only file engine on the commit log's framing.
+
+    Each put appends one ``length | CRC32 | pickle((key, obj))`` frame
+    (:func:`repro.net.commitlog.frame`); the latest frame per key
+    wins on load.  A crash mid-append damages at most the final frame,
+    which load repairs in place exactly like commit-log replay
+    (:func:`repro.net.commitlog.read_frames` truncates the tail).
+    :meth:`restore` rewrites the file compacted, so checkpoints double
+    as garbage collection of superseded frames.
+    """
+
+    name = "file"
+    durable = True
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._fh: Any = None
+
+    def load(self) -> dict[str, "CRDT"]:
+        objects: dict[str, "CRDT"] = {}
+        frames = commitlog.read_frames(self.path)
+        last = len(frames) - 1
+        for index, (offset, _end, body) in enumerate(frames):
+            try:
+                key, obj = pickle.loads(body)
+            except Exception as exc:
+                if index == last:
+                    commitlog.skip_tail(self.path, offset, f"unpicklable body ({exc})")
+                    break
+                raise StoreError(
+                    f"{self.path}: unreadable object at offset {offset} "
+                    f"with bytes following: {exc}"
+                ) from exc
+            objects[key] = obj
+        return objects
+
+    def get(self, key: str) -> "CRDT | None":
+        return self.load().get(key)
+
+    def put(self, key: str, obj: "CRDT") -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        self._fh.write(commitlog.frame(pickle.dumps((key, obj))))
+
+    def restore(self, objects: dict[str, "CRDT"]) -> None:
+        self.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            for key in sorted(objects):
+                fh.write(commitlog.frame(pickle.dumps((key, objects[key]))))
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def sync(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class SqliteEngine(StorageEngine):
+    """One sqlite database per shard: a single ``kv`` blob table.
+
+    Puts stage rows inside sqlite's implicit transaction;
+    :meth:`sync` commits it, so the durability point is exactly the
+    store's.  Reads after a crash see the last committed transaction
+    -- sqlite's journal gives the same "complete records only"
+    contract the framed file formats enforce by CRC.
+    """
+
+    name = "sqlite"
+    durable = True
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS kv ("
+            "key TEXT PRIMARY KEY, obj BLOB NOT NULL)"
+        )
+        self._conn.commit()
+
+    def load(self) -> dict[str, "CRDT"]:
+        rows = self._conn.execute("SELECT key, obj FROM kv")
+        return {key: pickle.loads(blob) for key, blob in rows}
+
+    def get(self, key: str) -> "CRDT | None":
+        row = self._conn.execute("SELECT obj FROM kv WHERE key = ?", (key,)).fetchone()
+        return pickle.loads(row[0]) if row else None
+
+    def put(self, key: str, obj: "CRDT") -> None:
+        self._conn.execute(
+            "INSERT INTO kv (key, obj) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET obj = excluded.obj",
+            (key, pickle.dumps(obj)),
+        )
+
+    def restore(self, objects: dict[str, "CRDT"]) -> None:
+        self._conn.execute("DELETE FROM kv")
+        self._conn.executemany(
+            "INSERT INTO kv (key, obj) VALUES (?, ?)",
+            [(key, pickle.dumps(obj)) for key, obj in objects.items()],
+        )
+        self._conn.commit()
+
+    def sync(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+
+def make_engine(name: str, path: str | None = None, fsync: bool = False) -> StorageEngine:
+    """Construct one engine; durable engines require a ``path`` base."""
+    if name == "memory":
+        return MemoryEngine()
+    if path is None:
+        raise StoreError(f"engine {name!r} needs a data path")
+    if name == "file":
+        return FileEngine(path + ".objlog", fsync=fsync)
+    if name == "sqlite":
+        return SqliteEngine(path + ".db")
+    names = ", ".join(ENGINE_NAMES)
+    raise StoreError(f"unknown storage engine {name!r} (one of: {names})")
+
+
+# -- the sharded store ------------------------------------------------------
+
+
+class ShardedStore:
+    """One replica's object storage: N live shards + N engines.
+
+    The replica reads and writes the live per-shard dicts (``get`` /
+    ``set``); engines are fed at durability points only, driven by the
+    dirty-key sets ``note_write`` accumulates.  For the default
+    configuration -- one shard, memory engine -- every operation
+    degenerates to exactly the single-dict behaviour the store always
+    had (``get`` is the shard dict's own bound ``get``, ``note_write``
+    is not even called).
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        registry: "TypeRegistry",
+        engine: str | None = None,
+        shards: int | None = None,
+        data_dir: str | None = None,
+        fsync: bool = False,
+    ) -> None:
+        self.replica_id = replica_id
+        self._registry = registry
+        self.engine_name = engine if engine is not None else default_engine()
+        self.n_shards = shards if shards is not None else default_shards()
+        if self.n_shards < 1:
+            raise StoreError(f"shards must be >= 1, got {self.n_shards}")
+        self.ring = HashRing(self.n_shards)
+        self.maps: list[dict[str, "CRDT"]] = [{} for _ in range(self.n_shards)]
+        self.durable = self.engine_name != "memory"
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if self.durable and data_dir is None:
+            # A durable engine with nowhere to live (unit tests, the
+            # CI engine matrix running the stock suites): self-owned
+            # scratch space, cleaned up with the store.
+            self._tmpdir = tempfile.TemporaryDirectory(prefix=f"repro-store-{replica_id}-")
+            data_dir = self._tmpdir.name
+        elif self.durable:
+            os.makedirs(data_dir, exist_ok=True)
+        self.engines: list[StorageEngine] = [
+            make_engine(
+                self.engine_name,
+                path=(
+                    os.path.join(data_dir, f"shard-{index:02d}")
+                    if data_dir is not None
+                    else None
+                ),
+                fsync=fsync,
+            )
+            for index in range(self.n_shards)
+        ]
+        # Dirty keys per shard (durability) and a per-shard digest
+        # cache (anti-entropy): both tracked only when something can
+        # consume them, so the default configuration pays nothing.
+        self.tracking = self.durable or self.n_shards > 1
+        self._dirty: list[set[str]] = [set() for _ in range(self.n_shards)]
+        self._digest_cache: list[str | None] = [None] * self.n_shards
+        self._default_cache: dict[str, str] = {}
+        self._sorted_keys: list[str] | None = None
+        self.syncs = 0
+        self.checkpoints = 0
+        if self.n_shards == 1:
+            # Hot path: identical to the historical single-dict store.
+            self.get = self.maps[0].get  # type: ignore[method-assign]
+            self.contains = self.maps[0].__contains__  # type: ignore[method-assign]
+
+    # -- routing and access --------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        return self.ring.shard_of(key)
+
+    def get(self, key: str) -> "CRDT | None":
+        return self.maps[self.ring.shard_of(key)].get(key)
+
+    def contains(self, key: str) -> bool:
+        return key in self.maps[self.ring.shard_of(key)]
+
+    def set(self, key: str, obj: "CRDT") -> None:
+        shard = self.ring.shard_of(key)
+        self.maps[shard][key] = obj
+        self._sorted_keys = None
+        if self.tracking:
+            self._dirty[shard].add(key)
+            self._digest_cache[shard] = None
+
+    def note_write(self, key: str) -> None:
+        """An existing object mutated in place (effect application)."""
+        shard = self.ring.shard_of(key)
+        self._dirty[shard].add(key)
+        self._digest_cache[shard] = None
+
+    def keys(self) -> list[str]:
+        """Sorted union of every shard's keys; cached until a write."""
+        cached = self._sorted_keys
+        if cached is None:
+            if self.n_shards == 1:
+                cached = sorted(self.maps[0])
+            else:
+                merged: list[str] = []
+                for shard_map in self.maps:
+                    merged.extend(shard_map)
+                cached = sorted(merged)
+            self._sorted_keys = cached
+        return cached
+
+    def objects(self) -> Iterator["CRDT"]:
+        for shard_map in self.maps:
+            yield from shard_map.values()
+
+    def key_count(self) -> int:
+        return sum(len(shard_map) for shard_map in self.maps)
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot_shards(self) -> tuple[dict[str, "CRDT"], ...]:
+        """Deep-cloned per-shard object maps (PR-3 snapshot payload)."""
+        return tuple(
+            {key: obj.clone() for key, obj in shard_map.items()}
+            for shard_map in self.maps
+        )
+
+    def restore_shards(self, shards: tuple[dict[str, "CRDT"] | None, ...]) -> None:
+        """Adopt snapshot shard maps; ``None`` entries keep the local shard.
+
+        A shard-count mismatch (snapshot taken under a different
+        sharding) is handled by rerouting every key through this
+        store's ring -- behavioural identity across shard counts is
+        the contract, placement is not.
+        """
+        if len(shards) == self.n_shards:
+            self.maps = [
+                (
+                    self.maps[index]
+                    if shard_map is None
+                    else {k: o.clone() for k, o in shard_map.items()}
+                )
+                for index, shard_map in enumerate(shards)
+            ]
+        else:
+            merged: dict[str, "CRDT"] = {}
+            for shard_map in shards:
+                if shard_map:
+                    merged.update(shard_map)
+            self.maps = [{} for _ in range(self.n_shards)]
+            for key, obj in merged.items():
+                self.maps[self.ring.shard_of(key)][key] = obj.clone()
+        self._sorted_keys = None
+        self._digest_cache = [None] * self.n_shards
+        if self.n_shards == 1:
+            self.get = self.maps[0].get  # type: ignore[method-assign]
+            self.contains = self.maps[0].__contains__  # type: ignore[method-assign]
+
+    def clear(self) -> None:
+        self.restore_shards(tuple({} for _ in range(self.n_shards)))
+
+    # -- durability ----------------------------------------------------------
+
+    def sync(self) -> int:
+        """Flush dirty keys through the engines; returns keys written."""
+        if not self.durable:
+            for dirty in self._dirty:
+                dirty.clear()
+            return 0
+        written = 0
+        for shard, dirty in enumerate(self._dirty):
+            if not dirty:
+                continue
+            engine = self.engines[shard]
+            shard_map = self.maps[shard]
+            for key in sorted(dirty):
+                obj = shard_map.get(key)
+                if obj is not None:
+                    engine.put(key, obj)
+                    written += 1
+            dirty.clear()
+            engine.sync()
+        self.syncs += 1
+        _syncs.inc()
+        if written:
+            _keys_synced.inc(written)
+        return written
+
+    def checkpoint(self) -> None:
+        """Persist every shard wholesale (snapshot-time durability)."""
+        if self.durable:
+            for engine, shard_map in zip(self.engines, self.maps):
+                engine.restore(shard_map)
+            for dirty in self._dirty:
+                dirty.clear()
+        self.checkpoints += 1
+        _checkpoints.inc()
+
+    def load_persisted(self) -> tuple[dict[str, "CRDT"], ...]:
+        """Each engine's persisted shard map (tests / inspection)."""
+        return tuple(engine.load() for engine in self.engines)
+
+    # -- digests and stats ---------------------------------------------------
+
+    def shard_digests(self) -> tuple[str, ...]:
+        """Per-shard canonical digests (anti-entropy pruning), cached."""
+        digests = []
+        for shard, cached in enumerate(self._digest_cache):
+            if cached is None:
+                cached = self._digest_cache[shard] = shard_map_digest(
+                    self.maps[shard], self._registry, self._default_cache
+                )
+            digests.append(cached)
+        return tuple(digests)
+
+    def stats(self) -> dict[str, int | float]:
+        counts = [len(shard_map) for shard_map in self.maps]
+        total = sum(counts)
+        return {
+            "store.shard.count": self.n_shards,
+            "store.shard.keys_total": total,
+            "store.shard.keys_max": max(counts) if counts else 0,
+            "store.engine.syncs": self.syncs,
+            "store.shard.checkpoints": self.checkpoints,
+        }
+
+    def close(self) -> None:
+        for engine in self.engines:
+            engine.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

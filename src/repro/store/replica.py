@@ -8,6 +8,7 @@ from typing import Callable
 from repro.errors import StoreError
 from repro.crdts.base import CRDT, Dot, EventContext
 from repro.crdts.clock import VersionVector
+from repro.store.engine import ShardedStore, shard_map_digest
 from repro.store.registry import TypeRegistry
 from repro.store.transaction import CommitRecord, Transaction
 
@@ -17,16 +18,30 @@ class ReplicaSnapshot:
     """Durable checkpoint taken before commit-log truncation.
 
     Holds everything ``rebuild_from_log`` needs to restore the state as
-    of ``vv`` without the truncated log prefix: the object map, the
-    per-origin context vectors for delta-dependency decoding, and the
-    dirty-entry map feeding the *next* local commit's delta.
+    of ``vv`` without the truncated log prefix: the per-shard object
+    maps, the per-origin context vectors for delta-dependency decoding,
+    and the dirty-entry map feeding the *next* local commit's delta.
+
+    ``shards`` entries may be ``None`` in a snapshot served over
+    anti-entropy: the responder pruned shards whose digests matched the
+    requester's (see :meth:`Replica.sync_answer`), and the installer
+    keeps its local shard for those.
     """
 
     vv: VersionVector
-    objects: dict[str, CRDT]
+    shards: tuple[dict[str, CRDT] | None, ...]
     origin_ctx: dict[str, VersionVector]
     dirty: dict[str, int]
     commits_applied: int
+
+    @property
+    def objects(self) -> dict[str, CRDT]:
+        """The merged object map (shard layout flattened away)."""
+        merged: dict[str, CRDT] = {}
+        for shard_map in self.shards:
+            if shard_map:
+                merged.update(shard_map)
+        return merged
 
 
 class Replica:
@@ -74,13 +89,29 @@ class Replica:
         registry: TypeRegistry,
         now: Callable[[], float] | None = None,
         full_vv: bool = False,
+        engine: str | None = None,
+        shards: int | None = None,
+        data_dir: str | None = None,
     ) -> None:
         self.replica_id = replica_id
         self._registry = registry
         self._now = now
         self.full_vv = full_vv
-        self._objects: dict[str, CRDT] = {}
-        self._sorted_keys: list[str] | None = None
+        #: Object storage: per-shard live maps + durability engines.
+        #: ``engine``/``shards`` default from REPRO_ENGINE/REPRO_SHARDS
+        #: (memory / 1) -- the CI engine matrix's single knob.
+        self.storage = ShardedStore(
+            replica_id, registry, engine=engine, shards=shards,
+            data_dir=data_dir,
+        )
+        self._store_get = self.storage.get
+        self._store_set = self.storage.set
+        # Only consulted when something consumes write notifications
+        # (durable engine or multi-shard digests); None keeps the
+        # default configuration's apply loop unchanged.
+        self._note_write = (
+            self.storage.note_write if self.storage.tracking else None
+        )
         self.vv = VersionVector()
         self._clock = 0
         self.commits_applied = 0
@@ -102,15 +133,14 @@ class Replica:
     # -- objects ------------------------------------------------------------
 
     def get_object(self, key: str) -> CRDT:
-        obj = self._objects.get(key)
+        obj = self._store_get(key)
         if obj is None:
             obj = self._registry.create(key)
-            self._objects[key] = obj
-            self._sorted_keys = None
+            self._store_set(key, obj)
         return obj
 
     def has_object(self, key: str) -> bool:
-        return key in self._objects
+        return self.storage.contains(key)
 
     def default_value(self, key: str):
         """What a fresh, never-written ``key`` would read here.
@@ -126,10 +156,15 @@ class Replica:
 
         Callers must treat the result as read-only.
         """
-        cached = self._sorted_keys
-        if cached is None:
-            cached = self._sorted_keys = sorted(self._objects)
-        return cached
+        return self.storage.keys()
+
+    @property
+    def n_shards(self) -> int:
+        return self.storage.n_shards
+
+    def shard_digests(self) -> tuple[str, ...]:
+        """Per-shard canonical state digests (anti-entropy pruning)."""
+        return self.storage.shard_digests()
 
     # -- transactions ---------------------------------------------------------
 
@@ -234,8 +269,14 @@ class Replica:
         self._origin_ctx[origin] = vv
         ctx = EventContext(dot=record.dot, vv=vv)
         get_object = self.get_object
-        for key, payload in record.updates:
-            get_object(key).effect(payload, ctx)
+        note_write = self._note_write
+        if note_write is None:
+            for key, payload in record.updates:
+                get_object(key).effect(payload, ctx)
+        else:
+            for key, payload in record.updates:
+                get_object(key).effect(payload, ctx)
+                note_write(key)
         self.vv.entries[origin] = counter
         if origin == self.replica_id:
             # A local commit consumed the dirty entries into its delta.
@@ -271,7 +312,7 @@ class Replica:
         return missing
 
     def sync_answer(
-        self, vv: VersionVector
+        self, vv: VersionVector, shard_digests: tuple[str, ...] = ()
     ) -> tuple[list[CommitRecord], ReplicaSnapshot | None]:
         """Anti-entropy answer for a peer digest: records, maybe snapshot.
 
@@ -281,11 +322,45 @@ class Replica:
         stability makes this unreachable for live peers (truncation
         stays below every replica's vector), so it is a defensive path
         for operator-restored or far-behind replicas.
+
+        When the request carries the peer's per-shard digests (and the
+        shard layouts match), shards whose snapshot content already
+        digests identically are pruned to ``None`` -- the installer
+        keeps its local shard.  Safe because installation additionally
+        requires the snapshot vector to dominate the installer's: under
+        that domination a matching digest means no record covered by
+        the snapshot still differentiates the two shard states.
         """
         for origin, base in self._log_base.items():
             if vv.get(origin) < base:
-                if self._snapshot is not None:
-                    return self.records_since(self._snapshot.vv), self._snapshot
+                snap = self._snapshot
+                if snap is not None:
+                    if shard_digests and len(shard_digests) == len(snap.shards):
+                        cache: dict[str, str] = {}
+                        pruned = tuple(
+                            None
+                            if shard_map is not None
+                            and shard_map_digest(
+                                shard_map, self._registry, cache
+                            )
+                            == theirs
+                            else shard_map
+                            for shard_map, theirs in zip(
+                                snap.shards, shard_digests
+                            )
+                        )
+                        if any(
+                            new is not old
+                            for new, old in zip(pruned, snap.shards)
+                        ):
+                            snap = ReplicaSnapshot(
+                                vv=snap.vv,
+                                shards=pruned,
+                                origin_ctx=snap.origin_ctx,
+                                dirty=snap.dirty,
+                                commits_applied=snap.commits_applied,
+                            )
+                    return self.records_since(snap.vv), snap
                 break
         return self.records_since(vv), None
 
@@ -316,22 +391,21 @@ class Replica:
         """
         snap = self._snapshot
         if snap is None:
-            self._objects = {}
+            self.storage.clear()
             self.vv = VersionVector()
             self._origin_ctx = {}
             self._dirty_since_commit = {}
             self.commits_applied = 0
         else:
-            self._objects = {
-                key: obj.clone() for key, obj in snap.objects.items()
-            }
+            self.storage.restore_shards(snap.shards)
             self.vv = snap.vv.copy()
             self._origin_ctx = {
                 origin: vv.copy() for origin, vv in snap.origin_ctx.items()
             }
             self._dirty_since_commit = dict(snap.dirty)
             self.commits_applied = snap.commits_applied
-        self._sorted_keys = None
+        self._store_get = self.storage.get
+        self._store_set = self.storage.set
         seen = self.vv.get
         for record in self.log:
             if record.dot.counter > seen(record.origin):
@@ -353,10 +427,9 @@ class Replica:
         if not snapshot.vv.dominates(self.vv):
             return False
         old_vv = self.vv
-        self._objects = {
-            key: obj.clone() for key, obj in snapshot.objects.items()
-        }
-        self._sorted_keys = None
+        self.storage.restore_shards(snapshot.shards)
+        self._store_get = self.storage.get
+        self._store_set = self.storage.set
         self.vv = snapshot.vv.copy()
         self._origin_ctx = {
             origin: vv.copy() for origin, vv in snapshot.origin_ctx.items()
@@ -380,7 +453,7 @@ class Replica:
 
     def compact(self, stable: VersionVector) -> None:
         """Run stability GC on every object (§4.2.1)."""
-        for obj in self._objects.values():
+        for obj in self.storage.objects():
             obj.compact(stable)
 
     def compact_log(
@@ -420,9 +493,14 @@ class Replica:
         return truncatable
 
     def _take_snapshot(self) -> ReplicaSnapshot:
+        # Snapshot time is also the durability point: each shard's
+        # engine persists its full map, so a durable engine restarts
+        # from the checkpoint plus the retained log tail instead of a
+        # full replay.
+        self.storage.checkpoint()
         return ReplicaSnapshot(
             vv=self.vv.copy(),
-            objects={key: obj.clone() for key, obj in self._objects.items()},
+            shards=self.storage.snapshot_shards(),
             origin_ctx={
                 origin: vv.copy() for origin, vv in self._origin_ctx.items()
             },

@@ -198,3 +198,148 @@ class TestIpaInvariantsUnderChaos:
         assert cluster.run_until_converged(timeout_ms=120_000.0) is not None
         for region in (US_EAST, US_WEST, EU_WEST):
             assert app.count_violations(region) == 0
+
+
+class TestConvergenceGatedBackoff:
+    """The retry policy resets only when a round actually converged.
+
+    A round that was *answered* but left the requester behind the
+    responder's vector must hold its current delay: snapping back to
+    the base rate on every served response lets a persistently-behind
+    pair flood its peer at full rate while never catching up.
+    """
+
+    def test_answered_but_diverged_round_holds_delay(self):
+        from repro.store.antientropy import SyncResponse
+
+        sim, cluster = make_cluster()
+        engine = cluster.antientropy
+        pair = (US_EAST, US_WEST)
+        state = engine._pairs[pair]
+        # Grow the pair's backoff as a run of timeouts would.
+        state.delay_ms = 1_600.0
+        state.outstanding = 7
+        # An answered round whose records do NOT close the gap: the
+        # responder's vector claims records the requester never gets.
+        engine._on_response(
+            SyncResponse(
+                responder=US_WEST,
+                requester=US_EAST,
+                request_id=7,
+                records=(),
+                vv=VersionVector({"B": 5}),
+            )
+        )
+        assert state.outstanding is None
+        assert not state.converged
+        engine._tick(pair)
+        # Held, not reset: only convergence earns the base rate back.
+        assert state.delay_ms == 1_600.0
+
+    def test_converged_round_resets_delay(self):
+        from repro.store.antientropy import SyncResponse
+
+        sim, cluster = make_cluster()
+        engine = cluster.antientropy
+        pair = (US_EAST, US_WEST)
+        state = engine._pairs[pair]
+        state.delay_ms = 1_600.0
+        state.outstanding = 9
+        engine._on_response(
+            SyncResponse(
+                responder=US_WEST,
+                requester=US_EAST,
+                request_id=9,
+                records=(),
+                vv=cluster.replica(US_WEST).vv.copy(),
+            )
+        )
+        assert state.converged
+        engine._tick(pair)
+        assert state.delay_ms == 100.0  # back to the base interval
+
+    def test_backoff_resets_after_partition_heals(self):
+        plan = FaultPlan(
+            seed=5,
+            partitions=(
+                PartitionWindow(
+                    0.0, 8_000.0, (US_EAST,), (US_WEST, EU_WEST)
+                ),
+            ),
+        )
+        sim, cluster = make_cluster(faults=plan)
+        add(cluster, US_WEST, "s", "x")
+        sim.run(until=7_000.0)
+        grown = cluster.antientropy.backoff_ms[(US_EAST, US_WEST)]
+        assert grown > 100.0
+        assert cluster.run_until_converged(timeout_ms=60_000.0) is not None
+        # One post-heal round marks the pair converged; the tick after
+        # that resets the delay -- two backed-off cycles at most.
+        sim.run(until=sim.now + 15_000.0)
+        healed = cluster.antientropy.backoff_ms[(US_EAST, US_WEST)]
+        assert healed == 100.0
+
+
+class TestShardDigestPruning:
+    """Snapshot-fallback responses prune shards the peer agrees on."""
+
+    def make_sharded_pair(self):
+        sim = Simulator()
+        cluster = Cluster(sim, set_registry(), shards=3)
+        for i in range(24):
+            add(cluster, (US_EAST, US_WEST, EU_WEST)[i % 3], f"k{i % 8}", i)
+        assert cluster.run_until_converged(timeout_ms=60_000.0) is not None
+        return cluster
+
+    def test_matching_shards_pruned_to_none(self):
+        cluster = self.make_sharded_pair()
+        a = cluster.replica(US_EAST)
+        b = cluster.replica(US_WEST)
+        assert a.compact_log(a.vv, min_records=1) > 0
+        # Force the snapshot fallback with the peer's shard digests:
+        # converged peers agree on every shard, so all are pruned.
+        records, snapshot = a.sync_answer(
+            VersionVector(), b.shard_digests()
+        )
+        assert snapshot is not None
+        assert all(shard is None for shard in snapshot.shards)
+        # Without digests (the single-shard request path) the full
+        # snapshot ships.
+        _, full = a.sync_answer(VersionVector())
+        assert all(shard is not None for shard in full.shards)
+
+    def test_divergent_shard_still_ships(self):
+        cluster = self.make_sharded_pair()
+        a = cluster.replica(US_EAST)
+        b = cluster.replica(US_WEST)
+        assert a.compact_log(a.vv, min_records=1) > 0
+        # Perturb one key on the peer: only the owning shard's digest
+        # changes, so exactly that shard ships.
+        from repro.crdts.base import Dot, EventContext
+
+        victim = "k0"
+        owner = b.storage.shard_of(victim)
+        obj = b.get_object(victim)
+        obj.effect(
+            obj.prepare_add("divergence"),
+            EventContext(dot=Dot("X", 1), vv=VersionVector({"X": 1})),
+        )
+        _, snapshot = a.sync_answer(VersionVector(), b.shard_digests())
+        assert snapshot is not None
+        for index, shard in enumerate(snapshot.shards):
+            if index == owner:
+                assert shard is not None
+            else:
+                assert shard is None
+
+    def test_pruned_snapshot_installs_with_local_shards_kept(self):
+        cluster = self.make_sharded_pair()
+        a = cluster.replica(US_EAST)
+        b = cluster.replica(US_WEST)
+        assert a.compact_log(a.vv, min_records=1) > 0
+        before = {key: b.get_object(key).value() for key in b.keys()}
+        _, snapshot = a.sync_answer(VersionVector(), b.shard_digests())
+        assert b.install_snapshot(snapshot)
+        assert {
+            key: b.get_object(key).value() for key in b.keys()
+        } == before
