@@ -99,6 +99,20 @@ class AppAdapter:
 
     name: str = ""
 
+    #: Operation name -> bound-method dispatch table, built once per
+    #: adapter class from its ``op_*`` methods: the trial loop calls
+    #: ``dispatch`` for every issued op, and a precomputed dict lookup
+    #: beats per-op ``getattr`` string formatting.
+    _op_table: dict = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._op_table = {
+            attr[3:]: getattr(cls, attr)
+            for attr in dir(cls)
+            if attr.startswith("op_")
+        }
+
     def defaults(self) -> dict:
         return {}
 
@@ -117,10 +131,10 @@ class AppAdapter:
     def dispatch(
         self, app, region: str, op: str, args: tuple[str, ...], done
     ) -> None:
-        handler = getattr(self, f"op_{op}", None)
+        handler = self._op_table.get(op)
         if handler is None:
             raise CheckError(f"{self.name} has no operation {op!r}")
-        handler(app, region, args, done)
+        handler(self, app, region, args, done)
 
     def extract(
         self, replica: Replica, variant: Variant, params: dict

@@ -267,6 +267,7 @@ def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
     completions: dict[str, int] = {}
     counts = {"issued": 0, "refused": 0}
     strong = mode is ConsistencyMode.STRONG
+    dispatch = adapter.dispatch  # bound once; called per issued op
 
     def issue(call: OpCall, index: int) -> None:
         region = session_region(call.session)
@@ -284,7 +285,7 @@ def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
         if recorder is not None:
             recorder.note_issue(index)
         try:
-            adapter.dispatch(app, region, call.op, tuple(call.args), done)
+            dispatch(app, region, call.op, tuple(call.args), done)
         except StoreError:
             # The region (or the primary) is down: an open-loop client
             # simply loses this request.

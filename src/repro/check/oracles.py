@@ -29,6 +29,7 @@ shrinker and CLI can treat them uniformly.
 
 from __future__ import annotations
 
+import itertools
 import operator
 from dataclasses import dataclass, field
 
@@ -57,7 +58,7 @@ from repro.logic.ast import (
     Wildcard,
 )
 from repro.logic.grounding import Domain
-from repro.logic.transform import substitute
+from repro.obs import REGISTRY
 from repro.spec.application import ApplicationSpec
 
 
@@ -112,6 +113,34 @@ class Interpretation:
     )
     params: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Cardinality memo (not a dataclass field: excluded from
+        # equality/repr).  Keyed by (predicate, fixed positions); see
+        # :meth:`card_group`.
+        self._card_groups: dict[tuple[str, tuple[int, ...]], dict] = {}
+
+    def card_group(
+        self, pred_name: str, fixed: tuple[int, ...]
+    ) -> dict[tuple[str, ...], int]:
+        """Row counts of ``pred_name`` grouped by the ``fixed`` columns.
+
+        A ``#p(a, *, b)`` cardinality term asks, for concrete values at
+        the non-wildcard positions, how many rows match.  Grouping the
+        relation once by those positions answers *every* such query
+        with one dict lookup instead of re-filtering the rows per
+        ``eval_num`` call.  Memoized per interpretation: the model is
+        immutable once checking starts, so groups never go stale.
+        """
+        groups = self._card_groups
+        group = groups.get((pred_name, fixed))
+        if group is None:
+            group = {}
+            for row in self.relations.get(pred_name, ()):
+                key = tuple(row[i] for i in fixed)
+                group[key] = group.get(key, 0) + 1
+            groups[(pred_name, fixed)] = group
+        return group
+
     def domain(self, spec: ApplicationSpec) -> Domain:
         """The finite universe: every constant the state mentions."""
         # Seed with every schema sort so quantifiers over a sort with
@@ -160,74 +189,116 @@ _CMP = {
 }
 
 
-def _term_name(term) -> str:
+#: Top-level formula evaluations (one per invariant per replica check,
+#: on both the interpreter and compiled paths).
+_FORMULA_EVALS = REGISTRY.counter("check.formula.evals")
+
+
+def _term_name(term, env: dict[Var, str]) -> str:
     if isinstance(term, Const):
         return term.name
+    if isinstance(term, Var):
+        name = env.get(term)
+        if name is not None:
+            return name
     raise TypeError(f"non-constant term {term!r} in ground evaluation")
 
 
-def _matches(pattern: tuple, row: tuple[str, ...]) -> bool:
-    return all(
-        isinstance(p, Wildcard) or _term_name(p) == v
-        for p, v in zip(pattern, row)
-    )
-
-
-def eval_num(term: NumTerm, interp: Interpretation) -> int:
+def eval_num(
+    term: NumTerm, interp: Interpretation, env: dict[Var, str] | None = None
+) -> int:
+    if env is None:
+        env = {}
     if isinstance(term, IntConst):
         return term.value
     if isinstance(term, Param):
         return interp.params[term.name]
     if isinstance(term, Card):
-        rows = interp.relations.get(term.pred.name, ())
-        return sum(1 for row in rows if _matches(term.args, row))
+        fixed = tuple(
+            i for i, a in enumerate(term.args) if not isinstance(a, Wildcard)
+        )
+        key = tuple(_term_name(term.args[i], env) for i in fixed)
+        return interp.card_group(term.pred.name, fixed).get(key, 0)
     if isinstance(term, NumPred):
-        key = tuple(_term_name(a) for a in term.args)
+        key = tuple(_term_name(a, env) for a in term.args)
         return interp.numerics.get(term.pred.name, {}).get(key, 0)
     if isinstance(term, Add):
-        return sum(eval_num(t, interp) for t in term.terms)
+        return sum(eval_num(t, interp, env) for t in term.terms)
     raise TypeError(f"unknown numeric term {term!r}")
 
 
 def eval_formula(
-    formula: Formula, interp: Interpretation, domain: Domain
+    formula: Formula,
+    interp: Interpretation,
+    domain: Domain,
+    env: dict[Var, str] | None = None,
 ) -> bool:
     """Evaluate a (possibly quantified) formula in the finite model."""
+    _FORMULA_EVALS.value += 1
+    return _eval(formula, interp, domain, {} if env is None else dict(env))
+
+
+def _eval(
+    formula: Formula,
+    interp: Interpretation,
+    domain: Domain,
+    env: dict[Var, str],
+) -> bool:
     if isinstance(formula, TrueF):
         return True
     if isinstance(formula, FalseF):
         return False
     if isinstance(formula, Atom):
-        row = tuple(_term_name(a) for a in formula.args)
+        row = tuple(_term_name(a, env) for a in formula.args)
         return row in interp.relations.get(formula.pred.name, ())
     if isinstance(formula, Cmp):
         return _CMP[formula.op](
-            eval_num(formula.lhs, interp), eval_num(formula.rhs, interp)
+            eval_num(formula.lhs, interp, env),
+            eval_num(formula.rhs, interp, env),
         )
     if isinstance(formula, Not):
-        return not eval_formula(formula.arg, interp, domain)
+        return not _eval(formula.arg, interp, domain, env)
     if isinstance(formula, And):
-        return all(eval_formula(a, interp, domain) for a in formula.args)
+        return all(_eval(a, interp, domain, env) for a in formula.args)
     if isinstance(formula, Or):
-        return any(eval_formula(a, interp, domain) for a in formula.args)
+        return any(_eval(a, interp, domain, env) for a in formula.args)
     if isinstance(formula, Implies):
-        return not eval_formula(
-            formula.lhs, interp, domain
-        ) or eval_formula(formula.rhs, interp, domain)
+        return not _eval(formula.lhs, interp, domain, env) or _eval(
+            formula.rhs, interp, domain, env
+        )
     if isinstance(formula, Iff):
-        return eval_formula(formula.lhs, interp, domain) == eval_formula(
-            formula.rhs, interp, domain
+        return _eval(formula.lhs, interp, domain, env) == _eval(
+            formula.rhs, interp, domain, env
         )
-    if isinstance(formula, ForAll):
-        return all(
-            eval_formula(substitute(formula.body, assignment), interp, domain)
-            for assignment in domain.assignments(formula.vars)
-        )
-    if isinstance(formula, Exists):
-        return any(
-            eval_formula(substitute(formula.body, assignment), interp, domain)
-            for assignment in domain.assignments(formula.vars)
-        )
+    if isinstance(formula, (ForAll, Exists)):
+        # One shared binding environment, bound in place per combo over
+        # the pre-materialised (sorted) domain pools, restored after
+        # the loop -- inner binders shadow outer ones exactly like the
+        # capture-aware ``substitute`` the interpreter used to call,
+        # without rebuilding candidate lists per nesting level.  The
+        # all()/any() short-circuit stops enumeration at the first
+        # falsifying / satisfying combo.
+        vars_ = formula.vars
+        body = formula.body
+        pools = [domain.of(v.sort) for v in vars_]
+        saved = [(v, env.get(v)) for v in vars_]
+
+        def evaluations():
+            for combo in itertools.product(*pools):
+                for var, const in zip(vars_, combo):
+                    env[var] = const.name
+                yield _eval(body, interp, domain, env)
+
+        try:
+            if isinstance(formula, ForAll):
+                return all(evaluations())
+            return any(evaluations())
+        finally:
+            for var, previous in saved:
+                if previous is None:
+                    env.pop(var, None)
+                else:
+                    env[var] = previous
     raise TypeError(f"unknown formula node {formula!r}")
 
 
@@ -237,15 +308,45 @@ def eval_formula(
 
 
 class InvariantOracle:
-    """Grounds the spec's invariants against an interpretation."""
+    """Grounds the spec's invariants against an interpretation.
 
-    def __init__(self, spec: ApplicationSpec, max_witnesses: int = 5):
+    By default the invariants are compiled once per spec into
+    specialized closures (:mod:`repro.compile`) shared through the
+    process-wide artifact cache; ``compiled=False`` (or the global
+    ``--no-compile`` / ``REPRO_NO_COMPILE`` switch) forces the pure
+    interpreter, ``compiled=True`` demands compilation and lets
+    :class:`~repro.compile.Uncompilable` propagate.  Both paths produce
+    identical violations, witnesses and ordering.
+    """
+
+    def __init__(
+        self,
+        spec: ApplicationSpec,
+        max_witnesses: int = 5,
+        compiled: bool | None = None,
+    ):
         self.spec = spec
         self.max_witnesses = max_witnesses
+        if compiled is False:
+            self._compiled = None
+        elif compiled is True:
+            from repro.compile import require_compiled_spec
+
+            self._compiled = require_compiled_spec(spec)
+        else:
+            from repro.compile import maybe_compile_spec
+
+            self._compiled = maybe_compile_spec(spec)
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled is not None
 
     def check(self, interp: Interpretation, region: str) -> list[Violation]:
         if not interp.params:
             interp.params = dict(self.spec.schema.params)
+        if self._compiled is not None:
+            return self._compiled.check(interp, region, self.max_witnesses)
         domain = interp.domain(self.spec)
         found: list[Violation] = []
         for invariant in self.spec.invariants:
@@ -253,18 +354,24 @@ class InvariantOracle:
             if isinstance(formula, TrueF):
                 continue  # declared-category invariants (unique ids)
             name = invariant.name or invariant.describe()
+            _FORMULA_EVALS.value += 1
+            # Fresh environment per invariant: a variable bound here
+            # must never leak into another invariant's evaluation.
+            env: dict[Var, str] = {}
             if isinstance(formula, ForAll):
                 # Enumerate bindings so each failure carries a witness.
                 count = 0
-                for assignment in domain.assignments(formula.vars):
-                    if eval_formula(
-                        substitute(formula.body, assignment), interp, domain
-                    ):
+                vars_ = formula.vars
+                pools = [domain.of(v.sort) for v in vars_]
+                for combo in itertools.product(*pools):
+                    for var, const in zip(vars_, combo):
+                        env[var] = const.name
+                    if _eval(formula.body, interp, domain, env):
                         continue
                     witness = tuple(
                         sorted(
                             (var.name, const.name)
-                            for var, const in assignment.items()
+                            for var, const in dict(zip(vars_, combo)).items()
                         )
                     )
                     found.append(
@@ -273,7 +380,7 @@ class InvariantOracle:
                     count += 1
                     if count >= self.max_witnesses:
                         break
-            elif not eval_formula(formula, interp, domain):
+            elif not _eval(formula, interp, domain, env):
                 found.append(Violation("invariant", region, name))
         return found
 

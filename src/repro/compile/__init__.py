@@ -1,0 +1,54 @@
+"""Spec compilation: invariants, effects and clocks as closures.
+
+One-time, per-spec compilation of the checker's hot paths.  Invariant
+formulas become specialized Python closures (:mod:`.formula`), cached
+content-addressed in two tiers (:mod:`.cache`).  The companion fast
+paths -- CRDT effect dispatch tables (:mod:`repro.crdts.base`) and
+packed version vectors (:class:`repro.crdts.clock.ClockDomain`) -- live
+next to the types they specialize.
+
+``--no-compile`` / ``REPRO_NO_COMPILE=1`` disables formula compilation
+and falls back to the pure interpreter in :mod:`repro.check.oracles`;
+both paths are differential-tested to produce bit-identical verdicts,
+witnesses and trial fingerprints.
+"""
+
+from repro.compile.cache import (
+    CACHE_SCHEMA,
+    SpecCache,
+    canonical_spec_text,
+    compilation_enabled,
+    default_cache,
+    maybe_compile_spec,
+    require_compiled_spec,
+    set_compilation,
+    spec_cache_key,
+)
+from repro.compile.formula import (
+    CompiledInvariant,
+    CompiledSpec,
+    Uncompilable,
+    build_domain_extractor,
+    compile_invariant,
+    compile_spec,
+    generate_invariant_source,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CompiledInvariant",
+    "CompiledSpec",
+    "SpecCache",
+    "Uncompilable",
+    "build_domain_extractor",
+    "canonical_spec_text",
+    "compilation_enabled",
+    "compile_invariant",
+    "compile_spec",
+    "default_cache",
+    "generate_invariant_source",
+    "maybe_compile_spec",
+    "require_compiled_spec",
+    "set_compilation",
+    "spec_cache_key",
+]

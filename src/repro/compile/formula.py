@@ -1,0 +1,468 @@
+"""Compile invariant formulas into specialized Python closures.
+
+The checker's invariant oracle evaluates first-order formulas against a
+finite model thousands of times per trial.  The pure interpreter
+(:func:`repro.check.oracles.eval_formula`) walks the AST per
+evaluation; this module walks it **once per spec** and emits plain
+Python source -- quantifier loops unrolled into ``for``/``all``/``any``
+over the finite domain, relation lookups bound to local variables,
+numeric terms flattened into dict lookups -- which is then ``compile()``d
+and ``exec``'d into one closure per invariant.
+
+The generated code reproduces the interpreter bit for bit:
+
+- quantifier enumeration order is the ``itertools.product`` order over
+  per-sort constant pools sorted by name (nested ``for`` loops in
+  binder order are exactly that product);
+- witness bindings are the ``sorted((var.name, const.name))`` pairs the
+  interpreter emits, truncated at the same ``max_witnesses`` count;
+- shadowing follows :func:`repro.logic.transform.substitute` (bound
+  variables shadow outer bindings), which fresh Python locals per
+  binder give for free;
+- absent relations/numerics read as empty, absent cells as 0, exactly
+  like the interpreter's ``dict.get`` defaults.
+
+Anything the interpreter would reject at runtime (free variables,
+wildcards outside cardinalities, sorts unknown to the schema) raises
+:class:`Uncompilable` at build time and the caller falls back to the
+interpreter, preserving the original error behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable
+
+from repro.logic.ast import (
+    Add,
+    And,
+    Atom,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    FalseF,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    NumTerm,
+    Or,
+    Param,
+    TrueF,
+    Var,
+    Wildcard,
+)
+from repro.obs import REGISTRY
+from repro.spec.application import ApplicationSpec
+from repro.spec.predicates import Schema
+
+
+class Uncompilable(Exception):
+    """The formula cannot be compiled; use the interpreter instead."""
+
+
+def _tuple_literal(parts: list[str]) -> str:
+    """A Python tuple literal over already-rendered element sources."""
+    if not parts:
+        return "()"
+    if len(parts) == 1:
+        return f"({parts[0]},)"
+    return "(" + ", ".join(parts) + ")"
+
+
+class _Codegen:
+    """Shared prologue bindings + expression emitter for one invariant.
+
+    The prologue hoists every relation/numeric/parameter/cardinality
+    lookup out of the quantifier loops: the generated body touches only
+    local variables and tuple membership/dict ``get`` calls.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.prologue: list[str] = []
+        self._relations: dict[str, str] = {}
+        self._numerics: dict[str, str] = {}
+        self._params: dict[str, str] = {}
+        self._groups: dict[tuple[str, tuple[int, ...]], str] = {}
+        self._domains: dict[str, str] = {}
+        self._header_done: set[str] = set()
+        self._n_vars = 0
+
+    # -- prologue bindings ---------------------------------------------------
+
+    def _header(self, line: str) -> None:
+        if line not in self._header_done:
+            self._header_done.add(line)
+            self.prologue.insert(len(self._header_done) - 1, line)
+
+    def relation_local(self, name: str) -> str:
+        local = self._relations.get(name)
+        if local is None:
+            self._header("_relations = interp.relations")
+            local = f"r{len(self._relations)}"
+            self._relations[name] = local
+            self.prologue.append(
+                f"{local} = _relations.get({name!r}) or _EMPTY_SET"
+            )
+        return local
+
+    def numeric_local(self, name: str) -> str:
+        local = self._numerics.get(name)
+        if local is None:
+            self._header("_numerics = interp.numerics")
+            local = f"n{len(self._numerics)}"
+            self._numerics[name] = local
+            self.prologue.append(
+                f"{local} = _numerics.get({name!r}) or _EMPTY_MAP"
+            )
+        return local
+
+    def param_local(self, name: str) -> str:
+        local = self._params.get(name)
+        if local is None:
+            local = f"p{len(self._params)}"
+            self._params[name] = local
+            self.prologue.append(f"{local} = interp.params[{name!r}]")
+        return local
+
+    def group_local(self, pred: str, fixed: tuple[int, ...]) -> str:
+        local = self._groups.get((pred, fixed))
+        if local is None:
+            local = f"g{len(self._groups)}"
+            self._groups[(pred, fixed)] = local
+            self.prologue.append(
+                f"{local} = interp.card_group({pred!r}, {fixed!r})"
+            )
+        return local
+
+    def domain_local(self, var: Var) -> str:
+        name = var.sort.name
+        if name not in self.schema.sorts:
+            raise Uncompilable(
+                f"quantified sort {name} is not declared in the schema"
+            )
+        local = self._domains.get(name)
+        if local is None:
+            local = f"d{len(self._domains)}"
+            self._domains[name] = local
+            self.prologue.append(f"{local} = doms[{name!r}]")
+        return local
+
+    def fresh_var(self) -> str:
+        self._n_vars += 1
+        return f"x{self._n_vars - 1}"
+
+    # -- expression emission -------------------------------------------------
+
+    def term(self, term, env: dict[Var, str]) -> str:
+        if isinstance(term, Const):
+            return repr(term.name)
+        if isinstance(term, Var):
+            local = env.get(term)
+            if local is None:
+                raise Uncompilable(f"free variable {term.name}")
+            return local
+        raise Uncompilable(f"unsupported term {term!r}")
+
+    def num(self, term: NumTerm, env: dict[Var, str]) -> str:
+        if isinstance(term, IntConst):
+            return repr(term.value)
+        if isinstance(term, Param):
+            return self.param_local(term.name)
+        if isinstance(term, NumPred):
+            local = self.numeric_local(term.pred.name)
+            key = _tuple_literal([self.term(a, env) for a in term.args])
+            return f"{local}.get({key}, 0)"
+        if isinstance(term, Card):
+            fixed = tuple(
+                i
+                for i, arg in enumerate(term.args)
+                if not isinstance(arg, Wildcard)
+            )
+            group = self.group_local(term.pred.name, fixed)
+            key = _tuple_literal(
+                [self.term(term.args[i], env) for i in fixed]
+            )
+            return f"{group}.get({key}, 0)"
+        if isinstance(term, Add):
+            if not term.terms:
+                return "0"
+            return "(" + " + ".join(self.num(t, env) for t in term.terms) + ")"
+        raise Uncompilable(f"unknown numeric term {term!r}")
+
+    def expr(self, formula: Formula, env: dict[Var, str]) -> str:
+        if isinstance(formula, TrueF):
+            return "True"
+        if isinstance(formula, FalseF):
+            return "False"
+        if isinstance(formula, Atom):
+            local = self.relation_local(formula.pred.name)
+            row = _tuple_literal([self.term(a, env) for a in formula.args])
+            return f"({row} in {local})"
+        if isinstance(formula, Cmp):
+            lhs = self.num(formula.lhs, env)
+            rhs = self.num(formula.rhs, env)
+            return f"({lhs} {formula.op} {rhs})"
+        if isinstance(formula, Not):
+            return f"(not {self.expr(formula.arg, env)})"
+        if isinstance(formula, And):
+            if not formula.args:
+                return "True"
+            return (
+                "(" + " and ".join(self.expr(a, env) for a in formula.args) + ")"
+            )
+        if isinstance(formula, Or):
+            if not formula.args:
+                return "False"
+            return (
+                "(" + " or ".join(self.expr(a, env) for a in formula.args) + ")"
+            )
+        if isinstance(formula, Implies):
+            lhs = self.expr(formula.lhs, env)
+            rhs = self.expr(formula.rhs, env)
+            return f"((not {lhs}) or {rhs})"
+        if isinstance(formula, Iff):
+            lhs = self.expr(formula.lhs, env)
+            rhs = self.expr(formula.rhs, env)
+            return f"({lhs} == {rhs})"
+        if isinstance(formula, (ForAll, Exists)):
+            return self._quantifier(formula, env)
+        raise Uncompilable(f"unknown formula node {formula!r}")
+
+    def _quantifier(self, formula: ForAll | Exists, env: dict[Var, str]) -> str:
+        if not formula.vars:
+            # product of zero pools yields exactly one (empty) binding.
+            return self.expr(formula.body, env)
+        inner = dict(env)
+        generators = []
+        for var in formula.vars:
+            pool = self.domain_local(var)
+            local = self.fresh_var()
+            inner[var] = local  # later duplicate binders shadow earlier
+            generators.append(f"for {local} in {pool}")
+        body = self.expr(formula.body, inner)
+        head = "all" if isinstance(formula, ForAll) else "any"
+        return f"{head}({body} " + " ".join(generators) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Invariant -> source -> closure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompiledInvariant:
+    """One invariant's generated source plus its executable closure.
+
+    ``fn(interp, doms, region, max_witnesses, out)`` appends
+    :class:`~repro.check.oracles.Violation` records to ``out`` exactly
+    as the interpreter's :class:`InvariantOracle` would.
+    """
+
+    name: str
+    source: str
+    fn: Callable
+
+
+def _witness_expr(formula: ForAll, env: dict[Var, str]) -> str:
+    """Source for the interpreter-identical witness tuple.
+
+    The interpreter sorts ``(var.name, const.name)`` pairs; with
+    distinct variable names the order is fully determined at compile
+    time, so the common case emits a pre-sorted literal.  Colliding
+    names (distinct sorts) fall back to a runtime ``sorted``.
+    """
+    names = [v.name for v in formula.vars]
+    pairs = [f"({v.name!r}, {env[v]})" for v in formula.vars]
+    if len(set(names)) == len(names):
+        order = sorted(range(len(names)), key=lambda i: names[i])
+        return _tuple_literal([pairs[i] for i in order])
+    return f"tuple(sorted({_tuple_literal(pairs)}))"
+
+
+def generate_invariant_source(invariant, schema: Schema) -> str:
+    """Emit the Python source of one invariant's ``check`` closure."""
+    formula = invariant.formula
+    name = invariant.name or invariant.describe()
+    gen = _Codegen(schema)
+    body: list[str] = []
+    if isinstance(formula, ForAll) and formula.vars:
+        if len(set(formula.vars)) != len(formula.vars):
+            raise Uncompilable("duplicate bound variable in invariant")
+        env: dict[Var, str] = {}
+        loops: list[tuple[str, str]] = []
+        for var in formula.vars:
+            pool = gen.domain_local(var)
+            local = gen.fresh_var()
+            env[var] = local
+            loops.append((local, pool))
+        condition = gen.expr(formula.body, env)
+        witness = _witness_expr(formula, env)
+        body.append("    count = 0")
+        body.append("    _append = out.append")
+        indent = "    "
+        for local, pool in loops:
+            body.append(f"{indent}for {local} in {pool}:")
+            indent += "    "
+        body.append(f"{indent}if {condition}:")
+        body.append(f"{indent}    continue")
+        body.append(
+            f"{indent}_append(_Violation('invariant', region, "
+            f"{name!r}, {witness}))"
+        )
+        body.append(f"{indent}count += 1")
+        body.append(f"{indent}if count >= max_witnesses:")
+        body.append(f"{indent}    return")
+    else:
+        condition = gen.expr(formula, {})
+        body.append(f"    if not {condition}:")
+        body.append(
+            f"        out.append(_Violation('invariant', region, {name!r}))"
+        )
+    lines = ["def check(interp, doms, region, max_witnesses, out):"]
+    lines.extend("    " + p for p in gen.prologue)
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+_BASE_NAMESPACE: dict | None = None
+
+
+def _namespace() -> dict:
+    # Imported lazily: check.oracles imports this package back for the
+    # compiled fast path, so the dependency must not be module-level.
+    global _BASE_NAMESPACE
+    if _BASE_NAMESPACE is None:
+        from repro.check.oracles import Violation
+
+        _BASE_NAMESPACE = {
+            "_Violation": Violation,
+            "_EMPTY_SET": frozenset(),
+            "_EMPTY_MAP": MappingProxyType({}),
+        }
+    return _BASE_NAMESPACE
+
+
+def load_invariant(name: str, source: str) -> CompiledInvariant:
+    """``compile()`` + ``exec`` one generated source into a closure.
+
+    Shared by the fresh-codegen path and the disk-cache path: a cached
+    source byte-identical to a generated one yields an identical
+    closure, so cache hits cannot change behaviour.
+    """
+    code = compile(source, f"<compiled-invariant {name!r}>", "exec")
+    namespace = dict(_namespace())
+    exec(code, namespace)  # noqa: S102 - self-generated source only
+    return CompiledInvariant(name=name, source=source, fn=namespace["check"])
+
+
+def compile_invariant(invariant, schema: Schema) -> CompiledInvariant:
+    name = invariant.name or invariant.describe()
+    return load_invariant(name, generate_invariant_source(invariant, schema))
+
+
+# ---------------------------------------------------------------------------
+# Spec-level artifacts
+# ---------------------------------------------------------------------------
+
+
+def build_domain_extractor(schema: Schema) -> Callable:
+    """A closure computing the finite domain of an interpretation.
+
+    Returns ``interp -> {sort_name: (const_name, ...)}`` replicating
+    :meth:`repro.check.oracles.Interpretation.domain`: every schema
+    sort is seeded (possibly empty), every constant mentioned by a
+    declared predicate's rows/cells is noted under its argument sort,
+    and pools are sorted by constant name.
+    """
+    sort_names = tuple(schema.sorts)
+    pred_sorts = {
+        name: tuple(s.name for s in decl.arg_sorts)
+        for name, decl in schema.predicates.items()
+    }
+
+    def extract(interp) -> dict[str, tuple[str, ...]]:
+        per: dict[str, set[str]] = {name: set() for name in sort_names}
+        for source in (interp.relations, interp.numerics):
+            for pred_name, rows in source.items():
+                sorts = pred_sorts.get(pred_name)
+                if sorts is None:
+                    continue
+                for row in rows:
+                    for sort_name, value in zip(sorts, row):
+                        pool = per.get(sort_name)
+                        if pool is None:
+                            pool = per[sort_name] = set()
+                        pool.add(
+                            value if type(value) is str else str(value)
+                        )
+        return {name: tuple(sorted(pool)) for name, pool in per.items()}
+
+    return extract
+
+
+_FORMULA_EVALS = REGISTRY.counter("check.formula.evals")
+
+
+class CompiledSpec:
+    """Every non-trivial invariant of one spec, compiled and ready.
+
+    Drop-in for the interpreter loop in
+    :meth:`repro.check.oracles.InvariantOracle.check`: same violations,
+    same witnesses, same order.
+    """
+
+    __slots__ = ("key", "invariants", "_extract")
+
+    def __init__(
+        self,
+        key: str,
+        invariants: tuple[CompiledInvariant, ...],
+        domain_extractor: Callable,
+    ) -> None:
+        self.key = key
+        self.invariants = invariants
+        self._extract = domain_extractor
+
+    def domains(self, interp) -> dict[str, tuple[str, ...]]:
+        return self._extract(interp)
+
+    def check(self, interp, region: str, max_witnesses: int = 5) -> list:
+        doms = self._extract(interp)
+        out: list = []
+        for invariant in self.invariants:
+            _FORMULA_EVALS.value += 1
+            invariant.fn(interp, doms, region, max_witnesses, out)
+        return out
+
+
+def generate_spec_sources(spec: ApplicationSpec) -> list[tuple[str, str]]:
+    """(name, source) per compilable invariant, in spec order.
+
+    ``TrueF`` invariants (declared-category placeholders) are skipped
+    exactly as the interpreter skips them.
+    """
+    sources: list[tuple[str, str]] = []
+    for invariant in spec.invariants:
+        if isinstance(invariant.formula, TrueF):
+            continue
+        name = invariant.name or invariant.describe()
+        sources.append(
+            (name, generate_invariant_source(invariant, spec.schema))
+        )
+    return sources
+
+
+def compile_spec(spec: ApplicationSpec, key: str = "") -> CompiledSpec:
+    """Compile every invariant of ``spec`` (raises :class:`Uncompilable`)."""
+    compiled = tuple(
+        load_invariant(name, source)
+        for name, source in generate_spec_sources(spec)
+    )
+    return CompiledSpec(key, compiled, build_domain_extractor(spec.schema))

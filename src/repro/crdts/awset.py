@@ -71,23 +71,22 @@ class AWSet(CRDT):
 
     # -- effect (all replicas) ---------------------------------------------------
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        if isinstance(payload, AWAdd):
-            dots = self._dots.get(payload.element)
-            if dots is None:
-                dots = self._dots[payload.element] = set()
-            dots.add(ctx.dot)
-            return
-        if isinstance(payload, AWRemove):
-            for element, dots in payload.dots:
-                alive = self._dots.get(element)
-                if alive is None:
-                    continue
-                alive.difference_update(dots)
-                if not alive:
-                    del self._dots[element]
-            return
-        self._require(False, f"aw-set cannot apply {payload!r}")
+    EFFECTS = {AWAdd: "_apply_add", AWRemove: "_apply_remove"}
+
+    def _apply_add(self, payload: AWAdd, ctx: EventContext) -> None:
+        dots = self._dots.get(payload.element)
+        if dots is None:
+            dots = self._dots[payload.element] = set()
+        dots.add(ctx.dot)
+
+    def _apply_remove(self, payload: AWRemove, ctx: EventContext) -> None:
+        for element, dots in payload.dots:
+            alive = self._dots.get(element)
+            if alive is None:
+                continue
+            alive.difference_update(dots)
+            if not alive:
+                del self._dots[element]
 
     # -- queries -------------------------------------------------------------------
 

@@ -67,8 +67,41 @@ class CRDT:
     #: Short type tag used by the store's type registry.
     type_name: str = "crdt"
 
+    #: Declarative payload dispatch: payload class -> handler method
+    #: name.  ``__init_subclass__`` folds declarations over the MRO
+    #: into ``_effect_table`` (payload class -> function), so applying
+    #: an effect costs one dict lookup instead of an ``isinstance``
+    #: chain -- and the replication hot loop can fetch the handler
+    #: directly (see ``Replica._apply_state``).  Payload classes are
+    #: looked up by exact type: payloads are plain frozen dataclasses
+    #: and are never subclassed.
+    EFFECTS: dict = {}
+    _effect_table: dict = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        declared: dict = {}
+        for klass in reversed(cls.__mro__):
+            table = vars(klass).get("EFFECTS")
+            if table:
+                declared.update(table)
+        cls._effect_table = {
+            payload_type: getattr(cls, handler_name)
+            for payload_type, handler_name in declared.items()
+        }
+
     def effect(self, payload: Any, ctx: EventContext) -> None:
-        raise NotImplementedError
+        handler = self._effect_table.get(payload.__class__)
+        if handler is None:
+            self._reject(payload)
+        else:
+            handler(self, payload, ctx)
+
+    def _reject(self, payload: Any) -> None:
+        if not self._effect_table:
+            # Abstract base (or a subclass that declared no effects).
+            raise NotImplementedError
+        raise CRDTError(f"{self.type_name} cannot apply {payload!r}")
 
     def value(self) -> Any:
         raise NotImplementedError

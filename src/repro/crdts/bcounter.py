@@ -111,28 +111,31 @@ class BoundedCounter(CRDT):
 
     # -- effect ---------------------------------------------------------------
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        if isinstance(payload, BCIncrement):
-            self._rights[payload.replica] = (
-                self._rights.get(payload.replica, 0) + payload.amount
-            )
-            self._value += payload.amount
-            return
-        if isinstance(payload, BCDecrement):
-            self._rights[payload.replica] = (
-                self._rights.get(payload.replica, 0) - payload.amount
-            )
-            self._value -= payload.amount
-            return
-        if isinstance(payload, BCTransfer):
-            self._rights[payload.source] = (
-                self._rights.get(payload.source, 0) - payload.amount
-            )
-            self._rights[payload.target] = (
-                self._rights.get(payload.target, 0) + payload.amount
-            )
-            return
-        self._require(False, f"bounded-counter cannot apply {payload!r}")
+    EFFECTS = {
+        BCIncrement: "_apply_increment",
+        BCDecrement: "_apply_decrement",
+        BCTransfer: "_apply_transfer",
+    }
+
+    def _apply_increment(self, payload: BCIncrement, ctx: EventContext) -> None:
+        self._rights[payload.replica] = (
+            self._rights.get(payload.replica, 0) + payload.amount
+        )
+        self._value += payload.amount
+
+    def _apply_decrement(self, payload: BCDecrement, ctx: EventContext) -> None:
+        self._rights[payload.replica] = (
+            self._rights.get(payload.replica, 0) - payload.amount
+        )
+        self._value -= payload.amount
+
+    def _apply_transfer(self, payload: BCTransfer, ctx: EventContext) -> None:
+        self._rights[payload.source] = (
+            self._rights.get(payload.source, 0) - payload.amount
+        )
+        self._rights[payload.target] = (
+            self._rights.get(payload.target, 0) + payload.amount
+        )
 
     def value(self) -> int:
         return self._value

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.errors import CRDTError
-from repro.crdts.awset import AWRemove, AWSet
+from repro.crdts.awset import AWAdd, AWRemove, AWSet
 from repro.crdts.base import CRDT, EventContext
 from repro.crdts.clock import VersionVector
 from repro.crdts.pattern import Pattern
@@ -114,7 +114,9 @@ class CompensationSet(CRDT):
     def prepare_remove_where(self, pattern: Pattern):
         return self._set.prepare_remove_where(pattern)
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
+    EFFECTS = {AWAdd: "_apply_inner", AWRemove: "_apply_inner"}
+
+    def _apply_inner(self, payload: Any, ctx: EventContext) -> None:
         self._set.effect(payload, ctx)
 
     def compact(self, stable: VersionVector) -> None:

@@ -40,11 +40,9 @@ class PNCounter(CRDT):
     def prepare_add(self, amount: int) -> CounterDelta:
         return CounterDelta(amount)
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        self._require(
-            isinstance(payload, CounterDelta),
-            f"pn-counter cannot apply {payload!r}",
-        )
+    EFFECTS = {CounterDelta: "_apply_delta"}
+
+    def _apply_delta(self, payload: CounterDelta, ctx: EventContext) -> None:
         replica = ctx.dot.replica
         self._per_replica[replica] = (
             self._per_replica.get(replica, 0) + payload.amount
@@ -99,16 +97,17 @@ class CompensatedCounter(CRDT):
     def prepare_add(self, amount: int) -> CounterDelta:
         return CounterDelta(amount)
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        if isinstance(payload, CounterDelta):
-            self._raw.effect(payload, ctx)
-            return
-        if isinstance(payload, Correction):
-            previous = self._corrections.get(payload.epoch)
-            if previous is None or abs(payload.amount) > abs(previous):
-                self._corrections[payload.epoch] = payload.amount
-            return
-        self._require(False, f"compensated-counter cannot apply {payload!r}")
+    EFFECTS = {CounterDelta: "_apply_delta", Correction: "_apply_correction"}
+
+    def _apply_delta(self, payload: CounterDelta, ctx: EventContext) -> None:
+        self._raw._apply_delta(payload, ctx)
+
+    def _apply_correction(
+        self, payload: Correction, ctx: EventContext
+    ) -> None:
+        previous = self._corrections.get(payload.epoch)
+        if previous is None or abs(payload.amount) > abs(previous):
+            self._corrections[payload.epoch] = payload.amount
 
     def value(self) -> int:
         return self._raw.value() + sum(self._corrections.values())

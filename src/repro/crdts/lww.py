@@ -36,11 +36,9 @@ class LWWRegister(CRDT):
         """Build a write stamped above everything seen locally."""
         return LWWWrite(value, self._clock + 1)
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        self._require(
-            isinstance(payload, LWWWrite),
-            f"lww-register cannot apply {payload!r}",
-        )
+    EFFECTS = {LWWWrite: "_apply_write"}
+
+    def _apply_write(self, payload: LWWWrite, ctx: EventContext) -> None:
         self._clock = max(self._clock, payload.stamp)
         candidate = (payload.stamp, ctx.dot.replica)
         if self._winner is None or candidate > self._winner:

@@ -101,20 +101,19 @@ class ORMap(CRDT):
 
     # -- effect (all replicas) ---------------------------------------------------
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        if isinstance(payload, MapKeyOp):
-            self._keys.effect(payload.inner, ctx)
-            return
-        if isinstance(payload, MapValueOp):
-            inner = self._values.get(payload.key)
-            if inner is None:
-                inner = self._value_factory()
-                self._values[payload.key] = inner
-            inner.effect(payload.inner, ctx)
-            if payload.key_add is not None:
-                self._keys.effect(payload.key_add, ctx)
-            return
-        self._require(False, f"or-map cannot apply {payload!r}")
+    EFFECTS = {MapKeyOp: "_apply_key_op", MapValueOp: "_apply_value_op"}
+
+    def _apply_key_op(self, payload: MapKeyOp, ctx: EventContext) -> None:
+        self._keys.effect(payload.inner, ctx)
+
+    def _apply_value_op(self, payload: MapValueOp, ctx: EventContext) -> None:
+        inner = self._values.get(payload.key)
+        if inner is None:
+            inner = self._value_factory()
+            self._values[payload.key] = inner
+        inner.effect(payload.inner, ctx)
+        if payload.key_add is not None:
+            self._keys.effect(payload.key_add, ctx)
 
     # -- queries -------------------------------------------------------------------
 

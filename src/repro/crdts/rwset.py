@@ -75,33 +75,38 @@ class RWSet(CRDT):
 
     # -- effect (all replicas) ---------------------------------------------------
 
-    def effect(self, payload: Any, ctx: EventContext) -> None:
-        if isinstance(payload, RWAdd):
-            adds = self._adds.get(payload.element)
-            if adds is None:
-                adds = self._adds[payload.element] = []
-            adds.append(ctx)
-            self._prune(payload.element)
-            return
-        if isinstance(payload, RWRemove):
-            merged = self._removes.get(payload.element)
-            if merged is None:
-                self._removes[payload.element] = ctx.vv.copy()
-            else:
-                merged.merge(ctx.vv)
-            self._prune(payload.element)
-            return
-        if isinstance(payload, RWRemoveWhere):
-            merged = self._pattern_tombstones.get(payload.pattern)
-            if merged is None:
-                self._pattern_tombstones[payload.pattern] = ctx.vv.copy()
-            else:
-                merged.merge(ctx.vv)
-            matches = payload.pattern.matches
-            for element in [e for e in self._adds if matches(e)]:
-                self._prune(element)
-            return
-        self._require(False, f"rw-set cannot apply {payload!r}")
+    EFFECTS = {
+        RWAdd: "_apply_add",
+        RWRemove: "_apply_remove",
+        RWRemoveWhere: "_apply_remove_where",
+    }
+
+    def _apply_add(self, payload: RWAdd, ctx: EventContext) -> None:
+        adds = self._adds.get(payload.element)
+        if adds is None:
+            adds = self._adds[payload.element] = []
+        adds.append(ctx)
+        self._prune(payload.element)
+
+    def _apply_remove(self, payload: RWRemove, ctx: EventContext) -> None:
+        merged = self._removes.get(payload.element)
+        if merged is None:
+            self._removes[payload.element] = ctx.vv.copy()
+        else:
+            merged.merge(ctx.vv)
+        self._prune(payload.element)
+
+    def _apply_remove_where(
+        self, payload: RWRemoveWhere, ctx: EventContext
+    ) -> None:
+        merged = self._pattern_tombstones.get(payload.pattern)
+        if merged is None:
+            self._pattern_tombstones[payload.pattern] = ctx.vv.copy()
+        else:
+            merged.merge(ctx.vv)
+        matches = payload.pattern.matches
+        for element in [e for e in self._adds if matches(e)]:
+            self._prune(element)
 
     def _cover(self, element: Hashable) -> VersionVector | None:
         """Merged vv of every remove covering ``element``, or None.

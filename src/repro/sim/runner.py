@@ -110,16 +110,17 @@ class ClientPool:
         if self._timeout is None:
             # Fast path: without operation timeouts there is no attempt
             # token to race against, so one closure per operation is
-            # enough.
+            # enough.  Hot attributes are bound once per op here, not
+            # re-read per completion.
             sim = self._sim
             started = sim.now
+            record_latency = self._metrics.record_latency
+            observer = self._observer
 
             def complete(op_name: str) -> None:
-                self._metrics.record_latency(
-                    sim.now, op_name, sim.now - started
-                )
-                if self._observer is not None:
-                    self._observer(client, op_name)
+                record_latency(sim.now, op_name, sim.now - started)
+                if observer is not None:
+                    observer(client, op_name)
                 sim.schedule(self._think, self._loop, client)
 
             try:

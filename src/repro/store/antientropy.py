@@ -42,7 +42,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.crdts.clock import VersionVector
+from repro.crdts.clock import ClockDomain, VersionVector
 from repro.net.retry import RetryPolicy
 from repro.obs import TRACER
 from repro.store.replica import ReplicaSnapshot
@@ -291,9 +291,18 @@ class AntiEntropyEngine:
         # The pair converged iff the served records (applied eagerly by
         # the causal receiver above) brought the requester up to the
         # responder's vector; anything less keeps the backoff earned.
-        state.converged = self._cluster.replica(requester).vv.dominates(
-            response.vv
-        )
+        # Compared over packed int tuples: this runs once per answered
+        # anti-entropy round on every pair.  A vector naming an origin
+        # outside the cluster's region universe cannot be packed; such
+        # responses fall back to the dict comparison.
+        domain = self._cluster.clock_domain
+        replica_vv = self._cluster.replica(requester).vv
+        try:
+            state.converged = ClockDomain.dominates(
+                domain.pack(replica_vv), domain.pack(response.vv)
+            )
+        except KeyError:
+            state.converged = replica_vv.dominates(response.vv)
         # Reverse push: heal the other direction in the same round.
         push = self._cluster.replica(requester).records_since(response.vv)
         if push:

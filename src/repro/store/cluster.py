@@ -36,7 +36,7 @@ from functools import partial
 from typing import Any, Callable
 
 from repro.errors import StoreError
-from repro.crdts.clock import VersionVector
+from repro.crdts.clock import ClockDomain, VersionVector
 from repro.obs import REGISTRY, TRACER
 from repro.sim.events import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -95,6 +95,10 @@ class Cluster:
         self._strong = mode is ConsistencyMode.STRONG
         self._indigo = mode is ConsistencyMode.INDIGO
         self.regions = regions
+        #: Fixed region universe: version-vector comparisons on the
+        #: convergence/anti-entropy hot paths run over packed int
+        #: tuples instead of dicts (see ClockDomain).
+        self.clock_domain = ClockDomain(regions)
         self.primary = primary or regions[0]
         self.injector = FaultInjector(faults) if faults is not None else None
         self.network = Network(
@@ -432,20 +436,17 @@ class Cluster:
 
     def stable_vector(self) -> VersionVector:
         """Pointwise minimum of all replicas' vectors."""
-        stable = VersionVector()
-        first = True
+        domain = self.clock_domain
+        pack = domain.pack
+        stable: tuple[int, ...] | None = None
         for replica in self._replicas.values():
-            if first:
-                stable = replica.vv.copy()
-                first = False
-                continue
-            merged: dict[str, int] = {}
-            for origin in set(stable.entries) | set(replica.vv.entries):
-                merged[origin] = min(
-                    stable.get(origin), replica.vv.get(origin)
-                )
-            stable = VersionVector(merged)
-        return stable
+            packed = pack(replica.vv)
+            stable = (
+                packed
+                if stable is None
+                else domain.pointwise_min(stable, packed)
+            )
+        return domain.unpack(stable if stable is not None else domain.zero)
 
     def compact_all(self, min_log_records: int = 1024) -> None:
         """Run stability GC at every replica (§4.2.1).
@@ -486,8 +487,18 @@ class Cluster:
         record's counter exceeds the holder's vector entry for its
         origin, while the origin's own vector already covers it.
         """
-        vectors = [replica.vv for replica in self._replicas.values()]
-        return all(v == vectors[0] for v in vectors[1:])
+        # Packed-tuple comparison: this poll runs every ``poll_ms`` of
+        # simulated time, and interning usually reduces it to identity
+        # checks.
+        pack = self.clock_domain.pack
+        reference: tuple[int, ...] | None = None
+        for replica in self._replicas.values():
+            packed = pack(replica.vv)
+            if reference is None:
+                reference = packed
+            elif packed is not reference and packed != reference:
+                return False
+        return True
 
     def settle(self, slack_ms: float = 5_000.0) -> None:
         """Run the simulator until in-flight replication drains."""

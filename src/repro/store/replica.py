@@ -268,14 +268,28 @@ class Replica:
         # after this point.
         self._origin_ctx[origin] = vv
         ctx = EventContext(dot=record.dot, vv=vv)
+        # Effects dispatch through the CRDT class's precomputed
+        # payload-type table (see ``CRDT.EFFECTS``), skipping the
+        # ``effect`` frame; payload types without a table entry fall
+        # back to ``effect`` for its error reporting.
         get_object = self.get_object
         note_write = self._note_write
         if note_write is None:
             for key, payload in record.updates:
-                get_object(key).effect(payload, ctx)
+                obj = get_object(key)
+                handler = obj._effect_table.get(payload.__class__)
+                if handler is not None:
+                    handler(obj, payload, ctx)
+                else:
+                    obj.effect(payload, ctx)
         else:
             for key, payload in record.updates:
-                get_object(key).effect(payload, ctx)
+                obj = get_object(key)
+                handler = obj._effect_table.get(payload.__class__)
+                if handler is not None:
+                    handler(obj, payload, ctx)
+                else:
+                    obj.effect(payload, ctx)
                 note_write(key)
         self.vv.entries[origin] = counter
         if origin == self.replica_id:

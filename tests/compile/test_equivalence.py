@@ -1,0 +1,424 @@
+"""Differential proof that compiled invariants match the interpreter.
+
+The compilation layer (repro.compile) is only admissible if it is
+observationally invisible: every verdict, every witness binding, every
+violation ordering, every trial fingerprint must be identical with and
+without it.  This suite drives both implementations with
+
+- hypothesis-generated random formulas (nested quantifiers including
+  shadowed re-binding, cardinalities with wildcards, numeric sums,
+  every connective) over random interpretations;
+- hand-picked regression shapes the generator is unlikely to weight
+  (colliding variable names across sorts, empty domains, witness
+  truncation);
+- full ``run_trial`` runs per app/config, asserting byte-identical
+  fingerprints between the compiled default and ``--no-compile``;
+- the on-disk artifact cache, asserting a disk hit reproduces the
+  freshly-generated behaviour.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import build_trial, run_trial
+from repro.check.oracles import Interpretation, InvariantOracle, eval_formula
+from repro.compile import (
+    SpecCache,
+    compile_spec,
+    default_cache,
+    set_compilation,
+    spec_cache_key,
+)
+from repro.logic.ast import (
+    Add,
+    And,
+    Card,
+    Cmp,
+    Const,
+    Exists,
+    ForAll,
+    Iff,
+    Implies,
+    IntConst,
+    Not,
+    NumPred,
+    Or,
+    Param,
+    Sort,
+    Var,
+    Wildcard,
+)
+from repro.obs import REGISTRY
+from repro.spec.application import ApplicationSpec
+from repro.spec.invariants import Invariant
+from repro.spec.predicates import Schema
+
+A = Sort("A")
+B = Sort("B")
+VA = Var("a", A)
+VB = Var("b", B)
+#: Same *name* as VA but a different sort: exercises the runtime-sorted
+#: witness path (colliding names cannot be ordered at compile time).
+VA2 = Var("a", B)
+
+def build_fuzz_schema() -> Schema:
+    schema = Schema("fuzz")
+    schema.sort("A")
+    schema.sort("B")
+    schema.predicate("p", "A")
+    schema.predicate("q", "A", "B")
+    schema.predicate("r", "B")
+    schema.predicate("n", "A", numeric=True)
+    schema.predicate("m", "A", "B", numeric=True)
+    schema.parameter("P", 3)
+    return schema
+
+
+SCHEMA = build_fuzz_schema()
+P_PRED = SCHEMA.predicates["p"]
+Q_PRED = SCHEMA.predicates["q"]
+R_PRED = SCHEMA.predicates["r"]
+N_PRED = SCHEMA.predicates["n"]
+M_PRED = SCHEMA.predicates["m"]
+
+A_NAMES = ("x0", "x1", "x2", "x3")
+B_NAMES = ("y0", "y1", "y2")
+
+
+def spec_of(formula, name: str = "") -> ApplicationSpec:
+    return ApplicationSpec(
+        schema=SCHEMA, invariants=[Invariant(formula, name=name)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def leaves():
+    num_atoms = [
+        NumPred(N_PRED, (VA,)),
+        NumPred(M_PRED, (VA, VB)),
+        NumPred(N_PRED, (Const("x1", A),)),
+        Card(Q_PRED, (VA, Wildcard(B))),
+        Card(Q_PRED, (Wildcard(A), VB)),
+        Card(P_PRED, (Wildcard(A),)),
+        Card(Q_PRED, (Const("x0", A), VB)),
+        Param("P"),
+        IntConst(2),
+    ]
+    nums = st.one_of(
+        st.sampled_from(num_atoms),
+        st.builds(
+            lambda t, u: Add((t, u)),
+            st.sampled_from(num_atoms),
+            st.sampled_from(num_atoms),
+        ),
+    )
+    cmps = st.builds(
+        Cmp,
+        st.sampled_from(("<=", "<", ">=", ">", "==", "!=")),
+        nums,
+        nums,
+    )
+    atoms = st.sampled_from(
+        [
+            P_PRED(VA),
+            Q_PRED(VA, VB),
+            R_PRED(VB),
+            P_PRED(Const("x2", A)),
+            Q_PRED(VA, Const("y0", B)),
+        ]
+    )
+    return st.one_of(atoms, cmps)
+
+
+def bodies():
+    def extend(children):
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda x, y: And((x, y)), children, children),
+            st.builds(lambda x, y: Or((x, y)), children, children),
+            st.builds(Implies, children, children),
+            st.builds(Iff, children, children),
+            # Re-binding VA / VB inside the body shadows the outer
+            # binder -- the interpreter and the generated locals must
+            # agree on inner-wins semantics.
+            st.builds(lambda x: ForAll((VA,), x), children),
+            st.builds(lambda x: Exists((VB,), x), children),
+            st.builds(lambda x: Exists((VA, VB), x), children),
+        )
+
+    return st.recursive(leaves(), extend, max_leaves=10)
+
+
+def invariants():
+    return st.one_of(
+        st.builds(lambda x: ForAll((VA, VB), x), bodies()),
+        st.builds(lambda x: ForAll((VB, VA), x), bodies()),
+        st.builds(lambda x: Exists((VA, VB), x), bodies()),
+        st.builds(lambda x: Not(Exists((VA, VB), x)), bodies()),
+    )
+
+
+def interpretations():
+    def build(p_rows, q_rows, r_rows, n_cells, m_cells, param):
+        return Interpretation(
+            relations={
+                "p": {(x,) for x in p_rows},
+                "q": set(q_rows),
+                "r": {(y,) for y in r_rows},
+            },
+            numerics={
+                "n": {(x,): v for x, v in n_cells.items()},
+                "m": dict(m_cells),
+            },
+            params={"P": param},
+        )
+
+    pairs = st.tuples(
+        st.sampled_from(A_NAMES), st.sampled_from(B_NAMES)
+    )
+    return st.builds(
+        build,
+        st.sets(st.sampled_from(A_NAMES)),
+        st.sets(pairs),
+        st.sets(st.sampled_from(B_NAMES)),
+        st.dictionaries(
+            st.sampled_from(A_NAMES), st.integers(-3, 6), max_size=4
+        ),
+        st.dictionaries(pairs, st.integers(-3, 6), max_size=6),
+        st.integers(0, 5),
+    )
+
+
+def check_both(spec, interp, max_witnesses=5):
+    """(compiled, interpreted) violation lists over isolated copies."""
+    compiled_interp = copy.deepcopy(interp)
+    interpreted_interp = copy.deepcopy(interp)
+    compiled = InvariantOracle(
+        spec, max_witnesses=max_witnesses, compiled=True
+    ).check(compiled_interp, "r0")
+    interpreted = InvariantOracle(
+        spec, max_witnesses=max_witnesses, compiled=False
+    ).check(interpreted_interp, "r0")
+    return compiled, interpreted
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis differential suite
+# ---------------------------------------------------------------------------
+
+
+class TestRandomFormulas:
+    @given(invariants(), interpretations(), st.integers(1, 6))
+    @settings(max_examples=150, deadline=None)
+    def test_verdicts_and_witnesses_agree(self, formula, interp, max_w):
+        spec = spec_of(formula)
+        compiled, interpreted = check_both(spec, interp, max_witnesses=max_w)
+        assert compiled == interpreted
+
+    @given(invariants(), interpretations())
+    @settings(max_examples=100, deadline=None)
+    def test_eval_formula_agrees_with_compiled_verdict(
+        self, formula, interp
+    ) -> None:
+        spec = spec_of(formula)
+        interp.params = dict(interp.params) or {"P": 3}
+        holds = eval_formula(formula, interp, interp.domain(spec))
+        compiled, _ = check_both(spec, interp)
+        assert holds == (not compiled)
+
+    @given(invariants(), interpretations())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_is_deterministic_across_instances(
+        self, formula, interp
+    ) -> None:
+        spec = spec_of(formula)
+        first = compile_spec(spec).check(copy.deepcopy(interp), "r0")
+        second = compile_spec(spec).check(copy.deepcopy(interp), "r0")
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Targeted regression shapes
+# ---------------------------------------------------------------------------
+
+
+class TestRegressionShapes:
+    def test_shadowed_rebinding_inner_wins(self) -> None:
+        # forall a. exists a. p(a): the inner binder must fully shadow
+        # the outer one, so the formula holds whenever *any* A-constant
+        # satisfies p, regardless of the outer iterate.
+        formula = ForAll((VA,), Exists((VA,), P_PRED(VA)))
+        interp = Interpretation(
+            relations={
+                "p": {("x1",)},
+                "q": {("x0", "y0"), ("x1", "y0")},
+            },
+            params={"P": 3},
+        )
+        compiled, interpreted = check_both(spec_of(formula), interp)
+        assert compiled == interpreted == []
+
+    def test_colliding_witness_names_sort_at_runtime(self) -> None:
+        # Both binders are named "a" (different sorts): witness pairs
+        # cannot be pre-sorted at compile time.
+        formula = ForAll((VA, VA2), Not(Q_PRED(VA, VA2)))
+        interp = Interpretation(
+            relations={"q": {("x0", "y1"), ("x1", "y0")}}, params={"P": 3}
+        )
+        compiled, interpreted = check_both(spec_of(formula), interp)
+        assert compiled == interpreted
+        assert all(len(v.witness) == 2 for v in compiled)
+
+    def test_empty_domain_is_vacuous(self) -> None:
+        formula = ForAll((VA,), P_PRED(VA))
+        interp = Interpretation(params={"P": 3})
+        compiled, interpreted = check_both(spec_of(formula), interp)
+        assert compiled == interpreted == []
+
+    def test_witness_truncation_matches(self) -> None:
+        formula = ForAll((VA,), P_PRED(VA))
+        interp = Interpretation(
+            relations={
+                "p": set(),
+                "q": {(x, "y0") for x in A_NAMES},
+            },
+            params={"P": 3},
+        )
+        for max_w in (1, 2, 3, 10):
+            compiled, interpreted = check_both(
+                spec_of(formula), interp, max_witnesses=max_w
+            )
+            assert compiled == interpreted
+            assert len(compiled) == min(max_w, len(A_NAMES))
+
+    def test_card_memo_agrees_with_fresh_count(self) -> None:
+        interp = Interpretation(
+            relations={"q": {("x0", "y0"), ("x0", "y1"), ("x1", "y0")}},
+            params={"P": 2},
+        )
+        formula = ForAll((VA,), Cmp("<=", Card(Q_PRED, (VA, Wildcard(B))), Param("P")))
+        compiled, interpreted = check_both(spec_of(formula), interp)
+        assert compiled == interpreted == []
+        group = interp.card_group("q", (0,))
+        assert group == {("x0",): 2, ("x1",): 1}
+        assert interp.card_group("q", (0,)) is group  # memoized
+
+    def test_formula_eval_counter_ticks(self) -> None:
+        counter = REGISTRY.counter("check.formula.evals")
+        before = counter.value
+        formula = ForAll((VA,), P_PRED(VA))
+        interp = Interpretation(relations={"p": {("x0",)}}, params={"P": 3})
+        check_both(spec_of(formula), interp)
+        assert counter.value >= before + 2  # both paths tick it
+
+
+# ---------------------------------------------------------------------------
+# Whole-trial digest identity (sim + check stack)
+# ---------------------------------------------------------------------------
+
+
+APPS = ("tournament", "ticket", "tpcw", "twitter")
+
+
+@pytest.fixture
+def compilation_toggle():
+    yield set_compilation
+    set_compilation(None)
+
+
+@pytest.mark.parametrize("app", APPS)
+@pytest.mark.parametrize("config", ["Causal", "IPA"])
+def test_trial_fingerprints_identical(app, config, compilation_toggle):
+    spec = build_trial(app, config, root_seed=11, index=1)
+    compilation_toggle(True)
+    compiled = run_trial(spec)
+    compilation_toggle(False)
+    interpreted = run_trial(spec)
+    assert compiled.fingerprint == interpreted.fingerprint
+    assert compiled.violations == interpreted.violations
+    assert compiled.digests == interpreted.digests
+
+
+def test_live_deployment_spec_identical(compilation_toggle):
+    # The deployment dict is everything `repro serve` replays live --
+    # schedules and the digests the live cluster must reproduce byte
+    # for byte.  Compilation must not perturb any of it.
+    from repro.net.oracle import record_trial
+
+    spec = build_trial("tournament", "Causal", root_seed=11, index=1)
+    compilation_toggle(True)
+    _, compiled = record_trial(spec)
+    compilation_toggle(False)
+    _, interpreted = record_trial(spec)
+    assert compiled == interpreted
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_disk_round_trip_is_behaviour_identical(self, tmp_path) -> None:
+        from repro.apps.tournament import tournament_spec
+
+        spec = tournament_spec(capacity=2)
+        interp = Interpretation(
+            relations={
+                "player": {("p1",), ("p2",), ("p3",)},
+                "tournament": {("t1",)},
+                "enrolled": {
+                    ("p1", "t1"), ("p2", "t1"), ("p3", "t1"),
+                },
+            },
+            params={"Capacity": 2},
+        )
+        warm = SpecCache(tmp_path)
+        fresh_build = warm.get_or_build(spec)
+        assert fresh_build is not None
+        key = spec_cache_key(spec)
+        assert (tmp_path / key[:2] / f"{key}.json").exists()
+
+        hit_counter = REGISTRY.counter("compile.cache.hit")
+        before = hit_counter.value
+        cold = SpecCache(tmp_path)  # new process, same directory
+        from_disk = cold.get_or_build(spec)
+        assert from_disk is not None
+        assert hit_counter.value == before + 1
+        assert [i.source for i in from_disk.invariants] == [
+            i.source for i in fresh_build.invariants
+        ]
+        assert from_disk.check(
+            copy.deepcopy(interp), "r0"
+        ) == fresh_build.check(copy.deepcopy(interp), "r0")
+
+    def test_corrupt_disk_entry_is_rejected_and_rebuilt(
+        self, tmp_path
+    ) -> None:
+        from repro.apps.tournament import tournament_spec
+
+        spec = tournament_spec(capacity=2)
+        SpecCache(tmp_path).get_or_build(spec)
+        key = spec_cache_key(spec)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text(path.read_text()[:40], encoding="utf-8")
+        rebuilt = SpecCache(tmp_path).get_or_build(spec)
+        assert rebuilt is not None
+        assert len(rebuilt.invariants) > 0
+
+    def test_default_cache_shares_artifacts(self) -> None:
+        from repro.apps.tournament import tournament_spec
+
+        spec = tournament_spec(capacity=4)
+        first = default_cache().get_or_build(spec)
+        second = default_cache().get_or_build(spec)
+        assert first is second
