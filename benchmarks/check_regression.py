@@ -96,6 +96,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default 5; the design target is <3)",
     )
     parser.add_argument(
+        "--max-live-overhead-pct",
+        type=float,
+        default=3.0,
+        help="max allowed tracing-disabled live-path hook cost "
+        "percentage for entries reporting "
+        "observability.live.tracing_overhead_pct (default 3; the "
+        "PR-9 acceptance bar)",
+    )
+    parser.add_argument(
         "--min-recovery-speedup",
         type=float,
         default=1.5,
@@ -165,6 +174,30 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{name}: disabled-tracing overhead {overhead:.2f}% "
                 f"exceeds {args.max_overhead_pct:.1f}%"
+            )
+
+    # Live-path contract: the serve-path instrumentation (spans, flow
+    # annotations, conflict detection hooks) must stay ~free while
+    # tracing is disabled -- live throughput within a few percent of
+    # the pre-observability baseline.
+    for name, entry in sorted(current.items()):
+        live = entry.get("observability", {}).get("live", {})
+        overhead = live.get("tracing_overhead_pct")
+        if overhead is None:
+            continue
+        verdict = "FAIL" if overhead > args.max_live_overhead_pct else "ok"
+        print(
+            f"{verdict:4} {name}: live disabled-tracing overhead "
+            f"{overhead:+.2f}% (enabled "
+            f"{live.get('enabled_overhead_pct', 0.0):+.1f}%, "
+            f"limit {args.max_live_overhead_pct:.1f}%)"
+        )
+        if overhead > args.max_live_overhead_pct:
+            failures.append(
+                f"{name}: live disabled-tracing overhead "
+                f"{overhead:.2f}% exceeds "
+                f"{args.max_live_overhead_pct:.1f}% (the live path is "
+                f"no longer free with tracing off)"
             )
 
     # Recovery contract: checkpoint + tail replay must stay sublinear.

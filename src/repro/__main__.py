@@ -5,7 +5,9 @@ The executable counterpart of the paper's IPA tool:
 - ``analyze SPECFILE``  -- run the full IPA analysis on a spec file and
   print the report (conflicts, chosen repairs, compensations, patch);
 - ``conflicts SPECFILE`` -- only detect and print conflicting pairs
-  with their Figure 2-style counterexamples;
+  with their Figure 2-style counterexamples; with ``--ledger DIR`` it
+  instead queries the durable *runtime* conflict ledger a live run
+  left behind (violations, repairs, compensations, with lineage);
 - ``classify SPECFILE`` -- print the Table 1 classification of the
   specification's invariants;
 - ``simulate`` -- run one closed-loop Tournament experiment on the
@@ -27,7 +29,11 @@ The executable counterpart of the paper's IPA tool:
 - ``load`` -- record a simulated trial, then execute it against a
   *live* 3-region cluster over real sockets with a chaos proxy on
   every link, and compare the final state digests byte-for-byte
-  against the simulator's.
+  against the simulator's; ``--trace-dir DIR`` traces the whole fleet
+  and stitches one Perfetto-loadable ``trace.json``;
+- ``top`` -- poll a live fleet's metrics endpoints (replicas via the
+  topology file, chaos proxy via its admin port) and render schedule
+  progress, convergence lag, store counters and fault rates.
 
 ``analyze`` and ``simulate`` accept ``--trace`` (print a span summary
 table) and ``--trace-out FILE`` (write the Chrome trace); ``simulate``
@@ -141,6 +147,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_conflicts(args: argparse.Namespace) -> int:
+    if args.ledger is not None:
+        return _conflicts_ledger(args)
+    if args.specfile is None:
+        print(
+            "error: SPECFILE is required unless --ledger is given",
+            file=sys.stderr,
+        )
+        return 2
     spec = load_specfile(args.specfile)
     checker = ConflictChecker(spec)
     witnesses = checker.find_conflicts()
@@ -152,6 +166,53 @@ def _cmd_conflicts(args: argparse.Namespace) -> int:
         print()
     print(f"{len(witnesses)} conflicting pair(s)")
     return 1
+
+
+def _conflicts_ledger(args: argparse.Namespace) -> int:
+    """Query the durable runtime conflict ledgers under a data dir."""
+    from repro.store.conflicts import open_ledgers
+
+    ledgers = open_ledgers(args.ledger)
+    if not ledgers:
+        print(f"no conflict ledgers under {args.ledger}")
+        return 0
+    records = [
+        record
+        for ledger in ledgers.values()
+        for record in ledger.records()
+    ]
+    records.sort(key=lambda r: (r.detected_at_ms, r.region, r.seq))
+    if args.kind:
+        records = [r for r in records if r.kind == args.kind]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ledger": args.ledger,
+                    "regions": sorted(ledgers),
+                    "records": [r.to_dict() for r in records],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for record in records:
+            print(record.describe())
+        totals: dict[str, int] = {}
+        for ledger in ledgers.values():
+            for kind, count in ledger.counts().items():
+                totals[kind] = totals.get(kind, 0) + count
+        summary = ", ".join(
+            f"{count} {kind}(s)" for kind, count in sorted(totals.items())
+        )
+        print(
+            f"{len(records)} record(s) across {len(ledgers)} region "
+            f"ledger(s){': ' + summary if summary else ''}"
+        )
+    for ledger in ledgers.values():
+        ledger.close()
+    return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -498,6 +559,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     deployment = load_deployment(args.deployment)
     with open(args.topology, encoding="utf-8") as handle:
         topology = json.load(handle)
+    if args.trace_dir:
+        # Write-through spooling: every span hits the process's spool
+        # file as it ends, so a SIGKILL mid-run loses at most the span
+        # being written -- the stitcher tolerates the torn tail.
+        obs.configure(
+            enabled=True,
+            spool_dir=args.trace_dir,
+            spool=True,
+            process=f"serve-{args.region}",
+        )
 
     async def serve() -> int:
         server = ReplicaServer(
@@ -572,8 +643,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
             deadline_s=args.deadline_s,
             subprocess_servers=args.subprocess,
             fsync=args.fsync,
+            trace_dir=args.trace_dir,
         )
     )
+    if report.trace:
+        print(
+            f"stitched trace -> {report.trace} "
+            f"(load in https://ui.perfetto.dev)"
+        )
     payload = report.bench(deployment, args.time_scale)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -601,6 +678,127 @@ def _cmd_load(args: argparse.Namespace) -> int:
         return 0
     print(f"LIVE RUN FAILED: {report.reason}", file=sys.stderr)
     return 1
+
+
+async def _top_snapshot(topology: dict, timeout_s: float = 2.0) -> dict:
+    """One poll of every live endpoint: replicas + proxy admin."""
+    import asyncio
+
+    from repro.net import wire
+    from repro.net.client import fetch_metrics
+
+    snapshot: dict = {"regions": {}, "proxy": None}
+    for region, entry in sorted(topology.get("regions", {}).items()):
+        try:
+            snapshot["regions"][region] = await fetch_metrics(
+                entry.get("host", "127.0.0.1"),
+                entry["client_port"],
+                timeout_s=timeout_s,
+            )
+        except (ReproError, ConnectionError, OSError, asyncio.TimeoutError):
+            snapshot["regions"][region] = None
+    admin = topology.get("proxy_admin")
+    if admin:
+        try:
+            reader, writer = await asyncio.open_connection(
+                admin.get("host", "127.0.0.1"), admin["port"]
+            )
+            try:
+                await wire.write_frame(writer, {"type": "metrics"})
+                frame = await asyncio.wait_for(
+                    wire.read_frame(reader), timeout=timeout_s
+                )
+                if frame and frame.get("type") == "proxy_metrics_ack":
+                    snapshot["proxy"] = frame.get("links", {})
+            finally:
+                writer.close()
+        except (ReproError, ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+    return snapshot
+
+
+def _render_top(snapshot: dict) -> str:
+    """The fleet table: one row per replica, one per chaos link."""
+    header = (
+        f"{'region':<12} {'schedule':>9} {'ops':>5} {'applied':>7} "
+        f"{'dups':>5} {'sync t/o':>8} {'lag ms':>8} {'keys':>6} "
+        f"{'syncs':>6} {'conflicts':>18}"
+    )
+    lines = [header, "-" * len(header)]
+    for region, frame in sorted(snapshot["regions"].items()):
+        if frame is None:
+            lines.append(f"{region:<12} {'unreachable':>9}")
+            continue
+        stats = frame.get("stats", {})
+        store = frame.get("store", {})
+        gauges = frame.get("registry", {}).get("gauges", {})
+        lag = gauges.get("store.convergence.lag_ms")
+        conflicts = frame.get("conflicts", {})
+        conflict_txt = (
+            " ".join(
+                f"{kind[0]}:{count}"
+                for kind, count in sorted(conflicts.items())
+            )
+            or "-"
+        )
+        lines.append(
+            f"{region:<12} "
+            f"{frame.get('position', 0):>4}/{frame.get('steps', 0):<4} "
+            f"{stats.get('net.ops.executed', 0):>5.0f} "
+            f"{stats.get('net.records.applied', 0):>7.0f} "
+            f"{stats.get('net.records.duplicates', 0):>5.0f} "
+            f"{stats.get('net.sync.timeouts', 0):>8.0f} "
+            f"{lag if lag is not None else float('nan'):>8.1f} "
+            f"{store.get('store.shard.keys_total', 0):>6} "
+            f"{store.get('store.engine.syncs', 0):>6} "
+            f"{conflict_txt:>18}"
+        )
+    if snapshot.get("proxy"):
+        lines.append("")
+        lines.append(
+            f"{'link':<20} {'delivered':>9} {'dropped':>8} {'dup':>5} "
+            f"{'reorder':>7} {'partition':>9} {'down':>5}"
+        )
+        for name, link in sorted(snapshot["proxy"].items()):
+            lines.append(
+                f"{name:<20} {link.get('delivered', 0):>9} "
+                f"{link.get('dropped', 0):>8} "
+                f"{link.get('duplicated', 0):>5} "
+                f"{link.get('reordered', 0):>7} "
+                f"{link.get('partition_drops', 0):>9} "
+                f"{link.get('down_drops', 0):>5}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet metrics: poll, render, repeat."""
+    import asyncio
+    import time as _time
+
+    with open(args.topology, encoding="utf-8") as handle:
+        topology = json.load(handle)
+
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            snapshot = asyncio.run(_top_snapshot(topology))
+            if args.json:
+                print(json.dumps(snapshot, sort_keys=True))
+            else:
+                if iteration > 1:
+                    print()
+                print(_render_top(snapshot))
+            reachable = any(
+                frame is not None
+                for frame in snapshot["regions"].values()
+            )
+            if args.iterations and iteration >= args.iterations:
+                return 0 if reachable else 1
+            _time.sleep(args.interval_s)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -640,9 +838,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     conflicts = sub.add_parser(
-        "conflicts", help="detect conflicting operation pairs"
+        "conflicts",
+        help="detect conflicting operation pairs (static analysis), "
+        "or query a live run's durable conflict ledger (--ledger)",
     )
-    conflicts.add_argument("specfile")
+    conflicts.add_argument(
+        "specfile", nargs="?", default=None,
+        help="specification to analyse (omit with --ledger)",
+    )
+    conflicts.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="query the runtime conflict ledgers under a live run's "
+        "data directory (e.g. <workdir>/data) instead of analysing "
+        "a spec",
+    )
+    conflicts.add_argument(
+        "--kind", choices=("violation", "repair", "compensation"),
+        default=None,
+        help="with --ledger: only show records of this kind",
+    )
+    conflicts.add_argument(
+        "--json", action="store_true",
+        help="with --ledger: print records as JSON",
+    )
     conflicts.set_defaults(func=_cmd_conflicts)
 
     classify = sub.add_parser(
@@ -811,6 +1029,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", action="store_true",
         help="fsync the commit log on every append",
     )
+    serve.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="spool spans write-through into DIR for fleet stitching "
+        "(survives SIGKILL; see 'load --trace-dir')",
+    )
     _add_engine_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -874,8 +1097,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the full report as JSON",
     )
+    load.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="trace the whole fleet into DIR and stitch one "
+        "Perfetto-loadable trace.json (per-replica tracks, "
+        "cross-process flow arrows)",
+    )
     _add_engine_flags(load)
     load.set_defaults(func=_cmd_load)
+
+    top = sub.add_parser(
+        "top",
+        help="poll a live fleet's metrics (replicas + chaos proxy) "
+        "and render a refreshing status table",
+    )
+    top.add_argument(
+        "--topology", required=True, metavar="FILE",
+        help="topology JSON of the running fleet (written by 'load' "
+        "into its workdir)",
+    )
+    top.add_argument(
+        "--interval-s", type=float, default=1.0, metavar="S",
+        help="seconds between polls (default 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N polls (default 0: poll until Ctrl-C)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print one JSON snapshot per poll instead of the table",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

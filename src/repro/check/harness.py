@@ -217,7 +217,7 @@ class TrialResult:
         )
 
 
-def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
+def run_trial(spec: TrialSpec, recorder=None, ledger=None) -> TrialResult:
     """Execute one spec deterministically and judge it.
 
     ``recorder`` (a :class:`repro.net.oracle.TrialRecorder`) observes
@@ -225,6 +225,13 @@ def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
     where in each replica's event order every operation executed, which
     the live deployment replays as its gating schedule.  The simulation
     itself is identical with or without one.
+
+    ``ledger`` (a :class:`repro.store.conflicts.ConflictLedger`)
+    likewise only observes: after the oracles judge the quiesced run,
+    every violation -- and every raw overdraft the compensation
+    machinery paid for -- is appended as a durable conflict record with
+    per-region commit lineage.  The returned result (and therefore the
+    trial fingerprint) is identical with or without one.
     """
     adapter = ADAPTERS.get(spec.app)
     if adapter is None:
@@ -328,6 +335,35 @@ def run_trial(spec: TrialSpec, recorder=None) -> TrialResult:
     violations.sort(
         key=lambda v: (v.oracle, v.region, v.name, v.witness, v.detail)
     )
+
+    if ledger is not None:
+        from repro.store.conflicts import (
+            record_compensations,
+            record_trial_violations,
+        )
+
+        lineage = {
+            region: tuple(
+                (rec.origin, rec.dot.counter)
+                for rec in cluster.replica(region).log
+            )
+            for region in spec.regions
+        }
+        record_trial_violations(
+            ledger, violations, lineage, detected_at_ms=sim.now
+        )
+        if compensated:
+            record_compensations(
+                ledger,
+                {
+                    region: adapter.probes(
+                        cluster.replica(region), variant, params
+                    )
+                    for region in sorted(representatives.values())
+                },
+                lineage,
+                detected_at_ms=sim.now,
+            )
 
     return TrialResult(
         spec=spec,

@@ -59,6 +59,25 @@ async def fetch_status(host: str, port: int, timeout_s: float = 2.0) -> dict:
         writer.close()
 
 
+async def fetch_metrics(host: str, port: int, timeout_s: float = 2.0) -> dict:
+    """One metrics round-trip: status + registry + conflict counts.
+
+    What ``repro top`` polls and the harness embeds into
+    ``BENCH_serve.json`` at the end of a run.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await wire.write_frame(writer, {"type": "metrics"})
+        frame = await asyncio.wait_for(
+            wire.read_frame(reader), timeout=timeout_s
+        )
+        if frame is None or frame.get("type") != "metrics_ack":
+            raise ClientError(f"bad metrics reply from {host}:{port}")
+        return frame
+    finally:
+        writer.close()
+
+
 class ClientFleet:
     """All sessions of one deployment's trace."""
 
@@ -147,7 +166,12 @@ class ClientFleet:
     async def _send_op(self, op, addr, policy, reader, writer):
         deadline = time.time() + self._op_deadline_s
         span = TRACER.start(
-            "net.client.op", session=op["session"], index=op["index"]
+            "net.client.op",
+            session=op["session"],
+            index=op["index"],
+            # Deterministic flow id shared with the server's net.op
+            # span; retries reuse it (same op, same arrow).
+            flow_out=f"op:{op['index']}",
         )
         attempts = 0
         while True:
@@ -172,6 +196,7 @@ class ClientFleet:
                         "index": op["index"],
                         "op": op["op"],
                         "session": op["session"],
+                        "tc": f"op:{op['index']}",
                     },
                 )
                 self.stats["client.frames_sent"] += 1

@@ -32,8 +32,14 @@ import sys
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ReproError
-from repro.net.client import ClientError, ClientFleet, fetch_status
+from repro.net.client import (
+    ClientError,
+    ClientFleet,
+    fetch_metrics,
+    fetch_status,
+)
 from repro.net.proxy import ChaosProxy
 from repro.net.server import ReplicaServer
 from repro.sim.faults import FaultPlan
@@ -97,6 +103,12 @@ class LiveReport:
     proxy: dict = field(default_factory=dict)
     crashes: int = 0
     mode: str = "inprocess"
+    #: per-region metrics_ack frames (registry snapshot + store stats)
+    metrics: dict = field(default_factory=dict)
+    #: per-region conflict-ledger counts ({kind: n})
+    conflicts: dict = field(default_factory=dict)
+    #: stitched Perfetto trace path, when the run traced
+    trace: str | None = None
 
     @property
     def digest_match(self) -> bool:
@@ -125,6 +137,12 @@ class LiveReport:
             "servers": self.servers,
             "proxy": self.proxy,
             "crashes": self.crashes,
+            "registry": {
+                region: frame.get("registry", {})
+                for region, frame in self.metrics.items()
+            },
+            "conflicts": self.conflicts,
+            "trace": self.trace,
         }
 
 
@@ -156,7 +174,10 @@ class _InprocessNode:
 class _SubprocessNode:
     """One region's server lifecycle, as a real OS process."""
 
-    def __init__(self, deployment_path, topology_path, region, data_dir):
+    def __init__(
+        self, deployment_path, topology_path, region, data_dir,
+        trace_dir=None,
+    ):
         self._argv = [
             sys.executable,
             "-m",
@@ -171,6 +192,8 @@ class _SubprocessNode:
             "--data-dir",
             data_dir,
         ]
+        if trace_dir is not None:
+            self._argv += ["--trace-dir", trace_dir]
         self._env = dict(os.environ)
         package_root = os.path.dirname(
             os.path.dirname(os.path.abspath(__file__))
@@ -217,12 +240,25 @@ async def run_live(
     deadline_s: float = 60.0,
     subprocess_servers: bool = False,
     fsync: bool = False,
+    trace_dir: str | None = None,
 ) -> LiveReport:
-    """Execute one recorded deployment live and judge the digests."""
+    """Execute one recorded deployment live and judge the digests.
+
+    With ``trace_dir`` set the whole fleet traces: subprocess servers
+    spool spans write-through (``serve --trace-dir``), the orchestrator
+    (client fleet, proxy, in-process servers) records in memory and
+    dumps at the end, and everything is stitched into one
+    Perfetto-loadable ``trace.json`` under ``trace_dir``.
+    """
     trial = deployment["trial"]
     regions = tuple(trial["regions"])
     plan = FaultPlan.from_dict(trial.get("plan", {}))
     os.makedirs(workdir, exist_ok=True)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        if not obs.TRACER.enabled:
+            obs.configure(enabled=True)
+        obs.TRACER.process_name = "harness"
     topology = build_topology(regions, antientropy_ms=antientropy_ms)
 
     proxy = ChaosProxy(regions, plan, topology, time_scale=time_scale)
@@ -240,7 +276,8 @@ async def run_live(
     for region in regions:
         if subprocess_servers:
             nodes[region] = _SubprocessNode(
-                deployment_path, topology_path, region, data_dir
+                deployment_path, topology_path, region, data_dir,
+                trace_dir=trace_dir,
             )
         else:
             nodes[region] = _InprocessNode(
@@ -301,6 +338,7 @@ async def run_live(
             regions,
             deadline=started + deadline_s,
         )
+        metrics = await _collect_metrics(topology, regions)
         wall_s = time.time() - started
         digests_live = {
             region: status["digest"] for region, status in statuses.items()
@@ -324,6 +362,16 @@ async def run_live(
             proxy=proxy.stats(),
             crashes=len(plan.crashes),
             mode=mode,
+            metrics=metrics,
+            conflicts={
+                region: frame.get("conflicts", {})
+                for region, frame in metrics.items()
+            },
+            trace=(
+                os.path.join(trace_dir, "trace.json")
+                if trace_dir is not None
+                else None
+            ),
         )
     finally:
         for task in crash_tasks:
@@ -334,6 +382,14 @@ async def run_live(
             except Exception:
                 pass
         await proxy.stop()
+        if trace_dir is not None:
+            # Subprocess spools are complete (write-through, and the
+            # servers have exited); add this process's spans and stitch
+            # the fleet into one Perfetto-loadable trace.
+            obs.dump_process(trace_dir, name="harness")
+            obs.write_stitched(
+                trace_dir, os.path.join(trace_dir, "trace.json")
+            )
 
 
 async def _crash_window(node, window, epoch_unix_ms, time_scale) -> None:
@@ -364,6 +420,20 @@ async def _await_ready(topology, regions, deadline_s: float) -> None:
                         f"server for {region} never became ready"
                     ) from None
                 await asyncio.sleep(0.05)
+
+
+async def _collect_metrics(topology, regions) -> dict:
+    """One end-of-run metrics frame per region (best effort)."""
+    metrics: dict[str, dict] = {}
+    for region in regions:
+        entry = topology["regions"][region]
+        try:
+            metrics[region] = await fetch_metrics(
+                entry["host"], entry["client_port"]
+            )
+        except (ClientError, ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+    return metrics
 
 
 async def _positions(topology, regions) -> dict:

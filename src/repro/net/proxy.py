@@ -40,7 +40,7 @@ from dataclasses import replace
 
 from repro.errors import ReproError
 from repro.net import wire
-from repro.obs import REGISTRY
+from repro.obs import REGISTRY, TRACER
 from repro.sim.faults import FaultInjector, FaultPlan
 
 
@@ -144,6 +144,27 @@ class ChaosLink:
         verdict = self.injector.on_send(
             self.source, self.target, self._trace_now_ms()
         )
+        if TRACER.enabled:
+            # Annotate injected faults as trace instants.  The proxy
+            # never rewrites the frames it relays; it *peeks* the
+            # untagged trace context so a dropped replication record
+            # shows up in the stitched trace with the flow id it would
+            # have completed.
+            fault = None
+            if not verdict.copies:
+                fault = "drop"
+            elif len(verdict.copies) > 1:
+                fault = "duplicate"
+            elif any(not fifo for _, fifo in verdict.copies):
+                fault = "reorder"
+            if fault is not None:
+                kind, tc = wire.peek_trace_context(frame)
+                TRACER.instant(
+                    f"net.chaos.{fault}",
+                    link=f"{self.source}->{self.target}",
+                    frame=kind,
+                    tc=tc,
+                )
         for extra_delay_ms, fifo in verdict.copies:
             if extra_delay_ms <= 0.0 and fifo:
                 await self._forward(frame)
@@ -211,6 +232,7 @@ class ChaosProxy:
     ) -> None:
         self.links: dict[str, ChaosLink] = {}
         self._topology = topology
+        self._admin: asyncio.base_events.Server | None = None
         for source in regions:
             for target in regions:
                 if source == target:
@@ -226,15 +248,52 @@ class ChaosProxy:
                 )
 
     async def start(self) -> None:
-        """Open every listener and record the ports in the topology."""
+        """Open every listener and record the ports in the topology.
+
+        Also opens the *admin* listener -- a metrics endpoint serving
+        per-link fault counters, so ``repro top`` can show chaos rates
+        alongside replica metrics.  Its port lands in the topology as
+        ``proxy_admin``.
+        """
         links = self._topology.setdefault("links", {})
         for name, link in self.links.items():
             port = await link.start()
             links[name] = {"host": "127.0.0.1", "port": port}
+        self._admin = await asyncio.start_server(
+            self._serve_admin, "127.0.0.1", 0
+        )
+        admin_port = self._admin.sockets[0].getsockname()[1]
+        self._topology["proxy_admin"] = {
+            "host": "127.0.0.1", "port": admin_port,
+        }
+
+    async def _serve_admin(self, reader, writer) -> None:
+        try:
+            while True:
+                frame = await wire.read_frame(reader)
+                if frame is None:
+                    break
+                await wire.write_frame(
+                    writer,
+                    {"type": "proxy_metrics_ack", "links": self.stats()},
+                )
+        except (wire.WireError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
 
     async def stop(self) -> None:
         for link in self.links.values():
             await link.stop()
+        if self._admin is not None:
+            self._admin.close()
+            try:
+                await self._admin.wait_closed()
+            except Exception:
+                pass
+            self._admin = None
 
     def set_epoch(self, epoch_unix_ms: float) -> None:
         for link in self.links.values():

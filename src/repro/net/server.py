@@ -48,6 +48,7 @@ from repro.net import commitlog, wire
 from repro.net.retry import RetryPolicy
 from repro.obs import REGISTRY, TRACER
 from repro.store.cluster import replica_state_digest
+from repro.store.conflicts import ConflictDetector, ConflictLedger
 from repro.store.engine import default_engine, default_shards
 from repro.store.replica import Replica
 from repro.store.transaction import CommitRecord
@@ -270,7 +271,12 @@ class ScheduleEngine:
                 await self._cond.wait()
             record = self._records.pop(key)
         span = TRACER.start(
-            "net.apply", region=server.region, origin=record.origin
+            "net.apply",
+            region=server.region,
+            origin=record.origin,
+            # The committing replica's span carries the matching
+            # flow_out; Perfetto draws the cross-process arrow.
+            flow_in=f"rec:{record.origin}:{record.dot.counter}",
         )
         server.node.store.apply_remote(record)
         server.log.append(record)
@@ -278,6 +284,9 @@ class ScheduleEngine:
         lag = server.now_ms() - record.committed_at
         server.lag_gauge.set(lag)
         TRACER.end(span, counter=record.dot.counter, lag_ms=lag)
+        if server.detector is not None:
+            server.detector.note_apply(record)
+            server.detector.check()
 
     async def _run_op(self, step: dict) -> None:
         server = self._server
@@ -296,8 +305,15 @@ class ScheduleEngine:
 
         replica = server.node.store
         before = replica.vv.get(replica.replica_id)
+        attrs: dict[str, Any] = {}
+        if step["commits"]:
+            # Links the client's send slice to this execution, and this
+            # execution to every remote apply of the commit it produces.
+            attrs["flow_in"] = f"op:{index}"
+            attrs["flow_out"] = f"rec:{server.region}:{step['counter']}"
         span = TRACER.start(
-            "net.op", region=server.region, op=call["op"], index=index
+            "net.op", region=server.region, op=call["op"], index=index,
+            **attrs,
         )
         server.adapter.dispatch(
             server.app,
@@ -321,6 +337,8 @@ class ScheduleEngine:
             )
         self._op_results[index] = result["label"]
         server.stats["net.ops.executed"] += 1
+        if step["commits"] and server.detector is not None:
+            server.detector.check()
         if respond is not None:
             await respond("done", result["label"])
 
@@ -414,6 +432,16 @@ class ReplicaServer:
             deployment["ops"],
         )
 
+        # The conflict ledger is durable regardless of the store engine
+        # (memory maps to file inside ConflictLedger); reopening after a
+        # crash reloads identities so re-detections append nothing.
+        self.ledger = ConflictLedger(
+            os.path.join(data_dir, f"{region}-conflicts"),
+            engine=self.engine_name,
+            fsync=fsync,
+        )
+        self.detector: ConflictDetector | None = ConflictDetector(self)
+
         self._out: dict[str, asyncio.Queue] = {}
         self._sync_events: dict[int, asyncio.Event] = {}
         self._next_rid = 0
@@ -438,12 +466,15 @@ class ReplicaServer:
     def _commit_local(self, record: CommitRecord) -> None:
         """Durable-then-broadcast, before any acknowledgement."""
         self.log.append(record)
+        if self.detector is not None:
+            self.detector.note_commit(record)
+        tc = f"rec:{self.region}:{record.dot.counter}"
         for peer in self.peers:
             queue = self._out.get(peer)
             if queue is not None:
                 queue.put_nowait(
                     {"type": "records", "source": self.region,
-                     "records": (record,)}
+                     "records": (record,), "tc": tc}
                 )
 
     # -- lifecycle ------------------------------------------------------------
@@ -496,6 +527,7 @@ class ReplicaServer:
         self.node.store.storage.sync()
         self.node.store.storage.close()
         self.log.close()
+        self.ledger.close()
 
     def kill(self) -> None:
         """Abrupt in-process crash: no flushes, no goodbyes.
@@ -519,6 +551,9 @@ class ReplicaServer:
             except Exception:
                 pass
         self.log.close()
+        # Every ledger append already synced; close releases handles
+        # without adding a flush SIGKILL would not have given us.
+        self.ledger.close()
 
     async def wait_done(self) -> None:
         while not self.engine.done:
@@ -567,6 +602,12 @@ class ReplicaServer:
                 await self.engine.offer_record(record)
         elif kind == "sync_req":
             self.stats["net.sync.requests"] += 1
+            span = TRACER.start(
+                "net.sync.serve",
+                region=self.region,
+                peer=frame["source"],
+                flow_in=frame.get("tc"),
+            )
             records = self.node.store.records_since(frame["vv"])
             queue = self._out.get(frame["source"])
             if queue is not None:
@@ -576,8 +617,10 @@ class ReplicaServer:
                         "source": self.region,
                         "rid": frame["rid"],
                         "records": tuple(records[:SYNC_BATCH_LIMIT]),
+                        "tc": frame.get("tc"),
                     }
                 )
+            TRACER.end(span, records=len(records))
         elif kind == "sync_resp":
             self.stats["net.sync.responses"] += 1
             for record in frame["records"]:
@@ -637,8 +680,12 @@ class ReplicaServer:
             rid = self._next_rid
             event = asyncio.Event()
             self._sync_events[rid] = event
+            # A minted (process-unique) flow id, not the rid: rids
+            # restart at 0 after a crash+recovery and would collide.
+            flow = TRACER.new_flow("sync")
             span = TRACER.start(
-                "net.sync.round", region=self.region, peer=peer
+                "net.sync.round", region=self.region, peer=peer,
+                flow_out=flow,
             )
             queue.put_nowait(
                 {
@@ -646,6 +693,7 @@ class ReplicaServer:
                     "source": self.region,
                     "rid": rid,
                     "vv": self.node.store.vv.copy(),
+                    "tc": flow,
                 }
             )
             try:
@@ -677,6 +725,8 @@ class ReplicaServer:
                     await self._on_op_frame(frame, writer)
                 elif kind == "status":
                     await wire.write_frame(writer, self._status_frame())
+                elif kind == "metrics":
+                    await wire.write_frame(writer, self._metrics_frame())
                 else:
                     await wire.write_frame(
                         writer,
@@ -725,3 +775,19 @@ class ReplicaServer:
             },
             "vv": dict(self.node.store.vv.entries),
         }
+
+    def _metrics_frame(self) -> dict:
+        """The live-introspection superset of the status frame.
+
+        Everything ``repro top`` renders for one replica: schedule
+        progress, transport counters, per-shard engine stats, the
+        process-global registry snapshot (convergence lag, retries),
+        and the conflict ledger's per-kind counts.  Served on the
+        client listener so pollers need no extra port.
+        """
+        frame = self._status_frame()
+        frame["type"] = "metrics_ack"
+        frame["now_ms"] = self.now_ms()
+        frame["registry"] = REGISTRY.snapshot()
+        frame["conflicts"] = self.ledger.counts()
+        return frame

@@ -25,6 +25,13 @@ dataclass registry is built by scanning the CRDT payload modules plus
 the replication-layer types, asserting class names are unique; decoding
 rejects unknown tags and unregistered class names rather than guessing,
 so a version-skewed or garbage frame fails loudly.
+
+**Trace context** rides as an optional top-level ``"tc"`` string on any
+message (a flow id such as ``op:7`` or ``rec:us-east:12``).  Because
+messages are plain dicts the codec carries it untouched, receivers that
+predate it ignore the extra key, and the chaos proxy -- which relays
+raw bytes verbatim -- can still *read* it via :func:`peek_trace_context`
+to annotate injected faults without rewriting the frame.
 """
 
 from __future__ import annotations
@@ -224,3 +231,26 @@ async def write_frame(writer: Any, message: dict[str, Any]) -> None:
     """Write one frame to an ``asyncio.StreamWriter`` and drain."""
     writer.write(dump_frame(message))
     await writer.drain()
+
+
+def peek_trace_context(raw: bytes) -> tuple[str | None, str | None]:
+    """``(type, tc)`` of a raw frame, without the tagged decode.
+
+    For observers that hold frame *bytes* (the chaos proxy): both keys
+    are untagged top-level strings, so a plain JSON parse suffices --
+    no dataclass registry, and no risk of perturbing what is relayed.
+    Returns ``(None, None)`` for anything unparseable; peeking is
+    best-effort annotation, never validation.
+    """
+    try:
+        blob = json.loads(raw[_LEN.size :].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None, None
+    if not isinstance(blob, dict):
+        return None, None
+    kind = blob.get("type")
+    tc = blob.get("tc")
+    return (
+        kind if isinstance(kind, str) else None,
+        tc if isinstance(tc, str) else None,
+    )

@@ -9,7 +9,11 @@ The one place wall-clock time and metric naming live.  Three pieces:
   under ``dotted.namespace`` names, plus the single shared
   :func:`quantile` implementation;
 - :mod:`repro.obs.export` -- JSONL span logs, Chrome trace-event JSON
-  (Perfetto-loadable) and human summary tables.
+  (Perfetto-loadable, with cross-process flow arrows and per-process
+  clock alignment) and human summary tables;
+- :mod:`repro.obs.collect` -- fleet stitching: merge the per-process
+  spool files a live multi-process run leaves behind into one trace
+  with per-replica tracks.
 
 Quick start::
 
@@ -24,7 +28,15 @@ or from the command line: ``python -m repro trace <specfile>`` and the
 ``--trace`` / ``--trace-out`` flags on ``analyze`` and ``simulate``.
 """
 
+from repro.obs.collect import (
+    StitchedTrace,
+    dump_process,
+    read_spool,
+    stitch_dir,
+    write_stitched,
+)
 from repro.obs.export import (
+    align_spans,
     chrome_trace,
     read_jsonl,
     summarize,
@@ -61,14 +73,19 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "SpanRecord",
+    "StitchedTrace",
     "Tracer",
+    "align_spans",
     "chrome_trace",
     "configure",
+    "dump_process",
     "get_tracer",
     "monotonic",
     "quantile",
     "quantile_sorted",
     "read_jsonl",
+    "read_spool",
+    "stitch_dir",
     "summarize",
     "write_chrome_trace",
     "write_jsonl",

@@ -23,16 +23,37 @@ Span names use the repo-wide ``dotted.namespace`` convention; the first
 segment (``analysis``, ``solver``, ``store``, ``sim``, ``client``)
 becomes the Chrome-trace category.
 
-**Worker processes.**  The parallel conflict scan forks worker
-processes after tracing is configured; the forked tracer detects that
-its pid differs from the configuring process and appends every finished
-span to a JSONL *spool file* (one per worker pid) instead of the
-in-memory list.  The parent stitches the spool back in with
-:meth:`Tracer.drain_workers`, producing one trace whose spans carry
-their true pid/tid -- Perfetto renders each worker as its own track.
-``time.perf_counter`` is CLOCK_MONOTONIC-based on the platforms the
-fork path exists on, so parent and worker timestamps share one
-timeline.
+**Worker and server processes.**  Two spool modes share one format:
+
+- *Forked workers* (the parallel conflict scan): the forked tracer
+  detects that its pid differs from the configuring process and
+  appends every finished span to a JSONL *spool file* instead of the
+  in-memory list.  The parent stitches the spool back in with
+  :meth:`Tracer.drain_workers`.
+- *Independently-started processes* (live ``repro serve`` replicas):
+  ``configure(..., spool=True)`` write-throughs every span to the
+  spool file as it closes (flushed per span, so a SIGKILL loses
+  nothing), and :mod:`repro.obs.collect` stitches the files of a whole
+  fleet into one trace after the run.
+
+Every spool file begins with a *meta line* carrying the writing
+process's identity: a process-unique prefix (:attr:`Tracer.proc`,
+``pid-starttime``, which never collides even across pid reuse), a
+display name, and the wall-clock instant of the tracer's monotonic
+epoch (``epoch_unix_us``).  Each process timestamps spans against its
+*own* monotonic epoch; the meta line is what lets a stitcher shift
+every file onto one shared timeline (see
+:func:`repro.obs.export.align_spans`).  Within a single process tree
+(fork workers) the epochs coincide and the shift is zero.
+
+Spans may carry ``flow_in`` / ``flow_out`` attributes naming a *flow
+id*: a string shared by the producing and consuming span of one
+cross-process hand-off (a client op and its server execution, a commit
+and its remote apply).  The exporter turns them into Chrome-trace flow
+events, which Perfetto renders as arrows between tracks.  Flow ids
+minted per process (:meth:`Tracer.new_flow`) are namespaced by
+:attr:`Tracer.proc`, so two independently-started processes can never
+mint colliding ids.
 
 This module is the single sanctioned home of wall-clock timing:
 everything else imports :func:`monotonic` from here (enforced by
@@ -64,6 +85,7 @@ class SpanRecord:
     tid: int
     attrs: dict = field(default_factory=dict)
     status: str = "ok"
+    kind: str = "span"  # "span" | "instant"
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +96,7 @@ class SpanRecord:
             "tid": self.tid,
             "attrs": self.attrs,
             "status": self.status,
+            "kind": self.kind,
         }
 
     @classmethod
@@ -86,6 +109,7 @@ class SpanRecord:
             tid=int(blob["tid"]),
             attrs=dict(blob.get("attrs", {})),
             status=blob.get("status", "ok"),
+            kind=blob.get("kind", "span"),
         )
 
 
@@ -142,33 +166,76 @@ class Tracer:
         self.enabled = enabled
         self._pid = os.getpid()
         self._epoch = 0.0
+        self.epoch_unix_us = 0
+        self.process_name: str | None = None
         self._spool_dir: str | None = None
+        self._spool_all = False
         self._spool_handle = None
+        self._flow_seq = 0
         self._spans: list[SpanRecord] = []
         self._lock = threading.Lock()
 
     # -- configuration -------------------------------------------------------
 
     def configure(
-        self, enabled: bool = True, spool_dir: str | None = None
+        self,
+        enabled: bool = True,
+        spool_dir: str | None = None,
+        spool: bool = False,
+        process: str | None = None,
     ) -> None:
         """Switch tracing on (or off) and reset the collected trace.
 
         ``spool_dir`` receives worker-process span files; by default a
         fresh temporary directory is created per configuration, so two
         traced runs never see each other's worker spans.
+
+        ``spool=True`` selects write-through mode for independently
+        started processes (live servers): every span is appended to
+        this process's spool file as it closes instead of the
+        in-memory list, flushed per span so even a SIGKILL loses
+        nothing already recorded.  ``process`` names this process in
+        the stitched trace (defaults to ``repro-<pid>``).
         """
         self._drop_spool_handle()
         self.enabled = enabled
         self._pid = os.getpid()
+        self._spool_all = bool(spool and enabled)
+        self.process_name = process
+        self._flow_seq = 0
         self._spans = []
         if enabled:
             self._epoch = monotonic()
+            self.epoch_unix_us = int(time.time() * 1e6)
             self._spool_dir = spool_dir or tempfile.mkdtemp(
                 prefix="repro-obs-"
             )
         else:
             self._spool_dir = None
+
+    @property
+    def proc(self) -> str:
+        """Process-unique prefix: pid + the epoch's wall-clock instant.
+
+        A recycled pid cannot collide (two processes sharing a pid
+        never share a start microsecond), so spool file names, trace
+        tracks and minted flow ids stay distinct across every process
+        that ever participated in a run.
+        """
+        return f"{os.getpid()}-{self.epoch_unix_us:x}"
+
+    def new_flow(self, hint: str = "flow") -> str | None:
+        """Mint a process-unique flow id (``None`` while disabled).
+
+        Use for hand-offs whose natural key is only process-local
+        (e.g. anti-entropy round ids, which restart from zero in a
+        recovered server); globally-keyed hand-offs (commit records)
+        can use their natural ``origin:counter`` identity directly.
+        """
+        if not self.enabled:
+            return None
+        self._flow_seq += 1
+        return f"{hint}:{self.proc}:{self._flow_seq}"
 
     def disable(self) -> None:
         """Stop tracing; already-collected spans stay readable."""
@@ -212,6 +279,7 @@ class Tracer:
                 pid=os.getpid(),
                 tid=threading.get_ident() & 0xFFFFFFFF,
                 attrs=attrs,
+                kind="instant",
             )
         )
 
@@ -232,12 +300,23 @@ class Tracer:
         )
 
     def _record(self, record: SpanRecord) -> None:
-        if os.getpid() != self._pid:
-            # Forked worker: spool to disk for the parent to stitch.
+        if self._spool_all or os.getpid() != self._pid:
+            # Forked worker or write-through live server: spool to
+            # disk for a stitcher to merge.
             self._spool(record)
             return
         with self._lock:
             self._spans.append(record)
+
+    def spool_meta(self) -> dict:
+        """The meta line identifying this process in a spool file."""
+        return {
+            "meta": 1,
+            "proc": self.proc,
+            "pid": os.getpid(),
+            "name": self.process_name or f"repro-{os.getpid()}",
+            "epoch_unix_us": self.epoch_unix_us,
+        }
 
     def _spool(self, record: SpanRecord) -> None:
         if self._spool_dir is None:  # pragma: no cover - defensive
@@ -245,12 +324,16 @@ class Tracer:
         handle = self._spool_handle
         if handle is None:
             path = os.path.join(
-                self._spool_dir, f"spans-{os.getpid()}.jsonl"
+                self._spool_dir, f"spans-{self.proc}.jsonl"
             )
             handle = self._spool_handle = open(path, "a", encoding="utf-8")
+            handle.write(
+                json.dumps(self.spool_meta(), sort_keys=True) + "\n"
+            )
         handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
         # Workers can be torn down without notice (executor shutdown
-        # with cancel_futures); flush per span so nothing is lost.
+        # with cancel_futures, SIGKILL); flush per span so nothing is
+        # lost.
         handle.flush()
 
     def _drop_spool_handle(self) -> None:
@@ -275,17 +358,32 @@ class Tracer:
         if self._spool_dir is None or not os.path.isdir(self._spool_dir):
             return 0
         merged = 0
+        own = f"spans-{self.proc}.jsonl"
         for entry in sorted(os.listdir(self._spool_dir)):
-            if not entry.endswith(".jsonl"):
+            if not entry.endswith(".jsonl") or entry == own:
+                # Never consume the file this process is itself
+                # writing through (spool mode).
                 continue
             path = os.path.join(self._spool_dir, entry)
             try:
+                offset_us = 0
                 with open(path, encoding="utf-8") as handle:
                     for line in handle:
                         line = line.strip()
                         if not line:
                             continue
-                        record = SpanRecord.from_dict(json.loads(line))
+                        blob = json.loads(line)
+                        if "meta" in blob:
+                            # Shift the writer's timestamps onto this
+                            # tracer's timeline (zero for fork workers,
+                            # which inherit the parent's epoch).
+                            offset_us = (
+                                int(blob.get("epoch_unix_us", 0))
+                                - self.epoch_unix_us
+                            )
+                            continue
+                        record = SpanRecord.from_dict(blob)
+                        record.start_us += offset_us
                         with self._lock:
                             self._spans.append(record)
                         merged += 1
@@ -316,9 +414,16 @@ class Tracer:
 TRACER = Tracer(enabled=False)
 
 
-def configure(enabled: bool = True, spool_dir: str | None = None) -> Tracer:
+def configure(
+    enabled: bool = True,
+    spool_dir: str | None = None,
+    spool: bool = False,
+    process: str | None = None,
+) -> Tracer:
     """Configure the global tracer and return it."""
-    TRACER.configure(enabled=enabled, spool_dir=spool_dir)
+    TRACER.configure(
+        enabled=enabled, spool_dir=spool_dir, spool=spool, process=process
+    )
     return TRACER
 
 

@@ -1,0 +1,431 @@
+"""The durable conflict ledger: violations as first-class state.
+
+The paper's subject is *conflicts* -- invariant violations appearing
+under weak consistency, healing as replication converges, or being
+paid for by compensations -- yet until this module they only existed
+as transient oracle output.  Here every detected conflict becomes an
+append-only :class:`ConflictRecord` carrying full attribution:
+
+- which invariant (and which oracle) fired,
+- the witness bindings (the entities involved),
+- the *lineage*: the ``(origin, counter)`` dots of the commit records
+  applied in the window the conflict appeared in -- the concurrent
+  operations that produced it,
+- the replicas those operations originated from, and
+- how it was resolved (``converged`` when later replication healed
+  it, ``compensated`` when the compensation machinery paid the debt,
+  or empty while still open).
+
+Records are written through the PR-7 storage engines
+(:func:`repro.store.engine.make_engine`) with a sync per append, so a
+ledger survives SIGKILL exactly like the commit log: recovery reopens
+the same file and replays every record.  Appends deduplicate on the
+record's :meth:`ConflictRecord.identity` -- a restarted replica
+re-detecting the same still-open violation adds nothing, which is
+what makes the ledger byte-identical across a crash+recovery cycle.
+
+The ``memory`` store engine is mapped to ``file`` here: a conflict
+ledger that evaporated with the process would defeat its purpose, so
+the ledger is durable regardless of which engine backs the object
+store.
+
+:class:`ConflictDetector` is the live-path driver: it re-grounds the
+application's invariants (compiled closures, PR-8) against a replica's
+observed state after every state change, diffs the violation set
+against the previous check, and appends violation records on first
+sighting and repair records when a violation clears.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs import TRACER
+from repro.store.engine import make_engine
+
+#: Lineage window: dots applied since the last clean check, capped so
+#: a long non-convergent stretch cannot grow records without bound.
+LINEAGE_CAP = 32
+
+LEDGER_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ConflictRecord:
+    """One durable conflict event with full attribution."""
+
+    seq: int
+    kind: str  # "violation" | "repair" | "compensation"
+    oracle: str  # which oracle detected it (invariant, ...)
+    invariant: str  # invariant id/name (or bound key)
+    region: str  # replica that observed it
+    witness: tuple[tuple[str, str], ...] = ()
+    #: contributing ops as (origin replica, commit counter) dots
+    ops: tuple[tuple[str, int], ...] = ()
+    #: origins of the contributing ops plus the observer
+    replicas: tuple[str, ...] = ()
+    resolution: str = ""  # "", "converged", "compensated", ...
+    detail: str = ""
+    detected_at_ms: float = 0.0
+
+    def identity(self) -> tuple:
+        """Dedup key: the same conflict event is recorded once.
+
+        Excludes ``seq``/``detected_at_ms``/lineage -- a recovered
+        replica re-detecting a still-open violation sees the same
+        identity and must not append a duplicate.
+        """
+        return (
+            self.kind,
+            self.oracle,
+            self.invariant,
+            self.region,
+            self.witness,
+        )
+
+    def describe(self) -> str:
+        binding = ", ".join(f"{var}={val}" for var, val in self.witness)
+        ops = ",".join(f"{origin}:{counter}" for origin, counter in self.ops)
+        head = (
+            f"[{self.kind}] {self.region} t={self.detected_at_ms:.1f}ms "
+            f"{self.invariant}"
+        )
+        if binding:
+            head += f" with {binding}"
+        if ops:
+            head += f" ops={ops}"
+        if self.resolution:
+            head += f" resolution={self.resolution}"
+        if self.detail:
+            head += f" ({self.detail})"
+        return head
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "oracle": self.oracle,
+            "invariant": self.invariant,
+            "region": self.region,
+            "witness": [list(pair) for pair in self.witness],
+            "ops": [list(pair) for pair in self.ops],
+            "replicas": list(self.replicas),
+            "resolution": self.resolution,
+            "detail": self.detail,
+            "detected_at_ms": self.detected_at_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "ConflictRecord":
+        return cls(
+            seq=int(blob["seq"]),
+            kind=blob["kind"],
+            oracle=blob["oracle"],
+            invariant=blob["invariant"],
+            region=blob["region"],
+            witness=tuple(
+                (str(v), str(w)) for v, w in blob.get("witness", ())
+            ),
+            ops=tuple(
+                (str(o), int(c)) for o, c in blob.get("ops", ())
+            ),
+            replicas=tuple(blob.get("replicas", ())),
+            resolution=blob.get("resolution", ""),
+            detail=blob.get("detail", ""),
+            detected_at_ms=float(blob.get("detected_at_ms", 0.0)),
+        )
+
+
+def ledger_engine_name(store_engine: str | None) -> str:
+    """The engine backing a ledger for a given store engine.
+
+    Durable engines back the ledger directly; the volatile ``memory``
+    engine maps to ``file`` -- conflict records must survive the
+    process no matter how the object store is configured.
+    """
+    if store_engine == "sqlite":
+        return "sqlite"
+    return "file"
+
+
+class ConflictLedger:
+    """Append-only, engine-backed, deduplicating conflict store."""
+
+    def __init__(
+        self,
+        path: str,
+        engine: str | None = None,
+        fsync: bool = False,
+    ) -> None:
+        self.path = path
+        self.engine_name = ledger_engine_name(engine)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._engine = make_engine(self.engine_name, path, fsync=fsync)
+        self._records: list[ConflictRecord] = []
+        self._identities: set[tuple] = set()
+        for key, record in sorted(self._engine.load().items()):
+            self._records.append(record)
+            self._identities.add(record.identity())
+        self._next_seq = (
+            self._records[-1].seq + 1 if self._records else 0
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[ConflictRecord]:
+        return list(self._records)
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def append(
+        self,
+        kind: str,
+        oracle: str,
+        invariant: str,
+        region: str,
+        witness: tuple[tuple[str, str], ...] = (),
+        ops: tuple[tuple[str, int], ...] = (),
+        replicas: tuple[str, ...] = (),
+        resolution: str = "",
+        detail: str = "",
+        detected_at_ms: float = 0.0,
+    ) -> ConflictRecord | None:
+        """Record one conflict event; ``None`` if already present.
+
+        Durable before return: the engine syncs per append, so a
+        SIGKILL immediately after never loses an acknowledged record.
+        """
+        record = ConflictRecord(
+            seq=self._next_seq,
+            kind=kind,
+            oracle=oracle,
+            invariant=invariant,
+            region=region,
+            witness=tuple(witness),
+            ops=tuple(ops),
+            replicas=tuple(replicas),
+            resolution=resolution,
+            detail=detail,
+            detected_at_ms=detected_at_ms,
+        )
+        if record.identity() in self._identities:
+            return None
+        self._next_seq += 1
+        self._records.append(record)
+        self._identities.add(record.identity())
+        self._engine.put(f"conflict:{record.seq:08d}", record)
+        self._engine.sync()
+        TRACER.instant(
+            f"store.conflict.{kind}",
+            invariant=invariant,
+            region=region,
+            resolution=resolution or None,
+        )
+        return record
+
+    def close(self) -> None:
+        self._engine.close()
+
+
+def open_ledgers(data_dir: str) -> dict[str, ConflictLedger]:
+    """Every region ledger under a live run's data directory.
+
+    Servers write ``<data_dir>/<region>-conflicts.(objlog|db)``; this
+    reopens them read-mostly for the ``repro conflicts`` query CLI and
+    the harness's end-of-run report.
+    """
+    ledgers: dict[str, ConflictLedger] = {}
+    if not os.path.isdir(data_dir):
+        return ledgers
+    for entry in sorted(os.listdir(data_dir)):
+        for suffix, engine in ((".objlog", "file"), (".db", "sqlite")):
+            if not entry.endswith("-conflicts" + suffix):
+                continue
+            region = entry[: -len("-conflicts" + suffix)]
+            path = os.path.join(data_dir, entry[: -len(suffix)])
+            ledgers[region] = ConflictLedger(path, engine=engine)
+    return ledgers
+
+
+class ConflictDetector:
+    """Live invariant watching for one replica, feeding a ledger.
+
+    After every state change (an executed op, an applied remote
+    record) the server calls :meth:`note_commit` / :meth:`note_apply`
+    and then :meth:`check`.  The detector grounds the application's
+    invariants against the replica's observed state, diffs against the
+    previously-active violation set, and:
+
+    - appends a ``violation`` record the first time a witness fires,
+      attributing the dots applied since the last clean check as
+      lineage;
+    - appends a ``repair`` record (``resolution="converged"``) when a
+      previously-active violation disappears -- under weak consistency
+      that means later operations or anti-entropy merges healed it.
+    """
+
+    def __init__(self, server) -> None:
+        from repro.check.oracles import InvariantOracle
+
+        self._server = server
+        self._oracle = InvariantOracle(
+            server.adapter.spec(server.params)
+        )
+        self._active: dict[tuple, ConflictRecord] = {}
+        self._lineage: deque = deque(maxlen=LINEAGE_CAP)
+
+    def note_commit(self, record) -> None:
+        self._lineage.append((record.origin, record.dot.counter))
+
+    def note_apply(self, record) -> None:
+        self._lineage.append((record.origin, record.dot.counter))
+
+    def check(self) -> None:
+        server = self._server
+        replica = server.node.store
+        interp = server.adapter.extract(
+            replica, server.variant, server.params
+        )
+        found = self._oracle.check(interp, server.region)
+        now_ms = server.now_ms()
+        current: dict[tuple, object] = {}
+        for violation in found:
+            key = (violation.name, violation.witness)
+            current[key] = violation
+            if key in self._active:
+                continue
+            lineage = tuple(self._lineage)
+            record = server.ledger.append(
+                kind="violation",
+                oracle=violation.oracle,
+                invariant=violation.name,
+                region=server.region,
+                witness=violation.witness,
+                ops=lineage,
+                replicas=tuple(
+                    sorted({origin for origin, _ in lineage}
+                           | {server.region})
+                ),
+                detail=violation.detail,
+                detected_at_ms=now_ms,
+            )
+            self._active[key] = record
+        for key in list(self._active):
+            if key in current:
+                continue
+            opened = self._active.pop(key)
+            name, witness = key
+            server.ledger.append(
+                kind="repair",
+                oracle="invariant",
+                invariant=name,
+                region=server.region,
+                witness=witness,
+                ops=tuple(self._lineage),
+                replicas=(server.region,),
+                resolution="converged",
+                detail=(
+                    f"violation seq={opened.seq} healed"
+                    if opened is not None
+                    else "healed"
+                ),
+                detected_at_ms=now_ms,
+            )
+        if not current:
+            # Clean state: the next violation's lineage window starts
+            # here.
+            self._lineage.clear()
+
+
+def record_trial_violations(
+    ledger: ConflictLedger,
+    violations,
+    lineage_by_region: dict[str, tuple[tuple[str, int], ...]] | None = None,
+    detected_at_ms: float = 0.0,
+) -> int:
+    """Persist a finished trial's oracle findings into a ledger.
+
+    The checker-side counterpart of :class:`ConflictDetector`: the PR-5
+    oracles judge a quiesced run, so every finding is recorded at once.
+    ``lineage_by_region`` attributes each region's applied dots (only
+    the trailing :data:`LINEAGE_CAP` are kept).  Returns the number of
+    new records appended.
+    """
+    appended = 0
+    for violation in violations:
+        lineage = tuple(
+            (lineage_by_region or {}).get(violation.region, ())
+        )[-LINEAGE_CAP:]
+        record = ledger.append(
+            kind="violation",
+            oracle=violation.oracle,
+            invariant=violation.name,
+            region=violation.region,
+            witness=violation.witness,
+            ops=lineage,
+            replicas=tuple(
+                sorted({origin for origin, _ in lineage}
+                       | {violation.region})
+            ),
+            detail=violation.detail,
+            detected_at_ms=detected_at_ms,
+        )
+        if record is not None:
+            appended += 1
+    return appended
+
+
+def record_compensations(
+    ledger: ConflictLedger,
+    probes_by_region: dict[str, list],
+    lineage_by_region: dict[str, tuple[tuple[str, int], ...]] | None = None,
+    detected_at_ms: float = 0.0,
+) -> int:
+    """Persist *paid* compensation debt as ``compensation`` records.
+
+    A raw overdraft fully covered by the compensation machinery is the
+    oracles' success case -- no :class:`Violation` is emitted -- but it
+    is still a conflict the application resolved by compensating, and
+    the ledger's reason to exist is exactly that attribution.  Takes
+    the same :class:`~repro.check.oracles.BoundProbe` lists the debt
+    oracle consumes.  Returns the number of new records appended.
+    """
+    appended = 0
+    for region, probes in sorted(probes_by_region.items()):
+        lineage = tuple(
+            (lineage_by_region or {}).get(region, ())
+        )[-LINEAGE_CAP:]
+        for probe in probes:
+            overdraft = (
+                probe.raw - probe.bound
+                if probe.op == "<="
+                else probe.bound - probe.raw
+            )
+            if overdraft <= 0 or probe.covered < overdraft:
+                continue  # no debt, or unpaid debt (a violation)
+            record = ledger.append(
+                kind="compensation",
+                oracle="compensation-debt",
+                invariant=probe.key,
+                region=region,
+                ops=lineage,
+                replicas=tuple(
+                    sorted({origin for origin, _ in lineage} | {region})
+                ),
+                resolution="compensated",
+                detail=(
+                    f"raw overdraft {overdraft} absorbed by "
+                    f"{probe.covered} compensation(s)"
+                ),
+                detected_at_ms=detected_at_ms,
+            )
+            if record is not None:
+                appended += 1
+    return appended

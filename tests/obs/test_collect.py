@@ -1,0 +1,209 @@
+"""Fleet stitching: spool files, clock alignment, flows, instants."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    SpanRecord,
+    Tracer,
+    chrome_trace,
+    dump_process,
+    read_spool,
+    stitch_dir,
+    write_stitched,
+)
+
+
+def make_process(spool_dir, name, epoch_unix_us, spans):
+    """Hand-write one process's spool file (meta line + spans)."""
+    proc = f"{os.getpid()}-{epoch_unix_us:x}"
+    path = os.path.join(spool_dir, f"spans-{proc}.jsonl")
+    meta = {
+        "meta": 1,
+        "proc": proc,
+        "pid": os.getpid(),
+        "name": name,
+        "epoch_unix_us": epoch_unix_us,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(meta) + "\n")
+        for span in spans:
+            handle.write(json.dumps(span.as_dict()) + "\n")
+    return path
+
+
+def span(name, start_us, pid=1, dur_us=10, attrs=None, kind="span"):
+    return SpanRecord(
+        name=name,
+        start_us=start_us,
+        dur_us=dur_us,
+        pid=pid,
+        tid=7,
+        attrs=attrs or {},
+        kind=kind,
+    )
+
+
+class TestSpoolFormat:
+    def test_spool_mode_writes_meta_line_first(self, tmp_path):
+        tracer = Tracer()
+        tracer.configure(
+            enabled=True,
+            spool_dir=str(tmp_path),
+            spool=True,
+            process="serve-us-east",
+        )
+        with tracer.span("net.op", index=3):
+            pass
+        tracer.instant("store.conflict.violation", invariant="cap")
+        tracer.disable()
+        meta, spans = read_spool(
+            str(tmp_path / f"spans-{tracer.proc}.jsonl")
+        )
+        assert meta["name"] == "serve-us-east"
+        assert meta["proc"] == tracer.proc
+        assert meta["epoch_unix_us"] == tracer.epoch_unix_us
+        assert [s.name for s in spans] == [
+            "net.op", "store.conflict.violation",
+        ]
+        assert spans[1].kind == "instant"
+
+    def test_read_spool_tolerates_torn_tail(self, tmp_path):
+        path = make_process(
+            str(tmp_path), "serve-a", 1_000_000, [span("net.op", 5)]
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "net.apply", "start_us": 9')  # SIGKILL
+        meta, spans = read_spool(path)
+        assert meta is not None
+        assert [s.name for s in spans] == ["net.op"]
+
+    def test_dump_process_round_trips_in_memory_spans(self, tmp_path):
+        tracer = Tracer()
+        tracer.configure(enabled=True)
+        with tracer.span("net.client.op", index=0):
+            pass
+        path = dump_process(str(tmp_path), name="harness", tracer=tracer)
+        tracer.disable()
+        meta, spans = read_spool(path)
+        assert meta["name"] == "harness"
+        assert [s.name for s in spans] == ["net.client.op"]
+        assert spans == tracer.spans()
+
+
+class TestStitching:
+    def test_aligns_clocks_and_assigns_synthetic_pids(self, tmp_path):
+        # Process B's epoch is 500us after A's: a span at local t=100
+        # in B lands at t=600 on the shared timeline.
+        make_process(
+            str(tmp_path), "serve-a", 1_000_000, [span("net.op", 100)]
+        )
+        make_process(
+            str(tmp_path), "serve-b", 1_000_500, [span("net.apply", 100)]
+        )
+        stitched = stitch_dir(str(tmp_path))
+        assert stitched.process_names == {1: "serve-a", 2: "serve-b"}
+        by_name = {s.name: s for s in stitched.spans}
+        assert by_name["net.op"].start_us == 100
+        assert by_name["net.apply"].start_us == 600
+        assert by_name["net.op"].pid == 1
+        assert by_name["net.apply"].pid == 2
+
+    def test_restart_incarnation_gets_its_own_track(self, tmp_path):
+        # Same display name, two incarnations (a SIGKILL+restart):
+        # distinct proc prefixes must stay distinct tracks even if the
+        # OS recycled the pid.
+        make_process(
+            str(tmp_path), "serve-a", 1_000_000, [span("net.op", 1)]
+        )
+        make_process(
+            str(tmp_path), "serve-a", 2_000_000, [span("net.op", 2)]
+        )
+        stitched = stitch_dir(str(tmp_path))
+        assert len(stitched.procs) == 2
+        assert {s.pid for s in stitched.spans} == {1, 2}
+        assert stitched.process_names[1] == stitched.process_names[2]
+
+    def test_write_stitched_produces_loadable_chrome_json(self, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        make_process(
+            str(spool), "serve-a", 1_000_000,
+            [span("net.op", 5, attrs={"flow_out": "rec:a:1"})],
+        )
+        out = tmp_path / "trace.json"
+        stitched = write_stitched(str(spool), str(out))
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert len(stitched.spans) == 1
+        # Stitching never consumes the spool (it is the archive).
+        assert list(spool.glob("*.jsonl"))
+
+    def test_empty_dir_stitches_empty(self, tmp_path):
+        stitched = stitch_dir(str(tmp_path))
+        assert stitched.spans == []
+        assert stitched.chrome()["traceEvents"] == []
+
+
+class TestFlowAndInstantEvents:
+    def test_flow_attrs_emit_start_and_finish_events(self):
+        spans = [
+            span("net.op", 10, pid=1, attrs={"flow_out": "rec:a:1"}),
+            span("net.apply", 40, pid=2, attrs={"flow_in": "rec:a:1"}),
+        ]
+        events = chrome_trace(spans)["traceEvents"]
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"] == "rec:a:1"
+        assert starts[0]["pid"] == 1
+        assert finishes[0]["pid"] == 2
+        assert finishes[0]["bp"] == "e"
+
+    def test_instant_kind_emits_i_event_not_slice(self):
+        spans = [span("net.chaos.drop", 10, kind="instant", dur_us=0)]
+        events = chrome_trace(spans)["traceEvents"]
+        phases = [e["ph"] for e in events if e["ph"] != "M"]
+        assert phases == ["i"]
+
+    def test_zero_duration_span_is_still_a_slice(self):
+        # Sub-microsecond spans round to dur 0 but remain X events --
+        # only the explicit instant kind switches phase.
+        spans = [span("solver.check", 10, dur_us=0)]
+        events = chrome_trace(spans)["traceEvents"]
+        phases = [e["ph"] for e in events if e["ph"] != "M"]
+        assert phases == ["X"]
+
+
+class TestFlowIds:
+    def test_new_flow_ids_are_process_namespaced(self, tmp_path):
+        a, b = Tracer(), Tracer()
+        a.configure(enabled=True)
+        b.configure(enabled=True)
+        b.epoch_unix_us = a.epoch_unix_us + 1  # force distinct procs
+        ids = {a.new_flow("sync"), b.new_flow("sync")}
+        assert len(ids) == 2  # same pid, same seq -- still distinct
+        a.disable()
+        b.disable()
+
+    def test_new_flow_returns_none_while_disabled(self):
+        assert Tracer().new_flow("sync") is None
+
+
+class TestOrdering:
+    def test_tracks_ordered_by_epoch_then_proc(self, tmp_path):
+        make_process(str(tmp_path), "late", 3_000_000, [span("b", 1)])
+        make_process(str(tmp_path), "early", 1_000_000, [span("a", 1)])
+        stitched = stitch_dir(str(tmp_path))
+        assert stitched.process_names == {1: "early", 2: "late"}
+
+
+@pytest.mark.parametrize("payload", ["not json at all", '{"meta": 1'])
+def test_unreadable_first_line_yields_no_meta(tmp_path, payload):
+    path = tmp_path / "spans-x.jsonl"
+    path.write_text(payload + "\n")
+    meta, spans = read_spool(str(path))
+    assert meta is None
+    assert spans == []

@@ -1,0 +1,176 @@
+"""Satellite 3: a traced multi-process live run stitches into one trace.
+
+A 3-region subprocess cluster (one ``repro serve`` worker per region)
+runs a recorded schedule under a lossy chaos plan with tracing spooled
+per process.  The harness must leave behind a single Perfetto-loadable
+``trace.json`` whose tracks span every replica process plus the
+orchestrator, with cross-process flow arrows linking a client txn to
+its commit and the commit to each remote apply.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.check.explorer import PLAN_KINDS, build_trial
+from repro.net.harness import run_live
+from repro.net.oracle import record_trial
+
+
+@pytest.fixture
+def global_tracer_guard():
+    """run_live(trace_dir=...) configures the process-global TRACER;
+    leave the process as quiet as it was found."""
+    yield
+    obs.TRACER.disable()
+    obs.TRACER.clear()
+
+
+def run_traced(tmp_path, index, **kwargs):
+    spec = build_trial("tournament", "Causal", 11, index, n_ops=25)
+    _, deployment = record_trial(spec)
+    trace_dir = str(tmp_path / "trace")
+    report = asyncio.run(
+        run_live(
+            deployment,
+            str(tmp_path),
+            time_scale=0.02,
+            deadline_s=kwargs.pop("deadline_s", 60.0),
+            trace_dir=trace_dir,
+            **kwargs,
+        )
+    )
+    return deployment, report, trace_dir
+
+
+def load_trace(report):
+    with open(report.trace, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert isinstance(doc["traceEvents"], list)
+    return doc
+
+
+def events_by_phase(doc, phase):
+    return [e for e in doc["traceEvents"] if e.get("ph") == phase]
+
+
+@pytest.mark.timeout(120)
+class TestStitchedSubprocessTrace:
+    def test_lossy_subprocess_run_yields_one_fleet_trace(
+        self, tmp_path, global_tracer_guard
+    ):
+        assert PLAN_KINDS[1] == "lossy"
+        deployment, report, trace_dir = run_traced(
+            tmp_path, index=1, subprocess_servers=True
+        )
+        assert report.ok, report.reason
+        assert report.digest_match
+        doc = load_trace(report)
+
+        # One trace, tracks for all three replica processes + harness.
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        }
+        regions = set(deployment["trial"]["regions"])
+        assert {f"serve-{r}" for r in regions} <= names
+        assert "harness" in names
+
+        slices = events_by_phase(doc, "X")
+        pid_of = {}
+        for e in doc["traceEvents"]:
+            if e.get("ph") == "M" and e.get("name") == "process_name":
+                pid_of.setdefault(e["args"]["name"], e["pid"])
+        server_pids = {pid_of[f"serve-{r}"] for r in regions}
+        sliced_pids = {e["pid"] for e in slices}
+        assert server_pids <= sliced_pids, "every replica contributed spans"
+        assert len(sliced_pids) >= 4  # 3 servers + orchestrator
+
+        # Client txn -> server exec: the op:{index} flow links a
+        # harness-side net.client.op span to a replica-side net.op.
+        flow_out = {
+            e["args"].get("flow_out"): e
+            for e in slices
+            if e["args"].get("flow_out")
+        }
+        flow_in = {}
+        for e in slices:
+            fin = e["args"].get("flow_in")
+            if fin:
+                flow_in.setdefault(fin, []).append(e)
+        op_links = [
+            (flow_out[fid], ins[0])
+            for fid, ins in flow_in.items()
+            if fid.startswith("op:") and fid in flow_out
+        ]
+        assert op_links
+        assert any(
+            src["name"] == "net.client.op"
+            and dst["name"] == "net.op"
+            and src["pid"] != dst["pid"]
+            for src, dst in op_links
+        )
+
+        # Commit -> remote apply: the rec:{origin}:{counter} flow
+        # crosses from the committing replica to a *different* replica
+        # process's net.apply span.
+        rec_links = [
+            (flow_out[fid], dst)
+            for fid, ins in flow_in.items()
+            if fid.startswith("rec:") and fid in flow_out
+            for dst in ins
+        ]
+        assert rec_links
+        assert any(
+            src["name"] == "net.op"
+            and dst["name"] == "net.apply"
+            and src["pid"] != dst["pid"]
+            and src["pid"] in server_pids
+            and dst["pid"] in server_pids
+            for src, dst in rec_links
+        )
+
+        # The flow arrows themselves made it into the chrome doc.
+        start_ids = {e["id"] for e in events_by_phase(doc, "s")}
+        finish_ids = {e["id"] for e in events_by_phase(doc, "f")}
+        assert start_ids & finish_ids
+
+        # Lossy plan: the chaos proxy annotated at least one injected
+        # fault as an instant event on its own track.
+        instants = events_by_phase(doc, "i")
+        chaos = [
+            e for e in instants if e["name"].startswith("net.chaos.")
+        ]
+        assert chaos, "lossy plan produced no annotated faults"
+        assert all(e["args"].get("link") for e in chaos)
+
+        # Raw per-process spools survive as the archive.
+        spools = [
+            p for p in (tmp_path / "trace").iterdir()
+            if p.name.startswith("spans-") and p.suffix == ".jsonl"
+        ]
+        assert len(spools) >= 4
+
+    def test_in_process_run_traces_without_subprocesses(
+        self, tmp_path, global_tracer_guard
+    ):
+        _, report, trace_dir = run_traced(tmp_path, index=0)
+        assert report.ok, report.reason
+        doc = load_trace(report)
+        slices = events_by_phase(doc, "X")
+        assert {e["name"] for e in slices} >= {
+            "net.client.op", "net.op", "net.apply",
+        }
+
+    def test_untraced_run_writes_no_trace(self, tmp_path):
+        spec = build_trial("tournament", "Causal", 11, 0, n_ops=15)
+        _, deployment = record_trial(spec)
+        report = asyncio.run(
+            run_live(deployment, str(tmp_path), time_scale=0.02)
+        )
+        assert report.ok, report.reason
+        assert report.trace is None
+        assert not (tmp_path / "trace").exists()
