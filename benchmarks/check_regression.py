@@ -30,6 +30,12 @@ compiled invariant closures have to beat the pure interpreter on an
 oracle-bound trial batch, or spec compilation has silently stopped
 engaging (e.g. every spec falling back to the interpreter).
 
+Entries carrying ``observability.selfheal.mttr_s`` (the self-healing
+benchmark) must stay under ``--max-mttr-s`` *and* report zero
+quarantined objects: a supervised kill must be detected, restarted and
+reconverged promptly, and the scrubber must repair 100% of the
+injected corruption.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_analysis.json \
@@ -119,6 +125,14 @@ def main(argv: list[str] | None = None) -> int:
         help="min allowed compiled-vs-interpreted checker speedup for "
         "entries reporting observability.check.compiled_speedup "
         "(default 1.5; measured figures are an order of magnitude up)",
+    )
+    parser.add_argument(
+        "--max-mttr-s",
+        type=float,
+        default=15.0,
+        help="max allowed supervised mean-time-to-recovery in seconds "
+        "for entries reporting observability.selfheal.mttr_s "
+        "(default 15; measured figures are well under a second)",
     )
     args = parser.parse_args(argv)
 
@@ -239,6 +253,40 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name}: compiled checker speedup x{speedup:.1f} below "
                 f"x{args.min_check_speedup:.1f} (spec compilation is "
                 f"no longer engaging)"
+            )
+
+    # Self-healing contract: a killed replica must be detected,
+    # restarted and reconverged fast, with every injected corruption
+    # repaired -- a creeping MTTR or a quarantine means the recovery
+    # path quietly degraded.
+    for name, entry in sorted(current.items()):
+        selfheal = entry.get("observability", {}).get("selfheal", {})
+        mttr = selfheal.get("mttr_s")
+        if mttr is None:
+            continue
+        quarantined = selfheal.get("scrub_quarantined", 0)
+        bad = mttr > args.max_mttr_s or quarantined > 0
+        verdict = "FAIL" if bad else "ok"
+        print(
+            f"{verdict:4} {name}: MTTR {mttr:.2f} s "
+            f"(detect {selfheal.get('detect_s', 0.0):.3f} s, "
+            f"restart {selfheal.get('restart_s', 0.0):.3f} s, "
+            f"scrub {selfheal.get('scrub_repaired', 0)}/"
+            f"{selfheal.get('scrub_corrupt', 0)} repaired, "
+            f"{quarantined} quarantined, "
+            f"limit {args.max_mttr_s:.1f} s)"
+        )
+        if mttr > args.max_mttr_s:
+            failures.append(
+                f"{name}: MTTR {mttr:.2f} s exceeds "
+                f"{args.max_mttr_s:.1f} s (supervised recovery is no "
+                f"longer converging promptly)"
+            )
+        if quarantined > 0:
+            failures.append(
+                f"{name}: {quarantined} object(s) quarantined -- the "
+                f"scrubber no longer repairs 100% of injected "
+                f"corruption"
             )
 
     if failures:

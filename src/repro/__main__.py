@@ -593,7 +593,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{server.engine.position}",
             flush=True,
         )
-        await stop.wait()
+        # Monitor loop rather than a bare stop.wait(): a permanent
+        # engine failure (schedule divergence, unrecoverable storage
+        # fault) must exit nonzero with a diagnosis, not serve a stuck
+        # schedule until some harness deadline gives up on us.
+        while not stop.is_set():
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=0.5)
+            except asyncio.TimeoutError:
+                pass
+            if server.engine_error is not None:
+                print(
+                    f"replica {args.region} failed permanently: "
+                    f"{server.engine_error} (schedule position "
+                    f"{server.engine.position}/"
+                    f"{len(server.engine.schedule)})",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                await server.stop()
+                return 3
         await server.stop()
         return 0
 
@@ -644,6 +663,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
             subprocess_servers=args.subprocess,
             fsync=args.fsync,
             trace_dir=args.trace_dir,
+            supervise=not args.no_supervise,
+            max_restart_attempts=args.max_restart_attempts,
+            corrupt_regions=tuple(args.corrupt or ()),
+            heartbeat_ms=args.heartbeat_ms,
+            overload_limit=args.overload_limit,
+            record_limit=args.record_limit,
+            scrub_ms=args.scrub_ms,
         )
     )
     if report.trace:
@@ -673,10 +699,37 @@ def _cmd_load(args: argparse.Namespace) -> int:
             verdict = "==" if live == report.digests_sim[region] else "!="
             print(f"  {region}: live {live[:16]} {verdict} sim "
                   f"{report.digests_sim[region][:16]}")
+        supervisor = report.supervisor or {}
+        if supervisor.get("restarts") or supervisor.get("corrupted_files"):
+            mttr = supervisor.get("mttr_s")
+            print(
+                f"self-healing: {supervisor.get('restarts', 0)} supervised "
+                f"restart(s), "
+                f"{len(supervisor.get('corrupted_files', []))} corrupted "
+                f"file(s) injected"
+                + (f", MTTR {mttr:.2f}s" if mttr is not None else "")
+            )
     if report.ok:
         print("digests byte-identical to the simulation")
         return 0
     print(f"LIVE RUN FAILED: {report.reason}", file=sys.stderr)
+    for incident in (report.supervisor or {}).get("incidents", []):
+        region = incident.get("region", "?")
+        attempts = incident.get("attempts", 0)
+        if incident.get("gave_up"):
+            print(
+                f"  supervisor: {region} permanently dead after "
+                f"{attempts} restart attempt(s)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"  supervisor: restarted {region} "
+                f"(attempt(s)={attempts}, "
+                f"detect {incident.get('detect_s', 0.0):.2f}s, "
+                f"restart {incident.get('restart_s', 0.0):.2f}s)",
+                file=sys.stderr,
+            )
     return 1
 
 
@@ -752,6 +805,49 @@ def _render_top(snapshot: dict) -> str:
             f"{store.get('store.shard.keys_total', 0):>6} "
             f"{store.get('store.engine.syncs', 0):>6} "
             f"{conflict_txt:>18}"
+        )
+    lines.append("")
+    health_header = (
+        f"{'region':<12} {'hbeats':>7} {'susp':>5} {'recov':>5} "
+        f"{'hints q/r/d':>12} {'brk':>4} {'shed':>5} {'scrub c/r/q':>12} "
+        f"{'retries':>7} {'t/o':>5}"
+    )
+    lines.append(health_header)
+    lines.append("-" * len(health_header))
+    for region, frame in sorted(snapshot["regions"].items()):
+        if frame is None:
+            lines.append(f"{region:<12} {'unreachable':>7}")
+            continue
+        stats = frame.get("stats", {})
+        counters = frame.get("registry", {}).get("counters", {})
+        hints = (
+            f"{stats.get('net.handoff.queued', 0):.0f}/"
+            f"{stats.get('net.handoff.replayed', 0):.0f}/"
+            f"{stats.get('net.handoff.dropped', 0):.0f}"
+        )
+        scrub = (
+            f"{stats.get('store.scrub.corrupt', 0):.0f}/"
+            f"{stats.get('store.scrub.repaired', 0):.0f}/"
+            f"{stats.get('store.scrub.quarantined', 0):.0f}"
+        )
+        shed = (
+            stats.get("net.overload.shed_ops", 0)
+            + stats.get("net.overload.shed_records", 0)
+        )
+        lines.append(
+            f"{region:<12} "
+            f"{stats.get('net.health.heartbeats', 0):>7.0f} "
+            f"{stats.get('net.health.suspects', 0):>5.0f} "
+            f"{stats.get('net.health.recoveries', 0):>5.0f} "
+            f"{hints:>12} "
+            f"{stats.get('net.breaker.opened', 0):>4.0f} "
+            f"{shed:>5.0f} "
+            f"{scrub:>12} "
+            # Client counters live in the process-global registry: they
+            # are populated when the fleet shares the server process
+            # (in-process mode) and stay 0 under --subprocess.
+            f"{counters.get('client.retries', 0):>7} "
+            f"{counters.get('client.timeouts', 0):>5}"
         )
     if snapshot.get("proxy"):
         lines.append("")
@@ -1102,6 +1198,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the whole fleet into DIR and stitch one "
         "Perfetto-loadable trace.json (per-replica tracks, "
         "cross-process flow arrows)",
+    )
+    load.add_argument(
+        "--corrupt", action="append", metavar="REGION", default=None,
+        help="seed mid-file bit rot into REGION's commit log and "
+        "object log while it is down in a crash window; the salvage "
+        "path and scrubber must heal it (repeatable)",
+    )
+    load.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the supervisor: crash windows restart replicas "
+        "from the harness directly (legacy behaviour)",
+    )
+    load.add_argument(
+        "--max-restart-attempts", type=int, default=5, metavar="N",
+        help="supervised restart attempts per incident before "
+        "declaring the replica permanently dead (default 5)",
+    )
+    load.add_argument(
+        "--heartbeat-ms", type=float, default=25.0, metavar="MS",
+        help="inter-replica heartbeat interval feeding the phi "
+        "failure detector (default 25)",
+    )
+    load.add_argument(
+        "--overload-limit", type=int, default=0, metavar="N",
+        help="max parked ops per replica before new ops are shed "
+        "with a retryable 'overloaded' ack (default 0: unlimited)",
+    )
+    load.add_argument(
+        "--record-limit", type=int, default=0, metavar="N",
+        help="max buffered remote records per replica before "
+        "non-gating records are shed to anti-entropy "
+        "(default 0: unlimited)",
+    )
+    load.add_argument(
+        "--scrub-ms", type=float, default=0.0, metavar="MS",
+        help="periodic storage-scrub interval per replica; 0 scrubs "
+        "only at startup (default 0)",
     )
     _add_engine_flags(load)
     load.set_defaults(func=_cmd_load)

@@ -109,9 +109,11 @@ class ClientFleet:
             "client.retries": 0,
             "client.timeouts": 0,
             "client.reconnects": 0,
+            "client.sheds": 0,
         }
         self._retries_counter = REGISTRY.counter("client.retries")
         self._timeouts_counter = REGISTRY.counter("client.timeouts")
+        self._sheds_counter = REGISTRY.counter("client.sheds")
 
     async def run(self) -> dict:
         """Drive every session to completion; returns the stats dict.
@@ -204,6 +206,16 @@ class ClientFleet:
                     self._read_ack(reader, op["index"]),
                     timeout=self._ack_timeout_ms / 1000.0,
                 )
+                if ack["status"] == "overloaded":
+                    # An explicit retryable shed: the server is alive
+                    # but its op parking lot is full.  Keep the healthy
+                    # connection, back off, resend.
+                    self.stats["client.sheds"] += 1
+                    self._sheds_counter.inc()
+                    self.stats["client.retries"] += 1
+                    self._retries_counter.inc()
+                    await asyncio.sleep(policy.next_delay_ms() / 1000.0)
+                    continue
                 policy.reset()
                 TRACER.end(span, status=ack["status"], attempts=attempts)
                 return reader, writer

@@ -56,6 +56,7 @@ _LOG = logging.getLogger(__name__)
 _HEADER = struct.Struct(">II")
 
 _tail_skipped = REGISTRY.counter("net.commitlog.tail_skipped")
+_salvaged = REGISTRY.counter("net.commitlog.salvaged")
 
 
 class CommitLogError(ReproError):
@@ -70,7 +71,9 @@ def frame(body: bytes) -> bytes:
     return _HEADER.pack(len(body), zlib.crc32(body)) + body
 
 
-def read_frames(path: str | os.PathLike[str]) -> list[tuple[int, int, bytes]]:
+def read_frames(
+    path: str | os.PathLike[str], salvage: bool = False
+) -> list[tuple[int, int, bytes]]:
     """Every intact ``(offset, end, body)`` frame in ``path``.
 
     Framing-level tail damage (truncated header/body, CRC mismatch on
@@ -78,6 +81,14 @@ def read_frames(path: str | os.PathLike[str]) -> list[tuple[int, int, bytes]]:
     damage with bytes following raises :class:`CommitLogError`.
     Callers that decode bodies apply the same tail tolerance to a
     decode failure on the *last* returned frame.
+
+    ``salvage=True`` is the self-healing recovery mode: mid-log damage
+    truncates the file at the first damaged record (via
+    :func:`salvage_tail`) instead of raising, keeping the intact
+    prefix.  Safe only for callers that can regenerate the lost suffix
+    -- the live servers can, because the schedule gate re-executes
+    truncated local commits deterministically and anti-entropy
+    re-fetches truncated remote records.
     """
     try:
         with open(path, "rb") as fh:
@@ -102,6 +113,9 @@ def read_frames(path: str | os.PathLike[str]) -> list[tuple[int, int, bytes]]:
             if end == size:
                 skip_tail(path, offset, "CRC mismatch")
                 break
+            if salvage:
+                salvage_tail(path, offset, "CRC mismatch mid-log")
+                break
             raise CommitLogError(
                 f"{path}: CRC mismatch at offset {offset} with "
                 f"{size - end} bytes following -- not a tail artifact"
@@ -109,6 +123,46 @@ def read_frames(path: str | os.PathLike[str]) -> list[tuple[int, int, bytes]]:
         frames.append((offset, end, body))
         offset = end
     return frames
+
+
+def scan_frames(
+    path: str | os.PathLike[str],
+) -> tuple[list[tuple[int, int, bytes]], list[tuple[int, bytes | None, str]]]:
+    """Non-destructive damage survey: ``(good_frames, damage)``.
+
+    Unlike :func:`read_frames` this never raises and never rewrites the
+    file -- it is the scrubber's evidence-gathering pass.  Damage
+    entries are ``(offset, body_or_None, reason)``: a CRC-mismatched
+    record whose length prefix still delimits it keeps its (corrupt)
+    body bytes for attribution and scanning *continues* at the next
+    frame boundary; structural damage (truncated header/body, which a
+    flipped length prefix is indistinguishable from) ends the scan.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return [], []
+    frames: list[tuple[int, int, bytes]] = []
+    damage: list[tuple[int, bytes | None, str]] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + _HEADER.size > size:
+            damage.append((offset, None, "truncated header"))
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if end > size:
+            damage.append((offset, None, "truncated body"))
+            break
+        body = data[offset + _HEADER.size : end]
+        if zlib.crc32(body) != crc:
+            damage.append((offset, body, "CRC mismatch"))
+        else:
+            frames.append((offset, end, body))
+        offset = end
+    return frames, damage
 
 
 def skip_tail(path: str | os.PathLike[str], offset: int, why: str) -> None:
@@ -124,6 +178,28 @@ def skip_tail(path: str | os.PathLike[str], offset: int, why: str) -> None:
         fh.truncate(offset)
 
 
+def salvage_tail(path: str | os.PathLike[str], offset: int, why: str) -> None:
+    """Truncate mid-log damage away, loudly: scrub-and-regenerate mode.
+
+    Distinct from :func:`skip_tail` (a *tail* crash artifact, expected
+    and quiet-ish) because mid-log damage means the disk mangled
+    acknowledged history: the warning and the ``net.commitlog.salvaged``
+    counter are the operator's signal that durability was breached and
+    the fleet is regenerating the suffix from its peers and schedule.
+    """
+    _salvaged.inc()
+    _LOG.warning(
+        "commit log %s: SALVAGE -- truncating damaged history from "
+        "offset %d (%s); the suffix will be regenerated via schedule "
+        "re-execution and anti-entropy",
+        path,
+        offset,
+        why,
+    )
+    with open(path, "r+b") as fh:
+        fh.truncate(offset)
+
+
 # -- record encoding --------------------------------------------------------
 
 
@@ -131,12 +207,11 @@ def _encode_record(record: CommitRecord, seq: int | None = None) -> bytes:
     message: dict[str, Any] = {"record": record}
     if seq is not None:
         message["seq"] = seq
-    body = wire.dump_frame(message)[4:]  # strip frame length
-    return frame(body)
+    return frame(wire.encode_body(message))
 
 
 def replay_indexed(
-    path: str | os.PathLike[str],
+    path: str | os.PathLike[str], salvage: bool = False
 ) -> list[tuple[int | None, CommitRecord]]:
     """All intact ``(seq, record)`` pairs, tolerating a damaged tail.
 
@@ -144,9 +219,12 @@ def replay_indexed(
     single-shard format).  Repairs the file in place when the tail is
     damaged (truncates back to the last good record).  Raises
     :class:`CommitLogError` on damage that is followed by more bytes
-    -- that cannot be a crash-mid-append.
+    -- that cannot be a crash-mid-append -- unless ``salvage`` is set,
+    in which case the damaged suffix is truncated away for the
+    schedule/anti-entropy machinery to regenerate (see
+    :func:`read_frames`).
     """
-    frames = read_frames(path)
+    frames = read_frames(path, salvage=salvage)
     records: list[tuple[int | None, CommitRecord]] = []
     last = len(frames) - 1
     for index, (offset, _end, body) in enumerate(frames):
@@ -156,6 +234,9 @@ def replay_indexed(
         except (wire.WireError, KeyError) as exc:
             if index == last:
                 skip_tail(path, offset, f"undecodable body ({exc})")
+                break
+            if salvage:
+                salvage_tail(path, offset, f"undecodable body ({exc})")
                 break
             raise CommitLogError(
                 f"{path}: undecodable record at offset {offset} with "
@@ -170,9 +251,11 @@ def replay_indexed(
     return records
 
 
-def replay(path: str | os.PathLike[str]) -> list[CommitRecord]:
+def replay(
+    path: str | os.PathLike[str], salvage: bool = False
+) -> list[CommitRecord]:
     """All intact records, tolerating a damaged final record."""
-    return [record for _seq, record in replay_indexed(path)]
+    return [record for _seq, record in replay_indexed(path, salvage=salvage)]
 
 
 class CommitLog:
@@ -259,16 +342,34 @@ class ShardedCommitLog:
     def paths(self) -> tuple[str, ...]:
         return tuple(self._paths)
 
-    def replay(self) -> list[CommitRecord]:
-        """Replay every shard file in parallel, merged by sequence."""
+    def replay(self, salvage: bool = False) -> list[CommitRecord]:
+        """Replay every shard file in parallel, merged by sequence.
+
+        ``salvage=True`` additionally truncates mid-file damage per
+        shard (see :func:`read_frames`) and then cuts the *merged*
+        stream at the first sequence gap: recovery logic downstream
+        (``rebuild_from_log``, ``resume_position``) is only correct for
+        a prefix of the application order, and records beyond a gap in
+        one shard may causally depend on the records the gap swallowed.
+        The dropped suffix is regenerated live -- own commits re-execute
+        deterministically under the schedule gate, remote records
+        re-arrive via anti-entropy -- and re-appends of records that
+        survived in other shard files are byte-identical, so replay
+        deduplicates them by version vector.
+        """
         if self.shards == 1:
-            records = replay(self._paths[0])
+            records = replay(self._paths[0], salvage=salvage)
             self._next_seq = len(records)
             return records
         with ThreadPoolExecutor(
             max_workers=min(self.shards, 8)
         ) as pool:
-            per_shard = list(pool.map(replay_indexed, self._paths))
+            per_shard = list(
+                pool.map(
+                    lambda path: replay_indexed(path, salvage=salvage),
+                    self._paths,
+                )
+            )
         tagged: list[tuple[int, CommitRecord]] = []
         for path, indexed in zip(self._paths, per_shard):
             for seq, record in indexed:
@@ -279,6 +380,30 @@ class ShardedCommitLog:
                     )
                 tagged.append((seq, record))
         tagged.sort(key=lambda item: item[0])
+        if salvage:
+            kept: list[CommitRecord] = []
+            for index, (seq, record) in enumerate(tagged):
+                if seq < len(kept) and record == kept[seq]:
+                    # A byte-identical re-append: post-salvage
+                    # regeneration re-writes records that survived in
+                    # *other* shard files, so a later recovery sees
+                    # the same (seq, record) twice.  Not a gap.
+                    continue
+                if seq != len(kept):
+                    _salvaged.inc()
+                    _LOG.warning(
+                        "sharded commit log %s: sequence gap at %d "
+                        "(next surviving record is seq %d); dropping "
+                        "%d record(s) past the gap for regeneration",
+                        self.region,
+                        len(kept),
+                        seq,
+                        len(tagged) - index,
+                    )
+                    break
+                kept.append(record)
+            self._next_seq = len(kept)
+            return kept
         self._next_seq = tagged[-1][0] + 1 if tagged else 0
         return [record for _seq, record in tagged]
 

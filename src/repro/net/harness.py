@@ -30,10 +30,12 @@ import signal
 import socket
 import sys
 import time
+import zlib
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.errors import ReproError
+from repro.net import commitlog
 from repro.net.client import (
     ClientError,
     ClientFleet,
@@ -41,8 +43,10 @@ from repro.net.client import (
     fetch_status,
 )
 from repro.net.proxy import ChaosProxy
+from repro.net.retry import RetryPolicy
 from repro.net.server import ReplicaServer
 from repro.sim.faults import FaultPlan
+from repro.store.engine import flip_bit_in_frame
 
 
 class HarnessError(ReproError):
@@ -72,11 +76,21 @@ def build_topology(
     regions: tuple[str, ...],
     antientropy_ms: float = 50.0,
     host: str = "127.0.0.1",
+    heartbeat_ms: float = 25.0,
+    overload_limit: int = 0,
+    record_limit: int = 0,
+    scrub_ms: float = 0.0,
+    hint_limit: int = 512,
 ) -> dict:
     ports = free_ports(2 * len(regions), host)
     topology: dict = {
         "epoch_unix_ms": time.time() * 1000.0,
         "antientropy_ms": antientropy_ms,
+        "heartbeat_ms": heartbeat_ms,
+        "overload_limit": overload_limit,
+        "record_limit": record_limit,
+        "scrub_ms": scrub_ms,
+        "hint_limit": hint_limit,
         "regions": {},
         "links": {},
     }
@@ -109,6 +123,9 @@ class LiveReport:
     conflicts: dict = field(default_factory=dict)
     #: stitched Perfetto trace path, when the run traced
     trace: str | None = None
+    #: supervised-recovery summary: incidents (with MTTR timestamps),
+    #: restart count, injected corruptions, and any permanent failure
+    supervisor: dict = field(default_factory=dict)
 
     @property
     def digest_match(self) -> bool:
@@ -143,6 +160,7 @@ class LiveReport:
             },
             "conflicts": self.conflicts,
             "trace": self.trace,
+            "supervisor": dict(self.supervisor),
         }
 
 
@@ -152,6 +170,10 @@ class _InprocessNode:
     def __init__(self, deployment, topology, region, data_dir, fsync):
         self._args = (deployment, topology, region, data_dir, fsync)
         self.server: ReplicaServer | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.server is not None
 
     async def start(self) -> None:
         self.server = ReplicaServer(*self._args)
@@ -206,6 +228,10 @@ class _SubprocessNode:
         )
         self.proc: asyncio.subprocess.Process | None = None
 
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
     async def start(self) -> None:
         self.proc = await asyncio.create_subprocess_exec(
             *self._argv, env=self._env
@@ -232,6 +258,231 @@ class _SubprocessNode:
         self.proc = None
 
 
+def _flip_nonfinal_frame(path: str, seed: int) -> bool:
+    """Flip one seeded bit mid-file; False if too short to bother."""
+    try:
+        frames, _damage = commitlog.scan_frames(path)
+    except OSError:
+        return False
+    if len(frames) < 2:
+        return False
+    flip_bit_in_frame(path, len(frames) // 2, seed=seed)
+    return True
+
+
+def corrupt_region_files(
+    data_dir: str, region: str, seed: int = 11
+) -> list[str]:
+    """Seed mid-file bit rot into a (dead) region's durable state.
+
+    Flips one bit in a *non-final* record of the first commit-log
+    shard and of the first engine object log found -- damage past the
+    torn-tail repair, exercising salvage (commit log) and the startup
+    scrub (object log) on the next boot.  Only meaningful while the
+    region's process is down; returns the files touched.
+    """
+    corrupted: list[str] = []
+    try:
+        names = sorted(os.listdir(data_dir))
+    except OSError:
+        return corrupted
+    for name in names:
+        if name.startswith(region) and name.endswith(".commitlog"):
+            path = os.path.join(data_dir, name)
+            if _flip_nonfinal_frame(path, seed):
+                corrupted.append(path)
+                break
+    store_dir = os.path.join(data_dir, f"{region}-store")
+    if os.path.isdir(store_dir):
+        for name in sorted(os.listdir(store_dir)):
+            if name.endswith(".objlog"):
+                path = os.path.join(store_dir, name)
+                if _flip_nonfinal_frame(path, seed):
+                    corrupted.append(path)
+                    break
+    return corrupted
+
+
+async def _rot_live_region(
+    data_dir: str, region: str, deadline_unix_s: float, seed: int = 13
+) -> str | None:
+    """Bit-flip ``region``'s object log while its server keeps running.
+
+    The live-replica counterpart of :func:`corrupt_region_files`: waits
+    until the region's periodic scrub loop has flushed at least two
+    object frames (the scrub cadence doubles as the live checkpoint
+    cadence), then rots a non-final frame.  The *next* scrub pass must
+    detect the damage and repair it from the live map -- no restart
+    involved.  Returns the path touched, or None if nothing durable
+    appeared before the deadline.
+    """
+    store_dir = os.path.join(data_dir, f"{region}-store")
+    while time.time() < deadline_unix_s:
+        if os.path.isdir(store_dir):
+            for name in sorted(os.listdir(store_dir)):
+                if not name.endswith(".objlog"):
+                    continue
+                path = os.path.join(store_dir, name)
+                if _flip_nonfinal_frame(path, seed):
+                    obs.TRACER.instant(
+                        "supervisor.corrupted", region=region, live=True
+                    )
+                    return path
+        await asyncio.sleep(0.05)
+    return None
+
+
+class Supervisor:
+    """Watches the fleet's nodes; restarts the dead, gives up loudly.
+
+    The harness half of the self-healing tentpole: crash windows under
+    supervision only *kill* -- bringing the replica back is this
+    class's job, with capped decorrelated-jitter backoff between
+    attempts.  Every incident records its MTTR timestamps
+    (killed -> detected -> restarted-and-ready); a replica that cannot
+    be revived within the attempt budget flips ``failed_event`` with a
+    diagnostic instead of letting the run stall to the deadline.
+    """
+
+    def __init__(
+        self,
+        nodes: dict[str, object],
+        topology: dict,
+        data_dir: str,
+        poll_ms: float = 40.0,
+        max_attempts: int = 5,
+        corrupt_regions: tuple[str, ...] = (),
+    ) -> None:
+        self._nodes = nodes
+        self._topology = topology
+        self._data_dir = data_dir
+        self._poll_ms = poll_ms
+        self._max_attempts = max_attempts
+        self._corrupt_pending = set(corrupt_regions)
+        self._kill_times: dict[str, float] = {}
+        self.incidents: list[dict] = []
+        self.restarts = 0
+        self.corrupted_files: list[str] = []
+        self.failure: str | None = None
+        self.failed_event = asyncio.Event()
+
+    def note_kill(self, region: str) -> None:
+        """A crash window reports its kill (anchors that incident's MTTR)."""
+        self._kill_times[region] = time.time()
+
+    def summary(self) -> dict:
+        return {
+            "incidents": list(self.incidents),
+            "restarts": self.restarts,
+            "corrupted_files": list(self.corrupted_files),
+            "failure": self.failure,
+        }
+
+    async def run(self) -> None:
+        while not self.failed_event.is_set():
+            await asyncio.sleep(self._poll_ms / 1000.0)
+            for region, node in self._nodes.items():
+                if not node.alive:
+                    await self._recover(region, node)
+                    if self.failed_event.is_set():
+                        return
+
+    async def _recover(self, region: str, node) -> None:
+        detected = time.time()
+        killed = self._kill_times.pop(region, None)
+        obs.TRACER.instant("supervisor.detected", region=region)
+        if region in self._corrupt_pending:
+            # The chaos scenario's disk rot: seeded while the process
+            # is provably down, healed by salvage + scrub on restart.
+            self._corrupt_pending.discard(region)
+            touched = corrupt_region_files(self._data_dir, region)
+            self.corrupted_files.extend(touched)
+            obs.TRACER.instant(
+                "supervisor.corrupted", region=region, files=len(touched)
+            )
+        policy = RetryPolicy(
+            base_ms=50.0,
+            cap_ms=2_000.0,
+            max_attempts=self._max_attempts,
+            seed=zlib.crc32(f"supervisor:{region}".encode()),
+        )
+        attempts = 0
+        while not policy.exhausted():
+            attempts += 1
+            try:
+                await node.restart()
+                await self._await_node_ready(region, node)
+            except Exception:
+                await node.crash()  # a half-started node must not linger
+                await asyncio.sleep(policy.next_delay_ms() / 1000.0)
+                continue
+            self.restarts += 1
+            restarted = time.time()
+            obs.TRACER.instant(
+                "supervisor.restarted", region=region, attempts=attempts
+            )
+            self.incidents.append(
+                {
+                    "region": region,
+                    "killed_unix_s": killed,
+                    "detected_unix_s": detected,
+                    "restarted_unix_s": restarted,
+                    "attempts": attempts,
+                    "detect_s": (
+                        detected - killed if killed is not None else None
+                    ),
+                    "restart_s": restarted - detected,
+                }
+            )
+            return
+        position = await self._last_position(region)
+        self.failure = (
+            f"replica {region} died permanently: {attempts} restart "
+            f"attempts exhausted; last position {position}"
+        )
+        self.incidents.append(
+            {
+                "region": region,
+                "killed_unix_s": killed,
+                "detected_unix_s": detected,
+                "restarted_unix_s": None,
+                "attempts": attempts,
+                "gave_up": True,
+            }
+        )
+        obs.TRACER.instant(
+            "supervisor.gave_up", region=region, attempts=attempts
+        )
+        self.failed_event.set()
+
+    async def _await_node_ready(
+        self, region: str, node, timeout_s: float = 5.0
+    ) -> None:
+        """A restart only counts once the server answers status."""
+        entry = self._topology["regions"][region]
+        deadline = time.time() + timeout_s
+        while True:
+            if not node.alive:
+                raise HarnessError(f"{region} died again while starting")
+            try:
+                await fetch_status(entry["host"], entry["client_port"])
+                return
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                if time.time() > deadline:
+                    raise HarnessError(
+                        f"{region} restarted but never became ready"
+                    ) from None
+                await asyncio.sleep(0.02)
+
+    async def _last_position(self, region: str) -> str:
+        entry = self._topology["regions"][region]
+        try:
+            status = await fetch_status(entry["host"], entry["client_port"])
+            return f"{status['position']}/{status['steps']}"
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return "unreachable"
+
+
 async def run_live(
     deployment: dict,
     workdir: str,
@@ -241,6 +492,14 @@ async def run_live(
     subprocess_servers: bool = False,
     fsync: bool = False,
     trace_dir: str | None = None,
+    supervise: bool = True,
+    max_restart_attempts: int = 5,
+    corrupt_regions: tuple[str, ...] = (),
+    heartbeat_ms: float = 25.0,
+    overload_limit: int = 0,
+    record_limit: int = 0,
+    scrub_ms: float = 0.0,
+    hint_limit: int = 512,
 ) -> LiveReport:
     """Execute one recorded deployment live and judge the digests.
 
@@ -249,6 +508,14 @@ async def run_live(
     (client fleet, proxy, in-process servers) records in memory and
     dumps at the end, and everything is stitched into one
     Perfetto-loadable ``trace.json`` under ``trace_dir``.
+
+    Under ``supervise`` (the default) crash windows only *kill*;
+    detection and restart belong to the :class:`Supervisor`, whose
+    incident log (MTTR timestamps, restart attempts) lands in
+    ``report.supervisor``.  ``corrupt_regions`` seeds mid-file bit rot
+    into those regions' durable state while they are down -- combined
+    with a crash window this is the full self-healing scenario: kill,
+    corrupt, detect, restart, salvage, scrub, converge.
     """
     trial = deployment["trial"]
     regions = tuple(trial["regions"])
@@ -259,7 +526,15 @@ async def run_live(
         if not obs.TRACER.enabled:
             obs.configure(enabled=True)
         obs.TRACER.process_name = "harness"
-    topology = build_topology(regions, antientropy_ms=antientropy_ms)
+    topology = build_topology(
+        regions,
+        antientropy_ms=antientropy_ms,
+        heartbeat_ms=heartbeat_ms,
+        overload_limit=overload_limit,
+        record_limit=record_limit,
+        scrub_ms=scrub_ms,
+        hint_limit=hint_limit,
+    )
 
     proxy = ChaosProxy(regions, plan, topology, time_scale=time_scale)
     await proxy.start()
@@ -286,11 +561,24 @@ async def run_live(
     mode = "subprocess" if subprocess_servers else "inprocess"
 
     crash_tasks: list[asyncio.Task] = []
+    rot_tasks: list[asyncio.Task] = []
+    supervisor: Supervisor | None = None
+    supervisor_task: asyncio.Task | None = None
     started = time.time()
     try:
         for node in nodes.values():
             await node.start()
         await _await_ready(topology, regions, deadline_s)
+
+        if supervise:
+            supervisor = Supervisor(
+                nodes,
+                topology,
+                data_dir,
+                max_attempts=max_restart_attempts,
+                corrupt_regions=corrupt_regions,
+            )
+            supervisor_task = asyncio.ensure_future(supervisor.run())
 
         epoch_unix_ms = time.time() * 1000.0
         proxy.set_epoch(epoch_unix_ms)
@@ -299,17 +587,65 @@ async def run_live(
                 asyncio.ensure_future(
                     _crash_window(
                         nodes[window.region], window, epoch_unix_ms,
-                        time_scale,
+                        time_scale, supervisor=supervisor,
+                    )
+                )
+            )
+        # Regions asked to rot that never crash get live bit rot: the
+        # supervisor injects into *down* regions (salvage + startup
+        # scrub heal it); running regions are the periodic scrub
+        # loop's to heal, with no restart in the story.
+        crashing = {window.region for window in plan.crashes}
+        for region in corrupt_regions:
+            if region in crashing:
+                continue
+            rot_tasks.append(
+                asyncio.ensure_future(
+                    _rot_live_region(
+                        data_dir, region, started + deadline_s
                     )
                 )
             )
 
         fleet = ClientFleet(deployment, topology, time_scale=time_scale)
         remaining = deadline_s - (time.time() - started)
+        fleet_task = asyncio.ensure_future(fleet.run())
+        failed_task = (
+            asyncio.ensure_future(supervisor.failed_event.wait())
+            if supervisor is not None
+            else None
+        )
+        waiters = {fleet_task} | ({failed_task} if failed_task else set())
         try:
-            client_stats = await asyncio.wait_for(
-                fleet.run(), timeout=max(remaining, 1.0)
+            done, _pending = await asyncio.wait(
+                waiters,
+                timeout=max(remaining, 1.0),
+                return_when=asyncio.FIRST_COMPLETED,
             )
+            if failed_task is not None and failed_task in done:
+                # A replica died for good: fail fast with the
+                # supervisor's diagnosis instead of stalling the fleet
+                # against its op deadlines.
+                fleet_task.cancel()
+                stuck = await _positions(topology, regions)
+                return LiveReport(
+                    ok=False,
+                    reason=(
+                        f"{supervisor.failure}; server positions: {stuck}"
+                    ),
+                    digests_live={},
+                    digests_sim=dict(deployment["digests"]),
+                    wall_s=time.time() - started,
+                    client=dict(fleet.stats),
+                    proxy=proxy.stats(),
+                    crashes=len(plan.crashes),
+                    mode=mode,
+                    supervisor=supervisor.summary(),
+                )
+            if not done:
+                fleet_task.cancel()
+                raise asyncio.TimeoutError
+            client_stats = fleet_task.result()
         except (asyncio.TimeoutError, ClientError) as exc:
             detail = (
                 "client fleet deadline"
@@ -327,12 +663,40 @@ async def run_live(
                 proxy=proxy.stats(),
                 crashes=len(plan.crashes),
                 mode=mode,
+                supervisor=(
+                    supervisor.summary() if supervisor is not None else {}
+                ),
             )
+        finally:
+            if failed_task is not None:
+                failed_task.cancel()
 
         # The fleet is done; let every crash window play out (a restart
         # may still be pending) and every schedule drain.
         if crash_tasks:
             await asyncio.gather(*crash_tasks, return_exceptions=True)
+        rotted: list[str] = []
+        if rot_tasks:
+            # Give live rot a bounded grace period (the flip waits for
+            # the scrub loop's first durability point), then one full
+            # scrub cycle past the flip so the repair is visible in
+            # the statuses collected below.
+            grace = min(
+                max(scrub_ms * 4.0 / 1000.0, 1.0),
+                max(started + deadline_s - time.time(), 0.1),
+            )
+            await asyncio.wait(rot_tasks, timeout=grace)
+            for task in rot_tasks:
+                if not task.done():
+                    task.cancel()
+                try:
+                    path = await task
+                except (asyncio.CancelledError, Exception):
+                    path = None
+                if path is not None:
+                    rotted.append(path)
+            if rotted and scrub_ms > 0:
+                await asyncio.sleep(scrub_ms * 2.0 / 1000.0 + 0.1)
         statuses = await _await_schedules(
             topology,
             regions,
@@ -348,6 +712,29 @@ async def run_live(
             digests_live.get(region) == digests_sim.get(region)
             for region in regions
         )
+        supervisor_summary: dict = {}
+        if supervisor is not None:
+            supervisor_summary = supervisor.summary()
+            # MTTR closes at convergence: the revived replica's own
+            # schedule draining means it caught back up with the run.
+            mttrs = []
+            for incident in supervisor_summary["incidents"]:
+                completed = statuses.get(incident["region"], {}).get(
+                    "_completed_unix_s"
+                )
+                anchor = (
+                    incident.get("killed_unix_s")
+                    or incident["detected_unix_s"]
+                )
+                if completed is not None and anchor is not None:
+                    incident["mttr_s"] = completed - anchor
+                    mttrs.append(incident["mttr_s"])
+            if mttrs:
+                supervisor_summary["mttr_s"] = max(mttrs)
+        if rotted:
+            supervisor_summary.setdefault("corrupted_files", []).extend(
+                rotted
+            )
         return LiveReport(
             ok=ok,
             reason="" if ok else "digest mismatch",
@@ -372,9 +759,18 @@ async def run_live(
                 if trace_dir is not None
                 else None
             ),
+            supervisor=supervisor_summary,
         )
     finally:
+        if supervisor_task is not None:
+            supervisor_task.cancel()
+            try:
+                await supervisor_task
+            except (asyncio.CancelledError, Exception):
+                pass
         for task in crash_tasks:
+            task.cancel()
+        for task in rot_tasks:
             task.cancel()
         for node in nodes.values():
             try:
@@ -392,13 +788,24 @@ async def run_live(
             )
 
 
-async def _crash_window(node, window, epoch_unix_ms, time_scale) -> None:
-    """Kill at the window's open, restart at its close."""
+async def _crash_window(
+    node, window, epoch_unix_ms, time_scale, supervisor=None
+) -> None:
+    """Kill at the window's open; who restarts depends on supervision.
+
+    Unsupervised (legacy), the window restarts its own victim at the
+    close.  Supervised, the window only kills -- recovery is the
+    :class:`Supervisor`'s job, which is the point: the fleet heals
+    with zero restart intervention from the harness.
+    """
     now_ms = time.time() * 1000.0 - epoch_unix_ms
     await asyncio.sleep(
         max(0.0, (window.start_ms * time_scale - now_ms) / 1000.0)
     )
     await node.crash()
+    if supervisor is not None:
+        supervisor.note_kill(window.region)
+        return
     now_ms = time.time() * 1000.0 - epoch_unix_ms
     await asyncio.sleep(
         max(0.0, (window.end_ms * time_scale - now_ms) / 1000.0)
@@ -461,6 +868,7 @@ async def _await_schedules(topology, regions, deadline: float) -> dict:
                     entry["host"], entry["client_port"]
                 )
                 if status["done"]:
+                    status["_completed_unix_s"] = time.time()
                     statuses[region] = status
                     break
             except (ConnectionError, OSError, asyncio.TimeoutError):

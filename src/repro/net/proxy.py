@@ -40,6 +40,7 @@ from dataclasses import replace
 
 from repro.errors import ReproError
 from repro.net import wire
+from repro.net.retry import RetryPolicy
 from repro.obs import REGISTRY, TRACER
 from repro.sim.faults import FaultInjector, FaultPlan
 
@@ -86,6 +87,15 @@ class ChaosLink:
         self._writer: asyncio.StreamWriter | None = None
         self._send_lock = asyncio.Lock()
         self._copy_tasks: set[asyncio.Task] = set()
+        # Connect backoff toward a down target: without it, every
+        # frame bound for a dead replica (heartbeats arrive every few
+        # ms under a small time scale) would cost a fresh SYN.
+        self._connect_policy = RetryPolicy(
+            base_ms=20.0,
+            cap_ms=500.0,
+            seed=zlib.crc32(f"link:{source}->{target}".encode()),
+        )
+        self._connect_retry_at = 0.0  # monotonic ms
         prefix = f"net.link.{source}->{target}"
         self._delivered = REGISTRY.counter(f"{prefix}.delivered")
         self._down_drops = REGISTRY.counter(f"{prefix}.down_drops")
@@ -183,15 +193,26 @@ class ChaosLink:
         async with self._send_lock:
             writer = self._writer
             if writer is None or writer.is_closing():
+                now_ms = time.monotonic() * 1000.0
+                if now_ms < self._connect_retry_at:
+                    # Still inside the connect cooldown: the target
+                    # was down moments ago; drop without a SYN.
+                    self.down_drops += 1
+                    self._down_drops.inc()
+                    return
                 try:
                     _, writer = await asyncio.open_connection(
                         *self._target_addr
                     )
                     self._writer = writer
+                    self._connect_policy.reset()
                 except (ConnectionError, OSError):
                     # The target is down (crash window): live frames
                     # die exactly like sim messages at a crashed
-                    # replica.
+                    # replica, and the next attempts back off.
+                    self._connect_retry_at = (
+                        now_ms + self._connect_policy.next_delay_ms()
+                    )
                     self.down_drops += 1
                     self._down_drops.inc()
                     return

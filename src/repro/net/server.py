@@ -45,12 +45,14 @@ from repro.check.apps import ADAPTERS, resolve_config
 from repro.check.harness import TrialSpec
 from repro.errors import ReproError, StoreError
 from repro.net import commitlog, wire
+from repro.net.health import CircuitBreaker, FailureDetector, HintQueue
 from repro.net.retry import RetryPolicy
 from repro.obs import REGISTRY, TRACER
 from repro.store.cluster import replica_state_digest
 from repro.store.conflicts import ConflictDetector, ConflictLedger
 from repro.store.engine import default_engine, default_shards
 from repro.store.replica import Replica
+from repro.store.scrub import scrub_replica
 from repro.store.transaction import CommitRecord
 
 
@@ -61,6 +63,12 @@ class ServeError(ReproError):
 #: Cap on records per anti-entropy response frame (bounds frame size;
 #: the requester's next round fetches the rest).
 SYNC_BATCH_LIMIT = 512
+
+_handoff_queued = REGISTRY.counter("net.handoff.queued")
+_handoff_replayed = REGISTRY.counter("net.handoff.replayed")
+_handoff_dropped = REGISTRY.counter("net.handoff.dropped")
+_overload_ops = REGISTRY.counter("net.overload.shed_ops")
+_overload_records = REGISTRY.counter("net.overload.shed_records")
 
 
 class LiveNode:
@@ -178,10 +186,17 @@ class ScheduleEngine:
         server: "ReplicaServer",
         schedule: list[dict],
         ops: list[dict],
+        salvaged: bool = False,
     ) -> None:
         self._server = server
         self.schedule = schedule
         self._ops = ops
+        #: Recovery truncated *acknowledged* history out of the log.
+        #: The fleet never resends an op it already saw acked, so
+        #: committing op steps may never be offered again -- the gate
+        #: must self-execute them from the deployment spec instead of
+        #: deadlocking (see :meth:`_run_op`).
+        self.salvaged = salvaged
         self._cond = asyncio.Condition()
         self._records: dict[tuple[str, int], CommitRecord] = {}
         self._op_waiting: dict[int, Any] = {}  # index -> respond callable
@@ -192,6 +207,33 @@ class ScheduleEngine:
     @property
     def done(self) -> bool:
         return self.position >= len(self.schedule)
+
+    @property
+    def gating_op_index(self) -> int | None:
+        """The op index the gate is (or will next be) blocked on.
+
+        Load shedding must never turn away the one operation the
+        schedule cannot advance without, or an overloaded replica
+        livelocks against its own clients.
+        """
+        if self.position < len(self.schedule):
+            step = self.schedule[self.position]
+            if step["kind"] not in ("setup", "apply") and step["commits"]:
+                return step["index"]
+        return None
+
+    @property
+    def gating_record_key(self) -> tuple[str, int] | None:
+        """The (origin, counter) the gate is blocked on, if an apply."""
+        if self.position < len(self.schedule):
+            step = self.schedule[self.position]
+            if step["kind"] == "apply":
+                return (step["origin"], step["counter"])
+        return None
+
+    @property
+    def parked_ops(self) -> int:
+        return len(self._op_waiting)
 
     # -- live inputs ----------------------------------------------------------
 
@@ -204,6 +246,17 @@ class ScheduleEngine:
             self._server.stats["net.records.duplicates"] += 1
             return
         key = (record.origin, record.dot.counter)
+        limit = self._server.record_limit
+        if (
+            limit
+            and len(self._records) >= limit
+            and key != self.gating_record_key
+        ):
+            # Bounded buffer: shed everything but the record the gate
+            # is waiting for; anti-entropy redelivers what we shed.
+            self._server.stats["net.overload.shed_records"] += 1
+            _overload_records.inc()
+            return
         async with self._cond:
             if key in self._records:
                 self._server.stats["net.records.duplicates"] += 1
@@ -294,10 +347,18 @@ class ScheduleEngine:
         call = self._ops[index]
         respond = None
         if step["commits"]:
-            async with self._cond:
-                while index not in self._op_waiting:
-                    await self._cond.wait()
-                respond = self._op_waiting.pop(index)
+            if self.salvaged and index not in self._op_waiting:
+                # Salvage truncated acknowledged commits: the client
+                # that sent this op may have its ack already and will
+                # never resend.  Re-execute from the deployment spec
+                # (deterministic, same record) instead of waiting; a
+                # late resend collects the dup ack from _op_results.
+                server.stats["net.ops.salvage_reexecuted"] += 1
+            else:
+                async with self._cond:
+                    while index not in self._op_waiting:
+                        await self._cond.wait()
+                    respond = self._op_waiting.pop(index)
         result: dict[str, Any] = {"label": None}
 
         def done(label: str) -> None:
@@ -382,6 +443,7 @@ class ReplicaServer:
             "net.records.buffered": 0,
             "net.records.duplicates": 0,
             "net.ops.executed": 0,
+            "net.ops.salvage_reexecuted": 0,
             "net.sync.requests": 0,
             "net.sync.responses": 0,
             "net.sync.timeouts": 0,
@@ -389,8 +451,31 @@ class ReplicaServer:
             "net.frames.in": 0,
             "net.frames.out": 0,
             "net.schedule.completed": 0,
+            "net.health.heartbeats": 0,
+            "net.health.suspects": 0,
+            "net.health.recoveries": 0,
+            "net.handoff.queued": 0,
+            "net.handoff.replayed": 0,
+            "net.handoff.dropped": 0,
+            "net.breaker.opened": 0,
+            "net.overload.shed_ops": 0,
+            "net.overload.shed_records": 0,
+            "store.scrub.corrupt": 0,
+            "store.scrub.repaired": 0,
+            "store.scrub.quarantined": 0,
         }
         self.lag_gauge = REGISTRY.gauge("store.convergence.lag_ms")
+
+        # Self-healing knobs, all cluster-wide via the topology file so
+        # every process agrees: heartbeat cadence feeding the failure
+        # detector; op/record buffer bounds (0 = unbounded, the
+        # historical behaviour); hint-queue bound per down peer; and
+        # the periodic scrub interval (0 = startup-only).
+        self.heartbeat_ms = float(topology.get("heartbeat_ms", 25.0))
+        self.overload_limit = int(topology.get("overload_limit", 0))
+        self.record_limit = int(topology.get("record_limit", 0))
+        self.hint_limit = int(topology.get("hint_limit", 512))
+        self.scrub_ms = float(topology.get("scrub_ms", 0.0))
 
         # Engine/shard resolution: explicit argument (the serve CLI's
         # --engine/--shards overrides) > the recorded trial spec > the
@@ -407,10 +492,21 @@ class ReplicaServer:
             self.shards = default_shards()
 
         os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
         self.log = commitlog.ShardedCommitLog(
             data_dir, region, shards=self.shards, fsync=fsync
         )
-        recovered = self.log.replay()
+        # Salvage mode: mid-log damage (bit rot while the process was
+        # dead) truncates to the intact prefix instead of refusing to
+        # start.  Safe *here* because the schedule gate regenerates the
+        # truncated suffix deterministically -- own commits re-execute,
+        # remote records re-arrive via broadcast or anti-entropy.
+        salvage_counter = REGISTRY.counter("net.commitlog.salvaged")
+        salvaged_before = salvage_counter.value
+        recovered = self.log.replay(salvage=True)
+        salvaged = salvage_counter.value > salvaged_before
+        if salvaged:
+            self.stats["net.commitlog.salvaged"] = 1
         registry = adapter.registry(self.variant, self.params)
         self.node = LiveNode(
             region,
@@ -425,11 +521,17 @@ class ReplicaServer:
             self.node.store.adopt_log(recovered)
             self.stats["net.recovered_records"] = len(recovered)
         self.log.open()
+        if self.node.store.storage.durable:
+            # Startup scrub: the engines' persisted copies may have
+            # rotted while the process was down.  The live maps (just
+            # rebuilt from the salvaged log) are the repair source.
+            self._note_scrub(scrub_replica(self.node.store))
         self.app = adapter.make_app(self.node, self.variant, self.params)
         self.engine = ScheduleEngine(
             self,
             deployment["schedules"][region],
             deployment["ops"],
+            salvaged=salvaged,
         )
 
         # The conflict ledger is durable regardless of the store engine
@@ -450,6 +552,24 @@ class ReplicaServer:
         self._conns: set[asyncio.StreamWriter] = set()
         self._running = False
         self.engine_error: str | None = None
+        self.health = FailureDetector(
+            self.peers, interval_ms=self.heartbeat_ms,
+            start_ms=self.now_ms(),
+        )
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._hints: dict[str, HintQueue] = {}
+        for peer in self.peers:
+            self._breakers[peer] = CircuitBreaker(
+                RetryPolicy(
+                    base_ms=100.0,
+                    cap_ms=2_000.0,
+                    seed=zlib.crc32(f"brk:{region}->{peer}".encode()),
+                )
+            )
+            self._hints[peer] = HintQueue(
+                os.path.join(data_dir, f"{region}-hints-{peer}.log"),
+                limit=self.hint_limit,
+            )
 
     # -- clocks ---------------------------------------------------------------
 
@@ -460,6 +580,32 @@ class ReplicaServer:
         topology file), which is what the convergence-lag gauge needs.
         """
         return time.time() * 1000.0 - self._epoch_unix_ms
+
+    # -- self-healing bookkeeping ---------------------------------------------
+
+    def _note_scrub(self, report) -> None:
+        """Fold one :class:`~repro.store.scrub.ScrubReport` into stats."""
+        self.stats["store.scrub.corrupt"] += len(report.corrupt)
+        self.stats["store.scrub.repaired"] += len(report.repaired_live) + len(
+            report.repaired_peer
+        )
+        self.stats["store.scrub.quarantined"] += len(report.quarantined)
+
+    def _note_peer_alive(self, source: str) -> None:
+        """Any inbound peer frame is proof of life for its sender.
+
+        A down->up edge closes the outbound circuit breaker
+        immediately -- inbound traffic proves the process is back, so
+        redelivery of hinted payloads should not wait out a cooldown.
+        """
+        recovered = self.health.note_alive(source, self.now_ms())
+        if recovered:
+            breaker = self._breakers.get(source)
+            if breaker is not None:
+                breaker.record_success()
+            TRACER.instant(
+                "net.health.recovery", region=self.region, peer=source
+            )
 
     # -- commit path ----------------------------------------------------------
 
@@ -494,6 +640,9 @@ class ReplicaServer:
         )
         self._servers = [peer_server, client_server]
         self._tasks.append(asyncio.ensure_future(self._engine_main()))
+        self._tasks.append(asyncio.ensure_future(self._health_main()))
+        if self.scrub_ms > 0 and self.node.store.storage.durable:
+            self._tasks.append(asyncio.ensure_future(self._scrub_main()))
         for peer in self.peers:
             self._tasks.append(
                 asyncio.ensure_future(self._outbound_main(peer))
@@ -528,6 +677,8 @@ class ReplicaServer:
         self.node.store.storage.close()
         self.log.close()
         self.ledger.close()
+        for hints in self._hints.values():
+            hints.close()
 
     def kill(self) -> None:
         """Abrupt in-process crash: no flushes, no goodbyes.
@@ -554,6 +705,9 @@ class ReplicaServer:
         # Every ledger append already synced; close releases handles
         # without adding a flush SIGKILL would not have given us.
         self.ledger.close()
+        # Hints are write-through like the ledger: closing loses none.
+        for hints in self._hints.values():
+            hints.close()
 
     async def wait_done(self) -> None:
         while not self.engine.done:
@@ -576,6 +730,61 @@ class ReplicaServer:
             self.engine_error = f"{type(exc).__name__}: {exc}"
             REGISTRY.counter("net.engine.errors").inc()
 
+    # -- self-healing loops ---------------------------------------------------
+
+    async def _health_main(self) -> None:
+        """Send heartbeats to every peer; evaluate suspicion each beat.
+
+        Heartbeats ride the ordinary outbound queues, through the
+        chaos proxy like all peer traffic -- a partitioned link drops
+        them and the detector suspects the peer, which is exactly the
+        verdict handoff needs even when the peer *process* is healthy.
+        """
+        while self._running:
+            now = self.now_ms()
+            for peer in self.peers:
+                self._out[peer].put_nowait(
+                    {"type": "heartbeat", "source": self.region}
+                )
+            before = self.health.suspects
+            self.health.up_count(now)  # edge-evaluates every peer
+            if self.health.suspects > before:
+                for peer in self.peers:
+                    if not self.health.is_up(peer, now):
+                        TRACER.instant(
+                            "net.health.suspect",
+                            region=self.region,
+                            peer=peer,
+                            phi=round(self.health.phi(peer, now), 2),
+                        )
+            self.stats["net.health.heartbeats"] = self.health.heartbeats
+            self.stats["net.health.suspects"] = self.health.suspects
+            self.stats["net.health.recoveries"] = self.health.recoveries
+            await asyncio.sleep(self.heartbeat_ms / 1000.0)
+
+    async def _scrub_main(self) -> None:
+        """Periodic engine scrub: catch bit rot while still running.
+
+        Flushes dirty live objects first -- the scrub verifies the
+        *fresh* persisted copy, so the scrub cadence doubles as the
+        live fleet's checkpoint cadence (without it, engines would
+        only fill at graceful shutdown and a mid-run scrub would
+        verify an empty file).
+        """
+        while self._running:
+            await asyncio.sleep(self.scrub_ms / 1000.0)
+            try:
+                self.node.store.storage.sync()
+                self._note_scrub(scrub_replica(self.node.store))
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                REGISTRY.counter("store.scrub.errors").inc()
+                self.stats["store.scrub.error"] = 1
+                self.engine_error = self.engine_error or (
+                    f"scrub failed: {type(exc).__name__}: {exc}"
+                )
+
     # -- peer plumbing --------------------------------------------------------
 
     async def _serve_peer(self, reader, writer) -> None:
@@ -586,6 +795,9 @@ class ReplicaServer:
                 if frame is None:
                     break
                 self.stats["net.frames.in"] += 1
+                source = frame.get("source")
+                if isinstance(source, str):
+                    self._note_peer_alive(source)
                 await self._on_peer_frame(frame)
         except (wire.WireError, ConnectionError, OSError):
             pass
@@ -597,7 +809,9 @@ class ReplicaServer:
 
     async def _on_peer_frame(self, frame: dict) -> None:
         kind = frame.get("type")
-        if kind == "records":
+        if kind == "heartbeat":
+            pass  # _serve_peer already noted the sender alive
+        elif kind == "records":
             for record in frame["records"]:
                 await self.engine.offer_record(record)
         elif kind == "sync_req":
@@ -629,33 +843,110 @@ class ReplicaServer:
             if event is not None:
                 event.set()
 
+    def _hint(self, peer: str, message: dict) -> None:
+        """Park an undeliverable message in the peer's durable hints.
+
+        Only replication payloads are worth keeping: heartbeats are
+        regenerated every beat and sync requests/responses go stale
+        with their round.  The queue's bound evicts oldest-first;
+        anything evicted is anti-entropy's problem (counted, so an
+        operator can see the backstop being leaned on).
+        """
+        if message.get("type") != "records":
+            return
+        hints = self._hints[peer]
+        before = hints.dropped
+        hints.append(message)
+        self.stats["net.handoff.queued"] += 1
+        _handoff_queued.inc()
+        evicted = hints.dropped - before
+        if evicted:
+            self.stats["net.handoff.dropped"] += evicted
+            _handoff_dropped.inc(evicted)
+
+    async def _park_outbound(self, peer: str, queue, breaker) -> None:
+        """Hold the link while its circuit is open, hinting payloads.
+
+        Returns once the breaker half-opens (cooldown elapsed) or an
+        inbound sign of life closed it early; the caller's next
+        connect attempt is the probe.
+        """
+        while self._running:
+            now = self.now_ms()
+            if breaker.allow(now):
+                return
+            wait_ms = min(
+                max(breaker.cooldown_remaining_ms(now), 5.0),
+                self.heartbeat_ms if self.heartbeat_ms > 0 else 25.0,
+            )
+            try:
+                message = await asyncio.wait_for(
+                    queue.get(), timeout=wait_ms / 1000.0
+                )
+            except asyncio.TimeoutError:
+                continue
+            self._hint(peer, message)
+
     async def _outbound_main(self, peer: str) -> None:
-        """Own the self->peer link: connect, pump, reconnect."""
+        """Own the self->peer link: connect, pump, reconnect.
+
+        A circuit breaker guards the connect path: a persistently
+        unreachable peer stops being hammered with SYNs and its
+        replication payloads are parked in a durable hint queue
+        instead (hinted handoff).  On reconnect the hints are
+        redelivered *before* live traffic, so convergence after a
+        recovery does not wait for a full anti-entropy cycle.
+        """
         link = self.topology["links"][f"{self.region}->{peer}"]
         queue = self._out[peer]
+        breaker = self._breakers[peer]
+        hints = self._hints[peer]
         policy = RetryPolicy(
             base_ms=25.0,
             cap_ms=1_000.0,
             seed=zlib.crc32(f"out:{self.region}->{peer}".encode()),
         )
         while self._running:
+            if not breaker.allow(self.now_ms()):
+                await self._park_outbound(peer, queue, breaker)
+                if not self._running:
+                    break
             try:
                 reader, writer = await asyncio.open_connection(
                     link.get("host", "127.0.0.1"), link["port"]
                 )
             except (ConnectionError, OSError):
                 self.stats["net.peer.reconnects"] += 1
+                breaker.record_failure(self.now_ms())
                 await asyncio.sleep(policy.next_delay_ms() / 1000.0)
                 continue
             policy.reset()
+            breaker.record_success()
             self._conns.add(writer)
+            pending = hints.drain()
+            message: dict | None = None
             try:
+                while pending:
+                    await wire.write_frame(writer, pending[0])
+                    pending.pop(0)
+                    self.stats["net.frames.out"] += 1
+                    self.stats["net.handoff.replayed"] += 1
+                    _handoff_replayed.inc()
                 while True:
                     message = await queue.get()
                     await wire.write_frame(writer, message)
                     self.stats["net.frames.out"] += 1
+                    message = None
             except (ConnectionError, OSError):
                 self.stats["net.peer.reconnects"] += 1
+                breaker.record_failure(self.now_ms())
+                # Nothing already handed off may be lost to the broken
+                # pipe: re-park undelivered hints and the in-flight
+                # message (write-through, so a crash loses none).
+                for left in pending:
+                    self._hint(peer, left)
+                if message is not None:
+                    self._hint(peer, message)
                 writer.close()
             finally:
                 self._conns.discard(writer)
@@ -757,9 +1048,28 @@ class ReplicaServer:
             except (ConnectionError, OSError):
                 pass  # the client went away; its retry re-acks
 
+        if (
+            self.overload_limit
+            and self.engine.parked_ops >= self.overload_limit
+            and index != self.engine.gating_op_index
+        ):
+            # Bounded parking lot: shed with an explicit retryable
+            # verdict rather than holding unbounded per-op state.  The
+            # one op the gate needs is always admitted (no livelock).
+            self.stats["net.overload.shed_ops"] += 1
+            _overload_ops.inc()
+            await respond("overloaded", None)
+            return
         await self.engine.offer_op(index, respond)
 
     def _status_frame(self) -> dict:
+        now = self.now_ms()
+        self.stats["net.health.heartbeats"] = self.health.heartbeats
+        self.stats["net.health.suspects"] = self.health.suspects
+        self.stats["net.health.recoveries"] = self.health.recoveries
+        self.stats["net.breaker.opened"] = float(
+            sum(b.opened for b in self._breakers.values())
+        )
         return {
             "type": "status_ack",
             "region": self.region,
@@ -772,6 +1082,10 @@ class ReplicaServer:
             "store": {
                 "engine": self.engine_name,
                 **self.node.store.storage.stats(),
+            },
+            "health": self.health.snapshot(now),
+            "handoff": {
+                peer: len(hints) for peer, hints in self._hints.items()
             },
             "vv": dict(self.node.store.vv.entries),
         }

@@ -157,11 +157,23 @@ def decode(obj: Any) -> Any:
 # -- framing ------------------------------------------------------------------
 
 
-def dump_frame(message: dict[str, Any]) -> bytes:
-    """One message -> length-prefixed bytes ready for a socket."""
+def encode_body(message: dict[str, Any]) -> bytes:
+    """One message -> frame body bytes, without the length prefix.
+
+    The shared serialisation for everything that stores wire messages
+    *off* a socket under its own framing: commit-log records and the
+    hinted-handoff queue both wrap these bytes in length+CRC frames
+    (:mod:`repro.net.commitlog`) instead of the socket length prefix.
+    """
     body = json.dumps(encode(message), separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return body
+
+
+def dump_frame(message: dict[str, Any]) -> bytes:
+    """One message -> length-prefixed bytes ready for a socket."""
+    body = encode_body(message)
     return _LEN.pack(len(body)) + body
 
 

@@ -30,11 +30,14 @@ engine or shard count.
 from __future__ import annotations
 
 import bisect
+import errno
 import hashlib
 import os
 import pickle
 import sqlite3
 import tempfile
+import zlib
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.errors import StoreError
@@ -168,6 +171,28 @@ def _ring_hash(token: bytes) -> int:
 # -- the engine contract ----------------------------------------------------
 
 
+@dataclass
+class EngineScrub:
+    """One engine's damage survey, as :meth:`StorageEngine.verify` sees it.
+
+    ``objects`` holds the persisted entries that verified healthy;
+    ``corrupt`` the keys whose persisted copy is damaged *or* provably
+    at risk of staleness (a damaged frame could have superseded them);
+    ``unattributed`` counts damage that could not be pinned to any key
+    -- the signal that the blast radius had to be estimated rather than
+    measured.  Detection is honest: engines never consult injection
+    bookkeeping, only checksums and decode failures.
+    """
+
+    objects: dict[str, "CRDT"] = field(default_factory=dict)
+    corrupt: set[str] = field(default_factory=set)
+    unattributed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt and self.unattributed == 0
+
+
 class StorageEngine:
     """Durability backend for one shard's ``key -> CRDT`` mapping.
 
@@ -210,6 +235,15 @@ class StorageEngine:
     def close(self) -> None:
         """Release file handles / connections (idempotent)."""
 
+    def verify(self) -> EngineScrub:
+        """Damage survey of the persisted state (never raises).
+
+        The scrubber's entry point: where :meth:`load` fails loudly on
+        corruption, ``verify`` classifies every persisted entry as
+        healthy or corrupt so quarantine-and-repair can proceed.
+        """
+        raise NotImplementedError
+
 
 class MemoryEngine(StorageEngine):
     """The historical backend: a volatile dict, no durability."""
@@ -234,6 +268,19 @@ class MemoryEngine(StorageEngine):
 
     def sync(self) -> None:
         pass
+
+    def verify(self) -> EngineScrub:
+        # No medium to rot, but fault injection can still plant an
+        # unpicklable object; the round-trip check finds it honestly.
+        scrub = EngineScrub()
+        for key, obj in self._objects.items():
+            try:
+                pickle.dumps(obj)
+            except Exception:
+                scrub.corrupt.add(key)
+            else:
+                scrub.objects[key] = obj
+        return scrub
 
 
 class FileEngine(StorageEngine):
@@ -304,6 +351,59 @@ class FileEngine(StorageEngine):
             self._fh.close()
             self._fh = None
 
+    def verify(self) -> EngineScrub:
+        """CRC-verify the object log, attributing damage where possible.
+
+        Latest-frame-wins means a damaged frame threatens more than its
+        own key: any key whose newest *good* frame precedes the damage
+        may have been superseded by it.  A damaged body that still
+        unpickles to ``(key, ...)`` pins the damage to that key; one
+        that does not widens the quarantine to every key the damaged
+        offset could have superseded (and is counted unattributed).
+        """
+        self.sync()  # staged appends must be on disk before scanning
+        frames, damage = commitlog.scan_frames(self.path)
+        latest: dict[str, tuple[int, Any]] = {}
+        for offset, _end, body in frames:
+            try:
+                key, obj = pickle.loads(body)
+            except Exception:
+                # A CRC-valid frame that will not decode: treat like
+                # unattributable damage at this offset.
+                damage.append((offset, None, "unpicklable body"))
+                continue
+            latest[key] = (offset, obj)
+        scrub = EngineScrub()
+        for offset, body, _reason in damage:
+            key = None
+            if body is not None:
+                try:
+                    candidate = pickle.loads(body)
+                except Exception:
+                    candidate = None
+                if (
+                    isinstance(candidate, tuple)
+                    and len(candidate) == 2
+                    and isinstance(candidate[0], str)
+                ):
+                    key = candidate[0]
+            if key is not None and key in latest:
+                # A CRC-failed body is untrusted evidence: a flipped
+                # bit inside the key string still unpickles, naming a
+                # key that never existed.  Only pin the damage when the
+                # named key is independently known from a good frame.
+                if latest[key][0] < offset:
+                    scrub.corrupt.add(key)
+            else:
+                scrub.unattributed += 1
+                for other, (good_offset, _obj) in latest.items():
+                    if good_offset < offset:
+                        scrub.corrupt.add(other)
+        for key, (_offset, obj) in latest.items():
+            if key not in scrub.corrupt:
+                scrub.objects[key] = obj
+        return scrub
+
 
 class SqliteEngine(StorageEngine):
     """One sqlite database per shard: a single ``kv`` blob table.
@@ -313,6 +413,14 @@ class SqliteEngine(StorageEngine):
     store's.  Reads after a crash see the last committed transaction
     -- sqlite's journal gives the same "complete records only"
     contract the framed file formats enforce by CRC.
+
+    Each row also stores ``crc32(obj)``: sqlite's journal protects
+    against torn transactions, not against the medium flipping bits in
+    a committed page, and a flipped blob can still be a *valid* pickle
+    of the wrong state.  The checksum makes :meth:`verify` as honest as
+    the framed formats.  Databases created before the column existed
+    are migrated in place; their legacy rows verify by unpickle only
+    until rewritten.
     """
 
     name = "sqlite"
@@ -323,8 +431,14 @@ class SqliteEngine(StorageEngine):
         self._conn = sqlite3.connect(self.path)
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS kv ("
-            "key TEXT PRIMARY KEY, obj BLOB NOT NULL)"
+            "key TEXT PRIMARY KEY, obj BLOB NOT NULL, crc INTEGER)"
         )
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(kv)")
+        }
+        if "crc" not in columns:
+            self._conn.execute("ALTER TABLE kv ADD COLUMN crc INTEGER")
         self._conn.commit()
 
     def load(self) -> dict[str, "CRDT"]:
@@ -336,17 +450,22 @@ class SqliteEngine(StorageEngine):
         return pickle.loads(row[0]) if row else None
 
     def put(self, key: str, obj: "CRDT") -> None:
+        blob = pickle.dumps(obj)
         self._conn.execute(
-            "INSERT INTO kv (key, obj) VALUES (?, ?) "
-            "ON CONFLICT(key) DO UPDATE SET obj = excluded.obj",
-            (key, pickle.dumps(obj)),
+            "INSERT INTO kv (key, obj, crc) VALUES (?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET obj = excluded.obj, "
+            "crc = excluded.crc",
+            (key, blob, zlib.crc32(blob)),
         )
 
     def restore(self, objects: dict[str, "CRDT"]) -> None:
         self._conn.execute("DELETE FROM kv")
+        blobs = [
+            (key, pickle.dumps(obj)) for key, obj in objects.items()
+        ]
         self._conn.executemany(
-            "INSERT INTO kv (key, obj) VALUES (?, ?)",
-            [(key, pickle.dumps(obj)) for key, obj in objects.items()],
+            "INSERT INTO kv (key, obj, crc) VALUES (?, ?, ?)",
+            [(key, blob, zlib.crc32(blob)) for key, blob in blobs],
         )
         self._conn.commit()
 
@@ -358,6 +477,204 @@ class SqliteEngine(StorageEngine):
             self._conn.commit()
             self._conn.close()
             self._conn = None  # type: ignore[assignment]
+
+    def verify(self) -> EngineScrub:
+        """Per-row checksum + unpickle survey; rows are self-attributing."""
+        scrub = EngineScrub()
+        rows = self._conn.execute("SELECT key, obj, crc FROM kv")
+        for key, blob, crc in rows:
+            if crc is not None and zlib.crc32(blob) != crc:
+                scrub.corrupt.add(key)
+                continue
+            try:
+                scrub.objects[key] = pickle.loads(blob)
+            except Exception:
+                scrub.corrupt.add(key)
+        return scrub
+
+
+# -- fault injection --------------------------------------------------------
+
+
+def flip_bit_in_frame(
+    path: str | os.PathLike[str], index: int, seed: int = 0
+) -> int:
+    """Flip one seeded bit inside the body of frame ``index`` on disk.
+
+    Works on any length+CRC framed file (object logs *and* commit
+    logs).  Returns the absolute byte offset flipped.  Negative
+    indices count from the end, so ``-2`` is "a non-final record" for
+    any log with two or more frames.
+    """
+    frames, _damage = commitlog.scan_frames(path)
+    if not frames:
+        raise StoreError(f"{path}: no frames to corrupt")
+    offset, end, body = frames[index]
+    body_start = end - len(body)
+    target = body_start + (seed % len(body))
+    with open(path, "r+b") as fh:
+        fh.seek(target)
+        byte = fh.read(1)[0]
+        fh.seek(target)
+        fh.write(bytes([byte ^ (1 << (seed % 8))]))
+    return target
+
+
+class _CorruptObject:
+    """A planted unserialisable object (memory-engine bit rot stand-in)."""
+
+    def __reduce__(self):  # pragma: no cover - message only
+        raise pickle.PicklingError("injected memory corruption")
+
+    def value(self):  # pragma: no cover - debugging aid
+        raise StoreError("injected memory corruption")
+
+
+class FaultyEngine(StorageEngine):
+    """Seeded fault injection around any real engine.
+
+    The storage half of the chaos story: where the fault injector
+    perturbs the network, ``FaultyEngine`` perturbs the durability
+    layer -- fsync failures (:meth:`inject_fsync_failure`), disk-full
+    puts (:meth:`inject_enospc`), torn writes
+    (:meth:`inject_torn_write`), and seeded bit flips in already
+    persisted state (:meth:`corrupt`).  Injection is by countdown
+    budget so tests aim faults at exact durability points; detection
+    stays honest -- :meth:`verify` delegates to the wrapped engine's
+    own checksums and decode checks, never to injection bookkeeping.
+    """
+
+    def __init__(self, inner: StorageEngine) -> None:
+        self.inner = inner
+        self._fsync_failures = 0
+        self._enospc_puts = 0
+        self._torn_puts = 0
+        self.injected: dict[str, int] = {
+            "fsync_failures": 0,
+            "enospc": 0,
+            "torn_writes": 0,
+            "bit_flips": 0,
+        }
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    @property
+    def durable(self) -> bool:  # type: ignore[override]
+        return self.inner.durable
+
+    # -- fault arming ---------------------------------------------------------
+
+    def inject_fsync_failure(self, count: int = 1) -> None:
+        self._fsync_failures += count
+
+    def inject_enospc(self, count: int = 1) -> None:
+        self._enospc_puts += count
+
+    def inject_torn_write(self, count: int = 1) -> None:
+        self._torn_puts += count
+
+    def corrupt(self, key: str, seed: int = 0) -> None:
+        """Flip one persisted bit of ``key``'s newest stored copy."""
+        self.injected["bit_flips"] += 1
+        inner = self.inner
+        if isinstance(inner, FileEngine):
+            inner.sync()
+            frames, _damage = commitlog.scan_frames(inner.path)
+            target = None
+            for position, (_offset, _end, body) in enumerate(frames):
+                try:
+                    frame_key, _obj = pickle.loads(body)
+                except Exception:
+                    continue
+                if frame_key == key:
+                    target = position
+            if target is None:
+                raise StoreError(f"{inner.path}: no frame for {key!r}")
+            flip_bit_in_frame(inner.path, target, seed=seed)
+            return
+        if isinstance(inner, SqliteEngine):
+            inner.sync()
+            row = inner._conn.execute(
+                "SELECT obj FROM kv WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                raise StoreError(f"{inner.path}: no row for {key!r}")
+            blob = bytearray(row[0])
+            position = seed % len(blob)
+            blob[position] ^= 1 << (seed % 8)
+            # The stored crc stays stale on purpose: that is exactly
+            # what medium rot under a committed page looks like.
+            inner._conn.execute(
+                "UPDATE kv SET obj = ? WHERE key = ?", (bytes(blob), key)
+            )
+            inner._conn.commit()
+            return
+        if isinstance(inner, MemoryEngine):
+            if key not in inner._objects:
+                raise StoreError(f"memory engine has no object {key!r}")
+            inner._objects[key] = _CorruptObject()  # type: ignore[assignment]
+            return
+        raise StoreError(
+            f"cannot corrupt through engine {type(inner).__name__}"
+        )
+
+    # -- the engine contract, with faults -------------------------------------
+
+    def load(self) -> dict[str, "CRDT"]:
+        return self.inner.load()
+
+    def get(self, key: str) -> "CRDT | None":
+        return self.inner.get(key)
+
+    def put(self, key: str, obj: "CRDT") -> None:
+        if self._enospc_puts > 0:
+            self._enospc_puts -= 1
+            self.injected["enospc"] += 1
+            raise StoreError(
+                f"injected ENOSPC writing {key!r}"
+            ) from OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+        if self._torn_puts > 0:
+            self._torn_puts -= 1
+            self.injected["torn_writes"] += 1
+            inner = self.inner
+            if isinstance(inner, FileEngine):
+                # Half a frame hits the disk: the crash-mid-append
+                # signature the tail repair already understands.
+                inner.sync()
+                framed = commitlog.frame(pickle.dumps((key, obj)))
+                with open(inner.path, "ab") as fh:
+                    fh.write(framed[: max(1, len(framed) // 2)])
+                return
+            # No framing to tear for the other engines: the analogue
+            # is a write that never reaches the committed state.
+            return
+        self.inner.put(key, obj)
+
+    def iterate(self) -> Iterator[tuple[str, "CRDT"]]:
+        return self.inner.iterate()
+
+    def digest(self, registry: "TypeRegistry") -> str:
+        return self.inner.digest(registry)
+
+    def restore(self, objects: dict[str, "CRDT"]) -> None:
+        self.inner.restore(objects)
+
+    def sync(self) -> None:
+        if self._fsync_failures > 0:
+            self._fsync_failures -= 1
+            self.injected["fsync_failures"] += 1
+            raise StoreError(
+                "injected fsync failure"
+            ) from OSError(errno.EIO, os.strerror(errno.EIO))
+        self.inner.sync()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def verify(self) -> EngineScrub:
+        return self.inner.verify()
 
 
 def make_engine(name: str, path: str | None = None, fsync: bool = False) -> StorageEngine:
@@ -535,7 +852,15 @@ class ShardedStore:
     # -- durability ----------------------------------------------------------
 
     def sync(self) -> int:
-        """Flush dirty keys through the engines; returns keys written."""
+        """Flush dirty keys through the engines; returns keys written.
+
+        Dirty sets are cleared only *after* the engine confirms the
+        flush: a put that raises (disk full) or a sync that raises
+        (fsync failure) leaves every key of that shard dirty, so the
+        next durability point retries the whole batch.  Clearing first
+        would silently drop the write from all future syncs -- the
+        durability hole the fault-injection tests pin shut.
+        """
         if not self.durable:
             for dirty in self._dirty:
                 dirty.clear()
@@ -551,8 +876,8 @@ class ShardedStore:
                 if obj is not None:
                     engine.put(key, obj)
                     written += 1
-            dirty.clear()
             engine.sync()
+            dirty.clear()
         self.syncs += 1
         _syncs.inc()
         if written:

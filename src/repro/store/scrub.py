@@ -1,0 +1,157 @@
+"""Storage scrubbing: detect, quarantine, and repair engine corruption.
+
+Engines are *redundant* copies -- the live object maps stay
+authoritative and recovery replays the commit log -- but a rotten
+persisted copy is still a loaded gun: the next checkpoint-based
+recovery, engine digest, or operator inspection would read it.  The
+scrubber walks every shard engine's :meth:`~StorageEngine.verify`
+survey and heals what it can, preferring the cheapest trustworthy
+source:
+
+1. **The live map.**  If the replica still holds the object in memory,
+   the persisted copy is just stale redundancy; re-persist the live
+   object.
+2. **A peer replica.**  If the object is gone locally (scrubbing a
+   recovered store whose live map was rebuilt without the key), clone
+   it from a peer whose version vector *dominates* ours -- the same
+   safety rule snapshot installation uses
+   (:meth:`~repro.store.replica.Replica.install_snapshot`): domination
+   proves the peer's copy reflects every event ours did, so adopting
+   its object cannot lose updates.  The clone lands in the *engine
+   only*, never the live map -- installing it live would double-apply
+   effects that anti-entropy is about to redeliver as records.
+3. **Quarantine.**  Anything else stays out of the healthy map, loudly
+   counted; anti-entropy remains the backstop for the state itself.
+
+Repair rewrites the damaged shard wholesale
+(:meth:`~StorageEngine.restore`), so the corrupt frames/rows are
+physically gone afterwards -- a second scrub of a repaired shard is
+clean, which is what the live servers' periodic scrub loop asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs import REGISTRY, TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.replica import Replica
+
+_runs = REGISTRY.counter("store.scrub.runs")
+_corrupt = REGISTRY.counter("store.scrub.corrupt")
+_repaired_live = REGISTRY.counter("store.scrub.repaired_live")
+_repaired_peer = REGISTRY.counter("store.scrub.repaired_peer")
+_quarantined = REGISTRY.counter("store.scrub.quarantined")
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass found and fixed, per replica."""
+
+    replica_id: str
+    keys_checked: int = 0
+    corrupt: set[str] = field(default_factory=set)
+    repaired_live: set[str] = field(default_factory=set)
+    repaired_peer: set[str] = field(default_factory=set)
+    quarantined: set[str] = field(default_factory=set)
+    unattributed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the persisted state needed no attention at all."""
+        return not self.corrupt and self.unattributed == 0
+
+    @property
+    def healed(self) -> bool:
+        """True when everything found corrupt was repaired."""
+        return not self.quarantined
+
+    def summary(self) -> str:
+        return (
+            f"scrub[{self.replica_id}]: {self.keys_checked} checked, "
+            f"{len(self.corrupt)} corrupt "
+            f"({len(self.repaired_live)} repaired from live, "
+            f"{len(self.repaired_peer)} from peers, "
+            f"{len(self.quarantined)} quarantined)"
+        )
+
+
+def scrub_replica(
+    replica: "Replica", peers: Iterable["Replica"] = ()
+) -> ScrubReport:
+    """Verify every shard engine of ``replica``; quarantine and repair.
+
+    ``peers`` are candidate repair sources for keys the live map no
+    longer holds; only peers whose version vector dominates the
+    replica's are consulted (see module docstring).  Returns the
+    :class:`ScrubReport`; never raises on corruption -- that is the
+    point.
+    """
+    store = replica.storage
+    report = ScrubReport(replica_id=replica.replica_id)
+    _runs.inc()
+    peer_list = list(peers)
+    with TRACER.span(
+        "store.scrub", region=replica.replica_id, shards=store.n_shards
+    ):
+        for shard, engine in enumerate(store.engines):
+            survey = engine.verify()
+            report.keys_checked += len(survey.objects) + len(survey.corrupt)
+            report.unattributed += survey.unattributed
+            if survey.clean:
+                continue
+            healthy = dict(survey.objects)
+            candidates = set(survey.corrupt)
+            if survey.unattributed:
+                # Unattributed damage can have *destroyed* a key
+                # outright (its only frame is the unreadable one), and
+                # the engine cannot name what it cannot read.  The
+                # live map and dominating peers can: any key they hold
+                # that did not verify healthy is a repair candidate.
+                for key in store.maps[shard]:
+                    if key not in healthy:
+                        candidates.add(key)
+                for peer in peer_list:
+                    if not peer.vv.dominates(replica.vv):
+                        continue
+                    for key in peer.storage.keys():
+                        if (
+                            key not in healthy
+                            and store.shard_of(key) == shard
+                        ):
+                            candidates.add(key)
+            report.corrupt |= candidates
+            _corrupt.inc(len(candidates))
+            for key in sorted(candidates):
+                live = store.maps[shard].get(key)
+                if live is not None:
+                    healthy[key] = live.clone()
+                    report.repaired_live.add(key)
+                    _repaired_live.inc()
+                    continue
+                donor = _peer_copy(replica, peer_list, key)
+                if donor is not None:
+                    healthy[key] = donor
+                    report.repaired_peer.add(key)
+                    _repaired_peer.inc()
+                else:
+                    report.quarantined.add(key)
+                    _quarantined.inc()
+            # Rewrite the shard wholesale: the damaged frames/rows are
+            # physically dropped, so a re-verify comes back clean.
+            engine.restore(healthy)
+            engine.sync()
+    return report
+
+
+def _peer_copy(replica: "Replica", peers: list["Replica"], key: str):
+    """A clone of ``key`` from the first dominating peer, or None."""
+    for peer in peers:
+        if not peer.vv.dominates(replica.vv):
+            continue
+        obj = peer.storage.get(key)
+        if obj is not None:
+            return obj.clone()
+    return None

@@ -128,3 +128,113 @@ class TestMidLogDamage:
         )
         with pytest.raises(commitlog.CommitLogError, match="CommitRecord"):
             commitlog.replay(path)
+
+
+class TestSalvage:
+    """Self-healing recovery mode: mid-log damage truncates, loudly.
+
+    ``salvage=True`` trades history for availability -- a replica
+    restarting into a mangled log keeps the intact prefix instead of
+    refusing to start.  The dropped suffix is regenerated live (own
+    commits re-execute under the schedule gate, remote records
+    re-arrive via anti-entropy), which is only sound for a *prefix* of
+    the application order -- hence the sequence-gap cut for sharded
+    logs.
+    """
+
+    def damage_record(self, path, records, index):
+        """CRC-corrupt record ``index`` in a log holding ``records``."""
+        prefix = b"".join(
+            commitlog._encode_record(record) for record in records[:index]
+        )
+        damaged = len(prefix) + len(
+            commitlog._encode_record(records[index])
+        )
+        data = bytearray(path.read_bytes())
+        data[damaged - 1] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+    def test_midlog_damage_keeps_intact_prefix(self, tmp_path):
+        records = make_records(4)
+        path = tmp_path / "a.commitlog"
+        write_log(path, records)
+        self.damage_record(path, records, 1)
+        counter = REGISTRY.counter("net.commitlog.salvaged")
+        before = counter.value
+        assert commitlog.replay(path, salvage=True) == records[:1]
+        assert counter.value == before + 1
+        # Truncated in place: a plain replay now sees a clean log.
+        assert commitlog.replay(path) == records[:1]
+
+    def test_append_after_salvage(self, tmp_path):
+        records = make_records(3)
+        path = tmp_path / "a.commitlog"
+        write_log(path, records)
+        self.damage_record(path, records, 1)
+        assert commitlog.replay(path, salvage=True) == records[:1]
+        # Regeneration: re-appends of the salvaged-away records land
+        # on a clean boundary and replay whole.
+        with commitlog.CommitLog(path) as log:
+            log.append(records[1])
+            log.append(records[2])
+        assert commitlog.replay(path) == records
+
+    def test_without_salvage_midlog_damage_still_raises(self, tmp_path):
+        records = make_records(3)
+        path = tmp_path / "a.commitlog"
+        write_log(path, records)
+        self.damage_record(path, records, 0)
+        with pytest.raises(commitlog.CommitLogError, match="not a tail"):
+            commitlog.replay(path)
+
+    def test_sharded_gap_cuts_merged_stream(self, tmp_path):
+        """Damage in one shard file drops everything past the seq gap.
+
+        Records beyond a gap may causally depend on the swallowed
+        ones, so the merged replay must stop at the first hole even
+        though later records survived intact in the *other* shard.
+        """
+        from repro.store.engine import HashRing
+
+        ring = HashRing(2)
+        by_shard: dict[int, str] = {}
+        for i in range(100):
+            key = f"key-{i}"
+            by_shard.setdefault(ring.shard_of(key), key)
+            if len(by_shard) == 2:
+                break
+        registry = TypeRegistry()
+        registry.register_prefix("", AWSet)
+        replica = Replica("A", registry)
+        records = []
+        log = commitlog.ShardedCommitLog(str(tmp_path), "A", shards=2)
+        for seq in range(6):
+            txn = replica.begin()
+            txn.update(
+                by_shard[seq % 2], lambda s, seq=seq: s.prepare_add(f"e{seq}")
+            )
+            record = txn.commit()
+            records.append(record)
+            log.append(record)
+        log.close()
+        # Shard 0 holds seqs 0,2,4: kill seq 2 (mid-file, CRC damage).
+        shard0 = tmp_path / "A-shard00.commitlog"
+        frames = commitlog.read_frames(shard0)
+        data = bytearray(shard0.read_bytes())
+        data[frames[1][1] - 1] ^= 0xFF  # last byte of frame 1's body
+        shard0.write_bytes(bytes(data))
+        counter = REGISTRY.counter("net.commitlog.salvaged")
+        before = counter.value
+        fresh = commitlog.ShardedCommitLog(str(tmp_path), "A", shards=2)
+        # Seqs 0 and 1 survive; 3 and 5 are intact in shard 1 but sit
+        # past the gap left by 2 and 4, so they are dropped too.
+        assert fresh.replay(salvage=True) == records[:2]
+        assert counter.value > before
+        # The sequence counter resumed past the cut: a re-append of
+        # the regenerated records restores the full ordered stream.
+        for record in records[2:]:
+            fresh.append(record)
+        fresh.close()
+        reread = commitlog.ShardedCommitLog(str(tmp_path), "A", shards=2)
+        assert reread.replay(salvage=True) == records
+        reread.close()
